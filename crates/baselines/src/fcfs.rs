@@ -1,0 +1,152 @@
+use std::collections::BTreeMap;
+
+use dream_cost::AcceleratorId;
+use dream_sim::{
+    Assignment, Decision, Scheduler, SchedulerCapabilities, SystemView, TaskEvent, TaskEventKind,
+    TaskId,
+};
+
+/// Dynamic first-come-first-served at model granularity (§5.1 baseline 1,
+/// after Nexus/Clockwork): the oldest ready request is dispatched to the
+/// first available accelerator and *stays* there — every subsequent layer
+/// of that inference runs on the same accelerator until the model
+/// completes.
+///
+/// This is the "dynamic FCFS" of Figure 2: it adapts to what actually
+/// arrives (unlike [`crate::StaticScheduler`]) but is blind to deadlines,
+/// heterogeneity, and energy.
+#[derive(Debug, Default)]
+pub struct FcfsScheduler {
+    /// Accelerator → the task pinned to it for the duration of its model.
+    pins: BTreeMap<AcceleratorId, TaskId>,
+}
+
+impl FcfsScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for FcfsScheduler {
+    fn name(&self) -> &str {
+        "FCFS"
+    }
+
+    fn capabilities(&self) -> SchedulerCapabilities {
+        SchedulerCapabilities {
+            cascade: true,
+            concurrent: true,
+            realtime: false,
+            task_dynamicity: false,
+            model_dynamicity: false,
+            energy_aware: false,
+            heterogeneity_aware: false,
+        }
+    }
+
+    fn schedule(&mut self, view: &SystemView<'_>) -> Decision {
+        let mut decision = Decision::none();
+        // Oldest-first queue of ready tasks not already pinned somewhere.
+        let pinned_tasks: Vec<TaskId> = self.pins.values().copied().collect();
+        let mut queue: Vec<_> = view
+            .ready_tasks()
+            .filter(|t| !pinned_tasks.contains(&t.id()))
+            .collect();
+        queue.sort_by_key(|t| (t.released(), t.id()));
+        let mut queue = queue.into_iter();
+
+        for acc in view.accs.iter().filter(|a| a.is_idle()) {
+            match self.pins.get(&acc.id()) {
+                // The accelerator is working through a model: continue it.
+                Some(&task_id) => {
+                    if let Some(task) = view.task(task_id) {
+                        if task.is_ready() {
+                            decision
+                                .assignments
+                                .push(Assignment::single(task_id, acc.id()));
+                        }
+                        // Running elsewhere cannot happen: this acc owns it.
+                    } else {
+                        // The pinned task finished or vanished; free the
+                        // slot and serve the queue.
+                        self.pins.remove(&acc.id());
+                        if let Some(task) = queue.next() {
+                            self.pins.insert(acc.id(), task.id());
+                            decision
+                                .assignments
+                                .push(Assignment::single(task.id(), acc.id()));
+                        }
+                    }
+                }
+                None => {
+                    if let Some(task) = queue.next() {
+                        self.pins.insert(acc.id(), task.id());
+                        decision
+                            .assignments
+                            .push(Assignment::single(task.id(), acc.id()));
+                    }
+                }
+            }
+        }
+        decision
+    }
+
+    fn on_task_event(&mut self, event: &TaskEvent) {
+        match event.kind {
+            TaskEventKind::Completed { .. }
+            | TaskEventKind::Dropped
+            | TaskEventKind::Flushed => {
+                self.pins.retain(|_, &mut t| t != event.task);
+            }
+            TaskEventKind::Released => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dream_cost::{Platform, PlatformPreset};
+    use dream_models::{CascadeProbability, Scenario, ScenarioKind};
+    use dream_sim::{Millis, SimulationBuilder};
+
+    #[test]
+    fn fcfs_runs_all_scenarios_without_invalid_decisions() {
+        for kind in ScenarioKind::all() {
+            let platform = Platform::preset(PlatformPreset::Hetero4kWs1Os2);
+            let scenario = Scenario::new(kind, CascadeProbability::default_paper());
+            let mut s = FcfsScheduler::new();
+            let m = SimulationBuilder::new(platform, scenario)
+                .duration(Millis::new(400))
+                .seed(3)
+                .run(&mut s)
+                .unwrap()
+                .into_metrics();
+            assert_eq!(m.invalid_decisions, 0, "{kind}");
+            assert!(m.layer_executions > 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn fcfs_keeps_models_on_one_accelerator() {
+        // With model-granularity pinning, context switches only happen
+        // between models, never within one: the switch count must be well
+        // below the layer count.
+        let platform = Platform::preset(PlatformPreset::Homo4kWs2);
+        let scenario = Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper());
+        let mut s = FcfsScheduler::new();
+        let m = SimulationBuilder::new(platform, scenario)
+            .duration(Millis::new(500))
+            .seed(3)
+            .run(&mut s)
+            .unwrap()
+            .into_metrics();
+        assert!(
+            m.context_switches < m.layer_executions / 5,
+            "switches {} vs layers {}",
+            m.context_switches,
+            m.layer_executions
+        );
+    }
+}

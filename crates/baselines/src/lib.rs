@@ -1,0 +1,55 @@
+//! Baseline schedulers the DREAM paper compares against.
+//!
+//! * [`FcfsScheduler`] — dynamic first-come-first-served at *model*
+//!   granularity: the oldest request claims the first free accelerator and
+//!   keeps it until the whole model finishes (§5.1 baseline (1)).
+//! * [`StaticScheduler`] — an offline table-driven scheduler built from
+//!   worst-case assumptions (every cascade fires, no layer is skipped);
+//!   layer→accelerator placements are fixed and never adapted at runtime.
+//!   This is the "static" half of the paper's Figure 2 motivation study.
+//! * [`VeltairScheduler`] — Veltair-style (ASPLOS'22) threshold-based
+//!   *layer-block* scheduling: consecutive layers are grouped into blocks
+//!   to reduce scheduling conflicts, blocks start in EDF order, and the
+//!   block size adapts to the current contention level.
+//! * [`PlanariaScheduler`] — Planaria-style (MICRO'20) deadline-aware
+//!   spatial fission: compute resources (here: sub-accelerator gangs) are
+//!   allocated per task according to its deadline pressure.
+//! * [`EdfScheduler`] — plain earliest-deadline-first at layer granularity
+//!   onto the fastest idle accelerator; an extra reference point not in the
+//!   paper, useful for sanity checks.
+//!
+//! As in the paper (§5.1), Veltair and Planaria are re-implementations of
+//! the respective *scheduling policies* on our simulator — Veltair's
+//! compiler half and Planaria's RTL are out of scope, and neither baseline
+//! optimises energy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod edf;
+mod fcfs;
+mod planaria;
+mod statik;
+mod veltair;
+
+pub use edf::EdfScheduler;
+pub use fcfs::FcfsScheduler;
+pub use planaria::PlanariaScheduler;
+pub use statik::StaticScheduler;
+pub use veltair::VeltairScheduler;
+
+/// All baseline schedulers by name, for experiment harnesses.
+///
+/// The returned factory builds a fresh scheduler per run (schedulers carry
+/// state and must not be shared across simulations).
+pub fn baseline_names() -> &'static [&'static str] {
+    &["FCFS", "Static", "EDF", "Veltair", "Planaria"]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn baseline_names_listed() {
+        assert_eq!(super::baseline_names().len(), 5);
+    }
+}

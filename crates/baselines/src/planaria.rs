@@ -1,0 +1,177 @@
+use dream_cost::AcceleratorConfig;
+use dream_sim::{
+    Assignment, Decision, Scheduler, SchedulerCapabilities, SystemView, Task,
+};
+
+/// Planaria-style scheduler (Ghodrati et al., MICRO'20): deadline-aware
+/// dynamic **spatial fission** of compute resources.
+///
+/// Planaria splits a large systolic array into subarrays and allocates each
+/// DNN just enough compute to meet its deadline. On our multi-accelerator
+/// substrate the "subarray pool" is the set of idle sub-accelerators:
+///
+/// * tasks are served in EDF order;
+/// * each task is granted the *smallest gang* of idle accelerators (largest
+///   first) whose estimated remaining completion time meets the deadline —
+///   resource-hungry tasks close to their deadline get more spatial
+///   resources, relaxed tasks get one accelerator;
+/// * gang execution pays the fission/synchronisation overhead through the
+///   cost model's gang costing, exactly like Planaria's recomposition
+///   overhead.
+///
+/// Deadline- and heterogeneity-aware, but energy-blind (Table 5).
+#[derive(Debug, Default)]
+pub struct PlanariaScheduler(());
+
+impl PlanariaScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Estimated remaining completion time of `task` if every remaining
+    /// layer ran on `gang`.
+    ///
+    /// Planaria predates RTMM dynamicity, so the estimate is *worst case*:
+    /// every remaining layer executes (no skip/exit knowledge) — exactly
+    /// the conservatism §2.2 attributes to schedulers that cannot reason
+    /// about constrained dynamicity.
+    fn remaining_on_gang(
+        view: &SystemView<'_>,
+        task: &Task,
+        gang: &[&AcceleratorConfig],
+    ) -> f64 {
+        task.remaining()
+            .map(|q| {
+                let layer = view.workload.layer(q.layer);
+                let cost = if gang.len() == 1 {
+                    view.cost.layer_cost(layer, gang[0])
+                } else {
+                    view.cost.gang_cost(layer, gang)
+                };
+                cost.latency_ns
+            })
+            .sum()
+    }
+}
+
+impl Scheduler for PlanariaScheduler {
+    fn name(&self) -> &str {
+        "Planaria"
+    }
+
+    fn capabilities(&self) -> SchedulerCapabilities {
+        SchedulerCapabilities {
+            cascade: true,
+            concurrent: true,
+            realtime: true,
+            task_dynamicity: false,
+            model_dynamicity: false,
+            energy_aware: false,
+            heterogeneity_aware: true,
+        }
+    }
+
+    fn schedule(&mut self, view: &SystemView<'_>) -> Decision {
+        let mut decision = Decision::none();
+        // Idle pool, largest accelerators first (fission grows by adding
+        // the next-largest free subarray).
+        let mut pool: Vec<_> = view.idle_accs().map(|a| a.id()).collect();
+        pool.sort_by_key(|id| {
+            std::cmp::Reverse(
+                view.platform
+                    .accelerator(*id)
+                    .map(|a| a.pe_count())
+                    .unwrap_or(0),
+            )
+        });
+        let mut ready: Vec<_> = view.ready_tasks().collect();
+        ready.sort_by_key(|t| (t.deadline(), t.id()));
+
+        for task in ready {
+            if pool.is_empty() {
+                break;
+            }
+            let slack = task.slack_ns(view.now);
+            // Grow the gang until the estimated completion meets the
+            // deadline (or the pool is exhausted).
+            let mut chosen = 1;
+            for size in 1..=pool.len() {
+                let gang: Vec<&AcceleratorConfig> = pool[..size]
+                    .iter()
+                    .map(|id| view.platform.accelerator(*id).expect("pool ids valid"))
+                    .collect();
+                chosen = size;
+                if Self::remaining_on_gang(view, task, &gang) <= slack {
+                    break;
+                }
+            }
+            // A task that cannot meet its deadline anyway gets the minimum
+            // allocation (Planaria does not waste subarrays on lost
+            // causes).
+            let gang_config: Vec<&AcceleratorConfig> = pool[..chosen]
+                .iter()
+                .map(|id| view.platform.accelerator(*id).expect("pool ids valid"))
+                .collect();
+            if Self::remaining_on_gang(view, task, &gang_config) > slack {
+                chosen = 1;
+            }
+            let accs: Vec<_> = pool.drain(..chosen).collect();
+            decision.assignments.push(Assignment {
+                task: task.id(),
+                accs,
+            });
+        }
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dream_cost::{Platform, PlatformPreset};
+    use dream_models::{CascadeProbability, Scenario, ScenarioKind};
+    use dream_sim::{Millis, SimulationBuilder};
+
+    fn run(kind: ScenarioKind, preset: PlatformPreset, ms: u64) -> dream_sim::Metrics {
+        let platform = Platform::preset(preset);
+        let scenario = Scenario::new(kind, CascadeProbability::default_paper());
+        let mut s = PlanariaScheduler::new();
+        SimulationBuilder::new(platform, scenario)
+            .duration(Millis::new(ms))
+            .seed(5)
+            .run(&mut s)
+            .unwrap()
+            .into_metrics()
+    }
+
+    #[test]
+    fn planaria_runs_all_scenarios() {
+        for kind in ScenarioKind::all() {
+            let m = run(kind, PlatformPreset::Hetero4kWs1Os2, 400);
+            assert_eq!(m.invalid_decisions, 0, "{kind}");
+            assert!(m.layer_executions > 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn planaria_outperforms_fcfs_on_deadlines_under_load() {
+        let m_planaria = run(ScenarioKind::DroneIndoor, PlatformPreset::Hetero4kWs1Os2, 1000);
+        let platform = Platform::preset(PlatformPreset::Hetero4kWs1Os2);
+        let scenario =
+            Scenario::new(ScenarioKind::DroneIndoor, CascadeProbability::default_paper());
+        let mut fcfs = crate::FcfsScheduler::new();
+        let m_fcfs = SimulationBuilder::new(platform, scenario)
+            .duration(Millis::new(1000))
+            .seed(5)
+            .run(&mut fcfs)
+            .unwrap()
+            .into_metrics();
+        assert!(
+            m_planaria.overall_raw_violation_rate() <= m_fcfs.overall_raw_violation_rate(),
+            "planaria {} vs fcfs {}",
+            m_planaria.overall_raw_violation_rate(),
+            m_fcfs.overall_raw_violation_rate()
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! **Figure 8** — UXCost on the four *homogeneous* platforms.
+//!
+//! Paper results reproduced here: (a/b) DREAM still wins on constrained 4K
+//! homogeneous platforms, (c) with abundant 8K resources the DREAM variants
+//! coincide (smart drop and supernet switching cost nothing when unneeded)
+//! and the scheduler gap narrows.
+
+use dream_bench::{geomean, run_averaged, write_csv, RunSpec, SchedulerKind, Table};
+use dream_cost::PlatformPreset;
+use dream_models::ScenarioKind;
+
+const SEEDS: u64 = 3;
+
+fn main() {
+    let mut table = Table::new(
+        "Figure 8: UXCost on homogeneous platforms",
+        &["platform", "scenario", "scheduler", "uxcost", "dlv_rate", "norm_energy"],
+    );
+    let mut hetero_gap: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+    let mut dream_variants_8k: Vec<(String, f64)> = Vec::new();
+    for preset in PlatformPreset::homogeneous() {
+        for scenario in ScenarioKind::all() {
+            for kind in SchedulerKind::figure7_set() {
+                let r = run_averaged(&RunSpec::new(kind, scenario, preset), SEEDS);
+                hetero_gap
+                    .entry(r.scheduler_name.clone())
+                    .or_default()
+                    .push(r.uxcost);
+                if preset.total_pes() == 8192 && r.scheduler_name.starts_with("DREAM") {
+                    dream_variants_8k.push((r.scheduler_name.clone(), r.uxcost));
+                }
+                table.row([
+                    preset.name().to_string(),
+                    scenario.name().to_string(),
+                    r.scheduler_name.clone(),
+                    format!("{:.4}", r.uxcost),
+                    format!("{:.4}", r.mean_violation_rate),
+                    format!("{:.4}", r.mean_norm_energy),
+                ]);
+            }
+        }
+    }
+    table.print();
+
+    let mut summary = Table::new(
+        "Figure 8 summary: geomean UXCost across homogeneous platforms × scenarios",
+        &["scheduler", "geomean_uxcost"],
+    );
+    for (name, costs) in &hetero_gap {
+        summary.row([name.clone(), format!("{:.4}", geomean(costs))]);
+    }
+    summary.print();
+
+    // Figure 8(c) claim: on 8K platforms the three DREAM variants coincide.
+    let mut by_cell: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+    for (name, v) in &dream_variants_8k {
+        by_cell.entry(name.clone()).or_default().push(*v);
+    }
+    if let (Some(ms), Some(full)) = (by_cell.get("DREAM-MapScore"), by_cell.get("DREAM-Full")) {
+        let g_ms = geomean(ms);
+        let g_full = geomean(full);
+        println!(
+            "8K DREAM-MapScore geomean {:.4} vs DREAM-Full {:.4} (paper Fig 8c: no difference)",
+            g_ms, g_full
+        );
+    }
+    let path = write_csv("fig08_homogeneous", &table);
+    println!("csv: {}", path.display());
+}

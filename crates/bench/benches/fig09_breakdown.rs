@@ -1,0 +1,83 @@
+//! **Figure 9** — ablation: geomean UXCost improvement of each DREAM
+//! optimisation over the fixed α = β = 1 MapScore baseline, for VR_Gaming
+//! and AR_Social (the supernet-bearing scenarios) on 4K and 8K platforms.
+//!
+//! Paper result: parameter optimisation alone −49.2% (4K) / −21.0% (8K);
+//! smart frame drop adds ~16.5% / 13.8%; supernet switching another 6–9%.
+
+use dream_bench::{
+    geomean, run_averaged, write_csv, DreamVariant, RunSpec, SchedulerKind, Table,
+};
+use dream_core::ScoreParams;
+use dream_cost::PlatformPreset;
+use dream_models::ScenarioKind;
+
+const SEEDS: u64 = 3;
+
+fn main() {
+    let scenarios = [ScenarioKind::VrGaming, ScenarioKind::ArSocial];
+    let mut table = Table::new(
+        "Figure 9: UXCost improvement breakdown vs fixed α=β=1 (geomean over VR_Gaming + AR_Social)",
+        &["platform_class", "configuration", "geomean_uxcost", "improvement_%"],
+    );
+    for (class, presets) in [
+        (
+            "4K",
+            [
+                PlatformPreset::Hetero4kWs1Os2,
+                PlatformPreset::Hetero4kOs1Ws2,
+            ],
+        ),
+        (
+            "8K",
+            [
+                PlatformPreset::Hetero8kWs1Os2,
+                PlatformPreset::Hetero8kOs1Ws2,
+            ],
+        ),
+    ] {
+        let cells: Vec<(ScenarioKind, PlatformPreset)> = scenarios
+            .iter()
+            .flat_map(|&s| presets.iter().map(move |&p| (s, p)))
+            .collect();
+        let configs: Vec<(&str, SchedulerKind)> = vec![
+            (
+                "fixed α=β=1",
+                SchedulerKind::DreamFixed(DreamVariant::MapScore, ScoreParams::neutral()),
+            ),
+            (
+                "DREAM-MapScore (+param opt)",
+                SchedulerKind::DreamTuned(DreamVariant::MapScore),
+            ),
+            (
+                "DREAM-SmartDrop (+frame drop)",
+                SchedulerKind::DreamTuned(DreamVariant::SmartDrop),
+            ),
+            (
+                "DREAM-Full (+supernet switch)",
+                SchedulerKind::DreamTuned(DreamVariant::Full),
+            ),
+        ];
+        let mut base = None;
+        for (label, kind) in configs {
+            let costs: Vec<f64> = cells
+                .iter()
+                .map(|&(s, p)| run_averaged(&RunSpec::new(kind, s, p), SEEDS).uxcost)
+                .collect();
+            let g = geomean(&costs);
+            let base_g = *base.get_or_insert(g);
+            table.row([
+                class.to_string(),
+                label.to_string(),
+                format!("{g:.4}"),
+                format!("{:.1}", 100.0 * (1.0 - g / base_g)),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "paper: param opt −49.2% (4K) / −21.0% (8K); +smart drop ~16.5%/13.8%; +supernet 6–9%"
+    );
+    let path = write_csv("fig09_breakdown", &table);
+    println!("csv: {}", path.display());
+}

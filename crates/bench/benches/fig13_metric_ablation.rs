@@ -1,0 +1,74 @@
+//! **Figure 13** — is UXCost the right optimisation target? Tunes (α, β)
+//! against three objectives — deadline-violation rate only, energy only,
+//! and UXCost — and reports all three metrics for each, normalised to the
+//! UXCost-optimised run.
+//!
+//! Paper result: single-metric optimisation degrades the other metric
+//! (e.g. energy-only tuning raises VR_Gaming's violation rate by 34.2%,
+//! and UXCost by 28.7%); UXCost tuning balances both.
+
+use dream_bench::{
+    run_spec, tune_params, write_csv, DreamVariant, RunSpec, SchedulerKind, Table,
+};
+use dream_core::ObjectiveKind;
+use dream_cost::PlatformPreset;
+use dream_models::ScenarioKind;
+
+fn main() {
+    let preset = PlatformPreset::Hetero4kWs1Os2;
+    let mut table = Table::new(
+        "Figure 13: tuning objective ablation (values normalised to UXCost-tuned run)",
+        &[
+            "scenario", "cascade_%", "objective", "alpha", "beta", "uxcost_rel", "dlv_rel",
+            "energy_rel",
+        ],
+    );
+    for scenario in [ScenarioKind::VrGaming, ScenarioKind::ArSocial] {
+        for cascade in [0.5, 0.9] {
+            // Baseline: UXCost-optimised.
+            let objectives = [
+                ObjectiveKind::UxCost,
+                ObjectiveKind::DeadlineOnly,
+                ObjectiveKind::EnergyOnly,
+            ];
+            let runs: Vec<_> = objectives
+                .iter()
+                .map(|&obj| {
+                    let params = tune_params(scenario, preset, cascade, DreamVariant::MapScore, obj);
+                    let spec = RunSpec::new(
+                        SchedulerKind::DreamFixed(DreamVariant::MapScore, params),
+                        scenario,
+                        preset,
+                    )
+                    .with_cascade(cascade);
+                    (obj, params, run_spec(&spec))
+                })
+                .collect();
+            let base = &runs[0].2;
+            let rel = |x: f64, b: f64| if b > 0.0 { x / b } else { 1.0 };
+            for (obj, params, r) in &runs {
+                table.row([
+                    scenario.name().to_string(),
+                    format!("{:.0}", cascade * 100.0),
+                    obj.name().to_string(),
+                    format!("{:.2}", params.alpha()),
+                    format!("{:.2}", params.beta()),
+                    format!("{:.3}", rel(r.uxcost, base.uxcost)),
+                    format!(
+                        "{:.3}",
+                        rel(r.overall_rate_dlv, base.overall_rate_dlv)
+                    ),
+                    format!(
+                        "{:.3}",
+                        rel(r.overall_norm_energy, base.overall_norm_energy)
+                    ),
+                ]);
+            }
+        }
+    }
+    table.print();
+    println!("paper: DLV-only tuning costs energy; energy-only tuning costs deadlines;");
+    println!("       UXCost balances both (all relative values ≥ 1 mean degradation)");
+    let path = write_csv("fig13_metric_ablation", &table);
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,73 @@
+//! **§5.2 (scheduler overhead)** — criterion micro-benchmarks backing the
+//! paper's claim that DREAM's machinery is lightweight: MapScore
+//! computation, full scheduling decisions, cost-model queries, and
+//! end-to-end simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dream_baselines::{FcfsScheduler, PlanariaScheduler, VeltairScheduler};
+use dream_core::{DreamConfig, DreamScheduler};
+use dream_cost::{CostModel, Platform, PlatformPreset};
+use dream_models::{zoo, CascadeProbability, Scenario, ScenarioKind};
+use dream_sim::{Millis, Scheduler, SimulationBuilder};
+use std::hint::black_box;
+
+fn bench_cost_model(c: &mut Criterion) {
+    let model = CostModel::paper_default();
+    let platform = Platform::preset(PlatformPreset::Hetero4kWs1Os2);
+    let net = zoo::ssd_mobilenet_v2("bench");
+    let layers = net.default_variant().layers();
+    c.bench_function("cost_model/ssd_all_layers_one_acc", |b| {
+        b.iter(|| {
+            let acc = &platform.accelerators()[0];
+            let total: f64 = layers
+                .iter()
+                .map(|l| model.layer_cost(black_box(l), acc).latency_ns)
+                .sum();
+            black_box(total)
+        })
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_250ms_ar_social");
+    group.sample_size(20);
+    let run = |scheduler: &mut dyn Scheduler| {
+        let platform = Platform::preset(PlatformPreset::Hetero4kWs1Os2);
+        let scenario = Scenario::new(ScenarioKind::ArSocial, CascadeProbability::default_paper());
+        SimulationBuilder::new(platform, scenario)
+            .duration(Millis::new(250))
+            .seed(1)
+            .run(scheduler)
+            .expect("bench sims are valid")
+            .into_metrics()
+            .layer_executions
+    };
+    group.bench_function("dream_full", |b| {
+        b.iter(|| {
+            let mut s = DreamScheduler::new(DreamConfig::full());
+            black_box(run(&mut s))
+        })
+    });
+    group.bench_function("fcfs", |b| {
+        b.iter(|| {
+            let mut s = FcfsScheduler::new();
+            black_box(run(&mut s))
+        })
+    });
+    group.bench_function("veltair", |b| {
+        b.iter(|| {
+            let mut s = VeltairScheduler::new();
+            black_box(run(&mut s))
+        })
+    });
+    group.bench_function("planaria", |b| {
+        b.iter(|| {
+            let mut s = PlanariaScheduler::new();
+            black_box(run(&mut s))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_model, bench_simulation);
+criterion_main!(benches);

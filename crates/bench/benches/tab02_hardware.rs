@@ -1,0 +1,47 @@
+//! **Table 2** — the evaluated accelerator platforms, with derived peak
+//! throughput and resource shares (validates the preset definitions).
+
+use dream_bench::{write_csv, Table};
+use dream_cost::{Platform, PlatformPreset};
+
+fn main() {
+    let mut table = Table::new(
+        "Table 2: evaluated accelerator hardware settings",
+        &[
+            "platform",
+            "total_PEs",
+            "style",
+            "sub-accelerators",
+            "peak_TMAC/s",
+            "SRAM_MiB",
+            "DRAM_GB/s",
+        ],
+    );
+    for preset in PlatformPreset::all() {
+        let p = Platform::preset(preset);
+        let subs: Vec<String> = p
+            .accelerators()
+            .iter()
+            .map(|a| format!("{}({})", a.dataflow().short_name(), a.pe_count()))
+            .collect();
+        let sram: u64 = p.accelerators().iter().map(|a| a.sram_bytes()).sum();
+        let bw: f64 = p.accelerators().iter().map(|a| a.dram_gbps()).sum();
+        table.row([
+            preset.name().to_string(),
+            p.total_pes().to_string(),
+            if p.is_heterogeneous() {
+                "heterogeneous".to_string()
+            } else {
+                "homogeneous".to_string()
+            },
+            subs.join("+"),
+            format!("{:.2}", p.peak_macs_per_ns() / 1_000.0),
+            format!("{:.1}", sram as f64 / (1 << 20) as f64),
+            format!("{bw:.0}"),
+        ]);
+    }
+    table.print();
+    println!("paper: 8 MiB shared SRAM, 90 GB/s off-chip, 700 MHz for all platforms");
+    let path = write_csv("tab02_hardware", &table);
+    println!("csv: {}", path.display());
+}

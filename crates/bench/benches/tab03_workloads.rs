@@ -1,0 +1,53 @@
+//! **Table 3** — the five RTMM workload scenarios: models, FPS targets,
+//! dependencies, and derived per-model work (validates the zoo against the
+//! paper's inventory).
+
+use dream_bench::{write_csv, Table};
+use dream_models::{CascadeProbability, Scenario, ScenarioKind};
+
+fn main() {
+    let mut table = Table::new(
+        "Table 3: evaluated real-time workload scenarios",
+        &[
+            "scenario", "pipeline", "model", "FPS", "dep", "GMACs", "layers", "dynamic",
+        ],
+    );
+    for kind in ScenarioKind::all() {
+        let s = Scenario::new(kind, CascadeProbability::default_paper());
+        for pipeline in s.pipelines() {
+            for node in pipeline.nodes() {
+                let graph = node.model.default_variant();
+                let dynamic = if node.model.is_supernet() {
+                    format!("supernet×{}", node.model.variant_count())
+                } else if !graph.skip_blocks().is_empty() {
+                    format!("skip×{}", graph.skip_blocks().len())
+                } else if !graph.exit_points().is_empty() {
+                    format!("exit×{}", graph.exit_points().len())
+                } else {
+                    "-".to_string()
+                };
+                table.row([
+                    kind.name().to_string(),
+                    pipeline.name().to_string(),
+                    node.model.name().to_string(),
+                    format!("{}", node.rate.as_fps()),
+                    node.parent
+                        .map(|p| pipeline.nodes()[p.0].model.name().to_string())
+                        .unwrap_or_else(|| "-".to_string()),
+                    format!("{:.2}", graph.total_macs() as f64 / 1e9),
+                    graph.len().to_string(),
+                    dynamic,
+                ]);
+            }
+        }
+        println!(
+            "{}: expected demand ≈ {:.1} G ops/s across {} models",
+            kind.name(),
+            s.expected_ops_per_second() / 1e9,
+            s.node_count()
+        );
+    }
+    table.print();
+    let path = write_csv("tab03_workloads", &table);
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,24 @@
+//! Shared experiment harness for regenerating every table and figure of the
+//! DREAM paper. Each `benches/figNN_*.rs` target builds [`RunSpec`]s, calls
+//! [`run_spec`] (or the sweep helpers), and prints the same rows/series the
+//! paper reports. Raw CSVs land in `target/experiments/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod report;
+mod runner;
+mod tuning;
+
+pub use report::{csv_path, geomean, write_csv, Table};
+pub use runner::{
+    parallel_map, run_averaged, run_spec, AveragedResult, DreamVariant, RunResult, RunSpec,
+    SchedulerKind,
+};
+pub use tuning::{tune_params, tuned_params_cached};
+
+/// The paper's default evaluation window (§3.6 mentions 2 s windows).
+pub const DEFAULT_DURATION_MS: u64 = 2_000;
+
+/// The default workload-realization seed used across experiments.
+pub const DEFAULT_SEED: u64 = 2024;

@@ -1,0 +1,376 @@
+use dream_baselines::{
+    EdfScheduler, FcfsScheduler, PlanariaScheduler, StaticScheduler, VeltairScheduler,
+};
+use dream_core::{DreamConfig, DreamScheduler, ScoreParams, UxCostReport};
+use dream_cost::{Platform, PlatformPreset};
+use dream_models::{CascadeProbability, Scenario, ScenarioKind};
+use dream_sim::{Metrics, Millis, Scheduler, SimulationBuilder};
+
+/// Which DREAM ablation level to run (the paper's Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DreamVariant {
+    /// Score-driven dispatch with tuned (α, β).
+    MapScore,
+    /// MapScore + smart frame drop.
+    SmartDrop,
+    /// MapScore + smart frame drop + supernet switching.
+    Full,
+}
+
+impl DreamVariant {
+    /// Builds the matching [`DreamConfig`].
+    pub fn config(self) -> DreamConfig {
+        match self {
+            DreamVariant::MapScore => DreamConfig::mapscore(),
+            DreamVariant::SmartDrop => DreamConfig::smart_drop(),
+            DreamVariant::Full => DreamConfig::full(),
+        }
+    }
+
+    /// Table 4 name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DreamVariant::MapScore => "DREAM-MapScore",
+            DreamVariant::SmartDrop => "DREAM-SmartDrop",
+            DreamVariant::Full => "DREAM-Full",
+        }
+    }
+}
+
+/// Which scheduler a run uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerKind {
+    /// Dynamic first-come-first-served (model granularity).
+    Fcfs,
+    /// Offline worst-case static scheduler (Figure 2).
+    Static,
+    /// Plain earliest-deadline-first (extra reference point).
+    Edf,
+    /// Veltair-style layer-block scheduler.
+    Veltair,
+    /// Planaria-style spatial-fission scheduler.
+    Planaria,
+    /// DREAM with explicit fixed parameters (no offline tuning).
+    DreamFixed(DreamVariant, ScoreParams),
+    /// DREAM with offline-tuned parameters (tuned per scenario × platform
+    /// × cascade, cached within the process).
+    DreamTuned(DreamVariant),
+}
+
+impl SchedulerKind {
+    /// Display name used in tables.
+    pub fn name(&self) -> String {
+        match self {
+            SchedulerKind::Fcfs => "FCFS".into(),
+            SchedulerKind::Static => "Static".into(),
+            SchedulerKind::Edf => "EDF".into(),
+            SchedulerKind::Veltair => "Veltair".into(),
+            SchedulerKind::Planaria => "Planaria".into(),
+            SchedulerKind::DreamFixed(v, p) => format!("{}{}", v.name(), p),
+            SchedulerKind::DreamTuned(v) => v.name().into(),
+        }
+    }
+
+    /// The paper's three baselines plus the three DREAM levels — the
+    /// scheduler set of Figures 7 and 8.
+    pub fn figure7_set() -> Vec<SchedulerKind> {
+        vec![
+            SchedulerKind::Fcfs,
+            SchedulerKind::Veltair,
+            SchedulerKind::Planaria,
+            SchedulerKind::DreamTuned(DreamVariant::MapScore),
+            SchedulerKind::DreamTuned(DreamVariant::SmartDrop),
+            SchedulerKind::DreamTuned(DreamVariant::Full),
+        ]
+    }
+}
+
+/// A fully specified simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Scheduler under test.
+    pub scheduler: SchedulerKind,
+    /// Workload scenario.
+    pub scenario: ScenarioKind,
+    /// Hardware platform.
+    pub preset: PlatformPreset,
+    /// Cascade probability on control-dependent edges.
+    pub cascade: f64,
+    /// Measurement horizon in milliseconds.
+    pub duration_ms: u64,
+    /// Workload-realization seed.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// A spec with the paper's defaults (50% cascade, 2 s window).
+    pub fn new(scheduler: SchedulerKind, scenario: ScenarioKind, preset: PlatformPreset) -> Self {
+        RunSpec {
+            scheduler,
+            scenario,
+            preset,
+            cascade: 0.5,
+            duration_ms: crate::DEFAULT_DURATION_MS,
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+
+    /// Overrides the cascade probability.
+    pub fn with_cascade(mut self, p: f64) -> Self {
+        self.cascade = p;
+        self
+    }
+
+    /// Overrides the duration.
+    pub fn with_duration_ms(mut self, ms: u64) -> Self {
+        self.duration_ms = ms;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Everything a figure needs from one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The spec that produced this result.
+    pub spec: RunSpec,
+    /// Scheduler display name.
+    pub scheduler_name: String,
+    /// UXCost (Algorithm 2).
+    pub uxcost: f64,
+    /// Σ per-model deadline-violation rates (with floor).
+    pub overall_rate_dlv: f64,
+    /// Σ per-model normalised energies.
+    pub overall_norm_energy: f64,
+    /// Mean raw violation rate in `[0, 1]` (Figure 2/7 violation axis).
+    pub mean_violation_rate: f64,
+    /// Mean normalised energy in `[0, 1]` (Figure 7 energy axis).
+    pub mean_norm_energy: f64,
+    /// Mean accelerator utilisation.
+    pub utilization: f64,
+    /// Frames dropped by the scheduler.
+    pub drops: u64,
+    /// Supernet variant execution histogram (empty when no supernet ran).
+    pub variant_runs: Vec<u64>,
+    /// Context switches charged.
+    pub context_switches: u64,
+    /// Full metrics for custom analyses.
+    pub metrics: Metrics,
+}
+
+/// Runs one spec to completion.
+///
+/// # Panics
+///
+/// Panics if the spec is internally inconsistent (invalid cascade
+/// probability) — experiment code treats that as a programming error.
+pub fn run_spec(spec: &RunSpec) -> RunResult {
+    let cascade =
+        CascadeProbability::new(spec.cascade).expect("experiment cascade probabilities are valid");
+    let platform = Platform::preset(spec.preset);
+    let scenario = Scenario::new(spec.scenario, cascade);
+    let builder = SimulationBuilder::new(platform, scenario)
+        .duration(Millis::new(spec.duration_ms))
+        .seed(spec.seed);
+
+    let mut fcfs;
+    let mut statik;
+    let mut edf;
+    let mut veltair;
+    let mut planaria;
+    let mut dream;
+    let scheduler: &mut dyn Scheduler = match &spec.scheduler {
+        SchedulerKind::Fcfs => {
+            fcfs = FcfsScheduler::new();
+            &mut fcfs
+        }
+        SchedulerKind::Static => {
+            statik = StaticScheduler::new();
+            &mut statik
+        }
+        SchedulerKind::Edf => {
+            edf = EdfScheduler::new();
+            &mut edf
+        }
+        SchedulerKind::Veltair => {
+            veltair = VeltairScheduler::new();
+            &mut veltair
+        }
+        SchedulerKind::Planaria => {
+            planaria = PlanariaScheduler::new();
+            &mut planaria
+        }
+        SchedulerKind::DreamFixed(variant, params) => {
+            dream = DreamScheduler::new(variant.config().with_params(*params));
+            &mut dream
+        }
+        SchedulerKind::DreamTuned(variant) => {
+            let params =
+                crate::tuned_params_cached(spec.scenario, spec.preset, spec.cascade, *variant);
+            dream = DreamScheduler::new(variant.config().with_params(params));
+            &mut dream
+        }
+    };
+
+    let name = scheduler.name().to_string();
+    let metrics = builder
+        .run(scheduler)
+        .expect("experiment specs are valid simulations")
+        .into_metrics();
+    let report = UxCostReport::from_metrics(&metrics);
+    let variant_runs = metrics
+        .models()
+        .find(|(_, s)| s.variant_runs.len() > 1)
+        .map(|(_, s)| s.variant_runs.clone())
+        .unwrap_or_default();
+    RunResult {
+        spec: spec.clone(),
+        scheduler_name: name,
+        uxcost: report.uxcost(),
+        overall_rate_dlv: report.overall_rate_dlv(),
+        overall_norm_energy: report.overall_norm_energy(),
+        mean_violation_rate: metrics.mean_violation_rate(),
+        mean_norm_energy: metrics.mean_normalized_energy(),
+        utilization: metrics.mean_utilization(),
+        drops: metrics.models().map(|(_, s)| s.dropped).sum(),
+        variant_runs,
+        context_switches: metrics.context_switches,
+        metrics,
+    }
+}
+
+/// Maps `f` over `items` with scoped threads (one per available core),
+/// preserving order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(2)
+        .min(items.len().max(1));
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
+        out.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                **slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every item was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_spec_produces_consistent_report() {
+        let spec = RunSpec::new(
+            SchedulerKind::Fcfs,
+            ScenarioKind::ArCall,
+            PlatformPreset::Homo4kWs2,
+        )
+        .with_duration_ms(300);
+        let r = run_spec(&spec);
+        assert!((r.uxcost - r.overall_rate_dlv * r.overall_norm_energy).abs() < 1e-12);
+        assert_eq!(r.scheduler_name, "FCFS");
+        assert!(r.utilization > 0.0);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let out = parallel_map(items.clone(), |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scheduler_kind_names() {
+        assert_eq!(SchedulerKind::Fcfs.name(), "FCFS");
+        assert_eq!(
+            SchedulerKind::DreamTuned(DreamVariant::Full).name(),
+            "DREAM-Full"
+        );
+        assert_eq!(SchedulerKind::figure7_set().len(), 6);
+    }
+}
+
+/// Seed-averaged results: the per-seed [`RunResult`]s plus the means the
+/// figures report. Averaging over workload realizations smooths the
+/// lock-in effects that make single 2-second windows volatile.
+#[derive(Debug, Clone)]
+pub struct AveragedResult {
+    /// Scheduler display name.
+    pub scheduler_name: String,
+    /// Mean UXCost across seeds.
+    pub uxcost: f64,
+    /// Mean raw violation rate across seeds.
+    pub mean_violation_rate: f64,
+    /// Mean normalised energy across seeds.
+    pub mean_norm_energy: f64,
+    /// Mean drops across seeds.
+    pub drops: f64,
+    /// Element-wise mean of the supernet variant histogram (empty when no
+    /// supernet ran).
+    pub variant_shares: Vec<f64>,
+    /// The per-seed results.
+    pub runs: Vec<RunResult>,
+}
+
+/// Runs `spec` under `n_seeds` consecutive seeds (spec.seed, spec.seed+1, …)
+/// and averages the headline numbers.
+///
+/// # Panics
+///
+/// Panics if `n_seeds` is zero.
+pub fn run_averaged(spec: &RunSpec, n_seeds: u64) -> AveragedResult {
+    assert!(n_seeds > 0, "need at least one seed");
+    let specs: Vec<RunSpec> = (0..n_seeds)
+        .map(|i| spec.clone().with_seed(spec.seed + i))
+        .collect();
+    let runs = parallel_map(specs, run_spec);
+    let n = runs.len() as f64;
+    let uxcost = runs.iter().map(|r| r.uxcost).sum::<f64>() / n;
+    let mean_violation_rate = runs.iter().map(|r| r.mean_violation_rate).sum::<f64>() / n;
+    let mean_norm_energy = runs.iter().map(|r| r.mean_norm_energy).sum::<f64>() / n;
+    let drops = runs.iter().map(|r| r.drops as f64).sum::<f64>() / n;
+    let hist_len = runs.iter().map(|r| r.variant_runs.len()).max().unwrap_or(0);
+    let mut variant_shares = vec![0.0; hist_len];
+    for r in &runs {
+        let total: u64 = r.variant_runs.iter().sum();
+        if total == 0 {
+            continue;
+        }
+        for (i, &v) in r.variant_runs.iter().enumerate() {
+            variant_shares[i] += v as f64 / total as f64 / n;
+        }
+    }
+    AveragedResult {
+        scheduler_name: runs[0].scheduler_name.clone(),
+        uxcost,
+        mean_violation_rate,
+        mean_norm_energy,
+        drops,
+        variant_shares,
+        runs,
+    }
+}

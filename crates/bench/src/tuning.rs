@@ -1,0 +1,104 @@
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use dream_core::{DreamScheduler, ObjectiveKind, ParamOptimizer, ScoreParams};
+use dream_cost::{Platform, PlatformPreset};
+use dream_models::{CascadeProbability, Scenario, ScenarioKind};
+use dream_sim::{Millis, SimulationBuilder};
+
+use crate::DreamVariant;
+
+/// Offline (α, β) tuning: runs the §3.6 radius-shrinking search where each
+/// candidate is evaluated by a full (shorter-horizon) simulation of the
+/// same scenario/platform under the *target* DREAM configuration,
+/// minimising `objective`. Tuning against the deployed configuration
+/// matters: the frame-drop and supernet engines change the dynamics the
+/// parameters must match.
+///
+/// The tuning simulations use a different seed than the measurement runs so
+/// parameters are not fitted to the evaluated realization.
+pub fn tune_params(
+    scenario: ScenarioKind,
+    preset: PlatformPreset,
+    cascade: f64,
+    variant: DreamVariant,
+    objective: ObjectiveKind,
+) -> ScoreParams {
+    let evaluate_seed = |params: ScoreParams, seed: u64| {
+        let platform = Platform::preset(preset);
+        let workload = Scenario::new(
+            scenario,
+            CascadeProbability::new(cascade).expect("tuning cascade is valid"),
+        );
+        let mut sched = DreamScheduler::new(variant.config().with_params(params));
+        let metrics = SimulationBuilder::new(platform, workload)
+            .duration(Millis::new(800))
+            .seed(seed)
+            .run(&mut sched)
+            .expect("tuning simulations are valid")
+            .into_metrics();
+        objective.evaluate(&metrics)
+    };
+    // Two workload realizations per candidate halve the variance the sharp
+    // UXCost landscape induces; tuning seeds are disjoint from measurement
+    // seeds.
+    let trace = ParamOptimizer::new(ScoreParams::neutral()).run(|params| {
+        0.5 * (evaluate_seed(params, crate::DEFAULT_SEED ^ 0xA5A5)
+            + evaluate_seed(params, crate::DEFAULT_SEED ^ 0x5A5A))
+    });
+    trace.final_params
+}
+
+type TuneKey = (ScenarioKind, PlatformPreset, u64, DreamVariant);
+
+static CACHE: Mutex<BTreeMap<TuneKey, ScoreParams>> = Mutex::new(BTreeMap::new());
+
+/// [`tune_params`] with a process-wide cache (UXCost objective), so sweeps
+/// that revisit the same (scenario, platform, cascade, variant) key tune
+/// only once.
+pub fn tuned_params_cached(
+    scenario: ScenarioKind,
+    preset: PlatformPreset,
+    cascade: f64,
+    variant: DreamVariant,
+) -> ScoreParams {
+    let key = (
+        scenario,
+        preset,
+        (cascade * 1.0e6).round() as u64,
+        variant,
+    );
+    if let Some(p) = CACHE.lock().expect("tuning cache poisoned").get(&key) {
+        return *p;
+    }
+    let params = tune_params(scenario, preset, cascade, variant, ObjectiveKind::UxCost);
+    CACHE
+        .lock()
+        .expect("tuning cache poisoned")
+        .insert(key, params);
+    params
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_returns_identical_params() {
+        let a = tuned_params_cached(
+            ScenarioKind::ArCall,
+            PlatformPreset::Homo4kWs2,
+            0.5,
+            DreamVariant::MapScore,
+        );
+        let b = tuned_params_cached(
+            ScenarioKind::ArCall,
+            PlatformPreset::Homo4kWs2,
+            0.5,
+            DreamVariant::MapScore,
+        );
+        assert_eq!(a, b);
+        assert!((0.0..=2.0).contains(&a.alpha()));
+        assert!((0.0..=2.0).contains(&a.beta()));
+    }
+}

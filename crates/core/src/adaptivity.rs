@@ -1,0 +1,377 @@
+use std::collections::BTreeMap;
+
+use dream_sim::{Millis, ModelKey, SimTime, TaskEvent, TaskEventKind};
+
+use crate::{OptimizerStep, ParamOptimizer, ScoreParams};
+
+/// Configuration of the online adaptivity engine (§4.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptivityConfig {
+    /// How long each candidate parameter pair is observed before its
+    /// windowed UXCost is recorded.
+    pub eval_window: SimTime,
+    /// Initial sampling radius of each tuning episode.
+    pub initial_radius: f64,
+    /// Radius threshold that ends an episode.
+    pub threshold: f64,
+    /// Ring samples per optimiser step (smaller than offline mode — online
+    /// evaluations cost wall-clock time).
+    pub ring_points: usize,
+    /// Distant probes per optimiser step.
+    pub distant_points: usize,
+}
+
+impl Default for AdaptivityConfig {
+    fn default() -> Self {
+        AdaptivityConfig {
+            eval_window: SimTime::from(Millis::new(100)),
+            initial_radius: 0.5,
+            threshold: 0.1,
+            ring_points: 4,
+            distant_points: 1,
+        }
+    }
+}
+
+/// Windowed per-model counters from which a live UXCost sample is computed.
+#[derive(Debug, Clone, Default)]
+struct WindowStats {
+    per_model: BTreeMap<ModelKey, ModelWindow>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ModelWindow {
+    completed: u64,
+    violated: u64,
+    energy_pj: f64,
+    worst_energy_pj: f64,
+}
+
+impl WindowStats {
+    fn record(&mut self, event: &TaskEvent) {
+        if !event.counted {
+            return;
+        }
+        if let TaskEventKind::Completed {
+            on_time,
+            energy_pj,
+            worst_energy_pj,
+        } = event.kind
+        {
+            let w = self.per_model.entry(event.key).or_default();
+            w.completed += 1;
+            if !on_time {
+                w.violated += 1;
+            }
+            w.energy_pj += energy_pj;
+            w.worst_energy_pj += worst_energy_pj;
+        } else if let TaskEventKind::Dropped = event.kind {
+            let w = self.per_model.entry(event.key).or_default();
+            w.completed += 1;
+            w.violated += 1;
+        }
+    }
+
+    /// Algorithm 2 over the window. `None` when nothing completed (the
+    /// candidate gets an infinitely bad score so it can never win).
+    fn uxcost(&self) -> Option<f64> {
+        let mut rate_sum = 0.0;
+        let mut energy_sum = 0.0;
+        let mut any = false;
+        for w in self.per_model.values() {
+            if w.completed == 0 {
+                continue;
+            }
+            any = true;
+            let rate = if w.violated == 0 {
+                1.0 / (2.0 * w.completed as f64)
+            } else {
+                w.violated as f64 / w.completed as f64
+            };
+            rate_sum += rate;
+            if w.worst_energy_pj > 0.0 {
+                energy_sum += w.energy_pj / w.worst_energy_pj;
+            }
+        }
+        any.then_some(rate_sum * energy_sum)
+    }
+}
+
+#[derive(Debug)]
+enum State {
+    /// Parameters locked; watching for workload changes.
+    Idle,
+    /// An optimisation episode is in flight.
+    Tuning(Tuning),
+}
+
+#[derive(Debug)]
+struct Tuning {
+    optimizer: ParamOptimizer,
+    candidates: Vec<ScoreParams>,
+    evaluated: Vec<(ScoreParams, f64)>,
+    current: usize,
+    window_start: SimTime,
+    window: WindowStats,
+}
+
+/// The §4.4 adaptivity engine: detects workload changes by watching the
+/// inference model list and re-tunes (α, β) online — evaluating a small
+/// number of candidate pairs on short windows of *live* execution, then
+/// applying one §3.6 optimiser step, without ever blocking dispatch.
+#[derive(Debug)]
+pub struct AdaptivityEngine {
+    config: AdaptivityConfig,
+    model_list: Vec<&'static str>,
+    state: State,
+    locked: ScoreParams,
+    episodes: u64,
+    /// `(time, params, windowed cost)` for every completed candidate
+    /// evaluation — the online counterpart of Figure 10's trajectory.
+    history: Vec<(SimTime, ScoreParams, f64)>,
+}
+
+impl AdaptivityEngine {
+    /// Creates an engine with locked initial parameters.
+    pub fn new(config: AdaptivityConfig, initial: ScoreParams) -> Self {
+        AdaptivityEngine {
+            config,
+            model_list: Vec::new(),
+            state: State::Idle,
+            locked: initial,
+            episodes: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// The parameters the scheduler should use *right now*: the locked pair
+    /// when idle, or the candidate under evaluation during tuning.
+    pub fn params(&self) -> ScoreParams {
+        match &self.state {
+            State::Idle => self.locked,
+            State::Tuning(t) => t.candidates[t.current],
+        }
+    }
+
+    /// Whether a tuning episode is in flight.
+    pub fn is_tuning(&self) -> bool {
+        matches!(self.state, State::Tuning(_))
+    }
+
+    /// Number of tuning episodes triggered so far.
+    pub fn episodes(&self) -> u64 {
+        self.episodes
+    }
+
+    /// Completed candidate evaluations: `(time, candidate, windowed cost)`.
+    pub fn history(&self) -> &[(SimTime, ScoreParams, f64)] {
+        &self.history
+    }
+
+    /// Notifies the engine of a phase start with its model list; a changed
+    /// list triggers a tuning episode (§4.4: "detects the workload changes
+    /// by tracking the inference model list").
+    pub fn on_phase_start(&mut self, now: SimTime, model_names: &[&'static str]) {
+        if self.model_list == model_names {
+            return;
+        }
+        self.model_list = model_names.to_vec();
+        self.start_episode(now);
+    }
+
+    /// Starts an episode unconditionally (used at boot in the Figure 10
+    /// "IDLE →" cases).
+    pub fn start_episode(&mut self, now: SimTime) {
+        let optimizer = ParamOptimizer::new(self.locked)
+            .with_radius(self.config.initial_radius)
+            .with_threshold(self.config.threshold)
+            .with_samples(self.config.ring_points, self.config.distant_points);
+        let candidates = optimizer.candidates();
+        self.episodes += 1;
+        self.state = State::Tuning(Tuning {
+            optimizer,
+            candidates,
+            evaluated: Vec::new(),
+            current: 0,
+            window_start: now,
+            window: WindowStats::default(),
+        });
+    }
+
+    /// Feeds a task lifecycle event into the current evaluation window.
+    pub fn on_task_event(&mut self, event: &TaskEvent) {
+        if let State::Tuning(t) = &mut self.state {
+            t.window.record(event);
+        }
+    }
+
+    /// Advances the episode clock; called from the scheduler on every
+    /// invocation. Returns the optimiser step record when a step just
+    /// completed (for logging/inspection).
+    pub fn tick(&mut self, now: SimTime) -> Option<OptimizerStep> {
+        let State::Tuning(t) = &mut self.state else {
+            return None;
+        };
+        if now.saturating_sub(t.window_start) < self.config.eval_window {
+            return None;
+        }
+        // Close the current candidate's window. An empty window scores
+        // infinitely badly, so it can never be selected.
+        let cost = t.window.uxcost().unwrap_or(f64::INFINITY);
+        let candidate = t.candidates[t.current];
+        t.evaluated.push((candidate, cost));
+        self.history.push((now, candidate, cost));
+        t.window = WindowStats::default();
+        t.window_start = now;
+        t.current += 1;
+        if t.current < t.candidates.len() {
+            return None;
+        }
+        // All candidates of this step observed: apply one optimiser move.
+        let step = t.optimizer.observe(std::mem::take(&mut t.evaluated));
+        if t.optimizer.converged() {
+            let best = t
+                .optimizer
+                .best_seen()
+                .map(|(p, _)| p)
+                .unwrap_or(self.locked);
+            self.locked = best;
+            self.state = State::Idle;
+        } else {
+            t.candidates = t.optimizer.candidates();
+            t.current = 0;
+        }
+        Some(step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dream_models::{NodeId, PipelineId};
+
+    fn key() -> ModelKey {
+        ModelKey {
+            phase: 0,
+            pipeline: PipelineId(0),
+            node: NodeId(0),
+        }
+    }
+
+    fn completed_event(now_ns: u64, on_time: bool) -> TaskEvent {
+        TaskEvent {
+            now: SimTime::from_ns(now_ns),
+            task: dream_sim::TaskId(now_ns),
+            key: key(),
+            counted: true,
+            kind: TaskEventKind::Completed {
+                on_time,
+                energy_pj: 10.0,
+                worst_energy_pj: 100.0,
+            },
+        }
+    }
+
+    fn engine() -> AdaptivityEngine {
+        let config = AdaptivityConfig {
+            eval_window: SimTime::from_ns(1_000),
+            initial_radius: 0.4,
+            threshold: 0.15,
+            ring_points: 3,
+            distant_points: 0,
+        };
+        AdaptivityEngine::new(config, ScoreParams::neutral())
+    }
+
+    #[test]
+    fn idle_until_model_list_changes() {
+        let mut e = engine();
+        assert!(!e.is_tuning());
+        e.on_phase_start(SimTime::ZERO, &["A", "B"]);
+        assert!(e.is_tuning());
+        assert_eq!(e.episodes(), 1);
+        // Same list again: no new episode.
+        let mut e2 = engine();
+        e2.on_phase_start(SimTime::ZERO, &["A"]);
+        e2.on_phase_start(SimTime::from_ns(10), &["A"]);
+        assert_eq!(e2.episodes(), 1);
+    }
+
+    #[test]
+    fn params_cycle_through_candidates() {
+        let mut e = engine();
+        e.on_phase_start(SimTime::ZERO, &["A"]);
+        let first = e.params();
+        // Feed events and advance past the window.
+        e.on_task_event(&completed_event(10, true));
+        let step = e.tick(SimTime::from_ns(1_500));
+        assert!(step.is_none(), "only one candidate closed, no step yet");
+        let second = e.params();
+        assert_ne!(first, second, "engine should move to the next candidate");
+        assert_eq!(e.history().len(), 1);
+    }
+
+    #[test]
+    fn empty_window_scores_infinite() {
+        let mut e = engine();
+        e.on_phase_start(SimTime::ZERO, &["A"]);
+        e.tick(SimTime::from_ns(1_500));
+        assert!(e.history()[0].2.is_infinite());
+    }
+
+    #[test]
+    fn episode_converges_and_locks() {
+        let mut e = engine();
+        e.on_phase_start(SimTime::ZERO, &["A"]);
+        let mut now = 0u64;
+        let mut steps = 0;
+        // Run enough windows to exhaust all steps: radius 0.4 → 0.2 → 0.1
+        // (< 0.15 threshold ⇒ two steps).
+        for _ in 0..200 {
+            if !e.is_tuning() {
+                break;
+            }
+            now += 600;
+            e.on_task_event(&completed_event(now, now.is_multiple_of(3)));
+            now += 600;
+            if e.tick(SimTime::from_ns(now)).is_some() {
+                steps += 1;
+            }
+        }
+        assert!(!e.is_tuning(), "episode should converge");
+        assert!(steps >= 1);
+        // Locked params are within the box.
+        let p = e.params();
+        assert!((0.0..=2.0).contains(&p.alpha()));
+        assert!((0.0..=2.0).contains(&p.beta()));
+    }
+
+    #[test]
+    fn dropped_frames_count_as_window_violations() {
+        let mut w = WindowStats::default();
+        w.record(&TaskEvent {
+            now: SimTime::ZERO,
+            task: dream_sim::TaskId(0),
+            key: key(),
+            counted: true,
+            kind: TaskEventKind::Dropped,
+        });
+        w.record(&completed_event(5, true));
+        // 1 violated of 2, energy ratio 0.1.
+        let c = w.uxcost().unwrap();
+        assert!((c - 0.5 * 0.1).abs() < 1e-12, "{c}");
+    }
+
+    #[test]
+    fn uncounted_events_are_ignored() {
+        let mut w = WindowStats::default();
+        w.record(&TaskEvent {
+            now: SimTime::ZERO,
+            task: dream_sim::TaskId(1),
+            key: key(),
+            counted: false,
+            kind: TaskEventKind::Dropped,
+        });
+        assert!(w.uxcost().is_none());
+    }
+}

@@ -1,0 +1,360 @@
+use dream_sim::Metrics;
+
+use crate::uxcost::UxCostReport;
+use crate::ScoreParams;
+
+/// What the parameter search minimises (the Figure 13 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjectiveKind {
+    /// The paper's UXCost (Algorithm 2): ΣDLV · ΣNormEnergy.
+    UxCost,
+    /// Deadline-violation sum only.
+    DeadlineOnly,
+    /// Normalised-energy sum only.
+    EnergyOnly,
+}
+
+impl ObjectiveKind {
+    /// Evaluates the objective on simulation metrics (lower is better).
+    pub fn evaluate(self, metrics: &Metrics) -> f64 {
+        let report = UxCostReport::from_metrics(metrics);
+        match self {
+            ObjectiveKind::UxCost => report.uxcost(),
+            ObjectiveKind::DeadlineOnly => report.overall_rate_dlv(),
+            ObjectiveKind::EnergyOnly => report.overall_norm_energy(),
+        }
+    }
+
+    /// Display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObjectiveKind::UxCost => "UXCost",
+            ObjectiveKind::DeadlineOnly => "DLV-only",
+            ObjectiveKind::EnergyOnly => "Energy-only",
+        }
+    }
+}
+
+impl std::fmt::Display for ObjectiveKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One step of the radius-shrinking search: the candidates evaluated and
+/// where the search moved.
+#[derive(Debug, Clone)]
+pub struct OptimizerStep {
+    /// Step index (0-based).
+    pub index: usize,
+    /// Search center entering the step.
+    pub center: ScoreParams,
+    /// Sampling radius of the step.
+    pub radius: f64,
+    /// Every (candidate, cost) evaluated this step.
+    pub evaluations: Vec<(ScoreParams, f64)>,
+    /// The best candidate of the step.
+    pub best: (ScoreParams, f64),
+}
+
+/// The full search record — Figure 10's trajectory and Figure 11's
+/// convergence curve come straight from this.
+#[derive(Debug, Clone)]
+pub struct OptimizationTrace {
+    /// The steps in order.
+    pub steps: Vec<OptimizerStep>,
+    /// The final parameters.
+    pub final_params: ScoreParams,
+    /// The objective at the final parameters.
+    pub final_cost: f64,
+}
+
+impl OptimizationTrace {
+    /// Objective value of the best candidate after each step (cumulative
+    /// minimum), for convergence plots.
+    pub fn best_cost_per_step(&self) -> Vec<f64> {
+        let mut best = f64::INFINITY;
+        self.steps
+            .iter()
+            .map(|s| {
+                best = best.min(s.best.1);
+                best
+            })
+            .collect()
+    }
+
+    /// Total number of objective evaluations.
+    pub fn evaluations(&self) -> usize {
+        self.steps.iter().map(|s| s.evaluations.len()).sum()
+    }
+}
+
+/// The §3.6 parameter optimiser: at each step it samples a ring of
+/// neighbouring points around the current center plus a few distant probes,
+/// evaluates the objective, moves to the cost-weighted interpolation of the
+/// two best points, and halves the radius — stopping once the radius falls
+/// below the threshold. The search space is the paper's `[0, 2]²` box.
+#[derive(Debug, Clone)]
+pub struct ParamOptimizer {
+    center: ScoreParams,
+    radius: f64,
+    threshold: f64,
+    ring_points: usize,
+    distant_points: usize,
+    shrink: f64,
+    step_index: usize,
+    best_seen: Option<(ScoreParams, f64)>,
+}
+
+/// Fixed distant probes cycled across steps (corners first — the points a
+/// local ring can never reach quickly).
+const DISTANT_PROBES: [(f64, f64); 5] = [
+    (0.15, 0.15),
+    (1.85, 1.85),
+    (0.15, 1.85),
+    (1.85, 0.15),
+    (1.0, 1.0),
+];
+
+impl ParamOptimizer {
+    /// Creates an optimiser centred at `initial` with the calibrated
+    /// defaults (radius 0.6 halving to below 0.05 ⇒ 4–5 steps, the paper's
+    /// "within five steps" envelope).
+    pub fn new(initial: ScoreParams) -> Self {
+        ParamOptimizer {
+            center: initial,
+            radius: 0.6,
+            threshold: 0.05,
+            ring_points: 6,
+            distant_points: 2,
+            shrink: 0.5,
+            step_index: 0,
+            best_seen: None,
+        }
+    }
+
+    /// Overrides the initial sampling radius.
+    pub fn with_radius(mut self, radius: f64) -> Self {
+        self.radius = radius.max(1e-6);
+        self
+    }
+
+    /// Overrides the convergence threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold.max(1e-9);
+        self
+    }
+
+    /// Overrides the ring/distant sample counts.
+    pub fn with_samples(mut self, ring: usize, distant: usize) -> Self {
+        self.ring_points = ring.max(2);
+        self.distant_points = distant.min(DISTANT_PROBES.len());
+        self
+    }
+
+    /// Current search center.
+    pub fn center(&self) -> ScoreParams {
+        self.center
+    }
+
+    /// Current radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Whether the search has converged (radius below threshold).
+    pub fn converged(&self) -> bool {
+        self.radius < self.threshold
+    }
+
+    /// Best (params, cost) observed so far.
+    pub fn best_seen(&self) -> Option<(ScoreParams, f64)> {
+        self.best_seen
+    }
+
+    /// The candidates to evaluate this step: the center, `ring_points`
+    /// points on the circle of the current radius (rotated a little each
+    /// step so successive rings do not align), and `distant_points` fixed
+    /// probes.
+    pub fn candidates(&self) -> Vec<ScoreParams> {
+        let mut out = vec![self.center];
+        let n = self.ring_points;
+        let rot = self.step_index as f64 * 0.5;
+        for k in 0..n {
+            let angle = rot + 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            out.push(ScoreParams::clamped(
+                self.center.alpha() + self.radius * angle.cos(),
+                self.center.beta() + self.radius * angle.sin(),
+            ));
+        }
+        for d in 0..self.distant_points {
+            let (a, b) = DISTANT_PROBES[(self.step_index + d) % DISTANT_PROBES.len()];
+            out.push(ScoreParams::clamped(a, b));
+        }
+        out.dedup_by(|a, b| a.distance(*b) < 1e-12);
+        out
+    }
+
+    /// Feeds back the evaluated costs of this step's candidates: moves the
+    /// center to the cost-weighted interpolation of the two best points and
+    /// shrinks the radius. Returns the step record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evaluations` is empty.
+    pub fn observe(&mut self, evaluations: Vec<(ScoreParams, f64)>) -> OptimizerStep {
+        assert!(!evaluations.is_empty(), "observe needs at least one evaluation");
+        let mut sorted = evaluations.clone();
+        sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let (b1, c1) = sorted[0];
+        let step = OptimizerStep {
+            index: self.step_index,
+            center: self.center,
+            radius: self.radius,
+            evaluations,
+            best: (b1, c1),
+        };
+        let new_center = if sorted.len() >= 2 {
+            let (b2, c2) = sorted[1];
+            // Weighted interpolation: the lower-cost point pulls harder;
+            // equal costs give the midpoint.
+            let denom = c1 + c2;
+            let w2 = if denom > 0.0 && denom.is_finite() {
+                c1 / denom
+            } else {
+                0.5
+            };
+            ScoreParams::clamped(
+                b1.alpha() + (b2.alpha() - b1.alpha()) * w2,
+                b1.beta() + (b2.beta() - b1.beta()) * w2,
+            )
+        } else {
+            b1
+        };
+        self.center = new_center;
+        self.radius *= self.shrink;
+        self.step_index += 1;
+        if self.best_seen.map(|(_, c)| c1 < c).unwrap_or(true) {
+            self.best_seen = Some((b1, c1));
+        }
+        step
+    }
+
+    /// Runs the search to convergence against an objective function
+    /// (offline mode: each call typically runs a full simulation).
+    pub fn run<F: FnMut(ScoreParams) -> f64>(mut self, mut objective: F) -> OptimizationTrace {
+        let mut steps = Vec::new();
+        while !self.converged() {
+            let evals: Vec<(ScoreParams, f64)> = self
+                .candidates()
+                .into_iter()
+                .map(|p| (p, objective(p)))
+                .collect();
+            steps.push(self.observe(evals));
+        }
+        let (final_params, final_cost) = self
+            .best_seen
+            .expect("at least one step ran before convergence");
+        OptimizationTrace {
+            steps,
+            final_params,
+            final_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A smooth bowl with minimum at (0.4, 1.5).
+    fn bowl(p: ScoreParams) -> f64 {
+        (p.alpha() - 0.4).powi(2) + (p.beta() - 1.5).powi(2) + 0.01
+    }
+
+    #[test]
+    fn converges_near_bowl_minimum() {
+        let trace = ParamOptimizer::new(ScoreParams::neutral()).run(bowl);
+        let p = trace.final_params;
+        assert!(
+            p.distance(ScoreParams::new(0.4, 1.5).unwrap()) < 0.25,
+            "landed at {p}"
+        );
+        // The paper's envelope: converged in ≤ 5 steps with this radius
+        // schedule.
+        assert!(trace.steps.len() <= 5, "{} steps", trace.steps.len());
+    }
+
+    #[test]
+    fn best_cost_per_step_is_monotone() {
+        let trace = ParamOptimizer::new(ScoreParams::clamped(1.9, 0.1)).run(bowl);
+        let costs = trace.best_cost_per_step();
+        for w in costs.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        assert!(trace.evaluations() > 0);
+    }
+
+    #[test]
+    fn candidates_stay_in_box_and_include_center() {
+        let opt = ParamOptimizer::new(ScoreParams::clamped(0.05, 1.95)).with_radius(0.8);
+        let cands = opt.candidates();
+        assert_eq!(cands[0], opt.center());
+        for c in &cands {
+            assert!((0.0..=2.0).contains(&c.alpha()));
+            assert!((0.0..=2.0).contains(&c.beta()));
+        }
+        // Ring + distant + center (minus dedup).
+        assert!(cands.len() >= 7);
+    }
+
+    #[test]
+    fn distant_probes_escape_local_minima() {
+        // Two-well function: local well at (1.8, 1.8) (shallow), global at
+        // (0.15, 0.15) (deep). Starting in the shallow well, the distant
+        // corner probe finds the deep one.
+        let two_wells = |p: ScoreParams| {
+            let d1 = (p.alpha() - 1.8).powi(2) + (p.beta() - 1.8).powi(2);
+            let d2 = (p.alpha() - 0.15).powi(2) + (p.beta() - 0.15).powi(2);
+            (0.5 + d1).min(0.1 + d2)
+        };
+        let trace = ParamOptimizer::new(ScoreParams::clamped(1.8, 1.8))
+            .with_samples(6, 2)
+            .run(two_wells);
+        assert!(
+            trace.final_cost < 0.5,
+            "stuck in the shallow well: {}",
+            trace.final_cost
+        );
+    }
+
+    #[test]
+    fn equal_costs_move_to_midpoint() {
+        let mut opt = ParamOptimizer::new(ScoreParams::neutral());
+        let a = ScoreParams::new(0.5, 1.0).unwrap();
+        let b = ScoreParams::new(1.5, 1.0).unwrap();
+        opt.observe(vec![(a, 1.0), (b, 1.0), (ScoreParams::neutral(), 9.0)]);
+        assert!(opt.center().distance(ScoreParams::new(1.0, 1.0).unwrap()) < 1e-9);
+    }
+
+    #[test]
+    fn radius_halves_each_step() {
+        let mut opt = ParamOptimizer::new(ScoreParams::neutral()).with_radius(0.8);
+        let r0 = opt.radius();
+        opt.observe(vec![(ScoreParams::neutral(), 1.0)]);
+        assert!((opt.radius() - r0 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one evaluation")]
+    fn observe_rejects_empty() {
+        ParamOptimizer::new(ScoreParams::neutral()).observe(vec![]);
+    }
+
+    #[test]
+    fn objective_kind_names() {
+        assert_eq!(ObjectiveKind::UxCost.to_string(), "UXCost");
+        assert_eq!(ObjectiveKind::DeadlineOnly.name(), "DLV-only");
+        assert_eq!(ObjectiveKind::EnergyOnly.name(), "Energy-only");
+    }
+}

@@ -1,0 +1,186 @@
+use dream_sim::{Metrics, ModelKey};
+
+/// One model's row of the UXCost computation (Algorithm 2's loop body).
+#[derive(Debug, Clone)]
+pub struct ModelCostRow {
+    /// The deployed model.
+    pub key: ModelKey,
+    /// Its network name.
+    pub model_name: &'static str,
+    /// Counted frames.
+    pub total_frames: u64,
+    /// Violated frames (late + dropped + unfinished).
+    pub violated_frames: u64,
+    /// `Rate_DLV[m]` including the `1/(2·total)` floor (lines 6–8).
+    pub rate_dlv: f64,
+    /// `NormEnergy[m]` (line 5).
+    pub norm_energy: f64,
+}
+
+/// The UXCost report of Algorithm 2: per-model deadline-violation rates and
+/// normalised energies, their sums, and the product that is UXCost.
+///
+/// UXCost is the paper's real-time analogue of energy-delay product: lower
+/// is better, and a scheduler can only excel by keeping *both* violations
+/// and energy low.
+#[derive(Debug, Clone)]
+pub struct UxCostReport {
+    rows: Vec<ModelCostRow>,
+    overall_rate_dlv: f64,
+    overall_norm_energy: f64,
+}
+
+impl UxCostReport {
+    /// Runs Algorithm 2 over simulation metrics. Models that counted no
+    /// frames (e.g. a cascade that never fired in a short window) are
+    /// excluded from both sums.
+    pub fn from_metrics(metrics: &Metrics) -> Self {
+        let mut rows = Vec::new();
+        let mut overall_rate_dlv = 0.0;
+        let mut overall_norm_energy = 0.0;
+        for (key, stats) in metrics.models() {
+            let (Some(rate_dlv), Some(norm_energy)) =
+                (stats.violation_rate(), stats.normalized_energy())
+            else {
+                continue;
+            };
+            overall_rate_dlv += rate_dlv;
+            overall_norm_energy += norm_energy;
+            rows.push(ModelCostRow {
+                key: *key,
+                model_name: stats.model_name,
+                total_frames: stats.released,
+                violated_frames: stats.violated(),
+                rate_dlv,
+                norm_energy,
+            });
+        }
+        UxCostReport {
+            rows,
+            overall_rate_dlv,
+            overall_norm_energy,
+        }
+    }
+
+    /// Per-model rows in deterministic order.
+    pub fn rows(&self) -> &[ModelCostRow] {
+        &self.rows
+    }
+
+    /// `OverallRate_DLV` (line 10).
+    pub fn overall_rate_dlv(&self) -> f64 {
+        self.overall_rate_dlv
+    }
+
+    /// `OverallNormEnergy` (line 11).
+    pub fn overall_norm_energy(&self) -> f64 {
+        self.overall_norm_energy
+    }
+
+    /// `UXCost = OverallRate_DLV · OverallNormEnergy` (line 12).
+    pub fn uxcost(&self) -> f64 {
+        self.overall_rate_dlv * self.overall_norm_energy
+    }
+}
+
+impl std::fmt::Display for UxCostReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<20} {:>8} {:>8} {:>10} {:>10}",
+            "model", "frames", "violated", "rate_dlv", "norm_e"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<20} {:>8} {:>8} {:>10.4} {:>10.4}",
+                r.model_name, r.total_frames, r.violated_frames, r.rate_dlv, r.norm_energy
+            )?;
+        }
+        write!(
+            f,
+            "UXCost = {:.5} (ΣDLV {:.4} × ΣE {:.4})",
+            self.uxcost(),
+            self.overall_rate_dlv,
+            self.overall_norm_energy
+        )
+    }
+}
+
+/// Convenience: Algorithm 2 in one call.
+pub fn uxcost_of(metrics: &Metrics) -> f64 {
+    UxCostReport::from_metrics(metrics).uxcost()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dream_cost::{Platform, PlatformPreset};
+    use dream_models::{CascadeProbability, Scenario, ScenarioKind};
+    use dream_sim::{Assignment, Decision, Millis, Scheduler, SimulationBuilder, SystemView};
+
+    struct Greedy;
+    impl Scheduler for Greedy {
+        fn name(&self) -> &str {
+            "greedy"
+        }
+        fn schedule(&mut self, view: &SystemView<'_>) -> Decision {
+            let mut d = Decision::none();
+            let mut idle: Vec<_> = view.idle_accs().map(|a| a.id()).collect();
+            for t in view.ready_tasks() {
+                let Some(acc) = idle.pop() else { break };
+                d.assignments.push(Assignment::single(t.id(), acc));
+            }
+            d
+        }
+    }
+
+    fn metrics(kind: ScenarioKind) -> Metrics {
+        let platform = Platform::preset(PlatformPreset::Hetero4kWs1Os2);
+        let scenario = Scenario::new(kind, CascadeProbability::default_paper());
+        let mut s = Greedy;
+        SimulationBuilder::new(platform, scenario)
+            .duration(Millis::new(600))
+            .seed(11)
+            .run(&mut s)
+            .unwrap()
+            .into_metrics()
+    }
+
+    #[test]
+    fn uxcost_is_product_of_sums() {
+        let m = metrics(ScenarioKind::ArSocial);
+        let r = UxCostReport::from_metrics(&m);
+        assert!(
+            (r.uxcost() - r.overall_rate_dlv() * r.overall_norm_energy()).abs() < 1e-12
+        );
+        assert!(r.uxcost() > 0.0, "floor keeps UXCost positive");
+        let sum_dlv: f64 = r.rows().iter().map(|x| x.rate_dlv).sum();
+        assert!((sum_dlv - r.overall_rate_dlv()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_violation_models_use_floor() {
+        let m = metrics(ScenarioKind::ArCall);
+        let r = UxCostReport::from_metrics(&m);
+        for row in r.rows() {
+            if row.violated_frames == 0 {
+                assert!(
+                    (row.rate_dlv - 1.0 / (2.0 * row.total_frames as f64)).abs() < 1e-12,
+                    "{}",
+                    row.model_name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_displays_all_models() {
+        let m = metrics(ScenarioKind::ArCall);
+        let r = UxCostReport::from_metrics(&m);
+        let s = r.to_string();
+        assert!(s.contains("GNMT"));
+        assert!(s.contains("UXCost"));
+        assert!((uxcost_of(&m) - r.uxcost()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,48 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring accelerators or platforms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CostError {
+    /// An accelerator parameter was zero or non-finite.
+    InvalidAccelerator {
+        /// Human-readable description of the offending parameter.
+        reason: String,
+    },
+    /// A calibration parameter was outside its valid range.
+    InvalidParams {
+        /// Human-readable description of the offending parameter.
+        reason: String,
+    },
+    /// A platform was declared with no accelerators.
+    EmptyPlatform,
+}
+
+impl fmt::Display for CostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostError::InvalidAccelerator { reason } => {
+                write!(f, "invalid accelerator: {reason}")
+            }
+            CostError::InvalidParams { reason } => write!(f, "invalid cost parameters: {reason}"),
+            CostError::EmptyPlatform => write!(f, "platform has no accelerators"),
+        }
+    }
+}
+
+impl Error for CostError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!CostError::EmptyPlatform.to_string().is_empty());
+        assert!(CostError::InvalidParams {
+            reason: "x".into()
+        }
+        .to_string()
+        .contains('x'));
+    }
+}

@@ -1,0 +1,40 @@
+//! Analytical accelerator cost model for the DREAM reproduction.
+//!
+//! The paper feeds DREAM per-(layer, accelerator) latency and energy
+//! estimates produced offline by MAESTRO. This crate is the stand-in: an
+//! analytical model of spatial DNN accelerators with weight-stationary
+//! (NVDLA-inspired) and output-stationary (ShiDianNao-inspired) dataflows.
+//!
+//! The model captures exactly the effects the scheduler cares about:
+//!
+//! * **PE-array utilisation** depends on how a layer's parallelism matches
+//!   the dataflow's spatial mapping (depthwise convolutions under-utilise a
+//!   weight-stationary array; tiny feature maps under-utilise an
+//!   output-stationary one), so heterogeneous platforms genuinely prefer
+//!   different accelerators for different layers.
+//! * **Roofline latency**: compute time vs. DRAM streaming time, whichever
+//!   dominates — GEMV-shaped layers (GNMT) become bandwidth-bound.
+//! * **Dataflow-dependent SRAM traffic** drives the energy asymmetry
+//!   between dataflows (weight re-fetch for output-stationary arrays,
+//!   input re-fetch and partial-sum spills for weight-stationary ones).
+//! * **Context-switch cost**: flushing the outgoing model's activations and
+//!   fetching the incoming model's working set through DRAM.
+//!
+//! Absolute numbers are calibrated, not validated against RTL — see
+//! `DESIGN.md` §1 for why this preserves the paper's conclusions (the
+//! scheduler consumes only *relative* costs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accel;
+mod error;
+mod estimate;
+mod params;
+mod platform;
+
+pub use accel::{AcceleratorConfig, AcceleratorId, Dataflow};
+pub use error::CostError;
+pub use estimate::{CostModel, LayerCost, SwitchCost};
+pub use params::CostParams;
+pub use platform::{Platform, PlatformPreset};

@@ -1,0 +1,132 @@
+use crate::CostError;
+
+/// Calibration constants of the analytical cost model.
+///
+/// Energy constants are per-operation / per-byte figures in picojoules,
+/// in line with published numbers for 8-bit edge accelerators (a DRAM byte
+/// costs roughly an order of magnitude more than an SRAM byte, which costs
+/// several MAC operations). `mapping_efficiency` is the global derate that
+/// accounts for everything a closed-form utilisation model misses (tile
+/// fill/drain, bank conflicts, imperfect loop orders); it is tuned so the
+/// paper's 4K-PE platforms are resource-constrained on the Table 3
+/// scenarios while the 8K platforms are comfortable, matching the operating
+/// points reported in §5.2 (see DESIGN.md §1 and EXPERIMENTS.md).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostParams {
+    /// Energy of one 8-bit MAC, pJ (scaled by operand width squared).
+    pub mac_energy_pj: f64,
+    /// Energy of one vector (non-MAC) op, pJ.
+    pub vector_op_energy_pj: f64,
+    /// Energy per SRAM byte access, pJ.
+    pub sram_energy_pj_per_byte: f64,
+    /// Energy per DRAM byte access, pJ.
+    pub dram_energy_pj_per_byte: f64,
+    /// Fixed per-layer launch overhead (descriptor setup, DMA kick-off), ns.
+    pub layer_launch_ns: f64,
+    /// Global PE-array mapping efficiency in `(0, 1]`.
+    pub mapping_efficiency: f64,
+    /// Latency penalty per *extra* gang member when a layer is fissioned
+    /// across several sub-accelerators (Planaria-style), as a fraction.
+    pub gang_overhead: f64,
+    /// Reduction tile depth before a weight-stationary array spills partial
+    /// sums to SRAM.
+    pub psum_tile_depth: u64,
+}
+
+impl CostParams {
+    /// The calibrated defaults used throughout the evaluation.
+    pub fn paper_defaults() -> Self {
+        CostParams {
+            mac_energy_pj: 0.3,
+            vector_op_energy_pj: 0.12,
+            sram_energy_pj_per_byte: 1.0,
+            dram_energy_pj_per_byte: 20.0,
+            layer_launch_ns: 3_000.0,
+            mapping_efficiency: 0.092,
+            gang_overhead: 0.25,
+            psum_tile_depth: 512,
+        }
+    }
+
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostError::InvalidParams`] if any energy/latency constant
+    /// is negative or non-finite, or `mapping_efficiency` is outside
+    /// `(0, 1]`.
+    pub fn validate(&self) -> Result<(), CostError> {
+        let nonneg = [
+            ("mac_energy_pj", self.mac_energy_pj),
+            ("vector_op_energy_pj", self.vector_op_energy_pj),
+            ("sram_energy_pj_per_byte", self.sram_energy_pj_per_byte),
+            ("dram_energy_pj_per_byte", self.dram_energy_pj_per_byte),
+            ("layer_launch_ns", self.layer_launch_ns),
+            ("gang_overhead", self.gang_overhead),
+        ];
+        for (label, v) in nonneg {
+            if !v.is_finite() || v < 0.0 {
+                return Err(CostError::InvalidParams {
+                    reason: format!("{label} must be finite and non-negative, got {v}"),
+                });
+            }
+        }
+        if !self.mapping_efficiency.is_finite()
+            || self.mapping_efficiency <= 0.0
+            || self.mapping_efficiency > 1.0
+        {
+            return Err(CostError::InvalidParams {
+                reason: format!(
+                    "mapping_efficiency must be in (0, 1], got {}",
+                    self.mapping_efficiency
+                ),
+            });
+        }
+        if self.psum_tile_depth == 0 {
+            return Err(CostError::InvalidParams {
+                reason: "psum_tile_depth must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        CostParams::paper_defaults().validate().unwrap();
+        CostParams::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_efficiency_rejected() {
+        let mut p = CostParams::paper_defaults();
+        p.mapping_efficiency = 0.0;
+        assert!(p.validate().is_err());
+        p.mapping_efficiency = 1.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn negative_energy_rejected() {
+        let mut p = CostParams::paper_defaults();
+        p.dram_energy_pj_per_byte = -1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn zero_psum_tile_rejected() {
+        let mut p = CostParams::paper_defaults();
+        p.psum_tile_depth = 0;
+        assert!(p.validate().is_err());
+    }
+}

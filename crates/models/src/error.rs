@@ -1,0 +1,94 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing models, graphs, or scenarios.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A layer parameter was zero or otherwise degenerate.
+    InvalidLayer {
+        /// Human-readable description of the offending parameter.
+        reason: String,
+    },
+    /// A gate (skip block / exit point) references layers outside the graph,
+    /// overlaps another gate, or carries an out-of-range probability.
+    InvalidGate {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A probability was outside `[0, 1]`.
+    InvalidProbability {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A frame rate was zero or non-finite.
+    InvalidRate {
+        /// The rejected value in frames per second.
+        fps: f64,
+    },
+    /// A pipeline node referenced a parent that does not exist or would form
+    /// a cycle.
+    InvalidDependency {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A model was declared with no variants or with an empty variant.
+    EmptyModel {
+        /// The model name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidLayer { reason } => write!(f, "invalid layer: {reason}"),
+            ModelError::InvalidGate { reason } => write!(f, "invalid gate: {reason}"),
+            ModelError::InvalidProbability { value } => {
+                write!(f, "probability {value} is outside [0, 1]")
+            }
+            ModelError::InvalidRate { fps } => write!(f, "invalid frame rate {fps} fps"),
+            ModelError::InvalidDependency { reason } => {
+                write!(f, "invalid pipeline dependency: {reason}")
+            }
+            ModelError::EmptyModel { name } => write!(f, "model `{name}` has no layers"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            ModelError::InvalidLayer {
+                reason: "zero channels".into(),
+            },
+            ModelError::InvalidGate {
+                reason: "overlap".into(),
+            },
+            ModelError::InvalidProbability { value: 1.5 },
+            ModelError::InvalidRate { fps: 0.0 },
+            ModelError::InvalidDependency {
+                reason: "cycle".into(),
+            },
+            ModelError::EmptyModel {
+                name: "GNMT".into(),
+            },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("probability"));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,350 @@
+use crate::{Layer, ModelError};
+
+/// A span of layers that is *skipped* with probability `p_skip` when the
+/// preceding layer completes (SkipNet-style gating).
+///
+/// The gate is resolved at runtime, *after* layer `first - 1` finishes, so a
+/// scheduler only ever knows the skip probability in advance — exactly the
+/// "constrained dynamicity" the paper exploits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkipBlock {
+    /// Index of the first skippable layer.
+    pub first: usize,
+    /// Index of the last skippable layer (inclusive).
+    pub last: usize,
+    /// Probability that the block is skipped.
+    pub p_skip: f64,
+}
+
+/// An early-exit branch taken with probability `p_exit` once layer `after`
+/// completes (BranchyNet / RAPID-RL style). Taking the exit completes the
+/// inference successfully without running the remaining layers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExitPoint {
+    /// Index of the layer whose completion triggers the exit decision.
+    pub after: usize,
+    /// Probability that the inference exits here.
+    pub p_exit: f64,
+}
+
+/// A single executable variant of a model: an ordered list of layers plus
+/// the dynamic gates attached to them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelGraph {
+    name: &'static str,
+    layers: Vec<Layer>,
+    skip_blocks: Vec<SkipBlock>,
+    exit_points: Vec<ExitPoint>,
+}
+
+impl ModelGraph {
+    /// The variant's name (e.g. `"ofa-context/md"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The ordered layers of this variant.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the graph has no layers (never true for validated graphs).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Skip gates, ordered by `first`.
+    pub fn skip_blocks(&self) -> &[SkipBlock] {
+        &self.skip_blocks
+    }
+
+    /// Early-exit points, ordered by `after`.
+    pub fn exit_points(&self) -> &[ExitPoint] {
+        &self.exit_points
+    }
+
+    /// Total multiply-accumulate count assuming every layer executes
+    /// (the worst-case path).
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.stats().macs).sum()
+    }
+
+    /// Total arithmetic work (MACs + vector ops) of the worst-case path.
+    pub fn total_ops(&self) -> u64 {
+        self.layers.iter().map(Layer::ops).sum()
+    }
+
+    /// Expected arithmetic work, weighting each layer by the probability it
+    /// executes given the skip/exit gates.
+    pub fn expected_ops(&self) -> f64 {
+        self.layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| self.execution_probability(i) * l.ops() as f64)
+            .sum()
+    }
+
+    /// Probability that layer `idx` executes, combining every skip block
+    /// covering it and every exit point before it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn execution_probability(&self, idx: usize) -> f64 {
+        assert!(idx < self.layers.len(), "layer index out of bounds");
+        let mut p = 1.0;
+        for blk in &self.skip_blocks {
+            if idx >= blk.first && idx <= blk.last {
+                p *= 1.0 - blk.p_skip;
+            }
+        }
+        for exit in &self.exit_points {
+            if idx > exit.after {
+                p *= 1.0 - exit.p_exit;
+            }
+        }
+        p
+    }
+
+    /// Whether any gate (skip or exit) makes this variant's execution path
+    /// input-dependent.
+    pub fn is_dynamic(&self) -> bool {
+        !self.skip_blocks.is_empty() || !self.exit_points.is_empty()
+    }
+}
+
+/// Incremental builder for [`ModelGraph`]s, used throughout [`crate::zoo`].
+#[derive(Debug)]
+pub struct GraphBuilder {
+    name: &'static str,
+    layers: Vec<Layer>,
+    skip_blocks: Vec<SkipBlock>,
+    exit_points: Vec<ExitPoint>,
+}
+
+impl GraphBuilder {
+    /// Starts a new graph with the given variant name.
+    pub fn new(name: &'static str) -> Self {
+        GraphBuilder {
+            name,
+            layers: Vec::new(),
+            skip_blocks: Vec::new(),
+            exit_points: Vec::new(),
+        }
+    }
+
+    /// Appends a layer and returns its index.
+    pub fn push(&mut self, layer: Layer) -> usize {
+        self.layers.push(layer);
+        self.layers.len() - 1
+    }
+
+    /// Appends several layers.
+    pub fn extend<I: IntoIterator<Item = Layer>>(&mut self, layers: I) -> &mut Self {
+        self.layers.extend(layers);
+        self
+    }
+
+    /// Marks layers `first..=last` as a skip block with probability `p_skip`.
+    pub fn skip_block(&mut self, first: usize, last: usize, p_skip: f64) -> &mut Self {
+        self.skip_blocks.push(SkipBlock {
+            first,
+            last,
+            p_skip,
+        });
+        self
+    }
+
+    /// Adds an early-exit point after layer `after`.
+    pub fn exit_point(&mut self, after: usize, p_exit: f64) -> &mut Self {
+        self.exit_points.push(ExitPoint { after, p_exit });
+        self
+    }
+
+    /// Number of layers pushed so far (useful for gate bookkeeping).
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether no layers have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Validates and finishes the graph.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::EmptyModel`] if no layers were added.
+    /// * [`ModelError::InvalidGate`] if a gate references out-of-range
+    ///   layers, a skip block starts at layer 0 (there would be no gate
+    ///   layer to resolve it), skip blocks overlap, or probabilities fall
+    ///   outside `[0, 1]`.
+    pub fn build(mut self) -> Result<ModelGraph, ModelError> {
+        if self.layers.is_empty() {
+            return Err(ModelError::EmptyModel {
+                name: self.name.to_string(),
+            });
+        }
+        let n = self.layers.len();
+        self.skip_blocks.sort_by_key(|b| b.first);
+        self.exit_points.sort_by_key(|e| e.after);
+        let mut prev_last: Option<usize> = None;
+        for blk in &self.skip_blocks {
+            if !(0.0..=1.0).contains(&blk.p_skip) {
+                return Err(ModelError::InvalidProbability { value: blk.p_skip });
+            }
+            if blk.first == 0 {
+                return Err(ModelError::InvalidGate {
+                    reason: format!(
+                        "graph `{}`: skip block may not start at layer 0",
+                        self.name
+                    ),
+                });
+            }
+            if blk.first > blk.last || blk.last >= n {
+                return Err(ModelError::InvalidGate {
+                    reason: format!(
+                        "graph `{}`: skip block {}..={} out of range (len {})",
+                        self.name, blk.first, blk.last, n
+                    ),
+                });
+            }
+            if let Some(p) = prev_last {
+                if blk.first <= p {
+                    return Err(ModelError::InvalidGate {
+                        reason: format!(
+                            "graph `{}`: skip blocks overlap at layer {}",
+                            self.name, blk.first
+                        ),
+                    });
+                }
+            }
+            prev_last = Some(blk.last);
+        }
+        for exit in &self.exit_points {
+            if !(0.0..=1.0).contains(&exit.p_exit) {
+                return Err(ModelError::InvalidProbability { value: exit.p_exit });
+            }
+            if exit.after + 1 >= n {
+                return Err(ModelError::InvalidGate {
+                    reason: format!(
+                        "graph `{}`: exit after layer {} leaves no remaining layers",
+                        self.name, exit.after
+                    ),
+                });
+            }
+        }
+        Ok(ModelGraph {
+            name: self.name,
+            layers: self.layers,
+            skip_blocks: self.skip_blocks,
+            exit_points: self.exit_points,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerKind;
+
+    fn ew(name: &'static str, elems: u64) -> Layer {
+        Layer::new(name, LayerKind::Elementwise { elems }).unwrap()
+    }
+
+    fn three_layer_builder() -> GraphBuilder {
+        let mut b = GraphBuilder::new("t");
+        b.push(ew("a", 10));
+        b.push(ew("b", 20));
+        b.push(ew("c", 30));
+        b
+    }
+
+    #[test]
+    fn build_plain_graph() {
+        let g = three_layer_builder().build().unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.total_ops(), 60);
+        assert!(!g.is_dynamic());
+        assert_eq!(g.expected_ops(), 60.0);
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert!(matches!(
+            GraphBuilder::new("e").build(),
+            Err(ModelError::EmptyModel { .. })
+        ));
+    }
+
+    #[test]
+    fn skip_block_probability_weighting() {
+        let mut b = three_layer_builder();
+        b.skip_block(1, 1, 0.5);
+        let g = b.build().unwrap();
+        assert!(g.is_dynamic());
+        assert_eq!(g.execution_probability(0), 1.0);
+        assert_eq!(g.execution_probability(1), 0.5);
+        assert_eq!(g.execution_probability(2), 1.0);
+        assert_eq!(g.expected_ops(), 10.0 + 10.0 + 30.0);
+    }
+
+    #[test]
+    fn exit_point_probability_weighting() {
+        let mut b = three_layer_builder();
+        b.exit_point(0, 0.25);
+        let g = b.build().unwrap();
+        assert_eq!(g.execution_probability(0), 1.0);
+        assert_eq!(g.execution_probability(1), 0.75);
+        assert_eq!(g.execution_probability(2), 0.75);
+    }
+
+    #[test]
+    fn stacked_gates_multiply() {
+        let mut b = three_layer_builder();
+        b.exit_point(0, 0.5).skip_block(2, 2, 0.5);
+        let g = b.build().unwrap();
+        assert_eq!(g.execution_probability(2), 0.25);
+    }
+
+    #[test]
+    fn skip_block_at_layer_zero_rejected() {
+        let mut b = three_layer_builder();
+        b.skip_block(0, 1, 0.5);
+        assert!(matches!(b.build(), Err(ModelError::InvalidGate { .. })));
+    }
+
+    #[test]
+    fn out_of_range_gate_rejected() {
+        let mut b = three_layer_builder();
+        b.skip_block(1, 5, 0.5);
+        assert!(b.build().is_err());
+
+        let mut b = three_layer_builder();
+        b.exit_point(2, 0.5); // no layers after the exit
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn overlapping_skip_blocks_rejected() {
+        let mut b = three_layer_builder();
+        b.skip_block(1, 2, 0.5).skip_block(2, 2, 0.5);
+        assert!(matches!(b.build(), Err(ModelError::InvalidGate { .. })));
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        let mut b = three_layer_builder();
+        b.skip_block(1, 1, 1.5);
+        assert!(matches!(
+            b.build(),
+            Err(ModelError::InvalidProbability { .. })
+        ));
+    }
+}

@@ -1,0 +1,388 @@
+use crate::ModelError;
+
+/// The arithmetic shape of a single network layer.
+///
+/// Shapes carry exactly the information the cost model needs: multiply-
+/// accumulate counts, operand footprints, and the spatial structure that a
+/// dataflow mapper uses to decide PE-array utilisation. Activation and
+/// weight elements are assumed to be 8-bit unless [`Layer::bytes_per_elem`]
+/// says otherwise (GNMT uses 16-bit operands, matching common practice for
+/// RNN serving).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// A 2-D convolution (grouped convolutions cover depthwise layers).
+    Conv2d {
+        /// Input feature-map height.
+        in_h: u32,
+        /// Input feature-map width.
+        in_w: u32,
+        /// Input channels.
+        in_c: u32,
+        /// Output channels.
+        out_c: u32,
+        /// Square kernel size.
+        kernel: u32,
+        /// Stride (same padding is assumed).
+        stride: u32,
+        /// Group count; `groups == in_c` describes a depthwise convolution.
+        groups: u32,
+    },
+    /// A dense matrix multiply: `[m × k] · [k × n]`. Fully-connected layers
+    /// are `m = 1`; LSTM gate computations are folded into GEMMs.
+    Gemm {
+        /// Rows of the activation matrix (batch / sequence dimension).
+        m: u32,
+        /// Output features.
+        n: u32,
+        /// Reduction dimension.
+        k: u32,
+    },
+    /// A pooling layer (max or average — the cost model does not care).
+    Pool {
+        /// Input feature-map height.
+        in_h: u32,
+        /// Input feature-map width.
+        in_w: u32,
+        /// Channels.
+        c: u32,
+        /// Square pooling window.
+        kernel: u32,
+        /// Stride.
+        stride: u32,
+    },
+    /// Element-wise work (residual adds, activations that are not folded,
+    /// concatenations, softmax, …) over `elems` elements.
+    Elementwise {
+        /// Number of elements read, combined, and written.
+        elems: u64,
+    },
+}
+
+/// Derived, cost-model-facing statistics of a layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerStats {
+    /// Multiply-accumulate operations (0 for pooling / element-wise; those
+    /// report their work through `vector_ops`).
+    pub macs: u64,
+    /// Non-MAC vector operations (pooling comparisons, element-wise adds).
+    pub vector_ops: u64,
+    /// Bytes of weights the layer reads.
+    pub weight_bytes: u64,
+    /// Bytes of input activations.
+    pub input_bytes: u64,
+    /// Bytes of output activations.
+    pub output_bytes: u64,
+    /// Output spatial positions × channels (dataflow mapping input).
+    pub out_elems: u64,
+    /// Weight-footprint parallelism available to a weight-stationary array:
+    /// `(in_c / groups) · k² · out_c` for convolutions, `k · n` tiles for
+    /// GEMMs (capped by the actual weight count).
+    pub ws_parallel_work: u64,
+    /// Reduction length per output element (temporal depth for an
+    /// output-stationary array).
+    pub reduction_depth: u64,
+    /// Sliding-window size (k² for convolutions and pools, 1 otherwise);
+    /// governs input re-reads in the SRAM traffic model.
+    pub kernel_area: u64,
+}
+
+/// A named layer of a network.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Layer {
+    name: &'static str,
+    kind: LayerKind,
+    bytes_per_elem: u32,
+}
+
+impl Layer {
+    /// Creates a layer with 8-bit operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidLayer`] if any dimension is zero, the
+    /// stride is zero, or the group count does not divide the channel counts.
+    pub fn new(name: &'static str, kind: LayerKind) -> Result<Self, ModelError> {
+        Self::with_bytes(name, kind, 1)
+    }
+
+    /// Creates a layer with explicit operand width in bytes (1 = int8,
+    /// 2 = fp16, 4 = fp32).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidLayer`] under the same conditions as
+    /// [`Layer::new`], or if `bytes_per_elem` is zero.
+    pub fn with_bytes(
+        name: &'static str,
+        kind: LayerKind,
+        bytes_per_elem: u32,
+    ) -> Result<Self, ModelError> {
+        if bytes_per_elem == 0 {
+            return Err(ModelError::InvalidLayer {
+                reason: format!("layer `{name}`: bytes_per_elem must be positive"),
+            });
+        }
+        let bad = |reason: String| Err(ModelError::InvalidLayer { reason });
+        match kind {
+            LayerKind::Conv2d {
+                in_h,
+                in_w,
+                in_c,
+                out_c,
+                kernel,
+                stride,
+                groups,
+            } => {
+                if in_h == 0 || in_w == 0 || in_c == 0 || out_c == 0 || kernel == 0 || stride == 0
+                {
+                    return bad(format!("layer `{name}`: conv dimensions must be positive"));
+                }
+                if groups == 0 || in_c % groups != 0 || out_c % groups != 0 {
+                    return bad(format!(
+                        "layer `{name}`: groups ({groups}) must divide in_c ({in_c}) and out_c ({out_c})"
+                    ));
+                }
+            }
+            LayerKind::Gemm { m, n, k } => {
+                if m == 0 || n == 0 || k == 0 {
+                    return bad(format!("layer `{name}`: GEMM dimensions must be positive"));
+                }
+            }
+            LayerKind::Pool {
+                in_h,
+                in_w,
+                c,
+                kernel,
+                stride,
+            } => {
+                if in_h == 0 || in_w == 0 || c == 0 || kernel == 0 || stride == 0 {
+                    return bad(format!("layer `{name}`: pool dimensions must be positive"));
+                }
+            }
+            LayerKind::Elementwise { elems } => {
+                if elems == 0 {
+                    return bad(format!("layer `{name}`: element-wise size must be positive"));
+                }
+            }
+        }
+        Ok(Layer {
+            name,
+            kind,
+            bytes_per_elem,
+        })
+    }
+
+    /// The layer's name (unique within its graph by convention, not enforced).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The layer's arithmetic shape.
+    pub fn kind(&self) -> LayerKind {
+        self.kind
+    }
+
+    /// Operand width in bytes.
+    pub fn bytes_per_elem(&self) -> u32 {
+        self.bytes_per_elem
+    }
+
+    /// Output spatial height/width for convolutions and pools under same
+    /// padding: `ceil(in / stride)`.
+    fn out_dim(in_dim: u32, stride: u32) -> u32 {
+        in_dim.div_ceil(stride)
+    }
+
+    /// Computes the derived statistics used by the cost model.
+    pub fn stats(&self) -> LayerStats {
+        let b = u64::from(self.bytes_per_elem);
+        match self.kind {
+            LayerKind::Conv2d {
+                in_h,
+                in_w,
+                in_c,
+                out_c,
+                kernel,
+                stride,
+                groups,
+            } => {
+                let out_h = u64::from(Self::out_dim(in_h, stride));
+                let out_w = u64::from(Self::out_dim(in_w, stride));
+                let in_c_g = u64::from(in_c / groups);
+                let k2 = u64::from(kernel) * u64::from(kernel);
+                let out_elems = out_h * out_w * u64::from(out_c);
+                let macs = out_elems * in_c_g * k2;
+                let weight_elems = u64::from(out_c) * in_c_g * k2;
+                LayerStats {
+                    macs,
+                    vector_ops: 0,
+                    weight_bytes: weight_elems * b,
+                    input_bytes: u64::from(in_h) * u64::from(in_w) * u64::from(in_c) * b,
+                    output_bytes: out_elems * b,
+                    out_elems,
+                    ws_parallel_work: in_c_g * k2 * u64::from(out_c),
+                    reduction_depth: in_c_g * k2,
+                    kernel_area: k2,
+                }
+            }
+            LayerKind::Gemm { m, n, k } => {
+                let (m, n, k) = (u64::from(m), u64::from(n), u64::from(k));
+                LayerStats {
+                    macs: m * n * k,
+                    vector_ops: 0,
+                    weight_bytes: k * n * b,
+                    input_bytes: m * k * b,
+                    output_bytes: m * n * b,
+                    out_elems: m * n,
+                    ws_parallel_work: k * n,
+                    reduction_depth: k,
+                    kernel_area: 1,
+                }
+            }
+            LayerKind::Pool {
+                in_h,
+                in_w,
+                c,
+                kernel,
+                stride,
+            } => {
+                let out_h = u64::from(Self::out_dim(in_h, stride));
+                let out_w = u64::from(Self::out_dim(in_w, stride));
+                let out_elems = out_h * out_w * u64::from(c);
+                let k2 = u64::from(kernel) * u64::from(kernel);
+                LayerStats {
+                    macs: 0,
+                    vector_ops: out_elems * k2,
+                    weight_bytes: 0,
+                    input_bytes: u64::from(in_h) * u64::from(in_w) * u64::from(c) * b,
+                    output_bytes: out_elems * b,
+                    out_elems,
+                    ws_parallel_work: out_elems.min(4096),
+                    reduction_depth: k2,
+                    kernel_area: k2,
+                }
+            }
+            LayerKind::Elementwise { elems } => LayerStats {
+                macs: 0,
+                vector_ops: elems,
+                weight_bytes: 0,
+                input_bytes: elems * b,
+                output_bytes: elems * b,
+                out_elems: elems,
+                ws_parallel_work: elems.min(4096),
+                reduction_depth: 1,
+                kernel_area: 1,
+            },
+        }
+    }
+
+    /// Total arithmetic work (MACs + vector ops), a convenient load proxy.
+    pub fn ops(&self) -> u64 {
+        let s = self.stats();
+        s.macs + s.vector_ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(
+        in_h: u32,
+        in_w: u32,
+        in_c: u32,
+        out_c: u32,
+        kernel: u32,
+        stride: u32,
+        groups: u32,
+    ) -> LayerKind {
+        LayerKind::Conv2d {
+            in_h,
+            in_w,
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            groups,
+        }
+    }
+
+    #[test]
+    fn conv_macs_match_hand_computation() {
+        // 56x56x64 -> 56x56x128, 3x3 s1: 56*56*128 * 64*9 MACs.
+        let layer = Layer::new("c", conv(56, 56, 64, 128, 3, 1, 1)).unwrap();
+        let s = layer.stats();
+        assert_eq!(s.macs, 56 * 56 * 128 * 64 * 9);
+        assert_eq!(s.weight_bytes, 128 * 64 * 9);
+        assert_eq!(s.out_elems, 56 * 56 * 128);
+        assert_eq!(s.reduction_depth, 64 * 9);
+    }
+
+    #[test]
+    fn depthwise_conv_reduces_macs_by_channel_count() {
+        let dense = Layer::new("d", conv(28, 28, 96, 96, 3, 1, 1)).unwrap();
+        let dw = Layer::new("dw", conv(28, 28, 96, 96, 3, 1, 96)).unwrap();
+        assert_eq!(dense.stats().macs, dw.stats().macs * 96);
+        // Depthwise weight-stationary parallelism collapses to k²·out_c.
+        assert_eq!(dw.stats().ws_parallel_work, 9 * 96);
+    }
+
+    #[test]
+    fn strided_conv_uses_same_padding_output() {
+        let layer = Layer::new("s", conv(225, 225, 3, 32, 3, 2, 1)).unwrap();
+        // ceil(225/2) = 113.
+        assert_eq!(layer.stats().out_elems, 113 * 113 * 32);
+    }
+
+    #[test]
+    fn gemm_stats() {
+        let layer = Layer::with_bytes("g", LayerKind::Gemm { m: 10, n: 4096, k: 2048 }, 2).unwrap();
+        let s = layer.stats();
+        assert_eq!(s.macs, 10 * 4096 * 2048);
+        assert_eq!(s.weight_bytes, 4096 * 2048 * 2);
+        assert_eq!(s.input_bytes, 10 * 2048 * 2);
+        assert_eq!(s.output_bytes, 10 * 4096 * 2);
+    }
+
+    #[test]
+    fn pool_has_no_macs_but_vector_ops() {
+        let layer = Layer::new(
+            "p",
+            LayerKind::Pool {
+                in_h: 56,
+                in_w: 56,
+                c: 64,
+                kernel: 2,
+                stride: 2,
+            },
+        )
+        .unwrap();
+        let s = layer.stats();
+        assert_eq!(s.macs, 0);
+        assert_eq!(s.vector_ops, 28 * 28 * 64 * 4);
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert!(Layer::new("bad", conv(0, 56, 64, 128, 3, 1, 1)).is_err());
+        assert!(Layer::new("bad", LayerKind::Gemm { m: 0, n: 1, k: 1 }).is_err());
+        assert!(Layer::new("bad", LayerKind::Elementwise { elems: 0 }).is_err());
+    }
+
+    #[test]
+    fn bad_groups_rejected() {
+        assert!(Layer::new("bad", conv(56, 56, 64, 128, 3, 1, 7)).is_err());
+        assert!(Layer::new("bad", conv(56, 56, 64, 128, 3, 1, 0)).is_err());
+    }
+
+    #[test]
+    fn zero_byte_width_rejected() {
+        assert!(Layer::with_bytes("bad", LayerKind::Elementwise { elems: 8 }, 0).is_err());
+    }
+
+    #[test]
+    fn ops_sums_macs_and_vector_ops() {
+        let layer = Layer::new("e", LayerKind::Elementwise { elems: 42 }).unwrap();
+        assert_eq!(layer.ops(), 42);
+    }
+}

@@ -1,0 +1,36 @@
+//! Layer-level model zoo and workload scenarios for the DREAM reproduction.
+//!
+//! The DREAM scheduler never inspects model *weights* — only layer shapes
+//! (which determine per-accelerator latency and energy) and the control
+//! structure of each network (which determines the dynamicity the scheduler
+//! must cope with). This crate therefore describes every network used in the
+//! paper's evaluation as a sequence of [`Layer`]s plus dynamic *gates*:
+//!
+//! * [`SkipBlock`] — a span of layers that is skipped with some probability
+//!   once the gate layer completes (SkipNet-style operator dynamicity);
+//! * [`ExitPoint`] — an early-exit branch taken with some probability
+//!   (BranchyNet / RAPID-RL style);
+//! * supernet *variants* — alternative subnetworks of a weight-sharing
+//!   supernet (Once-for-All style), selectable per inference.
+//!
+//! On top of the zoo ([`zoo`]) the crate defines the paper's five evaluation
+//! scenarios (Table 3) as [`Scenario`]s: sets of concurrent ML pipelines with
+//! per-model FPS targets and control/data cascade dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod graph;
+mod layer;
+mod model;
+mod pipeline;
+mod scenario;
+pub mod zoo;
+
+pub use error::ModelError;
+pub use graph::{ExitPoint, GraphBuilder, ModelGraph, SkipBlock};
+pub use layer::{Layer, LayerKind, LayerStats};
+pub use model::{Model, VariantId};
+pub use pipeline::{CascadeProbability, ModelNode, NodeId, PipelineId, PipelineSpec, Rate};
+pub use scenario::{all_default_scenarios, Scenario, ScenarioKind};

@@ -1,0 +1,127 @@
+use crate::{ModelError, ModelGraph};
+
+/// Index of a variant within a [`Model`]. Variant 0 is always the
+/// heaviest / default subnetwork ("Original" in the paper's Figure 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VariantId(pub usize);
+
+impl std::fmt::Display for VariantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A deployable network: one or more executable variants.
+///
+/// Ordinary networks have exactly one variant. Weight-sharing supernets
+/// (Once-for-All style) expose several, ordered heaviest-first, and DREAM's
+/// supernet-switching optimisation may select a lighter variant per
+/// inference when the system is overloaded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    name: &'static str,
+    variants: Vec<ModelGraph>,
+}
+
+impl Model {
+    /// Wraps a single-variant network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyModel`] if the graph has no layers
+    /// (already prevented by [`crate::GraphBuilder::build`], re-checked for
+    /// defence in depth).
+    pub fn single(name: &'static str, graph: ModelGraph) -> Result<Self, ModelError> {
+        Self::supernet(name, vec![graph])
+    }
+
+    /// Wraps a supernet with the given variants, heaviest first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyModel`] if `variants` is empty or any
+    /// variant has no layers.
+    pub fn supernet(name: &'static str, variants: Vec<ModelGraph>) -> Result<Self, ModelError> {
+        if variants.is_empty() || variants.iter().any(ModelGraph::is_empty) {
+            return Err(ModelError::EmptyModel {
+                name: name.to_string(),
+            });
+        }
+        Ok(Model { name, variants })
+    }
+
+    /// The model's name as used in the paper's Table 3 (e.g. `"GNMT"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// All variants, heaviest first.
+    pub fn variants(&self) -> &[ModelGraph] {
+        &self.variants
+    }
+
+    /// The default (heaviest) variant.
+    pub fn default_variant(&self) -> &ModelGraph {
+        &self.variants[0]
+    }
+
+    /// Looks up a variant.
+    pub fn variant(&self, id: VariantId) -> Option<&ModelGraph> {
+        self.variants.get(id.0)
+    }
+
+    /// Whether this model is a multi-variant supernet.
+    pub fn is_supernet(&self) -> bool {
+        self.variants.len() > 1
+    }
+
+    /// Number of variants.
+    pub fn variant_count(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// Worst-case MACs of the default variant.
+    pub fn total_macs(&self) -> u64 {
+        self.default_variant().total_macs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, Layer, LayerKind};
+
+    fn graph(name: &'static str, elems: u64) -> ModelGraph {
+        let mut b = GraphBuilder::new(name);
+        b.push(Layer::new("l", LayerKind::Elementwise { elems }).unwrap());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_variant_model() {
+        let m = Model::single("m", graph("m", 10)).unwrap();
+        assert!(!m.is_supernet());
+        assert_eq!(m.variant_count(), 1);
+        assert_eq!(m.default_variant().total_ops(), 10);
+        assert_eq!(m.variant(VariantId(0)).unwrap().name(), "m");
+        assert!(m.variant(VariantId(1)).is_none());
+    }
+
+    #[test]
+    fn supernet_orders_heaviest_first_by_convention() {
+        let m = Model::supernet("s", vec![graph("hv", 100), graph("lt", 10)]).unwrap();
+        assert!(m.is_supernet());
+        assert_eq!(m.default_variant().name(), "hv");
+        assert_eq!(m.variant(VariantId(1)).unwrap().name(), "lt");
+    }
+
+    #[test]
+    fn empty_variant_list_rejected() {
+        assert!(Model::supernet("s", vec![]).is_err());
+    }
+
+    #[test]
+    fn variant_id_display() {
+        assert_eq!(VariantId(2).to_string(), "v2");
+    }
+}

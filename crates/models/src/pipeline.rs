@@ -1,0 +1,243 @@
+use crate::{Model, ModelError};
+
+/// Identifier of a pipeline within a [`crate::Scenario`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PipelineId(pub usize);
+
+/// Identifier of a model node within a pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// A validated frame rate (frames per second).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Rate(f64);
+
+impl Rate {
+    /// Creates a rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidRate`] if `fps` is not finite and
+    /// positive.
+    pub fn fps(fps: f64) -> Result<Self, ModelError> {
+        if !fps.is_finite() || fps <= 0.0 {
+            return Err(ModelError::InvalidRate { fps });
+        }
+        Ok(Rate(fps))
+    }
+
+    /// Frames per second.
+    pub fn as_fps(self) -> f64 {
+        self.0
+    }
+
+    /// The frame period in nanoseconds, rounded to the nearest integer.
+    pub fn period_ns(self) -> u64 {
+        (1.0e9 / self.0).round() as u64
+    }
+}
+
+impl std::fmt::Display for Rate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} FPS", self.0)
+    }
+}
+
+/// A validated probability that a control-dependent cascade edge fires.
+///
+/// The paper activates dependent models with 50% probability by default and
+/// sweeps this knob up to 99% in Figure 12.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct CascadeProbability(f64);
+
+impl CascadeProbability {
+    /// Creates a cascade probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidProbability`] if `p` is outside `[0, 1]`.
+    pub fn new(p: f64) -> Result<Self, ModelError> {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(ModelError::InvalidProbability { value: p });
+        }
+        Ok(CascadeProbability(p))
+    }
+
+    /// The paper's default of 0.5.
+    pub fn default_paper() -> Self {
+        CascadeProbability(0.5)
+    }
+
+    /// The raw probability.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for CascadeProbability {
+    fn default() -> Self {
+        Self::default_paper()
+    }
+}
+
+/// One model within a pipeline, together with its real-time contract and its
+/// position in the dependency chain.
+#[derive(Debug, Clone)]
+pub struct ModelNode {
+    /// The network this node runs.
+    pub model: Model,
+    /// Target frame rate. For root nodes this drives periodic frame
+    /// arrivals; every node's deadline is one period after its frame's
+    /// arrival.
+    pub rate: Rate,
+    /// Parent node in the cascade, if any. A node with a parent is released
+    /// only when the parent's inference for the same frame completes *and*
+    /// the control dependency fires.
+    pub parent: Option<NodeId>,
+    /// Probability that the parent's result launches this node
+    /// (`None` ⇒ unconditional data dependency, probability 1).
+    pub cascade: Option<CascadeProbability>,
+}
+
+/// A pipeline: a chain (tree) of model nodes with cascade dependencies.
+#[derive(Debug, Clone)]
+pub struct PipelineSpec {
+    name: &'static str,
+    nodes: Vec<ModelNode>,
+}
+
+impl PipelineSpec {
+    /// Builds a pipeline, validating the dependency structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidDependency`] if a node references a
+    /// parent at or after itself (parents must precede children, which also
+    /// rules out cycles) or if the pipeline is empty.
+    pub fn new(name: &'static str, nodes: Vec<ModelNode>) -> Result<Self, ModelError> {
+        if nodes.is_empty() {
+            return Err(ModelError::InvalidDependency {
+                reason: format!("pipeline `{name}` has no nodes"),
+            });
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            if let Some(NodeId(p)) = node.parent {
+                if p >= i {
+                    return Err(ModelError::InvalidDependency {
+                        reason: format!(
+                            "pipeline `{name}`: node {i} ({}) references parent {p} which does not precede it",
+                            node.model.name()
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(PipelineSpec { name, nodes })
+    }
+
+    /// The pipeline's name (e.g. `"hand"`, `"audio"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// All nodes, parents before children.
+    pub fn nodes(&self) -> &[ModelNode] {
+        &self.nodes
+    }
+
+    /// Looks up a node.
+    pub fn node(&self, id: NodeId) -> Option<&ModelNode> {
+        self.nodes.get(id.0)
+    }
+
+    /// Children of `id` (nodes whose `parent == Some(id)`).
+    pub fn children(&self, id: NodeId) -> impl Iterator<Item = (NodeId, &ModelNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(move |(_, n)| n.parent == Some(id))
+            .map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// Whether `id` is a leaf of the dependency chain (no other node depends
+    /// on it) — the only nodes DREAM's frame-drop Condition 3 may drop.
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.children(id).next().is_none()
+    }
+
+    /// Root nodes (no parent); these receive periodic frame arrivals.
+    pub fn roots(&self) -> impl Iterator<Item = (NodeId, &ModelNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.parent.is_none())
+            .map(|(i, n)| (NodeId(i), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, Layer, LayerKind};
+
+    fn tiny_model(name: &'static str) -> Model {
+        let mut b = GraphBuilder::new(name);
+        b.push(Layer::new("l", LayerKind::Elementwise { elems: 8 }).unwrap());
+        Model::single(name, b.build().unwrap()).unwrap()
+    }
+
+    fn node(name: &'static str, fps: f64, parent: Option<usize>) -> ModelNode {
+        ModelNode {
+            model: tiny_model(name),
+            rate: Rate::fps(fps).unwrap(),
+            parent: parent.map(NodeId),
+            cascade: parent.map(|_| CascadeProbability::default_paper()),
+        }
+    }
+
+    #[test]
+    fn rate_validation() {
+        assert!(Rate::fps(30.0).is_ok());
+        assert!(Rate::fps(0.0).is_err());
+        assert!(Rate::fps(-1.0).is_err());
+        assert!(Rate::fps(f64::NAN).is_err());
+        assert_eq!(Rate::fps(30.0).unwrap().period_ns(), 33_333_333);
+    }
+
+    #[test]
+    fn cascade_probability_validation() {
+        assert!(CascadeProbability::new(0.5).is_ok());
+        assert!(CascadeProbability::new(1.0).is_ok());
+        assert!(CascadeProbability::new(1.01).is_err());
+        assert!(CascadeProbability::new(f64::NAN).is_err());
+        assert_eq!(CascadeProbability::default().value(), 0.5);
+    }
+
+    #[test]
+    fn chain_structure_queries() {
+        let p = PipelineSpec::new(
+            "hand",
+            vec![node("det", 30.0, None), node("pose", 30.0, Some(0))],
+        )
+        .unwrap();
+        assert_eq!(p.roots().count(), 1);
+        assert!(!p.is_leaf(NodeId(0)));
+        assert!(p.is_leaf(NodeId(1)));
+        assert_eq!(p.children(NodeId(0)).count(), 1);
+        assert_eq!(p.node(NodeId(1)).unwrap().model.name(), "pose");
+    }
+
+    #[test]
+    fn forward_parent_reference_rejected() {
+        let bad = PipelineSpec::new(
+            "bad",
+            vec![node("a", 30.0, Some(0)), node("b", 30.0, None)],
+        );
+        assert!(matches!(bad, Err(ModelError::InvalidDependency { .. })));
+    }
+
+    #[test]
+    fn empty_pipeline_rejected() {
+        assert!(PipelineSpec::new("e", vec![]).is_err());
+    }
+}

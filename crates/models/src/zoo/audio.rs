@@ -1,0 +1,117 @@
+//! Audio-pipeline networks: KWS-res8 keyword spotting, GNMT translation,
+//! and the VGG-VoxCeleb speaker-verification model.
+
+use super::{conv, eltwise, gemm, gemm16, pool};
+use crate::{GraphBuilder, Model};
+
+/// KWS-res8 (Tang & Lin, ICASSP'18): small-footprint residual keyword
+/// spotter over a 101×40 MFCC map, ≈ 3 M MACs. The positive-detection
+/// probability (50% in the paper) lives on the cascade edge to GNMT, not in
+/// the model itself.
+pub fn kws_res8() -> Model {
+    let mut b = GraphBuilder::new("kws-res8");
+    b.push(conv("conv0", (101, 40), 1, 45, 3, 1));
+    b.push(pool("avgpool0", (101, 40), 45, 4, 4));
+    let hw = (26, 10);
+    for _ in 0..3 {
+        b.push(conv("res-a", hw, 45, 45, 3, 1));
+        b.push(conv("res-b", hw, 45, 45, 3, 1));
+        b.push(eltwise("res-add", u64::from(hw.0) * u64::from(hw.1) * 45));
+    }
+    b.push(pool("gap", hw, 45, 26, 26));
+    b.push(gemm("fc", 1, 12, 45));
+    Model::single("KWS_res8", b.build().expect("kws graph is valid"))
+        .expect("kws model is valid")
+}
+
+/// GNMT (Wu et al. 2016) translating a 24-token utterance with a
+/// 1024-wide, 8-layer encoder / 8-layer decoder LSTM stack, additive
+/// attention, and a 32k-vocabulary softmax projection, in fp16
+/// (≈ 4 G MACs, ≈ 330 MB of streamed weights — by far the heaviest single
+/// inference in the workload suite, which is why it stresses the
+/// schedulers even at 15 FPS).
+///
+/// Each LSTM layer is folded into one GEMM per direction:
+/// `[seq × 2·hidden] · [2·hidden × 4·hidden]` (input ++ recurrent weights).
+pub fn gnmt() -> Model {
+    const SEQ: u32 = 24;
+    const HID: u32 = 1024;
+    let mut b = GraphBuilder::new("gnmt");
+    // Bidirectional bottom encoder layer: two directional GEMMs.
+    b.push(gemm16("enc0-fwd", SEQ, 4 * HID, 2 * HID));
+    b.push(gemm16("enc0-bwd", SEQ, 4 * HID, 2 * HID));
+    for _ in 1..8 {
+        b.push(gemm16("enc", SEQ, 4 * HID, 2 * HID));
+        b.push(eltwise("enc-res", u64::from(SEQ) * u64::from(HID)));
+    }
+    // Attention: score + context per decoder layer step, folded.
+    b.push(gemm16("attn-score", SEQ, SEQ, HID));
+    b.push(gemm16("attn-ctx", SEQ, HID, SEQ));
+    for _ in 0..8 {
+        b.push(gemm16("dec", SEQ, 4 * HID, 2 * HID));
+        b.push(eltwise("dec-res", u64::from(SEQ) * u64::from(HID)));
+    }
+    b.push(gemm16("softmax-proj", SEQ, 32_000, HID));
+    Model::single("GNMT", b.build().expect("gnmt graph is valid")).expect("gnmt model is valid")
+}
+
+/// VGG-M speaker/face verification network from the VoxCeleb paper
+/// (Nagrani et al., Interspeech'17), over a 512×300 spectrogram,
+/// ≈ 1.9 G MACs. Runs behind face detection in AR_Social at 30 FPS.
+pub fn vgg_voxceleb() -> Model {
+    let mut b = GraphBuilder::new("vgg-vox");
+    b.push(conv("conv1", (512, 300), 1, 96, 7, 2));
+    b.push(pool("pool1", (256, 150), 96, 2, 2));
+    b.push(conv("conv2", (128, 75), 96, 160, 5, 2));
+    b.push(pool("pool2", (64, 38), 160, 2, 2));
+    b.push(conv("conv3", (32, 19), 160, 384, 3, 1));
+    b.push(conv("conv4", (32, 19), 384, 256, 3, 1));
+    b.push(conv("conv5", (32, 19), 256, 256, 3, 1));
+    b.push(pool("pool5", (32, 19), 256, 3, 3));
+    b.push(gemm("fc6", 1, 4096, 256 * 11 * 7));
+    b.push(gemm("fc7", 1, 1024, 4096));
+    b.push(gemm("embed", 1, 256, 1024));
+    Model::single("VGG-VoxCeleb", b.build().expect("vgg-vox graph is valid"))
+        .expect("vgg-vox model is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kws_is_tiny() {
+        let macs = kws_res8().total_macs();
+        assert!((1_000_000..45_000_000).contains(&macs), "kws MACs {macs}");
+    }
+
+    #[test]
+    fn gnmt_is_heavy_and_fp16() {
+        let m = gnmt();
+        let macs = m.total_macs();
+        assert!(
+            (2_500_000_000..6_000_000_000).contains(&macs),
+            "gnmt MACs {macs}"
+        );
+        // Streamed weight footprint should be hundreds of MB (fp16).
+        let weight_bytes: u64 = m
+            .default_variant()
+            .layers()
+            .iter()
+            .map(|l| l.stats().weight_bytes)
+            .sum();
+        assert!(
+            (150_000_000..600_000_000).contains(&weight_bytes),
+            "gnmt weights {weight_bytes}"
+        );
+    }
+
+    #[test]
+    fn vgg_vox_mac_count_plausible() {
+        let macs = vgg_voxceleb().total_macs();
+        assert!(
+            (1_200_000_000..5_000_000_000).contains(&macs),
+            "vgg-vox MACs {macs}"
+        );
+    }
+}

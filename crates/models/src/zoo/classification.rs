@@ -1,0 +1,144 @@
+//! Classification networks with operator-level dynamicity: SkipNet and
+//! GoogLeNet-car.
+
+use super::{conv, eltwise, gemm, pool};
+use crate::{GraphBuilder, Model};
+
+/// Emits one GoogLeNet inception module (four branches, concatenated).
+///
+/// `(c1, c3r, c3, c5r, c5, pp)` follow the original Szegedy et al. table.
+fn inception(
+    b: &mut GraphBuilder,
+    name: &'static str,
+    hw: (u32, u32),
+    in_c: u32,
+    cfg: (u32, u32, u32, u32, u32, u32),
+) -> u32 {
+    let (c1, c3r, c3, c5r, c5, pp) = cfg;
+    b.push(conv(name, hw, in_c, c1, 1, 1));
+    b.push(conv(name, hw, in_c, c3r, 1, 1));
+    b.push(conv(name, hw, c3r, c3, 3, 1));
+    b.push(conv(name, hw, in_c, c5r, 1, 1));
+    b.push(conv(name, hw, c5r, c5, 5, 1));
+    b.push(conv(name, hw, in_c, pp, 1, 1));
+    let out_c = c1 + c3 + c5 + pp;
+    b.push(eltwise(
+        name,
+        u64::from(hw.0) * u64::from(hw.1) * u64::from(out_c),
+    ));
+    out_c
+}
+
+/// GoogLeNet fine-tuned for car classification (Yang et al., CVPR'15 —
+/// "GoogLeNet-car"), 224×224 input, ≈ 0.75 G MACs, running at 60 FPS in the
+/// indoor-drone parking-enforcement scenario.
+pub fn googlenet_car() -> Model {
+    let mut b = GraphBuilder::new("googlenet-car");
+    b.push(conv("stem1", (224, 224), 3, 64, 7, 2));
+    b.push(pool("pool1", (112, 112), 64, 2, 2));
+    b.push(conv("stem2", (56, 56), 64, 64, 1, 1));
+    b.push(conv("stem3", (56, 56), 64, 192, 3, 1));
+    b.push(pool("pool2", (56, 56), 192, 2, 2));
+    let mut c = 192;
+    let hw28 = (28, 28);
+    c = inception(&mut b, "3a", hw28, c, (64, 96, 128, 16, 32, 32));
+    c = inception(&mut b, "3b", hw28, c, (128, 128, 192, 32, 96, 64));
+    b.push(pool("pool3", hw28, c, 2, 2));
+    let hw14 = (14, 14);
+    c = inception(&mut b, "4a", hw14, c, (192, 96, 208, 16, 48, 64));
+    c = inception(&mut b, "4b", hw14, c, (160, 112, 224, 24, 64, 64));
+    c = inception(&mut b, "4c", hw14, c, (128, 128, 256, 24, 64, 64));
+    c = inception(&mut b, "4d", hw14, c, (112, 144, 288, 32, 64, 64));
+    c = inception(&mut b, "4e", hw14, c, (256, 160, 320, 32, 128, 128));
+    b.push(pool("pool4", hw14, c, 2, 2));
+    let hw7 = (7, 7);
+    c = inception(&mut b, "5a", hw7, c, (256, 160, 320, 32, 128, 128));
+    c = inception(&mut b, "5b", hw7, c, (384, 192, 384, 48, 128, 128));
+    b.push(pool("gap", hw7, c, 7, 7));
+    b.push(gemm("fc-car", 1, 431, c));
+    Model::single("GoogLeNet-car", b.build().expect("googlenet graph is valid"))
+        .expect("googlenet model is valid")
+}
+
+/// SkipNet (Wang et al., ECCV'18): a ResNet-34-style backbone whose
+/// non-downsampling residual blocks are gated and skipped with 50%
+/// probability each (the configuration the paper cites at 72% top-1 on
+/// ImageNet). Worst-case path ≈ 1.8 G MACs; expected path ≈ 1.2 G MACs.
+pub fn skipnet() -> Model {
+    const P_SKIP: f64 = 0.5;
+    let mut b = GraphBuilder::new("skipnet");
+    b.push(conv("stem", (224, 224), 3, 64, 7, 2));
+    b.push(pool("pool1", (112, 112), 64, 2, 2));
+    let stages: &[(u32, u32, u32, u32)] = &[
+        // (blocks, in_c, out_c, first stride) — ResNet-34 schedule.
+        (3, 64, 64, 1),
+        (4, 64, 128, 2),
+        (6, 128, 256, 2),
+        (3, 256, 512, 2),
+    ];
+    let mut hw = (56, 56);
+    for &(blocks, in_c, out_c, stride) in stages {
+        // First block of each stage (projection / downsample): not gated.
+        b.push(conv("res-a", hw, in_c, out_c, 3, stride));
+        hw = (hw.0.div_ceil(stride), hw.1.div_ceil(stride));
+        b.push(conv("res-b", hw, out_c, out_c, 3, 1));
+        b.push(eltwise(
+            "res-add",
+            u64::from(hw.0) * u64::from(hw.1) * u64::from(out_c),
+        ));
+        // Remaining blocks: gated, skipped with probability 0.5 each.
+        for _ in 1..blocks {
+            let first = b.len();
+            b.push(conv("gated-a", hw, out_c, out_c, 3, 1));
+            b.push(conv("gated-b", hw, out_c, out_c, 3, 1));
+            b.push(eltwise(
+                "gated-add",
+                u64::from(hw.0) * u64::from(hw.1) * u64::from(out_c),
+            ));
+            let last = b.len() - 1;
+            b.skip_block(first, last, P_SKIP);
+        }
+    }
+    b.push(pool("gap", hw, 512, 7, 7));
+    b.push(gemm("fc", 1, 1000, 512));
+    Model::single("SkipNet", b.build().expect("skipnet graph is valid"))
+        .expect("skipnet model is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn googlenet_mac_count_near_published() {
+        let macs = googlenet_car().total_macs();
+        // ~1.5 GFLOPs = 0.75 G MACs.
+        assert!(
+            (900_000_000..2_200_000_000).contains(&macs),
+            "googlenet MACs {macs}"
+        );
+    }
+
+    #[test]
+    fn skipnet_has_gated_blocks_and_expected_work_below_worst_case() {
+        let m = skipnet();
+        let g = m.default_variant();
+        // ResNet-34 has (3-1)+(4-1)+(6-1)+(3-1) = 12 gated blocks.
+        assert_eq!(g.skip_blocks().len(), 12);
+        assert!(g.is_dynamic());
+        let worst = g.total_ops() as f64;
+        let expected = g.expected_ops();
+        assert!(expected < 0.85 * worst, "expected {expected} worst {worst}");
+        assert!(expected > 0.4 * worst);
+    }
+
+    #[test]
+    fn skipnet_worst_case_near_resnet34() {
+        let macs = skipnet().total_macs();
+        // ResNet-34 ≈ 3.6 GFLOPs ≈ 1.8 G MACs.
+        assert!(
+            (2_400_000_000..4_500_000_000).contains(&macs),
+            "skipnet MACs {macs}"
+        );
+    }
+}

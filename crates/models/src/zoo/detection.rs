@@ -1,0 +1,110 @@
+//! Detection and pose-estimation networks: SSD-MobileNetV2 and HandPoseNet.
+
+use super::{conv, dwconv, eltwise, inverted_residual};
+use crate::{GraphBuilder, Model};
+
+/// SSD-MobileNetV2 (Liu et al. ECCV'16 head on a Sandler et al. backbone) at
+/// a 300×300 input, ≈ 0.8 G MACs. The paper uses this detector for hand
+/// detection (VR_Gaming), face detection (AR_Social), and object detection
+/// (both drone scenarios), so the builder takes the deployment name.
+pub fn ssd_mobilenet_v2(name: &'static str) -> Model {
+    let mut b = GraphBuilder::new("ssd-mbv2");
+    b.push(conv("stem", (300, 300), 3, 32, 3, 2));
+    let mut hw = (150, 150);
+    // MobileNetV2 inverted-residual schedule (t, c, n, s).
+    let schedule: &[(u32, u32, u32, u32)] = &[
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut in_c = 32;
+    for &(t, c, n, s) in schedule {
+        hw = inverted_residual(&mut b, "mb", hw, in_c, c, t, 3, s);
+        for _ in 1..n {
+            hw = inverted_residual(&mut b, "mb", hw, c, c, t, 3, 1);
+        }
+        in_c = c;
+    }
+    b.push(conv("conv-last", hw, 320, 1280, 1, 1));
+    // SSD-lite extra feature layers: 10→5→3→2→1 pyramid.
+    let mut c = 1280;
+    for (i, &(out_c, stride)) in [(512u32, 2u32), (256, 2), (256, 2), (128, 2)].iter().enumerate() {
+        let names = ["extra0", "extra1", "extra2", "extra3"];
+        b.push(conv(names[i], hw, c, out_c / 2, 1, 1));
+        b.push(dwconv(names[i], hw, out_c / 2, 3, stride));
+        hw = (hw.0.div_ceil(stride), hw.1.div_ceil(stride));
+        b.push(conv(names[i], hw, out_c / 2, out_c, 1, 1));
+        c = out_c;
+    }
+    // SSDLite depthwise-separable class + box heads at the two dominant
+    // pyramid resolutions (6 anchors × (21 classes + 4 box coords)).
+    b.push(dwconv("head-19", (19, 19), 576, 3, 1));
+    b.push(conv("head-cls-19", (19, 19), 576, 126, 1, 1));
+    b.push(conv("head-box-19", (19, 19), 576, 24, 1, 1));
+    b.push(dwconv("head-10", (10, 10), 1280, 3, 1));
+    b.push(conv("head-cls-10", (10, 10), 1280, 126, 1, 1));
+    b.push(conv("head-box-10", (10, 10), 1280, 24, 1, 1));
+    b.push(eltwise("nms", 1917 * 21));
+    Model::single(name, b.build().expect("ssd-mbv2 graph is valid"))
+        .expect("ssd-mbv2 model is valid")
+}
+
+/// HandPoseNet (Madadi et al., global-to-local hand pose regression from
+/// depth crops). Hourglass-style encoder/decoder on a 128×128 crop plus a
+/// regression head; ≈ 1.3 G MACs. Runs at 30 FPS behind hand detection.
+pub fn hand_pose_net() -> Model {
+    let mut b = GraphBuilder::new("handposenet");
+    b.push(conv("enc0", (128, 128), 1, 32, 3, 1));
+    b.push(conv("enc1", (128, 128), 32, 64, 3, 2));
+    b.push(conv("enc2", (64, 64), 64, 96, 3, 1));
+    b.push(conv("enc3", (64, 64), 96, 128, 3, 2));
+    b.push(conv("enc4", (32, 32), 128, 192, 3, 1));
+    b.push(conv("enc5", (32, 32), 192, 256, 3, 2));
+    b.push(conv("enc6", (16, 16), 256, 384, 3, 1));
+    b.push(conv("bottleneck", (16, 16), 384, 384, 3, 1));
+    // Decoder (upsample + conv, modelled at the upsampled resolutions).
+    b.push(conv("dec0", (32, 32), 384, 128, 3, 1));
+    b.push(conv("dec1", (64, 64), 128, 64, 3, 1));
+    b.push(conv("heatmaps", (64, 64), 64, 42, 3, 1));
+    // Global regression branch: 21 joints × 3 coordinates.
+    b.push(super::gemm("fc-pose", 1, 1024, 384 * 16 * 16 / 4));
+    b.push(super::gemm("fc-joints", 1, 63, 1024));
+    Model::single("HandPoseNet", b.build().expect("handposenet graph is valid"))
+        .expect("handposenet model is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssd_mac_count_near_published() {
+        let macs = ssd_mobilenet_v2("ssd").total_macs();
+        // ~0.8 G MACs for SSD(Lite)-MobileNetV2 at 300².
+        assert!(
+            (600_000_000..1_800_000_000).contains(&macs),
+            "ssd MACs {macs}"
+        );
+    }
+
+    #[test]
+    fn ssd_deployment_names_differ_but_share_graph() {
+        let a = ssd_mobilenet_v2("HD");
+        let b = ssd_mobilenet_v2("FD");
+        assert_ne!(a.name(), b.name());
+        assert_eq!(a.total_macs(), b.total_macs());
+    }
+
+    #[test]
+    fn handpose_mac_count_plausible() {
+        let macs = hand_pose_net().total_macs();
+        assert!(
+            (600_000_000..2_500_000_000).contains(&macs),
+            "handpose MACs {macs}"
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Drone-scenario networks: TrailNet navigation, SOSNet local descriptors,
+//! and the RAPID-RL preemptive-exit policy network.
+
+use super::{conv, eltwise, gemm, pool};
+use crate::{GraphBuilder, Model};
+
+/// TrailNet (Smolyanskiy et al., IROS'17): ResNet-18-based trail-following
+/// network over a 256×144 camera frame, ≈ 1.3 G MACs at 60 FPS.
+pub fn trailnet() -> Model {
+    let mut b = GraphBuilder::new("trailnet");
+    b.push(conv("stem", (256, 144), 3, 64, 7, 2));
+    b.push(pool("pool1", (128, 72), 64, 2, 2));
+    let stages: &[(u32, u32, u32, u32)] = &[
+        (2, 64, 64, 1),
+        (2, 64, 128, 2),
+        (2, 128, 256, 2),
+        (2, 256, 512, 2),
+    ];
+    let mut hw = (64, 36);
+    for &(blocks, in_c, out_c, stride) in stages {
+        b.push(conv("res-a", hw, in_c, out_c, 3, stride));
+        hw = (hw.0.div_ceil(stride), hw.1.div_ceil(stride));
+        b.push(conv("res-b", hw, out_c, out_c, 3, 1));
+        b.push(eltwise(
+            "res-add",
+            u64::from(hw.0) * u64::from(hw.1) * u64::from(out_c),
+        ));
+        for _ in 1..blocks {
+            b.push(conv("res-a", hw, out_c, out_c, 3, 1));
+            b.push(conv("res-b", hw, out_c, out_c, 3, 1));
+            b.push(eltwise(
+                "res-add",
+                u64::from(hw.0) * u64::from(hw.1) * u64::from(out_c),
+            ));
+        }
+    }
+    b.push(pool("gap", hw, 512, hw.0.max(hw.1), hw.0.max(hw.1)));
+    b.push(gemm("fc-steer", 1, 6, 512));
+    Model::single("TrailNet", b.build().expect("trailnet graph is valid"))
+        .expect("trailnet model is valid")
+}
+
+/// SOSNet (Tian et al., CVPR'19): a 7-layer local-descriptor CNN applied to
+/// 25 tracked 32×32 patches per frame (modelled as a 5×5 patch grid, i.e. a
+/// 160×160 composite input — identical MAC and traffic totals).
+/// ≈ 1 G MACs per frame at 60 FPS; used for visual odometry (outdoor) and
+/// obstacle detection (indoor).
+pub fn sosnet() -> Model {
+    let mut b = GraphBuilder::new("sosnet");
+    let grid = 5u32; // 5×5 = 25 patches
+    let hw0 = (32 * grid, 32 * grid);
+    b.push(conv("conv0", hw0, 1, 32, 3, 1));
+    b.push(conv("conv1", hw0, 32, 32, 3, 1));
+    b.push(conv("conv2", hw0, 32, 64, 3, 2));
+    let hw1 = (hw0.0 / 2, hw0.1 / 2);
+    b.push(conv("conv3", hw1, 64, 64, 3, 1));
+    b.push(conv("conv4", hw1, 64, 128, 3, 2));
+    let hw2 = (hw1.0 / 2, hw1.1 / 2);
+    b.push(conv("conv5", hw2, 128, 128, 3, 1));
+    // Final 8×8 conv producing one 128-d descriptor per patch.
+    b.push(conv("conv6-desc", hw2, 128, 128, 8, 8));
+    b.push(eltwise("l2norm", u64::from(grid) * u64::from(grid) * 128));
+    Model::single("SOSNet", b.build().expect("sosnet graph is valid"))
+        .expect("sosnet model is valid")
+}
+
+/// RAPID-RL (Kosta et al., ICRA'22): a reconfigurable DRL policy network
+/// with preemptive exits for indoor drone navigation. The trunk is a
+/// DQN-style conv stack over a 320×180×4 frame history; two exit branches
+/// allow the inference to stop early when the intermediate confidence is
+/// high. We use the paper's reported exit behaviour (roughly a third of
+/// inferences leave at each branch).
+pub fn rapid_rl() -> Model {
+    let mut b = GraphBuilder::new("rapid-rl");
+    b.push(conv("conv1", (320, 180), 4, 32, 8, 4));
+    b.push(conv("conv2", (80, 45), 32, 64, 4, 2));
+    let exit1 = b.len() - 1;
+    b.push(conv("conv3", (40, 23), 64, 64, 3, 1));
+    b.push(conv("conv4", (40, 23), 64, 128, 3, 2));
+    let exit2 = b.len() - 1;
+    b.push(conv("conv5", (20, 12), 128, 256, 3, 1));
+    b.push(gemm("fc1", 1, 512, 256 * 20 * 12 / 4));
+    b.push(gemm("fc-q", 1, 8, 512));
+    let mut g = b;
+    g.exit_point(exit1, 0.35);
+    g.exit_point(exit2, 0.35);
+    Model::single("RAPID_RL", g.build().expect("rapid-rl graph is valid"))
+        .expect("rapid-rl model is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailnet_mac_count_plausible() {
+        let macs = trailnet().total_macs();
+        // ResNet-18 at 256×144 ≈ 1.3 G MACs.
+        assert!(
+            (800_000_000..1_900_000_000).contains(&macs),
+            "trailnet MACs {macs}"
+        );
+    }
+
+    #[test]
+    fn sosnet_mac_count_plausible() {
+        let macs = sosnet().total_macs();
+        // 25 patches × ~40 M MACs.
+        assert!(
+            (600_000_000..1_700_000_000).contains(&macs),
+            "sosnet MACs {macs}"
+        );
+    }
+
+    #[test]
+    fn rapid_rl_exits_reduce_expected_work() {
+        let m = rapid_rl();
+        let g = m.default_variant();
+        assert_eq!(g.exit_points().len(), 2);
+        assert!(g.is_dynamic());
+        let worst = g.total_ops() as f64;
+        assert!(g.expected_ops() < 0.9 * worst);
+    }
+
+    #[test]
+    fn rapid_rl_exit_probability_compounds() {
+        let g = rapid_rl();
+        let g = g.default_variant();
+        let last = g.len() - 1;
+        let p = g.execution_probability(last);
+        assert!((p - 0.65 * 0.65).abs() < 1e-9, "p = {p}");
+    }
+}

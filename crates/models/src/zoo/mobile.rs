@@ -1,0 +1,135 @@
+//! Mobile-NAS classification backbones: FBNet-C and the Once-for-All
+//! context-understanding supernet.
+
+use super::{conv, gemm, inverted_residual, pool};
+use crate::{GraphBuilder, Model, ModelGraph};
+
+/// FBNet-C (Wu et al., CVPR'19), used for gaze estimation at 60 FPS in
+/// VR_Gaming. One 224×224 eye crop per frame; ≈ 375 MFLOPs ≈ 187 M MACs,
+/// matching the published figure.
+pub fn fbnet_c() -> Model {
+    let mut b = GraphBuilder::new("fbnet-c");
+    b.push(conv("stem", (224, 224), 3, 16, 3, 2));
+    let mut hw = (112, 112);
+    // (in_c, out_c, expand, kernel, stride) per searched block, following the
+    // FBNet-C macro-architecture (channels 16→24→32→64→112→184→352).
+    let blocks: &[(u32, u32, u32, u32, u32)] = &[
+        (16, 16, 1, 3, 1),
+        (16, 24, 6, 3, 2),
+        (24, 24, 1, 3, 1),
+        (24, 24, 1, 3, 1),
+        (24, 32, 6, 5, 2),
+        (32, 32, 3, 3, 1),
+        (32, 32, 6, 5, 1),
+        (32, 32, 6, 3, 1),
+        (32, 64, 6, 5, 2),
+        (64, 64, 3, 5, 1),
+        (64, 64, 6, 5, 1),
+        (64, 64, 6, 3, 1),
+        (64, 112, 6, 5, 1),
+        (112, 112, 6, 3, 1),
+        (112, 112, 6, 5, 1),
+        (112, 112, 6, 5, 1),
+        (112, 184, 6, 5, 2),
+        (184, 184, 6, 5, 1),
+        (184, 184, 6, 5, 1),
+        (184, 184, 6, 5, 1),
+        (184, 352, 6, 3, 1),
+    ];
+    for &(in_c, out_c, e, k, s) in blocks {
+        hw = inverted_residual(&mut b, "mb", hw, in_c, out_c, e, k, s);
+    }
+    b.push(conv("head", hw, 352, 1504, 1, 1));
+    b.push(pool("gap", hw, 1504, hw.0.max(hw.1), hw.0.max(hw.1)));
+    b.push(gemm("fc-gaze", 1, 64, 1504));
+    Model::single("FBNet-C", b.build().expect("fbnet-c graph is valid"))
+        .expect("fbnet-c model is valid")
+}
+
+/// One Once-for-All (Cai et al., ICLR'20) subnet of the context
+/// understanding supernet.
+///
+/// `depth` is the number of blocks kept per stage (OFA elastic depth: 2–4),
+/// `width` scales channels (elastic width), and `kernel` is the depthwise
+/// kernel size (elastic kernel: 3–7). Variant 0 mirrors the heaviest
+/// deployed subnet (~1.1 G MACs at a 256² input); the lightest matches
+/// `ofa-s7edge-41`'s class (≈ 0.1 G MACs, 73.1% top-1 per §4.5.2).
+fn ofa_subnet(name: &'static str, depth: u32, width_mult: f64, kernel: u32) -> ModelGraph {
+    let ch = |c: u32| -> u32 { ((f64::from(c) * width_mult).round() as u32).max(8) };
+    let mut b = GraphBuilder::new(name);
+    b.push(conv("stem", (256, 256), 3, ch(16), 3, 2));
+    let mut hw = (128, 128);
+    let stages: &[(u32, u32, u32)] = &[
+        // (base in_c, base out_c, stride of first block)
+        (16, 24, 2),
+        (24, 40, 2),
+        (40, 80, 2),
+        (80, 112, 1),
+        (112, 160, 2),
+    ];
+    for &(in_c, out_c, stride) in stages {
+        hw = inverted_residual(&mut b, "mb", hw, ch(in_c), ch(out_c), 4, kernel, stride);
+        for _ in 1..depth {
+            hw = inverted_residual(&mut b, "mb", hw, ch(out_c), ch(out_c), 4, kernel, 1);
+        }
+    }
+    b.push(conv("head", hw, ch(160), ch(960), 1, 1));
+    b.push(pool("gap", hw, ch(960), hw.0.max(hw.1), hw.0.max(hw.1)));
+    b.push(gemm("fc", 1, 128, ch(960)));
+    b.build().expect("ofa subnet graph is valid")
+}
+
+/// The Once-for-All context-understanding supernet with the four
+/// weight-sharing variants used by the paper's supernet-switching
+/// evaluation (§4.5, Figure 14). Variant 0 ("Original") is the default.
+pub fn ofa_context() -> Model {
+    Model::supernet(
+        "Once-for-All",
+        vec![
+            ofa_subnet("ofa/original", 4, 1.35, 7),
+            ofa_subnet("ofa/lg", 3, 1.0, 5),
+            ofa_subnet("ofa/md", 3, 0.75, 5),
+            ofa_subnet("ofa/sm", 2, 0.55, 3),
+        ],
+    )
+    .expect("ofa supernet is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fbnet_c_mac_count_near_published() {
+        let macs = fbnet_c().total_macs();
+        // Published: ~375 MFLOPs ≈ 187 M MACs (we allow generous tolerance
+        // for the approximated block table + gaze head).
+        assert!(
+            (150_000_000..500_000_000).contains(&macs),
+            "fbnet-c MACs {macs}"
+        );
+    }
+
+    #[test]
+    fn ofa_variants_span_heavy_to_light() {
+        let m = ofa_context();
+        assert_eq!(m.variant_count(), 4);
+        let heaviest = m.variants()[0].total_macs();
+        let lightest = m.variants()[3].total_macs();
+        assert!(
+            heaviest > 2 * lightest,
+            "supernet range too narrow: {heaviest} vs {lightest}"
+        );
+        // Lightest near ofa-s7edge-41's 96 MFLOPs = 48 M MACs.
+        assert!(
+            (25_000_000..110_000_000).contains(&lightest),
+            "lightest {lightest}"
+        );
+    }
+
+    #[test]
+    fn ofa_is_supernet_fbnet_is_not() {
+        assert!(ofa_context().is_supernet());
+        assert!(!fbnet_c().is_supernet());
+    }
+}

@@ -1,0 +1,216 @@
+//! The model zoo: layer-level descriptions of every network in the paper's
+//! Table 3.
+//!
+//! Shapes follow the cited architectures; where a publication leaves a free
+//! parameter (input resolution, sequence length, patch count) we choose a
+//! value that matches the published FLOP count to first order and note the
+//! choice in the builder's documentation. Each builder returns a fully
+//! validated [`Model`](crate::Model).
+//!
+//! | Builder | Network | Role (scenario) | FPS |
+//! |---|---|---|---|
+//! | [`fbnet_c`] | FBNet-C | gaze estimation (VR_Gaming) | 60 |
+//! | [`ssd_mobilenet_v2`] | SSD-MobileNetV2 | hand/face/object detection | 30 |
+//! | [`hand_pose_net`] | HandPoseNet | hand pose estimation (VR_Gaming) | 30 |
+//! | [`ofa_context`] | Once-for-All supernet | context understanding | 30 |
+//! | [`kws_res8`] | KWS-res8 | keyword spotting | 15 |
+//! | [`gnmt`] | GNMT | translation | 15 |
+//! | [`skipnet`] | SkipNet | context understanding (AR_Call) | 30 |
+//! | [`trailnet`] | TrailNet | outdoor navigation (Drone) | 60 |
+//! | [`sosnet`] | SOSNet | visual odometry / obstacle det. | 60 |
+//! | [`rapid_rl`] | RAPID-RL | indoor navigation (Drone) | 60 |
+//! | [`googlenet_car`] | GoogLeNet-car | car classification (Drone) | 60 |
+//! | [`focal_length_depth`] | FocalLengthDepth | depth estimation (AR_Social) | 30 |
+//! | [`ed_tcn`] | ED-TCN | action segmentation (AR_Social) | 30 |
+//! | [`vgg_voxceleb`] | VGG-VoxCeleb | face/speaker verification | 30 |
+
+mod audio;
+mod classification;
+mod detection;
+mod drone;
+mod mobile;
+mod regression;
+
+pub use audio::{gnmt, kws_res8, vgg_voxceleb};
+pub use classification::{googlenet_car, skipnet};
+pub use detection::{hand_pose_net, ssd_mobilenet_v2};
+pub use drone::{rapid_rl, sosnet, trailnet};
+pub use mobile::{fbnet_c, ofa_context};
+pub use regression::{ed_tcn, focal_length_depth};
+
+use crate::{Layer, LayerKind};
+
+/// All zoo models, for exhaustive iteration in tests and benches.
+pub fn all_models() -> Vec<crate::Model> {
+    vec![
+        fbnet_c(),
+        ssd_mobilenet_v2("ssd-mbv2"),
+        hand_pose_net(),
+        ofa_context(),
+        kws_res8(),
+        gnmt(),
+        skipnet(),
+        trailnet(),
+        sosnet(),
+        rapid_rl(),
+        googlenet_car(),
+        focal_length_depth(),
+        ed_tcn(),
+        vgg_voxceleb(),
+    ]
+}
+
+pub(crate) fn conv(
+    name: &'static str,
+    in_hw: (u32, u32),
+    in_c: u32,
+    out_c: u32,
+    kernel: u32,
+    stride: u32,
+) -> Layer {
+    Layer::new(
+        name,
+        LayerKind::Conv2d {
+            in_h: in_hw.0,
+            in_w: in_hw.1,
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            groups: 1,
+        },
+    )
+    .expect("zoo convolution shapes are valid")
+}
+
+pub(crate) fn dwconv(
+    name: &'static str,
+    in_hw: (u32, u32),
+    c: u32,
+    kernel: u32,
+    stride: u32,
+) -> Layer {
+    Layer::new(
+        name,
+        LayerKind::Conv2d {
+            in_h: in_hw.0,
+            in_w: in_hw.1,
+            in_c: c,
+            out_c: c,
+            kernel,
+            stride,
+            groups: c,
+        },
+    )
+    .expect("zoo depthwise shapes are valid")
+}
+
+pub(crate) fn gemm(name: &'static str, m: u32, n: u32, k: u32) -> Layer {
+    Layer::new(name, LayerKind::Gemm { m, n, k }).expect("zoo GEMM shapes are valid")
+}
+
+pub(crate) fn gemm16(name: &'static str, m: u32, n: u32, k: u32) -> Layer {
+    Layer::with_bytes(name, LayerKind::Gemm { m, n, k }, 2).expect("zoo GEMM shapes are valid")
+}
+
+pub(crate) fn pool(
+    name: &'static str,
+    in_hw: (u32, u32),
+    c: u32,
+    kernel: u32,
+    stride: u32,
+) -> Layer {
+    Layer::new(
+        name,
+        LayerKind::Pool {
+            in_h: in_hw.0,
+            in_w: in_hw.1,
+            c,
+            kernel,
+            stride,
+        },
+    )
+    .expect("zoo pooling shapes are valid")
+}
+
+pub(crate) fn eltwise(name: &'static str, elems: u64) -> Layer {
+    Layer::new(name, LayerKind::Elementwise { elems }).expect("zoo element-wise shapes are valid")
+}
+
+/// Emits an inverted-residual (MobileNetV2 / MNasNet style) block:
+/// 1×1 expand → k×k depthwise (stride) → 1×1 project.
+///
+/// Returns the output spatial size.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn inverted_residual(
+    b: &mut crate::GraphBuilder,
+    name: &'static str,
+    hw: (u32, u32),
+    in_c: u32,
+    out_c: u32,
+    expand: u32,
+    kernel: u32,
+    stride: u32,
+) -> (u32, u32) {
+    let mid = in_c * expand;
+    if expand > 1 {
+        b.push(conv(name, hw, in_c, mid, 1, 1));
+    }
+    b.push(dwconv(name, hw, mid, kernel, stride));
+    let out_hw = (hw.0.div_ceil(stride), hw.1.div_ceil(stride));
+    b.push(conv(name, out_hw, mid, out_c, 1, 1));
+    out_hw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_build_and_have_unique_names() {
+        let models = all_models();
+        assert_eq!(models.len(), 14);
+        let mut names: Vec<_> = models.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14, "duplicate model names in zoo");
+    }
+
+    #[test]
+    fn every_variant_has_positive_work() {
+        for model in all_models() {
+            for v in model.variants() {
+                assert!(v.total_ops() > 0, "{} variant {} empty", model.name(), v.name());
+            }
+        }
+    }
+
+    #[test]
+    fn supernet_variants_are_ordered_heaviest_first() {
+        for model in all_models() {
+            let mut prev = u64::MAX;
+            for v in model.variants() {
+                let macs = v.total_macs();
+                assert!(
+                    macs <= prev,
+                    "{}: variant {} heavier than its predecessor",
+                    model.name(),
+                    v.name()
+                );
+                prev = macs;
+            }
+        }
+    }
+
+    #[test]
+    fn inverted_residual_emits_expected_layers() {
+        let mut b = crate::GraphBuilder::new("t");
+        let out = inverted_residual(&mut b, "blk", (56, 56), 24, 32, 6, 3, 2);
+        assert_eq!(out, (28, 28));
+        assert_eq!(b.len(), 3);
+
+        let mut b2 = crate::GraphBuilder::new("t2");
+        inverted_residual(&mut b2, "blk", (112, 112), 32, 16, 1, 3, 1);
+        assert_eq!(b2.len(), 2, "expand=1 skips the expansion conv");
+    }
+}

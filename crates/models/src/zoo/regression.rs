@@ -1,0 +1,118 @@
+//! Dense-regression networks for AR_Social: FocalLengthDepth monocular
+//! depth estimation and the ED-TCN action-segmentation network.
+
+use super::{conv, eltwise, gemm, pool};
+use crate::{GraphBuilder, Layer, LayerKind, Model};
+
+/// FocalLengthDepth (He et al., TIP'18): monocular depth estimation with a
+/// ResNet-50-style encoder over a 224×160 frame and a light upsampling
+/// decoder, plus the focal-length embedding branch. ≈ 2.5 G MACs at 30 FPS —
+/// the heaviest per-frame vision model in AR_Social.
+pub fn focal_length_depth() -> Model {
+    let mut b = GraphBuilder::new("focal-depth");
+    b.push(conv("stem", (224, 160), 3, 64, 7, 2));
+    b.push(pool("pool1", (112, 80), 64, 2, 2));
+    // Bottleneck stages (blocks, in_c, mid_c, out_c, stride).
+    let stages: &[(u32, u32, u32, u32, u32)] = &[
+        (3, 64, 64, 256, 1),
+        (4, 256, 128, 512, 2),
+        (6, 512, 256, 1024, 2),
+        (3, 1024, 512, 2048, 2),
+    ];
+    let mut hw = (56, 40);
+    for &(blocks, in_c, mid, out_c, stride) in stages {
+        b.push(conv("btl-1x1a", hw, in_c, mid, 1, 1));
+        b.push(conv("btl-3x3", hw, mid, mid, 3, stride));
+        hw = (hw.0.div_ceil(stride), hw.1.div_ceil(stride));
+        b.push(conv("btl-1x1b", hw, mid, out_c, 1, 1));
+        for _ in 1..blocks {
+            b.push(conv("btl-1x1a", hw, out_c, mid, 1, 1));
+            b.push(conv("btl-3x3", hw, mid, mid, 3, 1));
+            b.push(conv("btl-1x1b", hw, mid, out_c, 1, 1));
+        }
+    }
+    // Focal-length embedding branch.
+    b.push(gemm("focal-embed", 1, 512, 64));
+    // Decoder: 1×1 channel reduction, then three upsample+conv stages back
+    // to quarter resolution.
+    b.push(conv("dec-reduce", (14, 10), 2048, 256, 1, 1));
+    b.push(conv("dec0", (28, 20), 256, 128, 3, 1));
+    b.push(conv("dec1", (56, 40), 128, 64, 3, 1));
+    b.push(conv("depth-head", (56, 40), 64, 1, 3, 1));
+    Model::single(
+        "FocalLengthDepth",
+        b.build().expect("focal-depth graph is valid"),
+    )
+    .expect("focal-depth model is valid")
+}
+
+/// A 1-D temporal convolution in im2col (GEMM) form: `T/stride` output
+/// steps, each a `(in_c·k) → out_c` dot product. MAC counts are exact;
+/// input bytes carry the usual im2col duplication, a fair stand-in for the
+/// sliding-window buffering a real accelerator performs.
+fn conv1d(name: &'static str, frames: u32, in_c: u32, out_c: u32, k: u32, stride: u32) -> Layer {
+    Layer::new(
+        name,
+        LayerKind::Gemm {
+            m: frames.div_ceil(stride),
+            n: out_c,
+            k: in_c * k,
+        },
+    )
+    .expect("1-D conv shapes are valid")
+}
+
+/// ED-TCN (Lea et al., CVPR'17): encoder-decoder temporal convolutional
+/// network segmenting actions over a 128-frame window of 128-d visual
+/// features, with the characteristic long (k=25) 1-D filters.
+/// ≈ 0.15 G MACs at 30 FPS — deliberately the lightweight AR_Social model,
+/// which is exactly what makes it starvation-prone (§3.3).
+pub fn ed_tcn() -> Model {
+    const T: u32 = 128;
+    let mut b = GraphBuilder::new("ed-tcn");
+    // Encoder: conv(k=25) + pool ×2.
+    b.push(conv1d("enc0", T, 128, 96, 5, 1));
+    b.push(conv1d("enc0-long", T, 96, 96, 25, 1));
+    b.push(pool("pool0", (1, T), 96, 2, 2));
+    b.push(conv1d("enc1", T / 2, 96, 128, 25, 1));
+    b.push(pool("pool1", (1, T / 2), 128, 2, 2));
+    // Decoder: upsample + conv ×2.
+    b.push(conv1d("dec0", T / 2, 128, 96, 25, 1));
+    b.push(conv1d("dec1", T, 96, 96, 25, 1));
+    b.push(conv1d("head", T, 96, 48, 1, 1));
+    b.push(eltwise("softmax", u64::from(T) * 48));
+    Model::single("ED-TCN", b.build().expect("ed-tcn graph is valid"))
+        .expect("ed-tcn model is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_is_the_heavy_ar_social_model() {
+        let macs = focal_length_depth().total_macs();
+        assert!(
+            (1_800_000_000..4_000_000_000).contains(&macs),
+            "depth MACs {macs}"
+        );
+    }
+
+    #[test]
+    fn ed_tcn_is_light() {
+        let macs = ed_tcn().total_macs();
+        assert!(
+            (50_000_000..800_000_000).contains(&macs),
+            "ed-tcn MACs {macs}"
+        );
+    }
+
+    #[test]
+    fn conv1d_mac_count_is_one_dimensional() {
+        // T output steps, each an (in_c·k) → out_c dot product.
+        let l = conv1d("t", 128, 16, 32, 25, 1);
+        assert_eq!(l.stats().out_elems, 128 * 32);
+        assert_eq!(l.stats().macs, 128 * 32 * 16 * 25);
+        assert_eq!(l.stats().weight_bytes, 16 * 25 * 32);
+    }
+}

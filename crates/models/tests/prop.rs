@@ -1,0 +1,143 @@
+//! Property-based tests on layer shapes and graph invariants.
+
+use dream_models::{GraphBuilder, Layer, LayerKind, Model};
+use proptest::prelude::*;
+
+fn arb_conv() -> impl Strategy<Value = LayerKind> {
+    (
+        1u32..256,
+        1u32..256,
+        1u32..64,
+        1u32..64,
+        prop_oneof![Just(1u32), Just(3), Just(5), Just(7)],
+        1u32..3,
+        any::<bool>(),
+    )
+        .prop_map(|(h, w, c_mult, out_mult, k, s, depthwise)| {
+            let in_c = c_mult * 4;
+            if depthwise {
+                LayerKind::Conv2d {
+                    in_h: h,
+                    in_w: w,
+                    in_c,
+                    out_c: in_c,
+                    kernel: k,
+                    stride: s,
+                    groups: in_c,
+                }
+            } else {
+                LayerKind::Conv2d {
+                    in_h: h,
+                    in_w: w,
+                    in_c,
+                    out_c: out_mult * 4,
+                    kernel: k,
+                    stride: s,
+                    groups: 1,
+                }
+            }
+        })
+}
+
+fn arb_layer() -> impl Strategy<Value = LayerKind> {
+    prop_oneof![
+        arb_conv(),
+        (1u32..128, 1u32..4096, 1u32..4096)
+            .prop_map(|(m, n, k)| LayerKind::Gemm { m, n, k }),
+        (1u64..1_000_000).prop_map(|elems| LayerKind::Elementwise { elems }),
+        (1u32..128, 1u32..128, 1u32..256, 1u32..4, 1u32..4).prop_map(
+            |(h, w, c, k, s)| LayerKind::Pool {
+                in_h: h,
+                in_w: w,
+                c,
+                kernel: k,
+                stride: s
+            }
+        ),
+    ]
+}
+
+proptest! {
+    /// Every valid layer yields positive, internally consistent stats.
+    #[test]
+    fn layer_stats_are_consistent(kind in arb_layer()) {
+        let layer = Layer::new("p", kind).unwrap();
+        let s = layer.stats();
+        prop_assert!(s.macs + s.vector_ops > 0, "no work: {s:?}");
+        prop_assert!(s.input_bytes > 0);
+        prop_assert!(s.output_bytes > 0);
+        prop_assert!(s.out_elems > 0);
+        prop_assert!(s.ws_parallel_work > 0);
+        prop_assert!(s.reduction_depth > 0);
+        prop_assert!(s.kernel_area > 0);
+        // Weight bytes are zero exactly for weight-less layers.
+        match layer.kind() {
+            LayerKind::Pool { .. } | LayerKind::Elementwise { .. } =>
+                prop_assert_eq!(s.weight_bytes, 0),
+            _ => prop_assert!(s.weight_bytes > 0),
+        }
+    }
+
+    /// MACs scale linearly with the GEMM batch dimension.
+    #[test]
+    fn gemm_macs_scale_with_batch(m in 1u32..64, n in 1u32..512, k in 1u32..512) {
+        let one = Layer::new("a", LayerKind::Gemm { m: 1, n, k }).unwrap();
+        let many = Layer::new("b", LayerKind::Gemm { m, n, k }).unwrap();
+        prop_assert_eq!(many.stats().macs, one.stats().macs * u64::from(m));
+    }
+
+    /// Execution probabilities stay in [0, 1] and expected work never
+    /// exceeds worst-case work, for random gate placements.
+    #[test]
+    fn gates_keep_probabilities_sane(
+        n_layers in 2usize..30,
+        skip_at in 1usize..29,
+        span in 1usize..5,
+        p_skip in 0.0f64..1.0,
+        exit_at in 0usize..28,
+        p_exit in 0.0f64..1.0,
+    ) {
+        let mut b = GraphBuilder::new("prop");
+        for i in 0..n_layers {
+            let elems = 100 + i as u64;
+            b.push(Layer::new("l", LayerKind::Elementwise { elems }).unwrap());
+        }
+        let last = (skip_at + span - 1).min(n_layers - 1);
+        if skip_at < n_layers {
+            b.skip_block(skip_at, last, p_skip);
+        }
+        if exit_at + 1 < n_layers {
+            b.exit_point(exit_at, p_exit);
+        }
+        let graph = b.build().unwrap();
+        for i in 0..graph.len() {
+            let p = graph.execution_probability(i);
+            prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
+        }
+        prop_assert!(graph.expected_ops() <= graph.total_ops() as f64 + 1e-9);
+        prop_assert!(graph.expected_ops() > 0.0);
+    }
+
+    /// Supernet variants preserve heaviest-first ordering when constructed
+    /// from sorted inputs, and variant lookups agree with the list.
+    #[test]
+    fn supernet_round_trips(sizes in proptest::collection::vec(1u64..100_000, 1..5)) {
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let variants: Vec<_> = sorted
+            .iter()
+            .map(|&elems| {
+                let mut b = GraphBuilder::new("v");
+                b.push(Layer::new("l", LayerKind::Elementwise { elems }).unwrap());
+                b.build().unwrap()
+            })
+            .collect();
+        let model = Model::supernet("s", variants).unwrap();
+        prop_assert_eq!(model.variant_count(), sorted.len());
+        let mut prev = u64::MAX;
+        for v in model.variants() {
+            prop_assert!(v.total_ops() <= prev);
+            prev = v.total_ops();
+        }
+    }
+}

@@ -1,0 +1,102 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use dream_models::{NodeId, PipelineId};
+
+use crate::{SimTime, TaskId};
+
+/// What happens at a point in simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum EventKind {
+    /// A periodic root frame arrives for `(phase, pipeline, node)`.
+    FrameArrival {
+        phase: usize,
+        pipeline: PipelineId,
+        node: NodeId,
+        frame: u64,
+    },
+    /// The layer `task` was running finishes (freeing its accelerators).
+    LayerDone { task: TaskId },
+    /// A workload phase boundary: flush the previous phase's tasks.
+    PhaseStart { phase: usize },
+    /// End of the simulation horizon.
+    End,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Event {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for the max-heap: earliest time first, then insertion
+        // order for a deterministic tie-break.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_insertion() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(50), EventKind::End);
+        q.push(SimTime::from_ns(10), EventKind::LayerDone { task: TaskId(1) });
+        q.push(SimTime::from_ns(10), EventKind::LayerDone { task: TaskId(2) });
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(10)));
+        let a = q.pop().unwrap();
+        let b = q.pop().unwrap();
+        let c = q.pop().unwrap();
+        assert_eq!(a.kind, EventKind::LayerDone { task: TaskId(1) });
+        assert_eq!(b.kind, EventKind::LayerDone { task: TaskId(2) });
+        assert_eq!(c.kind, EventKind::End);
+        assert!(q.pop().is_none());
+    }
+}

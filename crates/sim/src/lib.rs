@@ -1,0 +1,52 @@
+//! Deterministic discrete-event simulator of a multi-accelerator ML system
+//! executing real-time multi-model (RTMM) workloads.
+//!
+//! This is the substrate the DREAM paper evaluates on: sub-accelerators
+//! execute layers non-preemptively; inference requests arrive periodically
+//! per pipeline; cascaded models release their children when (and only
+//! when) the parent's control dependency fires; operator-level dynamicity
+//! (layer skipping, early exits) is resolved *during* execution, exactly
+//! when a real system would learn the outcome.
+//!
+//! # Architecture
+//!
+//! * [`SimulationBuilder`] assembles a [`Platform`](dream_cost::Platform), a
+//!   [`Scenario`](dream_models::Scenario) (or several phases of scenarios
+//!   for task-level dynamicity), a seed, and a duration.
+//! * The engine maintains per-task queues of remaining layers and invokes a
+//!   pluggable [`Scheduler`] whenever an accelerator is idle and work is
+//!   ready. The scheduler sees an immutable [`SystemView`] and returns a
+//!   [`Decision`]: layer→accelerator assignments (possibly gangs), frame
+//!   drops, and supernet variant switches.
+//! * All randomness (cascade edges, skip gates, early exits) is
+//!   *counter-based*: outcomes are pure functions of
+//!   `(seed, pipeline, node, frame, gate)`, so every scheduler faces the
+//!   identical realized workload — the apples-to-apples comparison the
+//!   paper's evaluation relies on.
+//! * [`Metrics`] aggregates per-model deadline violations, drops, and
+//!   energy, from which `dream-core` computes UXCost (Algorithm 2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod determ;
+mod engine;
+mod error;
+mod event;
+mod metrics;
+mod scheduler;
+mod task;
+mod time;
+mod workload;
+
+pub use determ::DeterministicCoin;
+pub use engine::{SimOutcome, SimulationBuilder};
+pub use error::SimError;
+pub use metrics::{Metrics, ModelStats};
+pub use scheduler::{
+    AccState, Assignment, Decision, Scheduler, SchedulerCapabilities, SystemView, TaskEvent,
+    TaskEventKind,
+};
+pub use task::{Task, TaskId, TaskState};
+pub use time::{Micros, Millis, SimTime};
+pub use workload::{LayerId, ModelKey, WorkloadSet};

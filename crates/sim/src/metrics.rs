@@ -1,0 +1,325 @@
+use std::collections::BTreeMap;
+
+use crate::workload::ModelKey;
+use crate::SimTime;
+
+/// Per-model outcome counters over the measurement horizon.
+///
+/// "Counted" frames are those whose deadline falls inside both the
+/// simulation horizon and their workload phase; frames cut off at either
+/// boundary are *censored* and excluded, so rates are unbiased.
+#[derive(Debug, Clone)]
+pub struct ModelStats {
+    /// The deployed network's name.
+    pub model_name: &'static str,
+    /// Target FPS.
+    pub fps: f64,
+    /// Counted frames released.
+    pub released: u64,
+    /// Frames excluded from metrics (deadline beyond the horizon/phase).
+    pub censored: u64,
+    /// Counted frames that completed by their deadline.
+    pub completed_on_time: u64,
+    /// Counted frames that completed after their deadline.
+    pub completed_late: u64,
+    /// Counted frames dropped by the scheduler.
+    pub dropped: u64,
+    /// Frames flushed by a phase change (censored by construction).
+    pub flushed: u64,
+    /// Energy consumed by counted frames (pJ).
+    pub energy_pj: f64,
+    /// Worst-case energy bound: counted frames × worst per-frame energy.
+    pub worst_energy_pj: f64,
+    /// Executions per supernet variant (index = variant id).
+    pub variant_runs: Vec<u64>,
+    /// Total queueing delay accumulated by counted frames (ns).
+    pub wait_ns: u64,
+}
+
+impl ModelStats {
+    pub(crate) fn new(model_name: &'static str, fps: f64, variant_count: usize) -> Self {
+        ModelStats {
+            model_name,
+            fps,
+            released: 0,
+            censored: 0,
+            completed_on_time: 0,
+            completed_late: 0,
+            dropped: 0,
+            flushed: 0,
+            energy_pj: 0.0,
+            worst_energy_pj: 0.0,
+            variant_runs: vec![0; variant_count],
+            wait_ns: 0,
+        }
+    }
+
+    /// Counted frames that violated their deadline: completed late, were
+    /// dropped (per §4.2.1 drops count as violations), or never finished.
+    pub fn violated(&self) -> u64 {
+        self.released.saturating_sub(self.completed_on_time)
+    }
+
+    /// Deadline-violation rate over counted frames (Algorithm 2 line 6),
+    /// with the paper's `1/(2·total)` floor when no violation occurred
+    /// (lines 7–8). Returns `None` when no frames were counted.
+    pub fn violation_rate(&self) -> Option<f64> {
+        if self.released == 0 {
+            return None;
+        }
+        let v = self.violated();
+        if v == 0 {
+            Some(1.0 / (2.0 * self.released as f64))
+        } else {
+            Some(v as f64 / self.released as f64)
+        }
+    }
+
+    /// Raw violation rate without the zero floor (used for violation-rate
+    /// reporting, e.g. Figure 2).
+    pub fn raw_violation_rate(&self) -> Option<f64> {
+        if self.released == 0 {
+            None
+        } else {
+            Some(self.violated() as f64 / self.released as f64)
+        }
+    }
+
+    /// Energy normalised to the worst case (Algorithm 2 line 5). `None`
+    /// when no frames were counted.
+    pub fn normalized_energy(&self) -> Option<f64> {
+        if self.released == 0 || self.worst_energy_pj <= 0.0 {
+            None
+        } else {
+            Some(self.energy_pj / self.worst_energy_pj)
+        }
+    }
+}
+
+/// Aggregated simulation results.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    horizon: SimTime,
+    stats: BTreeMap<ModelKey, ModelStats>,
+    /// Number of scheduler invocations.
+    pub scheduler_invocations: u64,
+    /// Decision entries the engine rejected (busy accelerator, unknown
+    /// task, illegal switch, …). Always zero for well-behaved schedulers.
+    pub invalid_decisions: u64,
+    /// Layers executed.
+    pub layer_executions: u64,
+    /// Context switches charged.
+    pub context_switches: u64,
+    /// Per-accelerator busy time (ns).
+    pub acc_busy_ns: Vec<u64>,
+    /// Events processed.
+    pub events_processed: u64,
+}
+
+impl Metrics {
+    pub(crate) fn new(horizon: SimTime, acc_count: usize) -> Self {
+        Metrics {
+            horizon,
+            stats: BTreeMap::new(),
+            scheduler_invocations: 0,
+            invalid_decisions: 0,
+            layer_executions: 0,
+            context_switches: 0,
+            acc_busy_ns: vec![0; acc_count],
+            events_processed: 0,
+        }
+    }
+
+    pub(crate) fn entry(
+        &mut self,
+        key: ModelKey,
+        name: &'static str,
+        fps: f64,
+        variants: usize,
+    ) -> &mut ModelStats {
+        self.stats
+            .entry(key)
+            .or_insert_with(|| ModelStats::new(name, fps, variants))
+    }
+
+    pub(crate) fn get_mut(&mut self, key: ModelKey) -> Option<&mut ModelStats> {
+        self.stats.get_mut(&key)
+    }
+
+    /// The measurement horizon.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Per-model stats in deterministic key order.
+    pub fn models(&self) -> impl Iterator<Item = (&ModelKey, &ModelStats)> {
+        self.stats.iter()
+    }
+
+    /// Stats for one model.
+    pub fn model(&self, key: ModelKey) -> Option<&ModelStats> {
+        self.stats.get(&key)
+    }
+
+    /// Number of tracked models.
+    pub fn model_count(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Sum of per-model violation rates (Algorithm 2 line 10), including
+    /// the zero-violation floor. Models with no counted frames are skipped.
+    pub fn overall_violation_rate(&self) -> f64 {
+        self.stats
+            .values()
+            .filter_map(ModelStats::violation_rate)
+            .sum()
+    }
+
+    /// Sum of per-model raw violation rates (no floor), for violation-rate
+    /// plots.
+    pub fn overall_raw_violation_rate(&self) -> f64 {
+        self.stats
+            .values()
+            .filter_map(ModelStats::raw_violation_rate)
+            .sum()
+    }
+
+    /// Mean of per-model raw violation rates (a platform-comparable
+    /// number in `[0, 1]`).
+    pub fn mean_violation_rate(&self) -> f64 {
+        let rates: Vec<f64> = self
+            .stats
+            .values()
+            .filter_map(ModelStats::raw_violation_rate)
+            .collect();
+        if rates.is_empty() {
+            0.0
+        } else {
+            rates.iter().sum::<f64>() / rates.len() as f64
+        }
+    }
+
+    /// Sum of per-model normalised energies (Algorithm 2 line 11).
+    pub fn overall_normalized_energy(&self) -> f64 {
+        self.stats
+            .values()
+            .filter_map(ModelStats::normalized_energy)
+            .sum()
+    }
+
+    /// Mean of per-model normalised energies (platform-comparable, `[0,1]`).
+    pub fn mean_normalized_energy(&self) -> f64 {
+        let es: Vec<f64> = self
+            .stats
+            .values()
+            .filter_map(ModelStats::normalized_energy)
+            .collect();
+        if es.is_empty() {
+            0.0
+        } else {
+            es.iter().sum::<f64>() / es.len() as f64
+        }
+    }
+
+    /// Total energy consumed by counted frames, in millijoules.
+    pub fn total_energy_mj(&self) -> f64 {
+        self.stats.values().map(|s| s.energy_pj).sum::<f64>() / 1.0e9
+    }
+
+    /// Mean accelerator utilisation over the horizon, in `[0, 1]`.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.acc_busy_ns.is_empty() || self.horizon.as_ns() == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.acc_busy_ns.iter().sum();
+        total as f64 / (self.horizon.as_ns() as f64 * self.acc_busy_ns.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dream_models::{NodeId, PipelineId};
+
+    fn key(n: usize) -> ModelKey {
+        ModelKey {
+            phase: 0,
+            pipeline: PipelineId(0),
+            node: NodeId(n),
+        }
+    }
+
+    #[test]
+    fn violation_rate_floor_matches_algorithm2() {
+        let mut s = ModelStats::new("m", 30.0, 1);
+        s.released = 60;
+        s.completed_on_time = 60;
+        // Zero violations → 1 / (2·60).
+        assert!((s.violation_rate().unwrap() - 1.0 / 120.0).abs() < 1e-12);
+        assert_eq!(s.raw_violation_rate().unwrap(), 0.0);
+
+        s.completed_on_time = 45;
+        s.completed_late = 10;
+        s.dropped = 5;
+        assert_eq!(s.violated(), 15);
+        assert!((s.violation_rate().unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfinished_frames_count_as_violations() {
+        let mut s = ModelStats::new("m", 30.0, 1);
+        s.released = 10;
+        s.completed_on_time = 7;
+        // 3 frames never finished.
+        assert_eq!(s.violated(), 3);
+    }
+
+    #[test]
+    fn empty_model_yields_none() {
+        let s = ModelStats::new("m", 30.0, 1);
+        assert!(s.violation_rate().is_none());
+        assert!(s.normalized_energy().is_none());
+    }
+
+    #[test]
+    fn normalized_energy_ratio() {
+        let mut s = ModelStats::new("m", 30.0, 1);
+        s.released = 10;
+        s.energy_pj = 30.0;
+        s.worst_energy_pj = 100.0;
+        assert!((s.normalized_energy().unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_aggregation_sums_models() {
+        let mut m = Metrics::new(SimTime::from_ns(1_000_000_000), 2);
+        {
+            let a = m.entry(key(0), "a", 30.0, 1);
+            a.released = 10;
+            a.completed_on_time = 5;
+            a.energy_pj = 50.0;
+            a.worst_energy_pj = 100.0;
+        }
+        {
+            let b = m.entry(key(1), "b", 60.0, 1);
+            b.released = 20;
+            b.completed_on_time = 20;
+            b.energy_pj = 20.0;
+            b.worst_energy_pj = 100.0;
+        }
+        assert_eq!(m.model_count(), 2);
+        // 0.5 + floor(1/40).
+        assert!((m.overall_violation_rate() - (0.5 + 0.025)).abs() < 1e-12);
+        assert!((m.overall_raw_violation_rate() - 0.5).abs() < 1e-12);
+        assert!((m.overall_normalized_energy() - 0.7).abs() < 1e-12);
+        assert!((m.mean_violation_rate() - 0.25).abs() < 1e-12);
+        assert!((m.total_energy_mj() - 70.0 / 1.0e9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut m = Metrics::new(SimTime::from_ns(1000), 2);
+        m.acc_busy_ns = vec![500, 1000];
+        assert!((m.mean_utilization() - 0.75).abs() < 1e-12);
+    }
+}

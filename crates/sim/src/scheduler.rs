@@ -1,0 +1,282 @@
+use dream_cost::{AcceleratorId, CostModel, Platform};
+use dream_models::VariantId;
+
+use crate::task::{Task, TaskId};
+use crate::workload::{ModelKey, WorkloadSet};
+use crate::SimTime;
+
+/// Runtime state of one sub-accelerator, as visible to schedulers
+/// (the paper's "accelerator availability info", Figure 4).
+#[derive(Debug, Clone)]
+pub struct AccState {
+    pub(crate) id: AcceleratorId,
+    pub(crate) busy_until: SimTime,
+    pub(crate) running: Option<TaskId>,
+    pub(crate) last_task: Option<TaskId>,
+    pub(crate) last_model: Option<ModelKey>,
+    pub(crate) last_output_bytes: u64,
+    pub(crate) busy_ns: u64,
+}
+
+impl AccState {
+    pub(crate) fn new(id: AcceleratorId) -> Self {
+        AccState {
+            id,
+            busy_until: SimTime::ZERO,
+            running: None,
+            last_task: None,
+            last_model: None,
+            last_output_bytes: 0,
+            busy_ns: 0,
+        }
+    }
+
+    /// The accelerator's id.
+    pub fn id(&self) -> AcceleratorId {
+        self.id
+    }
+
+    /// Whether the accelerator can accept a new layer right now.
+    pub fn is_idle(&self) -> bool {
+        self.running.is_none()
+    }
+
+    /// When the current layer finishes (meaningless when idle).
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// The task whose layer is currently executing, if any.
+    pub fn running(&self) -> Option<TaskId> {
+        self.running
+    }
+
+    /// The task that last executed a layer here — Algorithm 1's
+    /// `acc.prevTask`, the context-switch reference.
+    pub fn last_task(&self) -> Option<TaskId> {
+        self.last_task
+    }
+
+    /// The model of the task that last executed here.
+    pub fn last_model(&self) -> Option<ModelKey> {
+        self.last_model
+    }
+
+    /// Output-activation bytes of the last layer executed here — the flush
+    /// volume a context switch would pay.
+    pub fn last_output_bytes(&self) -> u64 {
+        self.last_output_bytes
+    }
+
+    /// Cumulative busy time (utilisation accounting).
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+}
+
+/// One dispatch: run `task`'s head layer on `accs` (more than one
+/// accelerator = a Planaria-style gang; the engine merges their resources
+/// and applies the fission overhead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// The task whose head layer is dispatched.
+    pub task: TaskId,
+    /// Target accelerator(s); all must currently be idle.
+    pub accs: Vec<AcceleratorId>,
+}
+
+impl Assignment {
+    /// A single-accelerator assignment.
+    pub fn single(task: TaskId, acc: AcceleratorId) -> Self {
+        Assignment {
+            task,
+            accs: vec![acc],
+        }
+    }
+}
+
+/// The scheduler's output for one invocation (the paper's "scheduling
+/// decision", Figure 4).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Decision {
+    /// Layer → accelerator dispatches to apply now.
+    pub assignments: Vec<Assignment>,
+    /// Ready tasks to drop (smart frame drop; counted as deadline
+    /// violations per §4.2.1).
+    pub drops: Vec<TaskId>,
+    /// Supernet variant selections, legal only before a task's first layer
+    /// executes.
+    pub variant_switches: Vec<(TaskId, VariantId)>,
+}
+
+impl Decision {
+    /// A decision that does nothing (wait for the next event).
+    pub fn none() -> Self {
+        Decision::default()
+    }
+
+    /// Whether the decision carries no actions.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty() && self.drops.is_empty() && self.variant_switches.is_empty()
+    }
+}
+
+/// Which RTMM challenges a scheduler addresses — the axes of the paper's
+/// Table 1 and Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedulerCapabilities {
+    /// Handles cascaded models (inter-model dependencies).
+    pub cascade: bool,
+    /// Handles concurrent pipelines.
+    pub concurrent: bool,
+    /// Deadline aware.
+    pub realtime: bool,
+    /// Adapts to task-level workload changes.
+    pub task_dynamicity: bool,
+    /// Adapts to model/operator-level dynamicity.
+    pub model_dynamicity: bool,
+    /// Optimises energy.
+    pub energy_aware: bool,
+    /// Exploits hardware heterogeneity.
+    pub heterogeneity_aware: bool,
+}
+
+/// A notification delivered to the scheduler after task lifecycle events —
+/// the feedback stream DREAM's adaptivity engine consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskEvent {
+    /// Simulation time of the event.
+    pub now: SimTime,
+    /// The affected task.
+    pub task: TaskId,
+    /// The affected model.
+    pub key: ModelKey,
+    /// Whether the frame counts toward metrics.
+    pub counted: bool,
+    /// What happened.
+    pub kind: TaskEventKind,
+}
+
+/// The kind of task lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TaskEventKind {
+    /// A new inference request entered the queues.
+    Released,
+    /// The inference completed; `on_time` is false for deadline violations.
+    Completed {
+        /// Whether the deadline was met.
+        on_time: bool,
+        /// Total energy the inference consumed (pJ).
+        energy_pj: f64,
+        /// Worst-case per-frame energy of its model (pJ), for normalisation.
+        worst_energy_pj: f64,
+    },
+    /// The frame was dropped by the scheduler (counts as a violation).
+    Dropped,
+    /// The frame was flushed by a workload phase change (not counted).
+    Flushed,
+}
+
+/// An immutable snapshot of the system a scheduler decides over.
+#[derive(Debug)]
+pub struct SystemView<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Current workload phase index.
+    pub phase: usize,
+    /// All sub-accelerators.
+    pub accs: &'a [AccState],
+    /// All live tasks (ready and running), ascending by id.
+    pub tasks: &'a [&'a Task],
+    /// The resolved workload with its offline cost tables.
+    pub workload: &'a WorkloadSet,
+    /// The analytical cost model (for on-demand queries such as gang
+    /// costing).
+    pub cost: &'a CostModel,
+    /// The hardware platform.
+    pub platform: &'a Platform,
+}
+
+impl<'a> SystemView<'a> {
+    /// Tasks awaiting dispatch.
+    pub fn ready_tasks(&self) -> impl Iterator<Item = &'a Task> + '_ {
+        self.tasks.iter().copied().filter(|t| t.is_ready())
+    }
+
+    /// Idle accelerators.
+    pub fn idle_accs(&self) -> impl Iterator<Item = &'a AccState> + '_ {
+        self.accs.iter().filter(|a| a.is_idle())
+    }
+
+    /// Number of idle accelerators.
+    pub fn idle_count(&self) -> usize {
+        self.accs.iter().filter(|a| a.is_idle()).count()
+    }
+
+    /// Looks up a live task by id.
+    pub fn task(&self, id: TaskId) -> Option<&'a Task> {
+        self.tasks.iter().copied().find(|t| t.id() == id)
+    }
+}
+
+/// A pluggable scheduling policy.
+///
+/// The engine calls [`Scheduler::schedule`] whenever at least one
+/// accelerator is idle and at least one task is ready. Implementations must
+/// be deterministic functions of the view (plus their own state) for runs
+/// to be reproducible.
+pub trait Scheduler {
+    /// Display name (used in experiment tables).
+    fn name(&self) -> &str;
+
+    /// Which RTMM challenges this policy addresses (Tables 1 and 5).
+    fn capabilities(&self) -> SchedulerCapabilities {
+        SchedulerCapabilities::default()
+    }
+
+    /// Produce a decision for the current system state.
+    fn schedule(&mut self, view: &SystemView<'_>) -> Decision;
+
+    /// Lifecycle notification (release/completion/drop/flush).
+    fn on_task_event(&mut self, _event: &TaskEvent) {}
+
+    /// A workload phase started; `model_names` is the new inference model
+    /// list (DREAM's workload-change trigger).
+    fn on_phase_start(&mut self, _phase: usize, _model_names: &[&'static str]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_emptiness() {
+        assert!(Decision::none().is_empty());
+        let d = Decision {
+            assignments: vec![Assignment::single(TaskId(1), AcceleratorId(0))],
+            ..Decision::default()
+        };
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn assignment_single_constructor() {
+        let a = Assignment::single(TaskId(3), AcceleratorId(2));
+        assert_eq!(a.accs, vec![AcceleratorId(2)]);
+    }
+
+    #[test]
+    fn acc_state_accessors() {
+        let a = AccState::new(AcceleratorId(1));
+        assert!(a.is_idle());
+        assert_eq!(a.id(), AcceleratorId(1));
+        assert_eq!(a.last_task(), None);
+        assert_eq!(a.busy_ns(), 0);
+    }
+
+    #[test]
+    fn capabilities_default_is_all_false() {
+        let c = SchedulerCapabilities::default();
+        assert!(!c.cascade && !c.energy_aware && !c.heterogeneity_aware);
+    }
+}

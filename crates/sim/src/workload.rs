@@ -1,0 +1,543 @@
+use std::collections::BTreeMap;
+
+use dream_cost::{AcceleratorId, CostModel, Platform};
+use dream_models::{
+    CascadeProbability, ExitPoint, Layer, NodeId, PipelineId, Rate, Scenario, SkipBlock,
+    VariantId,
+};
+
+use crate::{SimError, SimTime};
+
+/// Global index of a layer within a [`WorkloadSet`] (spans every model,
+/// variant, and phase).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LayerId(pub usize);
+
+/// Identity of one deployed model instance: which phase, pipeline, and node
+/// it occupies. This is the key metrics are aggregated under (the same
+/// network deployed twice — e.g. SSD for hands and faces — is two keys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModelKey {
+    /// Workload phase (0 unless task-level dynamicity is configured).
+    pub phase: usize,
+    /// Pipeline within the phase's scenario.
+    pub pipeline: PipelineId,
+    /// Node within the pipeline.
+    pub node: NodeId,
+}
+
+impl std::fmt::Display for ModelKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}.{}.{}", self.phase, self.pipeline.0, self.node.0)
+    }
+}
+
+/// Pre-resolved static description of one model node: layer ids per
+/// variant, gates, timing contract, and cascade structure.
+#[derive(Debug, Clone)]
+pub struct NodeInfo {
+    pub(crate) key: ModelKey,
+    pub(crate) model_name: &'static str,
+    pub(crate) rate: Rate,
+    pub(crate) period: SimTime,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) cascade: Option<CascadeProbability>,
+    pub(crate) children: Vec<NodeId>,
+    pub(crate) variants: Vec<VariantPlan>,
+    pub(crate) worst_frame_energy_pj: f64,
+}
+
+/// One executable variant of a node: its global layer ids plus gates in
+/// graph-index space.
+#[derive(Debug, Clone)]
+pub struct VariantPlan {
+    pub(crate) name: &'static str,
+    pub(crate) layers: Vec<LayerId>,
+    pub(crate) skip_blocks: Vec<SkipBlock>,
+    pub(crate) exit_points: Vec<ExitPoint>,
+}
+
+impl NodeInfo {
+    /// The node's identity.
+    pub fn key(&self) -> ModelKey {
+        self.key
+    }
+
+    /// The deployed network's name (Table 3 naming).
+    pub fn model_name(&self) -> &'static str {
+        self.model_name
+    }
+
+    /// Target frame rate.
+    pub fn rate(&self) -> Rate {
+        self.rate
+    }
+
+    /// Frame period (= relative deadline).
+    pub fn period(&self) -> SimTime {
+        self.period
+    }
+
+    /// Parent node in the cascade, if any.
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// Probability the parent's completion launches this node.
+    pub fn cascade(&self) -> Option<CascadeProbability> {
+        self.cascade
+    }
+
+    /// Child nodes (same pipeline) that depend on this node.
+    pub fn children(&self) -> &[NodeId] {
+        &self.children
+    }
+
+    /// Whether no other model depends on this one — the only nodes DREAM's
+    /// frame-drop Condition 3 may drop.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Number of variants (1 for ordinary models).
+    pub fn variant_count(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// Whether this node deploys a multi-variant supernet.
+    pub fn is_supernet(&self) -> bool {
+        self.variants.len() > 1
+    }
+
+    /// Global layer ids of a variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variant` is out of range.
+    pub fn variant_layers(&self, variant: VariantId) -> &[LayerId] {
+        &self.variants[variant.0].layers
+    }
+
+    /// The variant's human-readable name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variant` is out of range.
+    pub fn variant_name(&self, variant: VariantId) -> &'static str {
+        self.variants[variant.0].name
+    }
+
+    /// Skip gates of a variant (graph-index space).
+    pub(crate) fn variant(&self, variant: VariantId) -> &VariantPlan {
+        &self.variants[variant.0]
+    }
+
+    /// Worst-case energy of one frame: every default-variant layer on its
+    /// most expensive accelerator (Algorithm 2's normalisation denominator).
+    pub fn worst_frame_energy_pj(&self) -> f64 {
+        self.worst_frame_energy_pj
+    }
+}
+
+/// One workload phase: a scenario active during `[start, end)`.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    pub(crate) start: SimTime,
+    pub(crate) end: SimTime,
+    pub(crate) scenario: Scenario,
+}
+
+impl Phase {
+    /// Phase start time (inclusive).
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// Phase end time (exclusive).
+    pub fn end(&self) -> SimTime {
+        self.end
+    }
+
+    /// The scenario active in this phase.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+}
+
+/// The fully-resolved workload a simulation executes: phases, nodes,
+/// flattened layers, and the offline latency/energy tables DREAM consumes
+/// (the paper's `EstLatency` / `EstEnergy` inputs, Figure 4).
+#[derive(Debug, Clone)]
+pub struct WorkloadSet {
+    phases: Vec<Phase>,
+    nodes: BTreeMap<ModelKey, NodeInfo>,
+    layers: Vec<Layer>,
+    acc_count: usize,
+    lat: Vec<f64>,
+    energy: Vec<f64>,
+    sum_lat: Vec<f64>,
+    min_lat: Vec<f64>,
+    sum_energy: Vec<f64>,
+    max_energy: Vec<f64>,
+    input_bytes: Vec<u64>,
+    output_bytes: Vec<u64>,
+}
+
+impl WorkloadSet {
+    /// Resolves `phases` against `platform`, computing the per-layer cost
+    /// tables with `cost`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidPhase`] if phases are empty or not
+    /// strictly ordered.
+    pub fn build(
+        phases: Vec<Phase>,
+        platform: &Platform,
+        cost: &CostModel,
+    ) -> Result<Self, SimError> {
+        if phases.is_empty() {
+            return Err(SimError::InvalidPhase {
+                reason: "no workload phases configured".into(),
+            });
+        }
+        for w in phases.windows(2) {
+            if w[1].start < w[0].end {
+                return Err(SimError::InvalidPhase {
+                    reason: format!(
+                        "phase starting at {} overlaps phase ending at {}",
+                        w[1].start, w[0].end
+                    ),
+                });
+            }
+        }
+        let mut ws = WorkloadSet {
+            phases,
+            nodes: BTreeMap::new(),
+            layers: Vec::new(),
+            acc_count: platform.len(),
+            lat: Vec::new(),
+            energy: Vec::new(),
+            sum_lat: Vec::new(),
+            min_lat: Vec::new(),
+            sum_energy: Vec::new(),
+            max_energy: Vec::new(),
+            input_bytes: Vec::new(),
+            output_bytes: Vec::new(),
+        };
+        let phases_snapshot = ws.phases.clone();
+        for (phase_idx, phase) in phases_snapshot.iter().enumerate() {
+            for (pl_idx, pipeline) in phase.scenario.pipelines().iter().enumerate() {
+                // First pass: children lists.
+                let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); pipeline.nodes().len()];
+                for (n_idx, node) in pipeline.nodes().iter().enumerate() {
+                    if let Some(p) = node.parent {
+                        children[p.0].push(NodeId(n_idx));
+                    }
+                }
+                for (n_idx, node) in pipeline.nodes().iter().enumerate() {
+                    let key = ModelKey {
+                        phase: phase_idx,
+                        pipeline: PipelineId(pl_idx),
+                        node: NodeId(n_idx),
+                    };
+                    let mut variants = Vec::with_capacity(node.model.variant_count());
+                    for graph in node.model.variants() {
+                        let mut layer_ids = Vec::with_capacity(graph.len());
+                        for layer in graph.layers() {
+                            layer_ids.push(ws.register_layer(layer.clone(), platform, cost));
+                        }
+                        variants.push(VariantPlan {
+                            name: graph.name(),
+                            layers: layer_ids,
+                            skip_blocks: graph.skip_blocks().to_vec(),
+                            exit_points: graph.exit_points().to_vec(),
+                        });
+                    }
+                    let worst_frame_energy_pj = variants[0]
+                        .layers
+                        .iter()
+                        .map(|&l| ws.max_energy[l.0])
+                        .sum();
+                    ws.nodes.insert(
+                        key,
+                        NodeInfo {
+                            key,
+                            model_name: node.model.name(),
+                            rate: node.rate,
+                            period: SimTime::from_ns(node.rate.period_ns()),
+                            parent: node.parent,
+                            cascade: node.cascade,
+                            children: children[n_idx].clone(),
+                            variants,
+                            worst_frame_energy_pj,
+                        },
+                    );
+                }
+            }
+        }
+        Ok(ws)
+    }
+
+    fn register_layer(
+        &mut self,
+        layer: Layer,
+        platform: &Platform,
+        cost: &CostModel,
+    ) -> LayerId {
+        let id = LayerId(self.layers.len());
+        let stats = layer.stats();
+        let mut sum_l = 0.0;
+        let mut min_l = f64::INFINITY;
+        let mut sum_e = 0.0;
+        let mut max_e: f64 = 0.0;
+        for acc in platform.accelerators() {
+            let c = cost.layer_cost(&layer, acc);
+            self.lat.push(c.latency_ns);
+            self.energy.push(c.energy_pj);
+            sum_l += c.latency_ns;
+            min_l = min_l.min(c.latency_ns);
+            sum_e += c.energy_pj;
+            max_e = max_e.max(c.energy_pj);
+        }
+        self.sum_lat.push(sum_l);
+        self.min_lat.push(min_l);
+        self.sum_energy.push(sum_e);
+        self.max_energy.push(max_e);
+        self.input_bytes.push(stats.input_bytes);
+        self.output_bytes.push(stats.output_bytes);
+        self.layers.push(layer);
+        id
+    }
+
+    /// The workload phases in time order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// The phase index active at `time` (clamps to the last phase).
+    pub fn phase_at(&self, time: SimTime) -> usize {
+        self.phases
+            .iter()
+            .rposition(|p| time >= p.start)
+            .unwrap_or(0)
+    }
+
+    /// All model nodes across all phases.
+    pub fn nodes(&self) -> impl Iterator<Item = &NodeInfo> {
+        self.nodes.values()
+    }
+
+    /// Node lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` was not produced by this workload set.
+    pub fn node(&self, key: ModelKey) -> &NodeInfo {
+        &self.nodes[&key]
+    }
+
+    /// Number of sub-accelerators the tables were built for.
+    pub fn acc_count(&self) -> usize {
+        self.acc_count
+    }
+
+    /// Total number of registered (flattened) layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The layer object behind an id (for on-demand cost queries, e.g.
+    /// Planaria's gang costing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer(&self, layer: LayerId) -> &Layer {
+        &self.layers[layer.0]
+    }
+
+    /// Estimated latency of `layer` on `acc` in nanoseconds — the paper's
+    /// `EstLatency(layer, acc)`.
+    pub fn latency_ns(&self, layer: LayerId, acc: AcceleratorId) -> f64 {
+        self.lat[layer.0 * self.acc_count + acc.0]
+    }
+
+    /// Estimated energy of `layer` on `acc` in picojoules — the paper's
+    /// `EstEnergy(layer, acc)`.
+    pub fn energy_pj(&self, layer: LayerId, acc: AcceleratorId) -> f64 {
+        self.energy[layer.0 * self.acc_count + acc.0]
+    }
+
+    /// Σ over accelerators of `latency_ns` (Algorithm 1's preference
+    /// numerator).
+    pub fn sum_latency_ns(&self, layer: LayerId) -> f64 {
+        self.sum_lat[layer.0]
+    }
+
+    /// Mean latency across accelerators (Algorithm 1's `ToGo` term).
+    pub fn avg_latency_ns(&self, layer: LayerId) -> f64 {
+        self.sum_lat[layer.0] / self.acc_count as f64
+    }
+
+    /// Best-case latency across accelerators (smart frame drop's
+    /// `minimum_to_go` term).
+    pub fn min_latency_ns(&self, layer: LayerId) -> f64 {
+        self.min_lat[layer.0]
+    }
+
+    /// Σ over accelerators of `energy_pj` (energy preference numerator).
+    pub fn sum_energy_pj(&self, layer: LayerId) -> f64 {
+        self.sum_energy[layer.0]
+    }
+
+    /// Worst-case energy across accelerators (UXCost normalisation).
+    pub fn max_energy_pj(&self, layer: LayerId) -> f64 {
+        self.max_energy[layer.0]
+    }
+
+    /// Input activation bytes of a layer (context-switch fetch volume).
+    pub fn input_bytes(&self, layer: LayerId) -> u64 {
+        self.input_bytes[layer.0]
+    }
+
+    /// Output activation bytes of a layer (context-switch flush volume).
+    pub fn output_bytes(&self, layer: LayerId) -> u64 {
+        self.output_bytes[layer.0]
+    }
+
+    /// The distinct model names active in `phase` — the "inference model
+    /// list" DREAM's adaptivity engine watches for workload changes.
+    pub fn model_names(&self, phase: usize) -> Vec<&'static str> {
+        self.phases
+            .get(phase)
+            .map(|p| p.scenario.model_names())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dream_cost::PlatformPreset;
+    use dream_models::ScenarioKind;
+
+    fn build_default() -> (WorkloadSet, Platform) {
+        let platform = Platform::preset(PlatformPreset::Hetero4kWs1Os2);
+        let cost = CostModel::paper_default();
+        let scenario = Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper());
+        let ws = WorkloadSet::build(
+            vec![Phase {
+                start: SimTime::ZERO,
+                end: SimTime::from(crate::Millis::new(1000)),
+                scenario,
+            }],
+            &platform,
+            &cost,
+        )
+        .unwrap();
+        (ws, platform)
+    }
+
+    #[test]
+    fn builds_ar_call_nodes() {
+        let (ws, _) = build_default();
+        // AR_Call: KWS, GNMT, SkipNet.
+        assert_eq!(ws.nodes().count(), 3);
+        let names: Vec<_> = ws.nodes().map(NodeInfo::model_name).collect();
+        assert!(names.contains(&"GNMT"));
+        assert!(names.contains(&"SkipNet"));
+    }
+
+    #[test]
+    fn tables_cover_every_layer_accelerator_pair() {
+        let (ws, platform) = build_default();
+        assert_eq!(ws.acc_count(), 3);
+        for node in ws.nodes() {
+            for v in 0..node.variant_count() {
+                for &l in node.variant_layers(VariantId(v)) {
+                    for acc in platform.ids() {
+                        let lat = ws.latency_ns(l, acc);
+                        let e = ws.energy_pj(l, acc);
+                        assert!(lat.is_finite() && lat > 0.0);
+                        assert!(e.is_finite() && e > 0.0);
+                    }
+                    assert!(ws.min_latency_ns(l) <= ws.avg_latency_ns(l));
+                    assert!(ws.max_energy_pj(l) * 3.0 >= ws.sum_energy_pj(l));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_structure_resolved() {
+        let (ws, _) = build_default();
+        let audio_parent = ModelKey {
+            phase: 0,
+            pipeline: PipelineId(0),
+            node: NodeId(0),
+        };
+        let kws = ws.node(audio_parent);
+        assert_eq!(kws.model_name(), "KWS_res8");
+        assert!(!kws.is_leaf());
+        assert_eq!(kws.children(), &[NodeId(1)]);
+        let gnmt = ws.node(ModelKey {
+            phase: 0,
+            pipeline: PipelineId(0),
+            node: NodeId(1),
+        });
+        assert!(gnmt.is_leaf());
+        assert_eq!(gnmt.parent(), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn worst_energy_bounds_any_single_assignment() {
+        let (ws, platform) = build_default();
+        for node in ws.nodes() {
+            let worst = node.worst_frame_energy_pj();
+            let single_acc: f64 = node
+                .variant_layers(VariantId(0))
+                .iter()
+                .map(|&l| ws.energy_pj(l, AcceleratorId(0)))
+                .sum();
+            assert!(worst >= single_acc - 1e-9, "{}", node.model_name());
+            let _ = platform;
+        }
+    }
+
+    #[test]
+    fn phase_lookup() {
+        let (ws, _) = build_default();
+        assert_eq!(ws.phase_at(SimTime::ZERO), 0);
+        assert_eq!(ws.phase_at(SimTime::from_ns(u64::MAX / 2)), 0);
+        assert_eq!(ws.model_names(0).len(), 3);
+        assert!(ws.model_names(7).is_empty());
+    }
+
+    #[test]
+    fn overlapping_phases_rejected() {
+        let platform = Platform::preset(PlatformPreset::Homo4kWs2);
+        let cost = CostModel::paper_default();
+        let s = || Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper());
+        let phases = vec![
+            Phase {
+                start: SimTime::ZERO,
+                end: SimTime::from_ns(100),
+                scenario: s(),
+            },
+            Phase {
+                start: SimTime::from_ns(50),
+                end: SimTime::from_ns(200),
+                scenario: s(),
+            },
+        ];
+        assert!(WorkloadSet::build(phases, &platform, &cost).is_err());
+    }
+
+    #[test]
+    fn empty_phases_rejected() {
+        let platform = Platform::preset(PlatformPreset::Homo4kWs2);
+        let cost = CostModel::paper_default();
+        assert!(WorkloadSet::build(vec![], &platform, &cost).is_err());
+    }
+}

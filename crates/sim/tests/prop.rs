@@ -1,0 +1,120 @@
+//! Property-based tests on the simulator: deterministic coins, time
+//! arithmetic, and end-to-end conservation invariants under random seeds
+//! and horizons.
+
+use dream_cost::{Platform, PlatformPreset};
+use dream_models::{CascadeProbability, Scenario, ScenarioKind};
+use dream_sim::{
+    Assignment, Decision, DeterministicCoin, Metrics, Millis, Scheduler, SimTime,
+    SimulationBuilder, SystemView,
+};
+use proptest::prelude::*;
+
+struct Greedy;
+impl Scheduler for Greedy {
+    fn name(&self) -> &str {
+        "greedy"
+    }
+    fn schedule(&mut self, view: &SystemView<'_>) -> Decision {
+        let mut d = Decision::none();
+        let mut ready: Vec<_> = view.ready_tasks().collect();
+        ready.sort_by_key(|t| (t.deadline(), t.id()));
+        let mut idle: Vec<_> = view.idle_accs().map(|a| a.id()).collect();
+        for t in ready {
+            let Some(acc) = idle.pop() else { break };
+            d.assignments.push(Assignment::single(t.id(), acc));
+        }
+        d
+    }
+}
+
+fn run(kind: ScenarioKind, cascade: f64, seed: u64, ms: u64) -> Metrics {
+    let scenario = Scenario::new(kind, CascadeProbability::new(cascade).unwrap());
+    let mut s = Greedy;
+    SimulationBuilder::new(Platform::preset(PlatformPreset::Hetero4kWs1Os2), scenario)
+        .duration(Millis::new(ms))
+        .seed(seed)
+        .run(&mut s)
+        .unwrap()
+        .into_metrics()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Conservation: outcomes partition released frames; energy is
+    /// non-negative; utilisation is a fraction — for arbitrary seeds,
+    /// cascade probabilities, and horizons.
+    #[test]
+    fn outcome_conservation(
+        seed in 0u64..1_000,
+        cascade in 0.0f64..1.0,
+        ms in 120u64..600,
+    ) {
+        let m = run(ScenarioKind::VrGaming, cascade, seed, ms);
+        for (_, s) in m.models() {
+            prop_assert!(s.completed_on_time + s.completed_late + s.dropped <= s.released,
+                "{}: outcome counts exceed releases", s.model_name);
+            prop_assert!(s.energy_pj >= 0.0);
+            prop_assert!(s.violated() <= s.released);
+        }
+        prop_assert!((0.0..=1.0).contains(&m.mean_utilization()));
+        prop_assert_eq!(m.invalid_decisions, 0);
+    }
+
+    /// Cascade probability monotonicity: more cascades → at least as many
+    /// released child frames (same seed ⇒ coupled coin draws).
+    #[test]
+    fn cascades_monotone_in_probability(seed in 0u64..200) {
+        let lo = run(ScenarioKind::ArCall, 0.2, seed, 800);
+        let hi = run(ScenarioKind::ArCall, 0.9, seed, 800);
+        let gnmt = |m: &Metrics| {
+            m.models()
+                .find(|(_, s)| s.model_name == "GNMT")
+                .map(|(_, s)| s.released + s.censored)
+                .unwrap_or(0)
+        };
+        prop_assert!(gnmt(&hi) >= gnmt(&lo), "lo {} hi {}", gnmt(&lo), gnmt(&hi));
+    }
+
+    /// The deterministic coin honours probability bounds exactly at 0 and 1
+    /// and is pure.
+    #[test]
+    fn coin_is_pure_and_bounded(
+        seed in any::<u64>(),
+        pl in 0usize..64,
+        node in 0usize..64,
+        frame in 0u64..10_000,
+        gate in 0u64..4_096,
+        p in 0.0f64..1.0,
+    ) {
+        let coin = DeterministicCoin::new(seed);
+        prop_assert_eq!(
+            coin.decide(pl, node, frame, gate, p),
+            coin.decide(pl, node, frame, gate, p)
+        );
+        prop_assert!(!coin.decide(pl, node, frame, gate, 0.0));
+        prop_assert!(coin.decide(pl, node, frame, gate, 1.0));
+        let u = coin.uniform(pl, node, frame, gate);
+        prop_assert!((0.0..1.0).contains(&u));
+    }
+
+    /// SimTime arithmetic: saturating subtraction and signed deltas agree.
+    #[test]
+    fn simtime_arithmetic(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+        let ta = SimTime::from_ns(a);
+        let tb = SimTime::from_ns(b);
+        let delta = ta.signed_delta_ns(tb);
+        prop_assert_eq!(delta, i128::from(a) - i128::from(b));
+        prop_assert_eq!(ta.saturating_sub(tb).as_ns(), a.saturating_sub(b));
+        prop_assert_eq!((ta + tb).as_ns(), a + b);
+    }
+
+    /// from_ns_f64 rounds up and never loses time.
+    #[test]
+    fn simtime_float_rounding(x in 0.0f64..1e15) {
+        let t = SimTime::from_ns_f64(x);
+        prop_assert!(t.as_ns_f64() >= x);
+        prop_assert!(t.as_ns_f64() - x < 1.0 + x * 1e-9);
+    }
+}

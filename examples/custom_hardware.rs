@@ -1,0 +1,72 @@
+//! Bring your own silicon: define a custom asymmetric platform and a
+//! custom cost-model calibration, then explore how the (α, β) search
+//! behaves on it (a miniature of the paper's Figures 10/11).
+//!
+//! ```text
+//! cargo run --release --example custom_hardware
+//! ```
+
+use dream::cost::{AcceleratorConfig, CostModel, CostParams, Dataflow};
+use dream::core::{ObjectiveKind, ParamOptimizer, ScoreParams};
+use dream::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A hypothetical wearable SoC: one big weight-stationary array, one
+    // small output-stationary helper, and a tiny always-on array — 28 GB/s
+    // of LPDDR split by compute share.
+    let platform = Platform::new(
+        "wearable-soc",
+        vec![
+            AcceleratorConfig::new("big-WS", 3072, Dataflow::WeightStationary, 0.6, 16.0, 5 << 20)?,
+            AcceleratorConfig::new("mid-OS", 768, Dataflow::OutputStationary, 0.6, 8.0, 2 << 20)?,
+            AcceleratorConfig::new("tiny-OS", 256, Dataflow::OutputStationary, 0.6, 4.0, 1 << 20)?,
+        ],
+    )?;
+
+    // A more aggressive calibration: cheaper SRAM, pricier DRAM.
+    let mut params = CostParams::paper_defaults();
+    params.sram_energy_pj_per_byte = 0.6;
+    params.dram_energy_pj_per_byte = 28.0;
+    let cost_model = CostModel::new(params)?;
+
+    let scenario = || Scenario::vr_gaming(CascadeProbability::default());
+
+    // Evaluate one (α, β) candidate with a short simulation.
+    let evaluate = |p: ScoreParams| -> f64 {
+        let mut sched = DreamScheduler::new(DreamConfig::mapscore().with_params(p));
+        let metrics = SimulationBuilder::new(platform.clone(), scenario())
+            .duration(Millis::new(600))
+            .seed(99)
+            .cost_model(cost_model.clone())
+            .run(&mut sched)
+            .expect("valid simulation")
+            .into_metrics();
+        ObjectiveKind::UxCost.evaluate(&metrics)
+    };
+
+    println!("searching (α, β) for VR_Gaming on {platform}:");
+    let trace = ParamOptimizer::new(ScoreParams::neutral()).run(evaluate);
+    for step in &trace.steps {
+        println!(
+            "  step {}: center {} radius {:.3} -> best {} (UXCost {:.4})",
+            step.index, step.center, step.radius, step.best.0, step.best.1
+        );
+    }
+    println!(
+        "converged to {} with UXCost {:.4} after {} evaluations",
+        trace.final_params,
+        trace.final_cost,
+        trace.evaluations()
+    );
+
+    // Deploy the tuned parameters for a full-length run.
+    let mut tuned = DreamScheduler::new(DreamConfig::full().with_params(trace.final_params));
+    let outcome = SimulationBuilder::new(platform.clone(), scenario())
+        .duration(Millis::new(2_000))
+        .seed(123)
+        .cost_model(cost_model)
+        .run(&mut tuned)?;
+    let report = UxCostReport::from_metrics(outcome.metrics());
+    println!("\ndeployed run:\n{report}");
+    Ok(())
+}

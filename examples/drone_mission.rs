@@ -1,0 +1,53 @@
+//! Task-level dynamicity: a drone flies outdoors, enters a building
+//! mid-mission (scenario switch with pipeline flush), and DREAM's
+//! adaptivity engine re-tunes (α, β) online without blocking dispatch.
+//!
+//! ```text
+//! cargo run --release --example drone_mission
+//! ```
+
+use dream::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::preset(PlatformPreset::Hetero4kOs1Ws2);
+
+    // Enable online adaptation so the workload change triggers a live
+    // tuning episode (§4.4).
+    let config = DreamConfig::full().with_online_adaptation();
+    let mut scheduler = DreamScheduler::new(config);
+
+    let outcome = SimulationBuilder::new(platform, Scenario::drone_outdoor())
+        .add_phase(Millis::new(1_500), Scenario::drone_indoor())
+        .duration(Millis::new(3_000))
+        .seed(7)
+        .run(&mut scheduler)?;
+
+    let metrics = outcome.metrics();
+    println!("== per-model outcome (phase 0 = outdoor, phase 1 = indoor) ==");
+    for (key, stats) in metrics.models() {
+        println!(
+            "phase {} {:<18} released {:>3}  on-time {:>3}  violated {:>3}  flushed {:>2}",
+            key.phase,
+            stats.model_name,
+            stats.released,
+            stats.completed_on_time,
+            stats.violated(),
+            stats.flushed,
+        );
+    }
+
+    println!("\n== adaptivity engine ==");
+    println!("tuning episodes : {}", scheduler.adaptivity().episodes());
+    println!(
+        "candidates tried: {}",
+        scheduler.adaptivity().history().len()
+    );
+    for (time, params, cost) in scheduler.adaptivity().history().iter().take(8) {
+        println!("  t={time:<12} candidate {params} -> windowed UXCost {cost:.4}");
+    }
+    println!("final parameters: {}", scheduler.current_params());
+
+    let report = UxCostReport::from_metrics(metrics);
+    println!("\noverall UXCost over the whole mission: {:.4}", report.uxcost());
+    Ok(())
+}

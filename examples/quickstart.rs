@@ -1,0 +1,40 @@
+//! Quickstart: run one RTMM scenario under DREAM and print the UXCost
+//! report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dream::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Hardware: Table 2's 4K-PE heterogeneous platform — one 2048-PE
+    // weight-stationary accelerator plus two 1024-PE output-stationary
+    // ones, sharing 8 MiB of SRAM and 90 GB/s of DRAM bandwidth.
+    let platform = Platform::preset(PlatformPreset::Hetero4kWs1Os2);
+
+    // Workload: the AR call scenario — keyword spotting cascading into
+    // GNMT translation (50% trigger probability), plus a SkipNet visual
+    // context model whose residual blocks are skipped dynamically.
+    let scenario = Scenario::ar_call(CascadeProbability::new(0.5)?);
+
+    // Scheduler: full DREAM (MapScore dispatch + smart frame drop +
+    // supernet switching).
+    let mut scheduler = DreamScheduler::new(DreamConfig::full());
+
+    let outcome = SimulationBuilder::new(platform, scenario)
+        .duration(Millis::new(2_000))
+        .seed(42)
+        .run(&mut scheduler)?;
+
+    let metrics = outcome.metrics();
+    let report = UxCostReport::from_metrics(metrics);
+    println!("{report}");
+    println!();
+    println!("layers executed   : {}", metrics.layer_executions);
+    println!("context switches  : {}", metrics.context_switches);
+    println!("mean utilisation  : {:.1}%", 100.0 * metrics.mean_utilization());
+    println!("frames dropped    : {}", scheduler.total_drops());
+    println!("final (α, β)      : {}", scheduler.current_params());
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Scheduler shoot-out on one stressed platform: every baseline against
+//! DREAM on AR_Social (a miniature of the paper's Figure 7).
+//!
+//! ```text
+//! cargo run --release --example scheduler_comparison
+//! ```
+
+use dream::prelude::*;
+
+type SchedulerFactory = Box<dyn Fn() -> Box<dyn Scheduler>>;
+
+fn run_one(
+    scheduler: &mut dyn Scheduler,
+    seed: u64,
+) -> Result<Metrics, Box<dyn std::error::Error>> {
+    let platform = Platform::preset(PlatformPreset::Hetero4kWs1Os2);
+    let scenario = Scenario::ar_social(CascadeProbability::new(0.5)?);
+    Ok(SimulationBuilder::new(platform, scenario)
+        .duration(Millis::new(2_000))
+        .seed(seed)
+        .run(scheduler)?
+        .into_metrics())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("AR_Social on 4K 1WS+2OS, 2 s window, seed-averaged over 3 runs\n");
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>10}",
+        "scheduler", "UXCost", "DLV rate", "energy", "switches"
+    );
+
+    // Each closure builds a fresh scheduler per seed (schedulers carry
+    // state across a run).
+    let entries: Vec<(&str, SchedulerFactory)> = vec![
+        ("FCFS", Box::new(|| Box::new(FcfsScheduler::new()))),
+        ("Static", Box::new(|| Box::new(StaticScheduler::new()))),
+        ("EDF", Box::new(|| Box::new(EdfScheduler::new()))),
+        ("Veltair", Box::new(|| Box::new(VeltairScheduler::new()))),
+        ("Planaria", Box::new(|| Box::new(PlanariaScheduler::new()))),
+        (
+            "DREAM-Full",
+            Box::new(|| Box::new(DreamScheduler::new(DreamConfig::full()))),
+        ),
+    ];
+
+    for (name, make) in entries {
+        let mut uxcost = 0.0;
+        let mut dlv = 0.0;
+        let mut energy = 0.0;
+        let mut switches = 0u64;
+        let seeds = [11u64, 12, 13];
+        for &seed in &seeds {
+            let mut scheduler = make();
+            let metrics = run_one(scheduler.as_mut(), seed)?;
+            let report = UxCostReport::from_metrics(&metrics);
+            uxcost += report.uxcost() / seeds.len() as f64;
+            dlv += metrics.mean_violation_rate() / seeds.len() as f64;
+            energy += metrics.mean_normalized_energy() / seeds.len() as f64;
+            switches += metrics.context_switches / seeds.len() as u64;
+        }
+        println!("{name:<18} {uxcost:>10.4} {dlv:>10.4} {energy:>10.4} {switches:>10}");
+    }
+    println!("\nLower is better everywhere. DREAM here runs untuned (α = β = 1);");
+    println!("the bench harness additionally applies the §3.6 offline tuning.");
+    Ok(())
+}

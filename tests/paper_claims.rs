@@ -1,0 +1,177 @@
+//! Fast, test-sized versions of the paper's evaluation claims (the full
+//! versions live in `crates/bench/benches/` — see EXPERIMENTS.md).
+
+use dream::prelude::*;
+
+fn run(
+    scheduler: &mut dyn Scheduler,
+    kind: ScenarioKind,
+    preset: PlatformPreset,
+    cascade: f64,
+    ms: u64,
+    seed: u64,
+) -> Metrics {
+    let scenario = Scenario::new(kind, CascadeProbability::new(cascade).unwrap());
+    SimulationBuilder::new(Platform::preset(preset), scenario)
+        .duration(Millis::new(ms))
+        .seed(seed)
+        .run(scheduler)
+        .unwrap()
+        .into_metrics()
+}
+
+/// §2.3 / Figure 2: dynamic FCFS violates fewer deadlines than static
+/// scheduling on AR_Call under dynamicity.
+#[test]
+fn figure2_dynamic_beats_static_on_ar_call() {
+    let mut total_static = 0.0;
+    let mut total_dynamic = 0.0;
+    for preset in [
+        PlatformPreset::Hetero4kWs1Os2,
+        PlatformPreset::Hetero4kOs1Ws2,
+    ] {
+        let mut statik = StaticScheduler::new();
+        let mut fcfs = FcfsScheduler::new();
+        total_static += run(&mut statik, ScenarioKind::ArCall, preset, 0.5, 2_000, 1)
+            .mean_violation_rate();
+        total_dynamic +=
+            run(&mut fcfs, ScenarioKind::ArCall, preset, 0.5, 2_000, 1).mean_violation_rate();
+    }
+    assert!(
+        total_dynamic < total_static,
+        "dynamic {total_dynamic} vs static {total_static}"
+    );
+}
+
+/// Figure 7 (in miniature): DREAM's UXCost beats FCFS and Veltair on a
+/// constrained heterogeneous platform.
+#[test]
+fn figure7_dream_beats_fcfs_and_veltair() {
+    let avg = |make: &dyn Fn() -> Box<dyn Scheduler>| {
+        let mut acc = 0.0;
+        for seed in [41, 42] {
+            let mut s = make();
+            let m = run(
+                s.as_mut(),
+                ScenarioKind::ArSocial,
+                PlatformPreset::Hetero4kWs1Os2,
+                0.5,
+                1_500,
+                seed,
+            );
+            acc += UxCostReport::from_metrics(&m).uxcost() / 2.0;
+        }
+        acc
+    };
+    let dream = avg(&|| Box::new(DreamScheduler::new(DreamConfig::full())));
+    let fcfs = avg(&|| Box::new(FcfsScheduler::new()));
+    let veltair = avg(&|| Box::new(VeltairScheduler::new()));
+    assert!(dream < fcfs, "DREAM {dream} vs FCFS {fcfs}");
+    assert!(dream < veltair, "DREAM {dream} vs Veltair {veltair}");
+}
+
+/// Figure 12's direction: higher cascade probability means more load and a
+/// (weakly) higher UXCost for every scheduler.
+#[test]
+fn figure12_load_grows_with_cascade_probability() {
+    let cost_at = |p: f64| {
+        let mut s = FcfsScheduler::new();
+        let m = run(
+            &mut s,
+            ScenarioKind::ArSocial,
+            PlatformPreset::Hetero4kWs1Os2,
+            p,
+            1_500,
+            8,
+        );
+        m.mean_violation_rate()
+    };
+    let low = cost_at(0.5);
+    let high = cost_at(0.99);
+    assert!(
+        high >= low,
+        "violations should not shrink as cascades saturate: {low} -> {high}"
+    );
+}
+
+/// Figure 14: under heavy load DREAM deploys lighter supernet variants;
+/// under light load mostly the Original.
+#[test]
+fn figure14_supernet_shift_under_load() {
+    let shares = |p: f64| {
+        let mut s = DreamScheduler::new(DreamConfig::full());
+        let m = run(
+            &mut s,
+            ScenarioKind::ArSocial,
+            PlatformPreset::Hetero4kOs1Ws2,
+            p,
+            2_000,
+            17,
+        );
+        let hist = m
+            .models()
+            .find(|(_, st)| st.model_name == "Once-for-All")
+            .map(|(_, st)| st.variant_runs.clone())
+            .unwrap();
+        let total: u64 = hist.iter().sum();
+        hist[0] as f64 / total.max(1) as f64
+    };
+    let light = shares(0.5);
+    let heavy = shares(0.99);
+    assert!(
+        heavy < light,
+        "Original share should shrink under load: light {light} heavy {heavy}"
+    );
+}
+
+/// §3.6 / Figure 11: the parameter search converges in ≤ 5 steps on a real
+/// simulation objective and improves on the neutral starting point.
+#[test]
+fn figure11_optimizer_converges_on_simulation_objective() {
+    use dream::core::{ObjectiveKind, ParamOptimizer, ScoreParams};
+    let objective = |params: ScoreParams| {
+        let mut s = DreamScheduler::new(DreamConfig::mapscore().with_params(params));
+        let m = run(
+            &mut s,
+            ScenarioKind::ArSocial,
+            PlatformPreset::Hetero4kOs1Ws2,
+            0.5,
+            600,
+            55,
+        );
+        ObjectiveKind::UxCost.evaluate(&m)
+    };
+    let neutral_cost = objective(ScoreParams::neutral());
+    let trace = ParamOptimizer::new(ScoreParams::neutral()).run(objective);
+    assert!(trace.steps.len() <= 5, "{} steps", trace.steps.len());
+    assert!(
+        trace.final_cost <= neutral_cost * 1.0001,
+        "search should not end worse than the start: {} vs {neutral_cost}",
+        trace.final_cost
+    );
+}
+
+/// Table 4 ladder: enabling smart drop never *adds* violations beyond the
+/// drop accounting itself, and the drop cap holds per model.
+#[test]
+fn table4_smart_drop_cap_holds_under_overload() {
+    let mut s = DreamScheduler::new(DreamConfig::smart_drop());
+    let m = run(
+        &mut s,
+        ScenarioKind::ArSocial,
+        PlatformPreset::Hetero4kWs1Os2,
+        0.99,
+        2_000,
+        17,
+    );
+    for (_, stats) in m.models() {
+        // 2-in-10 cap ⇒ long-run drop rate ≤ 20% (plus one window's grace).
+        assert!(
+            stats.dropped as f64 <= 0.2 * stats.released as f64 + 2.0,
+            "{}: {} drops of {}",
+            stats.model_name,
+            stats.dropped,
+            stats.released
+        );
+    }
+}
