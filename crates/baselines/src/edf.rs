@@ -50,14 +50,16 @@ impl Scheduler for EdfScheduler {
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
-                    view.workload
+                    view.workload()
                         .latency_ns(next.layer, **a)
-                        .partial_cmp(&view.workload.latency_ns(next.layer, **b))
+                        .partial_cmp(&view.workload().latency_ns(next.layer, **b))
                         .unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .expect("idle is non-empty");
             let acc = idle.remove(pos);
-            decision.assignments.push(Assignment::single(task.id(), acc));
+            decision
+                .assignments
+                .push(Assignment::single(task.id(), acc));
         }
         decision
     }
@@ -73,8 +75,10 @@ mod tests {
     #[test]
     fn edf_runs_cleanly() {
         let platform = Platform::preset(PlatformPreset::Hetero4kWs1Os2);
-        let scenario =
-            Scenario::new(ScenarioKind::DroneOutdoor, CascadeProbability::default_paper());
+        let scenario = Scenario::new(
+            ScenarioKind::DroneOutdoor,
+            CascadeProbability::default_paper(),
+        );
         let mut s = EdfScheduler::new();
         let m = SimulationBuilder::new(platform, scenario)
             .duration(Millis::new(500))

@@ -56,7 +56,7 @@ impl Scheduler for FcfsScheduler {
         queue.sort_by_key(|t| (t.released(), t.id()));
         let mut queue = queue.into_iter();
 
-        for acc in view.accs.iter().filter(|a| a.is_idle()) {
+        for acc in view.idle_accs() {
             match self.pins.get(&acc.id()) {
                 // The accelerator is working through a model: continue it.
                 Some(&task_id) => {
@@ -94,9 +94,7 @@ impl Scheduler for FcfsScheduler {
 
     fn on_task_event(&mut self, event: &TaskEvent) {
         match event.kind {
-            TaskEventKind::Completed { .. }
-            | TaskEventKind::Dropped
-            | TaskEventKind::Flushed => {
+            TaskEventKind::Completed { .. } | TaskEventKind::Dropped | TaskEventKind::Flushed => {
                 self.pins.retain(|_, &mut t| t != event.task);
             }
             TaskEventKind::Released => {}

@@ -1,7 +1,5 @@
 use dream_cost::AcceleratorConfig;
-use dream_sim::{
-    Assignment, Decision, Scheduler, SchedulerCapabilities, SystemView, Task,
-};
+use dream_sim::{Assignment, Decision, Scheduler, SchedulerCapabilities, SystemView, Task};
 
 /// Planaria-style scheduler (Ghodrati et al., MICRO'20): deadline-aware
 /// dynamic **spatial fission** of compute resources.
@@ -36,18 +34,14 @@ impl PlanariaScheduler {
     /// every remaining layer executes (no skip/exit knowledge) — exactly
     /// the conservatism §2.2 attributes to schedulers that cannot reason
     /// about constrained dynamicity.
-    fn remaining_on_gang(
-        view: &SystemView<'_>,
-        task: &Task,
-        gang: &[&AcceleratorConfig],
-    ) -> f64 {
+    fn remaining_on_gang(view: &SystemView<'_>, task: &Task, gang: &[&AcceleratorConfig]) -> f64 {
         task.remaining()
             .map(|q| {
-                let layer = view.workload.layer(q.layer);
+                let layer = view.workload().layer(q.layer);
                 let cost = if gang.len() == 1 {
-                    view.cost.layer_cost(layer, gang[0])
+                    view.cost().layer_cost(layer, gang[0])
                 } else {
-                    view.cost.gang_cost(layer, gang)
+                    view.cost().gang_cost(layer, gang)
                 };
                 cost.latency_ns
             })
@@ -79,7 +73,7 @@ impl Scheduler for PlanariaScheduler {
         let mut pool: Vec<_> = view.idle_accs().map(|a| a.id()).collect();
         pool.sort_by_key(|id| {
             std::cmp::Reverse(
-                view.platform
+                view.platform()
                     .accelerator(*id)
                     .map(|a| a.pe_count())
                     .unwrap_or(0),
@@ -92,14 +86,14 @@ impl Scheduler for PlanariaScheduler {
             if pool.is_empty() {
                 break;
             }
-            let slack = task.slack_ns(view.now);
+            let slack = task.slack_ns(view.now());
             // Grow the gang until the estimated completion meets the
             // deadline (or the pool is exhausted).
             let mut chosen = 1;
             for size in 1..=pool.len() {
                 let gang: Vec<&AcceleratorConfig> = pool[..size]
                     .iter()
-                    .map(|id| view.platform.accelerator(*id).expect("pool ids valid"))
+                    .map(|id| view.platform().accelerator(*id).expect("pool ids valid"))
                     .collect();
                 chosen = size;
                 if Self::remaining_on_gang(view, task, &gang) <= slack {
@@ -111,7 +105,7 @@ impl Scheduler for PlanariaScheduler {
             // causes).
             let gang_config: Vec<&AcceleratorConfig> = pool[..chosen]
                 .iter()
-                .map(|id| view.platform.accelerator(*id).expect("pool ids valid"))
+                .map(|id| view.platform().accelerator(*id).expect("pool ids valid"))
                 .collect();
             if Self::remaining_on_gang(view, task, &gang_config) > slack {
                 chosen = 1;
@@ -156,10 +150,16 @@ mod tests {
 
     #[test]
     fn planaria_outperforms_fcfs_on_deadlines_under_load() {
-        let m_planaria = run(ScenarioKind::DroneIndoor, PlatformPreset::Hetero4kWs1Os2, 1000);
+        let m_planaria = run(
+            ScenarioKind::DroneIndoor,
+            PlatformPreset::Hetero4kWs1Os2,
+            1000,
+        );
         let platform = Platform::preset(PlatformPreset::Hetero4kWs1Os2);
-        let scenario =
-            Scenario::new(ScenarioKind::DroneIndoor, CascadeProbability::default_paper());
+        let scenario = Scenario::new(
+            ScenarioKind::DroneIndoor,
+            CascadeProbability::default_paper(),
+        );
         let mut fcfs = crate::FcfsScheduler::new();
         let m_fcfs = SimulationBuilder::new(platform, scenario)
             .duration(Millis::new(1000))

@@ -2,9 +2,7 @@ use std::collections::BTreeMap;
 
 use dream_cost::AcceleratorId;
 use dream_models::VariantId;
-use dream_sim::{
-    Assignment, Decision, ModelKey, Scheduler, SchedulerCapabilities, SystemView,
-};
+use dream_sim::{Assignment, Decision, ModelKey, Scheduler, SchedulerCapabilities, SystemView};
 
 /// An offline, table-driven static scheduler — the "static" half of the
 /// paper's Figure 2 motivation experiment.
@@ -39,9 +37,9 @@ impl StaticScheduler {
 
     fn build_table(&mut self, view: &SystemView<'_>) {
         self.placement.clear();
-        let mut load_per_acc: Vec<f64> = vec![0.0; view.accs.len()];
-        for node in view.workload.nodes() {
-            if node.key().phase != view.phase {
+        let mut load_per_acc: Vec<f64> = vec![0.0; view.accs().len()];
+        for node in view.workload().nodes() {
+            if node.key().phase != view.phase() {
                 continue;
             }
             let fps = node.rate().as_fps();
@@ -52,20 +50,18 @@ impl StaticScheduler {
                     .iter()
                     .enumerate()
                     .map(|(i, &load)| {
-                        let lat = view
-                            .workload
-                            .latency_ns(layer, AcceleratorId(i));
+                        let lat = view.workload().latency_ns(layer, AcceleratorId(i));
                         (i, load + lat * fps)
                     })
                     .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
                     .expect("platforms have at least one accelerator");
-                let lat = view.workload.latency_ns(layer, AcceleratorId(best_acc));
+                let lat = view.workload().latency_ns(layer, AcceleratorId(best_acc));
                 load_per_acc[best_acc] += lat * fps;
                 self.placement
                     .insert((node.key(), graph_idx), AcceleratorId(best_acc));
             }
         }
-        self.built_for_phase = Some(view.phase);
+        self.built_for_phase = Some(view.phase());
     }
 }
 
@@ -87,11 +83,11 @@ impl Scheduler for StaticScheduler {
     }
 
     fn schedule(&mut self, view: &SystemView<'_>) -> Decision {
-        if self.built_for_phase != Some(view.phase) {
+        if self.built_for_phase != Some(view.phase()) {
             self.build_table(view);
         }
         let mut decision = Decision::none();
-        for acc in view.accs.iter().filter(|a| a.is_idle()) {
+        for acc in view.idle_accs() {
             // FIFO over the tasks whose next layer is statically placed
             // here.
             let candidate = view
@@ -141,8 +137,7 @@ mod tests {
         // static scheduler misses more deadlines than dynamic FCFS.
         let run = |s: &mut dyn Scheduler| {
             let platform = Platform::preset(PlatformPreset::Hetero4kWs1Os2);
-            let scenario =
-                Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper());
+            let scenario = Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper());
             SimulationBuilder::new(platform, scenario)
                 .duration(Millis::new(2000))
                 .seed(11)

@@ -49,11 +49,11 @@ impl VeltairScheduler {
     /// How many upcoming layers of `task` form the next block under the
     /// current adaptive threshold.
     fn block_len(&self, view: &SystemView<'_>, task: &dream_sim::Task) -> usize {
-        let threshold = self.base_threshold_ns * (1.0 + view.tasks.len() as f64 / 4.0);
+        let threshold = self.base_threshold_ns * (1.0 + view.task_count() as f64 / 4.0);
         let mut acc = 0.0;
         let mut n = 0;
         for q in task.remaining() {
-            acc += view.workload.avg_latency_ns(q.layer);
+            acc += view.workload().avg_latency_ns(q.layer);
             n += 1;
             if acc >= threshold {
                 break;
@@ -127,7 +127,9 @@ impl Scheduler for VeltairScheduler {
             let acc = idle.remove(self.rr_cursor % idle.len());
             self.rr_cursor = self.rr_cursor.wrapping_add(1);
             let len = self.block_len(view, task);
-            decision.assignments.push(Assignment::single(task.id(), acc));
+            decision
+                .assignments
+                .push(Assignment::single(task.id(), acc));
             if len > 1 {
                 self.blocks.insert(task.id(), (acc, len - 1));
             }
@@ -137,9 +139,7 @@ impl Scheduler for VeltairScheduler {
 
     fn on_task_event(&mut self, event: &TaskEvent) {
         match event.kind {
-            TaskEventKind::Completed { .. }
-            | TaskEventKind::Dropped
-            | TaskEventKind::Flushed => {
+            TaskEventKind::Completed { .. } | TaskEventKind::Dropped | TaskEventKind::Flushed => {
                 self.blocks.remove(&event.task);
             }
             TaskEventKind::Released => {}

@@ -5,9 +5,11 @@
 //! Paper result: dynamic FCFS decreases the violation rate by 52.9% on
 //! average. We reproduce the direction and report our measured reduction.
 
-use dream_bench::{run_averaged, write_csv, RunSpec, SchedulerKind, Table};
+use dream_bench::{write_csv, ExperimentGrid, RunSpec, SchedulerKind, Table};
 use dream_cost::PlatformPreset;
 use dream_models::ScenarioKind;
+
+const SEEDS: u64 = 3;
 
 fn main() {
     let presets = [
@@ -16,20 +18,28 @@ fn main() {
         PlatformPreset::Hetero8kWs1Os2,
         PlatformPreset::Hetero8kOs1Ws2,
     ];
+    let mut grid = ExperimentGrid::new();
+    grid.add_product(
+        &presets,
+        &[ScenarioKind::ArCall],
+        &[SchedulerKind::Static, SchedulerKind::Fcfs],
+        SEEDS,
+    );
+    let results = grid.run();
+
     let mut table = Table::new(
         "Figure 2: deadline violation rate on AR_Call (static vs dynamic FCFS)",
         &["platform", "static_dlv", "dynamic_fcfs_dlv", "reduction_%"],
     );
     let mut reductions = Vec::new();
     for preset in presets {
-        let statik = run_averaged(
-            &RunSpec::new(SchedulerKind::Static, ScenarioKind::ArCall, preset),
-            3,
-        );
-        let fcfs = run_averaged(
-            &RunSpec::new(SchedulerKind::Fcfs, ScenarioKind::ArCall, preset),
-            3,
-        );
+        let cell = |kind: SchedulerKind| {
+            results
+                .averaged_for(&RunSpec::new(kind, ScenarioKind::ArCall, preset))
+                .expect("cell ran in the grid")
+        };
+        let statik = cell(SchedulerKind::Static);
+        let fcfs = cell(SchedulerKind::Fcfs);
         let reduction = if statik.mean_violation_rate > 0.0 {
             100.0 * (1.0 - fcfs.mean_violation_rate / statik.mean_violation_rate)
         } else {

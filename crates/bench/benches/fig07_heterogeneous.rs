@@ -6,40 +6,53 @@
 //! 50.0% vs Veltair; the largest wins are AR_Social on 4K 1WS+2OS (−80.8%
 //! vs Planaria) and Drone_Outdoor on 4K 1WS+2OS (−97.6% vs Veltair).
 
-use dream_bench::{geomean, run_averaged, write_csv, RunSpec, SchedulerKind, Table};
+use dream_bench::{geomean, write_csv, ExperimentGrid, SchedulerKind, Table};
 use dream_cost::PlatformPreset;
 use dream_models::ScenarioKind;
 
 const SEEDS: u64 = 3;
 
 fn main() {
+    // The whole (platform × scenario × scheduler × seed) grid fans out
+    // across the thread pool at once; results come back in grid order.
+    let mut grid = ExperimentGrid::new();
+    grid.add_product(
+        &PlatformPreset::heterogeneous(),
+        &ScenarioKind::all(),
+        &SchedulerKind::figure7_set(),
+        SEEDS,
+    );
+    let results = grid.run();
+
     let mut table = Table::new(
         "Figure 7: UXCost / DLV / energy on heterogeneous platforms",
         &[
-            "platform", "scenario", "scheduler", "uxcost", "dlv_rate", "norm_energy", "drops",
+            "platform",
+            "scenario",
+            "scheduler",
+            "uxcost",
+            "dlv_rate",
+            "norm_energy",
+            "drops",
         ],
     );
     // Geomean accumulator per scheduler.
     let mut per_scheduler: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
-    for preset in PlatformPreset::heterogeneous() {
-        for scenario in ScenarioKind::all() {
-            for kind in SchedulerKind::figure7_set() {
-                let r = run_averaged(&RunSpec::new(kind, scenario, preset), SEEDS);
-                per_scheduler
-                    .entry(r.scheduler_name.clone())
-                    .or_default()
-                    .push(r.uxcost);
-                table.row([
-                    preset.name().to_string(),
-                    scenario.name().to_string(),
-                    r.scheduler_name.clone(),
-                    format!("{:.4}", r.uxcost),
-                    format!("{:.4}", r.mean_violation_rate),
-                    format!("{:.4}", r.mean_norm_energy),
-                    format!("{:.1}", r.drops),
-                ]);
-            }
-        }
+    for r in results.averaged() {
+        let spec = &r.runs[0].spec;
+        per_scheduler
+            .entry(r.scheduler_name.clone())
+            .or_default()
+            .push(r.uxcost);
+        table.row([
+            spec.preset.name().to_string(),
+            spec.scenario.name().to_string(),
+            r.scheduler_name.clone(),
+            format!("{:.4}", r.uxcost),
+            format!("{:.4}", r.mean_violation_rate),
+            format!("{:.4}", r.mean_norm_energy),
+            format!("{:.1}", r.drops),
+        ]);
     }
     table.print();
 
@@ -51,11 +64,7 @@ fn main() {
     for (name, costs) in &per_scheduler {
         let g = geomean(costs);
         let improvement = 100.0 * (1.0 - dream_geo / g);
-        summary.row([
-            name.clone(),
-            format!("{g:.4}"),
-            format!("{improvement:.1}"),
-        ]);
+        summary.row([name.clone(), format!("{g:.4}"), format!("{improvement:.1}")]);
     }
     summary.print();
     println!("paper: DREAM reduces UXCost by 32.1% vs Planaria and 50.0% vs Veltair (geomean)");

@@ -5,40 +5,52 @@
 //! coincide (smart drop and supernet switching cost nothing when unneeded)
 //! and the scheduler gap narrows.
 
-use dream_bench::{geomean, run_averaged, write_csv, RunSpec, SchedulerKind, Table};
+use dream_bench::{geomean, write_csv, ExperimentGrid, SchedulerKind, Table};
 use dream_cost::PlatformPreset;
 use dream_models::ScenarioKind;
 
 const SEEDS: u64 = 3;
 
 fn main() {
+    let mut grid = ExperimentGrid::new();
+    grid.add_product(
+        &PlatformPreset::homogeneous(),
+        &ScenarioKind::all(),
+        &SchedulerKind::figure7_set(),
+        SEEDS,
+    );
+    let results = grid.run();
+
     let mut table = Table::new(
         "Figure 8: UXCost on homogeneous platforms",
-        &["platform", "scenario", "scheduler", "uxcost", "dlv_rate", "norm_energy"],
+        &[
+            "platform",
+            "scenario",
+            "scheduler",
+            "uxcost",
+            "dlv_rate",
+            "norm_energy",
+        ],
     );
     let mut hetero_gap: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
     let mut dream_variants_8k: Vec<(String, f64)> = Vec::new();
-    for preset in PlatformPreset::homogeneous() {
-        for scenario in ScenarioKind::all() {
-            for kind in SchedulerKind::figure7_set() {
-                let r = run_averaged(&RunSpec::new(kind, scenario, preset), SEEDS);
-                hetero_gap
-                    .entry(r.scheduler_name.clone())
-                    .or_default()
-                    .push(r.uxcost);
-                if preset.total_pes() == 8192 && r.scheduler_name.starts_with("DREAM") {
-                    dream_variants_8k.push((r.scheduler_name.clone(), r.uxcost));
-                }
-                table.row([
-                    preset.name().to_string(),
-                    scenario.name().to_string(),
-                    r.scheduler_name.clone(),
-                    format!("{:.4}", r.uxcost),
-                    format!("{:.4}", r.mean_violation_rate),
-                    format!("{:.4}", r.mean_norm_energy),
-                ]);
-            }
+    for r in results.averaged() {
+        let spec = &r.runs[0].spec;
+        hetero_gap
+            .entry(r.scheduler_name.clone())
+            .or_default()
+            .push(r.uxcost);
+        if spec.preset.total_pes() == 8192 && r.scheduler_name.starts_with("DREAM") {
+            dream_variants_8k.push((r.scheduler_name.clone(), r.uxcost));
         }
+        table.row([
+            spec.preset.name().to_string(),
+            spec.scenario.name().to_string(),
+            r.scheduler_name.clone(),
+            format!("{:.4}", r.uxcost),
+            format!("{:.4}", r.mean_violation_rate),
+            format!("{:.4}", r.mean_norm_energy),
+        ]);
     }
     table.print();
 

@@ -6,7 +6,7 @@
 //! smart frame drop adds ~16.5% / 13.8%; supernet switching another 6–9%.
 
 use dream_bench::{
-    geomean, run_averaged, write_csv, DreamVariant, RunSpec, SchedulerKind, Table,
+    geomean, write_csv, DreamVariant, ExperimentGrid, RunSpec, SchedulerKind, Table,
 };
 use dream_core::ScoreParams;
 use dream_cost::PlatformPreset;
@@ -16,11 +16,7 @@ const SEEDS: u64 = 3;
 
 fn main() {
     let scenarios = [ScenarioKind::VrGaming, ScenarioKind::ArSocial];
-    let mut table = Table::new(
-        "Figure 9: UXCost improvement breakdown vs fixed α=β=1 (geomean over VR_Gaming + AR_Social)",
-        &["platform_class", "configuration", "geomean_uxcost", "improvement_%"],
-    );
-    for (class, presets) in [
+    let classes: [(&str, [PlatformPreset; 2]); 2] = [
         (
             "4K",
             [
@@ -35,34 +31,55 @@ fn main() {
                 PlatformPreset::Hetero8kOs1Ws2,
             ],
         ),
-    ] {
-        let cells: Vec<(ScenarioKind, PlatformPreset)> = scenarios
-            .iter()
-            .flat_map(|&s| presets.iter().map(move |&p| (s, p)))
-            .collect();
-        let configs: Vec<(&str, SchedulerKind)> = vec![
-            (
-                "fixed α=β=1",
-                SchedulerKind::DreamFixed(DreamVariant::MapScore, ScoreParams::neutral()),
-            ),
-            (
-                "DREAM-MapScore (+param opt)",
-                SchedulerKind::DreamTuned(DreamVariant::MapScore),
-            ),
-            (
-                "DREAM-SmartDrop (+frame drop)",
-                SchedulerKind::DreamTuned(DreamVariant::SmartDrop),
-            ),
-            (
-                "DREAM-Full (+supernet switch)",
-                SchedulerKind::DreamTuned(DreamVariant::Full),
-            ),
-        ];
+    ];
+    let configs: Vec<(&str, SchedulerKind)> = vec![
+        (
+            "fixed α=β=1",
+            SchedulerKind::DreamFixed(DreamVariant::MapScore, ScoreParams::neutral()),
+        ),
+        (
+            "DREAM-MapScore (+param opt)",
+            SchedulerKind::DreamTuned(DreamVariant::MapScore),
+        ),
+        (
+            "DREAM-SmartDrop (+frame drop)",
+            SchedulerKind::DreamTuned(DreamVariant::SmartDrop),
+        ),
+        (
+            "DREAM-Full (+supernet switch)",
+            SchedulerKind::DreamTuned(DreamVariant::Full),
+        ),
+    ];
+
+    // Every (class × config × scenario × platform × seed) cell in one grid.
+    let mut grid = ExperimentGrid::new();
+    for (_, presets) in &classes {
+        for (_, kind) in &configs {
+            for &scenario in &scenarios {
+                for &preset in presets {
+                    grid.add_seed_sweep(RunSpec::new(*kind, scenario, preset), SEEDS);
+                }
+            }
+        }
+    }
+    let results = grid.run();
+
+    let mut table = Table::new(
+        "Figure 9: UXCost improvement breakdown vs fixed α=β=1 (geomean over VR_Gaming + AR_Social)",
+        &["platform_class", "configuration", "geomean_uxcost", "improvement_%"],
+    );
+    for (class, presets) in &classes {
         let mut base = None;
-        for (label, kind) in configs {
-            let costs: Vec<f64> = cells
+        for (label, kind) in &configs {
+            let costs: Vec<f64> = scenarios
                 .iter()
-                .map(|&(s, p)| run_averaged(&RunSpec::new(kind, s, p), SEEDS).uxcost)
+                .flat_map(|&s| presets.iter().map(move |&p| (s, p)))
+                .map(|(s, p)| {
+                    results
+                        .averaged_for(&RunSpec::new(*kind, s, p))
+                        .expect("cell ran in the grid")
+                        .uxcost
+                })
                 .collect();
             let g = geomean(&costs);
             let base_g = *base.get_or_insert(g);

@@ -7,9 +7,10 @@
 //!   parameters).
 //!
 //! Prints each step's center, radius, and best candidate — the trajectory
-//! the paper plots over the UXCost heat map.
+//! the paper plots over the UXCost heat map. Each step's candidate ring is
+//! evaluated in parallel (the steps themselves are inherently sequential).
 
-use dream_bench::{write_csv, Table, DEFAULT_SEED};
+use dream_bench::{parallel_map, write_csv, Table, DEFAULT_SEED};
 use dream_core::{DreamConfig, DreamScheduler, ObjectiveKind, ParamOptimizer, ScoreParams};
 use dream_cost::{Platform, PlatformPreset};
 use dream_models::{CascadeProbability, Scenario, ScenarioKind};
@@ -17,19 +18,17 @@ use dream_sim::{Millis, SimulationBuilder};
 
 const PRESET: PlatformPreset = PlatformPreset::Hetero4kOs1Ws2;
 
-fn objective(scenario: ScenarioKind) -> impl FnMut(ScoreParams) -> f64 {
-    move |params| {
-        let platform = Platform::preset(PRESET);
-        let workload = Scenario::new(scenario, CascadeProbability::default_paper());
-        let mut sched = DreamScheduler::new(DreamConfig::mapscore().with_params(params));
-        let m = SimulationBuilder::new(platform, workload)
-            .duration(Millis::new(800))
-            .seed(DEFAULT_SEED ^ 0xA5A5)
-            .run(&mut sched)
-            .expect("tuning sims are valid")
-            .into_metrics();
-        ObjectiveKind::UxCost.evaluate(&m)
-    }
+fn eval(scenario: ScenarioKind, params: ScoreParams) -> f64 {
+    let platform = Platform::preset(PRESET);
+    let workload = Scenario::new(scenario, CascadeProbability::default_paper());
+    let mut sched = DreamScheduler::new(DreamConfig::mapscore().with_params(params));
+    let m = SimulationBuilder::new(platform, workload)
+        .duration(Millis::new(800))
+        .seed(DEFAULT_SEED ^ 0xA5A5)
+        .run(&mut sched)
+        .expect("tuning sims are valid")
+        .into_metrics();
+    ObjectiveKind::UxCost.evaluate(&m)
 }
 
 fn main() {
@@ -38,19 +37,33 @@ fn main() {
     let boot = ScoreParams::clamped(1.7, 0.3);
     let mut table = Table::new(
         "Figure 10: MapScore parameter search trajectories (4K 1OS+2WS)",
-        &["case", "step", "center_alpha", "center_beta", "radius", "best_alpha", "best_beta", "best_uxcost"],
+        &[
+            "case",
+            "step",
+            "center_alpha",
+            "center_beta",
+            "radius",
+            "best_alpha",
+            "best_beta",
+            "best_uxcost",
+        ],
     );
 
     let mut locked_vr = ScoreParams::neutral();
     let cases: [(&str, ScenarioKind, Option<ScoreParams>); 4] = [
         ("(a) IDLE->VR_Gaming", ScenarioKind::VrGaming, Some(boot)),
         ("(b) IDLE->AR_Social", ScenarioKind::ArSocial, Some(boot)),
-        ("(c) IDLE->Drone_Indoor", ScenarioKind::DroneIndoor, Some(boot)),
+        (
+            "(c) IDLE->Drone_Indoor",
+            ScenarioKind::DroneIndoor,
+            Some(boot),
+        ),
         ("(d) VR_Gaming->AR_Social", ScenarioKind::ArSocial, None),
     ];
     for (label, scenario, start) in cases {
         let start = start.unwrap_or(locked_vr);
-        let trace = ParamOptimizer::new(start).run(objective(scenario));
+        let trace = ParamOptimizer::new(start)
+            .run_batched(|candidates| parallel_map(candidates.to_vec(), |&p| eval(scenario, p)));
         for step in &trace.steps {
             table.row([
                 label.to_string(),

@@ -30,7 +30,13 @@ fn eval(scenario: ScenarioKind, params: ScoreParams) -> f64 {
 fn main() {
     let mut table = Table::new(
         "Figure 11: optimiser convergence vs grid-search optimum",
-        &["scenario", "step", "best_uxcost_so_far", "grid_optimum", "gap_%"],
+        &[
+            "scenario",
+            "step",
+            "best_uxcost_so_far",
+            "grid_optimum",
+            "gap_%",
+        ],
     );
     for scenario in [
         ScenarioKind::VrGaming,
@@ -51,8 +57,8 @@ fn main() {
         let grid_costs = parallel_map(grid_points, |p| eval(scenario, *p));
         let grid_opt = grid_costs.iter().copied().fold(f64::INFINITY, f64::min);
 
-        let trace =
-            ParamOptimizer::new(ScoreParams::clamped(1.7, 0.3)).run(|p| eval(scenario, p));
+        let trace = ParamOptimizer::new(ScoreParams::clamped(1.7, 0.3))
+            .run_batched(|cands| parallel_map(cands.to_vec(), |&p| eval(scenario, p)));
         for (step, best) in trace.best_cost_per_step().iter().enumerate() {
             let gap = 100.0 * (best / grid_opt - 1.0);
             table.row([

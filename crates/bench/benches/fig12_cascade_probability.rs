@@ -5,19 +5,13 @@
 //! under heavy load; smart frame drop and supernet switching contribute
 //! most at 99%.
 
-use dream_bench::{
-    run_averaged, write_csv, DreamVariant, RunSpec, SchedulerKind, Table,
-};
+use dream_bench::{write_csv, DreamVariant, ExperimentGrid, RunSpec, SchedulerKind, Table};
 use dream_cost::PlatformPreset;
 use dream_models::ScenarioKind;
 
 const SEEDS: u64 = 3;
 
 fn main() {
-    let mut table = Table::new(
-        "Figure 12: UXCost vs cascade probability (4K heterogeneous)",
-        &["platform", "scenario", "cascade_%", "scheduler", "uxcost", "dlv_rate", "drops"],
-    );
     let schedulers = [
         SchedulerKind::Fcfs,
         SchedulerKind::Veltair,
@@ -26,6 +20,9 @@ fn main() {
         SchedulerKind::DreamTuned(DreamVariant::SmartDrop),
         SchedulerKind::DreamTuned(DreamVariant::Full),
     ];
+    // The full sweep — including per-(scenario, platform, cascade) offline
+    // tuning for the DREAM rows — fans out across the thread pool at once.
+    let mut grid = ExperimentGrid::new();
     for preset in [
         PlatformPreset::Hetero4kWs1Os2,
         PlatformPreset::Hetero4kOs1Ws2,
@@ -33,21 +30,39 @@ fn main() {
         for scenario in [ScenarioKind::VrGaming, ScenarioKind::ArSocial] {
             for cascade in [0.5, 0.7, 0.9, 0.99] {
                 for kind in schedulers {
-                    let spec =
-                        RunSpec::new(kind, scenario, preset).with_cascade(cascade);
-                    let r = run_averaged(&spec, SEEDS);
-                    table.row([
-                        preset.name().to_string(),
-                        scenario.name().to_string(),
-                        format!("{:.0}", cascade * 100.0),
-                        r.scheduler_name.clone(),
-                        format!("{:.4}", r.uxcost),
-                        format!("{:.4}", r.mean_violation_rate),
-                        format!("{:.1}", r.drops),
-                    ]);
+                    grid.add_seed_sweep(
+                        RunSpec::new(kind, scenario, preset).with_cascade(cascade),
+                        SEEDS,
+                    );
                 }
             }
         }
+    }
+    let results = grid.run();
+
+    let mut table = Table::new(
+        "Figure 12: UXCost vs cascade probability (4K heterogeneous)",
+        &[
+            "platform",
+            "scenario",
+            "cascade_%",
+            "scheduler",
+            "uxcost",
+            "dlv_rate",
+            "drops",
+        ],
+    );
+    for r in results.averaged() {
+        let spec = &r.runs[0].spec;
+        table.row([
+            spec.preset.name().to_string(),
+            spec.scenario.name().to_string(),
+            format!("{:.0}", spec.cascade * 100.0),
+            r.scheduler_name.clone(),
+            format!("{:.4}", r.uxcost),
+            format!("{:.4}", r.mean_violation_rate),
+            format!("{:.1}", r.drops),
+        ]);
     }
     table.print();
     println!("paper: DREAM cuts UXCost by up to ~90% vs baselines at 99% cascade probability");

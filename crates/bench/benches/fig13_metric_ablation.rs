@@ -8,62 +8,79 @@
 //! and UXCost by 28.7%); UXCost tuning balances both.
 
 use dream_bench::{
-    run_spec, tune_params, write_csv, DreamVariant, RunSpec, SchedulerKind, Table,
+    tune_params, write_csv, DreamVariant, ExperimentGrid, RunSpec, SchedulerKind, Table,
 };
-use dream_core::ObjectiveKind;
+use dream_core::{ObjectiveKind, ScoreParams};
 use dream_cost::PlatformPreset;
 use dream_models::ScenarioKind;
 
 fn main() {
     let preset = PlatformPreset::Hetero4kWs1Os2;
+    let objectives = [
+        ObjectiveKind::UxCost,
+        ObjectiveKind::DeadlineOnly,
+        ObjectiveKind::EnergyOnly,
+    ];
+
+    // Stage 1: tune every (scenario, cascade, objective) cell. Each tuning
+    // search parallelises its candidate evaluations internally.
+    let mut cells: Vec<(ScenarioKind, f64, ObjectiveKind, ScoreParams)> = Vec::new();
+    for scenario in [ScenarioKind::VrGaming, ScenarioKind::ArSocial] {
+        for cascade in [0.5, 0.9] {
+            for &obj in &objectives {
+                let params = tune_params(scenario, preset, cascade, DreamVariant::MapScore, obj);
+                cells.push((scenario, cascade, obj, params));
+            }
+        }
+    }
+
+    // Stage 2: one measurement grid over every tuned cell.
+    let mut grid = ExperimentGrid::new();
+    for &(scenario, cascade, _, params) in &cells {
+        grid.push(
+            RunSpec::new(
+                SchedulerKind::DreamFixed(DreamVariant::MapScore, params),
+                scenario,
+                preset,
+            )
+            .with_cascade(cascade),
+        );
+    }
+    let results = grid.run();
+
     let mut table = Table::new(
         "Figure 13: tuning objective ablation (values normalised to UXCost-tuned run)",
         &[
-            "scenario", "cascade_%", "objective", "alpha", "beta", "uxcost_rel", "dlv_rel",
+            "scenario",
+            "cascade_%",
+            "objective",
+            "alpha",
+            "beta",
+            "uxcost_rel",
+            "dlv_rel",
             "energy_rel",
         ],
     );
-    for scenario in [ScenarioKind::VrGaming, ScenarioKind::ArSocial] {
-        for cascade in [0.5, 0.9] {
-            // Baseline: UXCost-optimised.
-            let objectives = [
-                ObjectiveKind::UxCost,
-                ObjectiveKind::DeadlineOnly,
-                ObjectiveKind::EnergyOnly,
-            ];
-            let runs: Vec<_> = objectives
-                .iter()
-                .map(|&obj| {
-                    let params = tune_params(scenario, preset, cascade, DreamVariant::MapScore, obj);
-                    let spec = RunSpec::new(
-                        SchedulerKind::DreamFixed(DreamVariant::MapScore, params),
-                        scenario,
-                        preset,
-                    )
-                    .with_cascade(cascade);
-                    (obj, params, run_spec(&spec))
-                })
-                .collect();
-            let base = &runs[0].2;
-            let rel = |x: f64, b: f64| if b > 0.0 { x / b } else { 1.0 };
-            for (obj, params, r) in &runs {
-                table.row([
-                    scenario.name().to_string(),
-                    format!("{:.0}", cascade * 100.0),
-                    obj.name().to_string(),
-                    format!("{:.2}", params.alpha()),
-                    format!("{:.2}", params.beta()),
-                    format!("{:.3}", rel(r.uxcost, base.uxcost)),
-                    format!(
-                        "{:.3}",
-                        rel(r.overall_rate_dlv, base.overall_rate_dlv)
-                    ),
-                    format!(
-                        "{:.3}",
-                        rel(r.overall_norm_energy, base.overall_norm_energy)
-                    ),
-                ]);
-            }
+    let rel = |x: f64, b: f64| if b > 0.0 { x / b } else { 1.0 };
+    for (group, runs) in cells
+        .chunks(objectives.len())
+        .zip(results.runs().chunks(objectives.len()))
+    {
+        let base = &runs[0];
+        for ((scenario, cascade, obj, params), r) in group.iter().zip(runs) {
+            table.row([
+                scenario.name().to_string(),
+                format!("{:.0}", cascade * 100.0),
+                obj.name().to_string(),
+                format!("{:.2}", params.alpha()),
+                format!("{:.2}", params.beta()),
+                format!("{:.3}", rel(r.uxcost, base.uxcost)),
+                format!("{:.3}", rel(r.overall_rate_dlv, base.overall_rate_dlv)),
+                format!(
+                    "{:.3}",
+                    rel(r.overall_norm_energy, base.overall_norm_energy)
+                ),
+            ]);
         }
     }
     table.print();

@@ -5,48 +5,62 @@
 //! runs (100% for AR_Social on 1WS+2OS); under heavy load the lighter
 //! variants take over (>60% for AR_Social).
 
-use dream_bench::{run_averaged, write_csv, DreamVariant, RunSpec, SchedulerKind, Table};
+use dream_bench::{write_csv, DreamVariant, ExperimentGrid, RunSpec, SchedulerKind, Table};
 use dream_cost::PlatformPreset;
 use dream_models::ScenarioKind;
 
 const SEEDS: u64 = 3;
 
 fn main() {
-    let mut table = Table::new(
-        "Figure 14: executed OFA subnet shares under DREAM-Full (4K heterogeneous)",
-        &[
-            "platform", "scenario", "cascade_%", "original_%", "lg_%", "md_%", "sm_%",
-        ],
-    );
+    let mut grid = ExperimentGrid::new();
     for preset in [
         PlatformPreset::Hetero4kWs1Os2,
         PlatformPreset::Hetero4kOs1Ws2,
     ] {
         for scenario in [ScenarioKind::VrGaming, ScenarioKind::ArSocial] {
             for cascade in [0.5, 0.9, 0.99] {
-                let spec = RunSpec::new(
-                    SchedulerKind::DreamTuned(DreamVariant::Full),
-                    scenario,
-                    preset,
-                )
-                .with_cascade(cascade);
-                let r = run_averaged(&spec, SEEDS);
-                let shares = if r.variant_shares.len() == 4 {
-                    r.variant_shares.clone()
-                } else {
-                    vec![0.0; 4]
-                };
-                table.row([
-                    preset.name().to_string(),
-                    scenario.name().to_string(),
-                    format!("{:.0}", cascade * 100.0),
-                    format!("{:.1}", shares[0] * 100.0),
-                    format!("{:.1}", shares[1] * 100.0),
-                    format!("{:.1}", shares[2] * 100.0),
-                    format!("{:.1}", shares[3] * 100.0),
-                ]);
+                grid.add_seed_sweep(
+                    RunSpec::new(
+                        SchedulerKind::DreamTuned(DreamVariant::Full),
+                        scenario,
+                        preset,
+                    )
+                    .with_cascade(cascade),
+                    SEEDS,
+                );
             }
         }
+    }
+    let results = grid.run();
+
+    let mut table = Table::new(
+        "Figure 14: executed OFA subnet shares under DREAM-Full (4K heterogeneous)",
+        &[
+            "platform",
+            "scenario",
+            "cascade_%",
+            "original_%",
+            "lg_%",
+            "md_%",
+            "sm_%",
+        ],
+    );
+    for r in results.averaged() {
+        let spec = &r.runs[0].spec;
+        let shares = if r.variant_shares.len() == 4 {
+            r.variant_shares.clone()
+        } else {
+            vec![0.0; 4]
+        };
+        table.row([
+            spec.preset.name().to_string(),
+            spec.scenario.name().to_string(),
+            format!("{:.0}", spec.cascade * 100.0),
+            format!("{:.1}", shares[0] * 100.0),
+            format!("{:.1}", shares[1] * 100.0),
+            format!("{:.1}", shares[2] * 100.0),
+            format!("{:.1}", shares[3] * 100.0),
+        ]);
     }
     table.print();
     println!("paper: Original dominates at 50% load; lighter variants exceed 60% under heavy load");

@@ -1,0 +1,91 @@
+//! Scheduler-decision hot-path micro-benchmark: events/sec through
+//! `DreamScheduler::schedule` under the AR-call scenario, the loop the
+//! DREAM paper requires to be cheap enough to run per event (§4,
+//! Algorithm 1).
+//!
+//! Writes `BENCH_hotpath.json` at the workspace root so successive PRs
+//! can track the perf trajectory of the hot path.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dream_core::{DreamConfig, DreamScheduler};
+use dream_cost::{Platform, PlatformPreset};
+use dream_models::{CascadeProbability, Scenario, ScenarioKind};
+use dream_sim::{Millis, SimulationBuilder};
+
+const HORIZON_MS: u64 = 2_000;
+const REPS: u32 = 5;
+
+struct Sample {
+    events: u64,
+    decisions: u64,
+    layers: u64,
+    wall_s: f64,
+}
+
+fn run_once(seed: u64) -> Sample {
+    let platform = Platform::preset(PlatformPreset::Hetero4kWs1Os2);
+    let scenario = Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper());
+    let mut sched = DreamScheduler::new(DreamConfig::mapscore());
+    let start = Instant::now();
+    let metrics = SimulationBuilder::new(platform, scenario)
+        .duration(Millis::new(HORIZON_MS))
+        .seed(seed)
+        .run(&mut sched)
+        .expect("hot-path bench sim is valid")
+        .into_metrics();
+    Sample {
+        events: metrics.events_processed,
+        decisions: metrics.scheduler_invocations,
+        layers: metrics.layer_executions,
+        wall_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    // Warm up allocator + cost tables once before timing.
+    let _ = run_once(0);
+
+    // Keep the recorded counts and rates from the same (best) rep so the
+    // JSON numbers are mutually consistent across PR-to-PR comparisons.
+    let mut best: Option<Sample> = None;
+    for rep in 0..REPS {
+        let s = run_once(u64::from(rep));
+        let eps = s.events as f64 / s.wall_s;
+        println!(
+            "rep {rep}: {} events, {} decisions, {} layers in {:.1} ms  →  {:.0} events/s, {:.0} decisions/s",
+            s.events,
+            s.decisions,
+            s.layers,
+            s.wall_s * 1e3,
+            eps,
+            s.decisions as f64 / s.wall_s
+        );
+        if best
+            .as_ref()
+            .map(|b| eps > b.events as f64 / b.wall_s)
+            .unwrap_or(true)
+        {
+            best = Some(s);
+        }
+    }
+    let best = best.expect("at least one rep ran");
+    let events_per_sec = best.events as f64 / best.wall_s;
+    let decisions_per_sec = best.decisions as f64 / best.wall_s;
+    println!(
+        "hotpath: DreamScheduler::schedule on AR_Call — best {events_per_sec:.0} events/s, {decisions_per_sec:.0} decisions/s",
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"hotpath\",\n  \"scenario\": \"AR_Call\",\n  \"scheduler\": \"DREAM-MapScore\",\n  \"horizon_ms\": {HORIZON_MS},\n  \"events\": {},\n  \"decisions\": {},\n  \"layer_executions\": {},\n  \"events_per_sec\": {events_per_sec:.0},\n  \"decisions_per_sec\": {decisions_per_sec:.0}\n}}\n",
+        best.events, best.decisions, best.layers
+    );
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_hotpath.json"]
+        .iter()
+        .collect();
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

@@ -40,7 +40,13 @@ fn main() {
             "hetero",
         ],
     );
-    let mark = |b: bool| if b { "yes".to_string() } else { "-".to_string() };
+    let mark = |b: bool| {
+        if b {
+            "yes".to_string()
+        } else {
+            "-".to_string()
+        }
+    };
     for (name, s) in schedulers {
         let c = s.capabilities();
         table.row([

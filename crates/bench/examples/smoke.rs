@@ -1,20 +1,46 @@
 //! Smoke: does DREAM beat the baselines on a stressed platform?
+//! The whole grid fans out across the thread pool in one go.
 use dream_bench::*;
 use dream_cost::PlatformPreset;
 use dream_models::ScenarioKind;
 
 fn main() {
     let t0 = std::time::Instant::now();
-    for preset in [PlatformPreset::Hetero4kWs1Os2, PlatformPreset::Hetero4kOs1Ws2] {
-        for kind in [ScenarioKind::ArSocial, ScenarioKind::DroneOutdoor, ScenarioKind::ArCall] {
-            println!("== {} / {} ==", preset.name(), kind.name());
-            for sched in SchedulerKind::figure7_set() {
-                let r = run_spec(&RunSpec::new(sched, kind, preset));
-                println!("  {:18} uxcost={:8.4} dlv={:.3} energyN={:.3} drops={} sw={}",
-                    r.scheduler_name, r.uxcost, r.mean_violation_rate, r.mean_norm_energy,
-                    r.drops, r.context_switches);
-            }
+    let mut grid = ExperimentGrid::new();
+    grid.add_product(
+        &[
+            PlatformPreset::Hetero4kWs1Os2,
+            PlatformPreset::Hetero4kOs1Ws2,
+        ],
+        &[
+            ScenarioKind::ArSocial,
+            ScenarioKind::DroneOutdoor,
+            ScenarioKind::ArCall,
+        ],
+        &SchedulerKind::figure7_set(),
+        1,
+    );
+    let results = grid.run();
+    let mut last_cell = String::new();
+    for r in results.runs() {
+        let cell = format!(
+            "== {} / {} ==",
+            r.spec.preset.name(),
+            r.spec.scenario.name()
+        );
+        if cell != last_cell {
+            println!("{cell}");
+            last_cell = cell;
         }
+        println!(
+            "  {:18} uxcost={:8.4} dlv={:.3} energyN={:.3} drops={} sw={}",
+            r.scheduler_name,
+            r.uxcost,
+            r.mean_violation_rate,
+            r.mean_norm_energy,
+            r.drops,
+            r.context_switches
+        );
     }
     println!("elapsed: {:?}", t0.elapsed());
 }

@@ -1,19 +1,24 @@
 //! Shared experiment harness for regenerating every table and figure of the
-//! DREAM paper. Each `benches/figNN_*.rs` target builds [`RunSpec`]s, calls
-//! [`run_spec`] (or the sweep helpers), and prints the same rows/series the
-//! paper reports. Raw CSVs land in `target/experiments/`.
+//! DREAM paper. Each `benches/figNN_*.rs` target builds [`RunSpec`]s into an
+//! [`ExperimentGrid`], fans the whole (scheduler × scenario × platform ×
+//! seed) grid out across a thread pool, and prints the same rows/series the
+//! paper reports. Grid aggregation is deterministic and seed-keyed: the
+//! same grid yields bit-identical metrics for 1 and N worker threads. Raw
+//! CSVs land in `target/experiments/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod grid;
 mod report;
 mod runner;
 mod tuning;
 
+pub use grid::{ExperimentGrid, GridResults};
 pub use report::{csv_path, geomean, write_csv, Table};
 pub use runner::{
-    parallel_map, run_averaged, run_spec, AveragedResult, DreamVariant, RunResult, RunSpec,
-    SchedulerKind,
+    parallel_map, parallel_map_threads, run_averaged, run_spec, AveragedResult, DreamVariant,
+    RunResult, RunSpec, SchedulerKind,
 };
 pub use tuning::{tune_params, tuned_params_cached};
 

@@ -252,10 +252,25 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(2)
-        .min(items.len().max(1));
+    parallel_map_threads(items, 0, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (0 = one per available
+/// core). Output order is the input order regardless of `workers`.
+pub fn parallel_map_threads<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(2)
+    } else {
+        workers
+    }
+    .min(items.len().max(1));
     let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -339,15 +354,29 @@ pub struct AveragedResult {
 /// Runs `spec` under `n_seeds` consecutive seeds (spec.seed, spec.seed+1, …)
 /// and averages the headline numbers.
 ///
+/// Implemented on top of [`ExperimentGrid`](crate::ExperimentGrid); prefer
+/// building one grid for a whole figure so every cell fans out together.
+///
 /// # Panics
 ///
 /// Panics if `n_seeds` is zero.
 pub fn run_averaged(spec: &RunSpec, n_seeds: u64) -> AveragedResult {
     assert!(n_seeds > 0, "need at least one seed");
-    let specs: Vec<RunSpec> = (0..n_seeds)
-        .map(|i| spec.clone().with_seed(spec.seed + i))
-        .collect();
-    let runs = parallel_map(specs, run_spec);
+    let mut grid = crate::ExperimentGrid::new();
+    grid.add_seed_sweep(spec.clone(), n_seeds);
+    grid.run()
+        .averaged()
+        .pop()
+        .expect("a non-empty grid yields one group")
+}
+
+/// Averages a group of per-seed runs into the numbers the figures report.
+///
+/// # Panics
+///
+/// Panics if `runs` is empty.
+pub(crate) fn average_runs(runs: Vec<RunResult>) -> AveragedResult {
+    assert!(!runs.is_empty(), "need at least one run to average");
     let n = runs.len() as f64;
     let uxcost = runs.iter().map(|r| r.uxcost).sum::<f64>() / n;
     let mean_violation_rate = runs.iter().map(|r| r.mean_violation_rate).sum::<f64>() / n;

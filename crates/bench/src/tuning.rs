@@ -41,15 +41,31 @@ pub fn tune_params(
     };
     // Two workload realizations per candidate halve the variance the sharp
     // UXCost landscape induces; tuning seeds are disjoint from measurement
-    // seeds.
-    let trace = ParamOptimizer::new(ScoreParams::neutral()).run(|params| {
-        0.5 * (evaluate_seed(params, crate::DEFAULT_SEED ^ 0xA5A5)
-            + evaluate_seed(params, crate::DEFAULT_SEED ^ 0x5A5A))
+    // seeds. Each step's (candidate × seed) evaluations are independent
+    // simulations, so they fan out across the thread pool together.
+    let seeds = [crate::DEFAULT_SEED ^ 0xA5A5, crate::DEFAULT_SEED ^ 0x5A5A];
+    let trace = ParamOptimizer::new(ScoreParams::neutral()).run_batched(|candidates| {
+        let jobs: Vec<(ScoreParams, u64)> = candidates
+            .iter()
+            .flat_map(|&p| seeds.iter().map(move |&s| (p, s)))
+            .collect();
+        let costs = crate::parallel_map(jobs, |&(p, seed)| evaluate_seed(p, seed));
+        costs
+            .chunks(seeds.len())
+            .map(|c| c.iter().sum::<f64>() / seeds.len() as f64)
+            .collect()
     });
     trace.final_params
 }
 
 type TuneKey = (ScenarioKind, PlatformPreset, u64, DreamVariant);
+
+/// Canonical integer key for a cascade probability, shared by the tuning
+/// cache and the grid's tune-dedup/cell grouping so the two can never
+/// disagree about which cells are "the same".
+pub(crate) fn cascade_key(cascade: f64) -> u64 {
+    (cascade * 1.0e6).round() as u64
+}
 
 static CACHE: Mutex<BTreeMap<TuneKey, ScoreParams>> = Mutex::new(BTreeMap::new());
 
@@ -62,12 +78,7 @@ pub fn tuned_params_cached(
     cascade: f64,
     variant: DreamVariant,
 ) -> ScoreParams {
-    let key = (
-        scenario,
-        preset,
-        (cascade * 1.0e6).round() as u64,
-        variant,
-    );
+    let key = (scenario, preset, cascade_key(cascade), variant);
     if let Some(p) = CACHE.lock().expect("tuning cache poisoned").get(&key) {
         return *p;
     }

@@ -105,9 +105,9 @@ impl FrameDropEngine {
         // violators (Condition 2 needs them too).
         let mut violators = 0usize;
         let mut best: Option<DropDecision> = None;
-        for task in view.tasks {
-            let slack = task.slack_ns(view.now);
-            let min_to_go = task.min_to_go_ns(view.workload);
+        for task in view.tasks() {
+            let slack = task.slack_ns(view.now());
+            let min_to_go = task.min_to_go_ns(view.workload());
             let is_violator = min_to_go > slack;
             if !is_violator {
                 continue;
@@ -119,7 +119,7 @@ impl FrameDropEngine {
             if !task.is_ready() {
                 continue;
             }
-            let node = view.workload.node(task.key());
+            let node = view.workload().node(task.key());
             if !node.is_leaf() {
                 continue;
             }

@@ -203,7 +203,10 @@ impl ParamOptimizer {
     ///
     /// Panics if `evaluations` is empty.
     pub fn observe(&mut self, evaluations: Vec<(ScoreParams, f64)>) -> OptimizerStep {
-        assert!(!evaluations.is_empty(), "observe needs at least one evaluation");
+        assert!(
+            !evaluations.is_empty(),
+            "observe needs at least one evaluation"
+        );
         let mut sorted = evaluations.clone();
         sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         let (b1, c1) = sorted[0];
@@ -242,15 +245,35 @@ impl ParamOptimizer {
 
     /// Runs the search to convergence against an objective function
     /// (offline mode: each call typically runs a full simulation).
-    pub fn run<F: FnMut(ScoreParams) -> f64>(mut self, mut objective: F) -> OptimizationTrace {
+    pub fn run<F: FnMut(ScoreParams) -> f64>(self, mut objective: F) -> OptimizationTrace {
+        self.run_batched(|candidates| candidates.iter().map(|&p| objective(p)).collect())
+    }
+
+    /// Runs the search to convergence with each step's candidate set
+    /// evaluated as one batch. The candidates within a step are
+    /// independent, so `evaluate` may fan them out across a thread pool
+    /// (the `dream-bench` tuner does exactly that); only steps are
+    /// sequential, because each step's ring depends on the previous
+    /// step's best points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evaluate` returns a different number of costs than it
+    /// was given candidates.
+    pub fn run_batched<F: FnMut(&[ScoreParams]) -> Vec<f64>>(
+        mut self,
+        mut evaluate: F,
+    ) -> OptimizationTrace {
         let mut steps = Vec::new();
         while !self.converged() {
-            let evals: Vec<(ScoreParams, f64)> = self
-                .candidates()
-                .into_iter()
-                .map(|p| (p, objective(p)))
-                .collect();
-            steps.push(self.observe(evals));
+            let candidates = self.candidates();
+            let costs = evaluate(&candidates);
+            assert_eq!(
+                costs.len(),
+                candidates.len(),
+                "batch evaluator must return one cost per candidate"
+            );
+            steps.push(self.observe(candidates.into_iter().zip(costs).collect()));
         }
         let (final_params, final_cost) = self
             .best_seen

@@ -1,5 +1,3 @@
-use std::collections::BTreeSet;
-
 use dream_models::VariantId;
 use dream_sim::{
     Assignment, Decision, Scheduler, SchedulerCapabilities, SystemView, Task, TaskEvent,
@@ -83,11 +81,11 @@ impl DreamScheduler {
     /// ready work competing for the same accelerators; fall back to the
     /// lightest when nothing fits.
     fn choose_variant(&self, task: &Task, view: &SystemView<'_>) -> Option<VariantId> {
-        let node = view.workload.node(task.key());
+        let node = view.workload().node(task.key());
         if !node.is_supernet() || task.started() {
             return None;
         }
-        let slack = task.slack_ns(view.now);
+        let slack = task.slack_ns(view.now());
         let variants = node.variant_count();
         if slack <= 0.0 {
             return Some(VariantId(variants - 1));
@@ -98,19 +96,18 @@ impl DreamScheduler {
         // than a full unit — a 1K array retires work at half the rate of a
         // 2K one, so capacity is weighted by peak throughput.
         let other_work: f64 = view
-            .tasks
-            .iter()
+            .tasks()
             .filter(|t| t.id() != task.id())
-            .map(|t| t.to_go_avg_ns(view.workload))
+            .map(|t| t.to_go_avg_ns(view.workload()))
             .sum();
         let peak_max = view
-            .platform
+            .platform()
             .accelerators()
             .iter()
             .map(dream_cost::AcceleratorConfig::peak_macs_per_ns)
             .fold(0.0f64, f64::max);
         let n_effective: f64 = view
-            .platform
+            .platform()
             .accelerators()
             .iter()
             .map(|a| a.peak_macs_per_ns() / peak_max)
@@ -127,7 +124,7 @@ impl DreamScheduler {
             let to_go: f64 = node
                 .variant_layers(VariantId(v))
                 .iter()
-                .map(|&l| view.workload.avg_latency_ns(l))
+                .map(|&l| view.workload().avg_latency_ns(l))
                 .sum();
             if queue_delay + to_go * self.config.supernet_safety <= slack {
                 return Some(VariantId(v));
@@ -156,7 +153,7 @@ impl Scheduler for DreamScheduler {
 
     fn schedule(&mut self, view: &SystemView<'_>) -> Decision {
         if self.config.online_adaptation {
-            self.adaptivity.tick(view.now);
+            self.adaptivity.tick(view.now());
         }
         let params = self.current_params();
         let ctx = ScoreContext::from_view(view, self.config.slack_floor_ns);
@@ -166,14 +163,14 @@ impl Scheduler for DreamScheduler {
         //    that has not started yet re-evaluates its variant against the
         //    current load, so an overloaded system lightens queued requests
         //    *before* they become hopeless (Figure 6).
-        let mut switched: BTreeSet<dream_sim::TaskId> = BTreeSet::new();
+        let mut switched: Vec<dream_sim::TaskId> = Vec::new();
         if self.config.supernet_switching {
             for task in view.ready_tasks() {
                 if let Some(variant) = self.choose_variant(task, view) {
                     if variant != task.variant() {
                         decision.variant_switches.push((task.id(), variant));
                         self.supernet_switches += 1;
-                        switched.insert(task.id());
+                        switched.push(task.id());
                     }
                 }
             }
@@ -215,17 +212,18 @@ impl Scheduler for DreamScheduler {
         }
 
         // 4. Greedy maximum-score matching (the job assignment & dispatch
-        //    engine): repeatedly dispatch the best remaining pair.
-        let mut used_tasks: BTreeSet<usize> = BTreeSet::new();
-        let mut used_accs: BTreeSet<usize> = BTreeSet::new();
+        //    engine): repeatedly dispatch the best remaining pair. Flat
+        //    occupancy flags keep the per-decision loop allocation-light.
+        let mut used_tasks = vec![false; ready.len()];
+        let mut used_accs = vec![false; idle.len()];
         loop {
             let mut best: Option<(usize, usize, f64)> = None;
             for (ti, row) in table.iter().enumerate() {
-                if used_tasks.contains(&ti) {
+                if used_tasks[ti] {
                     continue;
                 }
                 for (ai, &score) in row.iter().enumerate() {
-                    if used_accs.contains(&ai) {
+                    if used_accs[ai] {
                         continue;
                     }
                     if best.map(|(_, _, b)| score > b).unwrap_or(true) {
@@ -234,8 +232,8 @@ impl Scheduler for DreamScheduler {
                 }
             }
             let Some((ti, ai, _)) = best else { break };
-            used_tasks.insert(ti);
-            used_accs.insert(ai);
+            used_tasks[ti] = true;
+            used_accs[ai] = true;
             let task = ready[ti];
             decision
                 .assignments
@@ -405,8 +403,7 @@ mod tests {
         agnostic.params = ScoreParams::new(0.5, 0.0).unwrap();
         let (m_eco, _) = {
             let platform = Platform::preset(PlatformPreset::Hetero4kWs1Os2);
-            let scenario =
-                Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper());
+            let scenario = Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper());
             let mut s = DreamScheduler::new(eco);
             (
                 SimulationBuilder::new(platform, scenario)
@@ -420,8 +417,7 @@ mod tests {
         };
         let (m_agn, _) = {
             let platform = Platform::preset(PlatformPreset::Hetero4kWs1Os2);
-            let scenario =
-                Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper());
+            let scenario = Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper());
             let mut s = DreamScheduler::new(agnostic);
             (
                 SimulationBuilder::new(platform, scenario)

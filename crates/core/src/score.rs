@@ -51,12 +51,12 @@ pub struct ScoreContext<'a> {
 
 impl<'a> ScoreContext<'a> {
     /// Builds a context from a simulator view.
-    pub fn from_view(view: &'a dream_sim::SystemView<'a>, slack_floor_ns: f64) -> Self {
+    pub fn from_view(view: &dream_sim::SystemView<'a>, slack_floor_ns: f64) -> Self {
         ScoreContext {
-            now: view.now,
-            workload: view.workload,
-            cost: view.cost,
-            platform: view.platform,
+            now: view.now(),
+            workload: view.workload(),
+            cost: view.cost(),
+            platform: view.platform(),
             slack_floor_ns,
         }
     }
@@ -145,9 +145,7 @@ mod tests {
     use super::*;
     use dream_cost::PlatformPreset;
     use dream_models::{CascadeProbability, Scenario, ScenarioKind};
-    use dream_sim::{
-        Assignment, Decision, Millis, Scheduler, SimulationBuilder, SystemView,
-    };
+    use dream_sim::{Assignment, Decision, Millis, Scheduler, SimulationBuilder, SystemView};
 
     /// Captures a view mid-simulation so unit scores can be probed against
     /// live tasks.
@@ -161,7 +159,7 @@ mod tests {
         }
 
         fn schedule(&mut self, view: &SystemView<'_>) -> Decision {
-            if !self.checked && view.tasks.len() >= 2 {
+            if !self.checked && view.task_count() >= 2 {
                 self.checked = true;
                 let ctx = ScoreContext::from_view(view, 1_000.0);
                 let params = ScoreParams::neutral();
@@ -172,7 +170,7 @@ mod tests {
                     // Preference: sum over accs of 1/latpref-share = 1, so
                     // each latpref ≥ 1 and their reciprocals sum to 1.
                     let mut recip = 0.0;
-                    for acc in view.accs {
+                    for acc in view.accs() {
                         let lp = ctx.latency_preference(task, acc.id());
                         assert!(lp >= 1.0, "lat_pref {lp} < 1");
                         recip += 1.0 / lp;
@@ -230,7 +228,7 @@ mod tests {
             let mut d = Decision::none();
             let mut idle: Vec<_> = view.idle_accs().map(|a| a.id()).collect();
             for t in view.ready_tasks() {
-                let name = view.workload.node(t.key()).model_name();
+                let name = view.workload().node(t.key()).model_name();
                 if name == "KWS_res8" {
                     let s = ctx.starvation(t);
                     if s > self.last && self.last > 0.0 {
@@ -276,7 +274,7 @@ mod tests {
         fn schedule(&mut self, view: &SystemView<'_>) -> Decision {
             let ctx = ScoreContext::from_view(view, 1_000.0);
             for t in view.ready_tasks() {
-                if t.slack_ns(view.now) < 0.0 {
+                if t.slack_ns(view.now()) < 0.0 {
                     let u = ctx.urgency(t);
                     assert!(u.is_finite() && u > 100.0, "overdue urgency {u}");
                     self.seen_overdue = true;
@@ -320,7 +318,7 @@ mod tests {
                 if !self.done {
                     if let Some(task) = view.ready_tasks().next() {
                         let ctx = ScoreContext::from_view(view, 1_000.0);
-                        let acc = &view.accs[0];
+                        let acc = &view.accs()[0];
                         let (pref, sw) = ctx.energy_terms(task, acc);
                         assert!(pref > 0.0);
                         assert!(sw > 0.0, "cold fetch should cost energy");
@@ -355,7 +353,7 @@ mod tests {
                 if !self.done {
                     if let Some(task) = view.ready_tasks().next() {
                         let ctx = ScoreContext::from_view(view, 1_000.0);
-                        let acc = &view.accs[0];
+                        let acc = &view.accs()[0];
                         let zero = ctx
                             .map_score(task, acc, ScoreParams::new(0.0, 0.0).unwrap())
                             .value;

@@ -151,9 +151,7 @@ mod tests {
     fn uxcost_is_product_of_sums() {
         let m = metrics(ScenarioKind::ArSocial);
         let r = UxCostReport::from_metrics(&m);
-        assert!(
-            (r.uxcost() - r.overall_rate_dlv() * r.overall_norm_energy()).abs() < 1e-12
-        );
+        assert!((r.uxcost() - r.overall_rate_dlv() * r.overall_norm_energy()).abs() < 1e-12);
         assert!(r.uxcost() > 0.0, "floor keeps UXCost positive");
         let sum_dlv: f64 = r.rows().iter().map(|x| x.rate_dlv).sum();
         assert!((sum_dlv - r.overall_rate_dlv()).abs() < 1e-12);

@@ -180,12 +180,8 @@ mod tests {
     #[test]
     fn rejects_degenerate_configs() {
         assert!(AcceleratorConfig::new("x", 0, Dataflow::WeightStationary, 0.7, 45.0, 1).is_err());
-        assert!(
-            AcceleratorConfig::new("x", 8, Dataflow::WeightStationary, 0.0, 45.0, 1).is_err()
-        );
-        assert!(
-            AcceleratorConfig::new("x", 8, Dataflow::WeightStationary, 0.7, -1.0, 1).is_err()
-        );
+        assert!(AcceleratorConfig::new("x", 8, Dataflow::WeightStationary, 0.0, 45.0, 1).is_err());
+        assert!(AcceleratorConfig::new("x", 8, Dataflow::WeightStationary, 0.7, -1.0, 1).is_err());
         assert!(AcceleratorConfig::new("x", 8, Dataflow::WeightStationary, 0.7, 45.0, 0).is_err());
     }
 
@@ -210,6 +206,8 @@ mod tests {
     fn display_forms() {
         assert_eq!(Dataflow::WeightStationary.to_string(), "WS");
         assert_eq!(AcceleratorId(3).to_string(), "acc3");
-        assert!(acc(8, Dataflow::OutputStationary).to_string().contains("OS"));
+        assert!(acc(8, Dataflow::OutputStationary)
+            .to_string()
+            .contains("OS"));
     }
 }

@@ -39,10 +39,8 @@ mod tests {
     #[test]
     fn display_nonempty() {
         assert!(!CostError::EmptyPlatform.to_string().is_empty());
-        assert!(CostError::InvalidParams {
-            reason: "x".into()
-        }
-        .to_string()
-        .contains('x'));
+        assert!(CostError::InvalidParams { reason: "x".into() }
+            .to_string()
+            .contains('x'));
     }
 }

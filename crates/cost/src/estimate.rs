@@ -239,8 +239,7 @@ mod tests {
         // ws_parallel_work = 64·9·128 = 73728 ≫ 2048, so utilisation ≈ 1
         // up to tiling quantisation.
         assert!(cost.utilization == 1.0, "{}", cost.utilization);
-        let expect =
-            s.macs as f64 / (2048.0 * model.params().mapping_efficiency * 0.7);
+        let expect = s.macs as f64 / (2048.0 * model.params().mapping_efficiency * 0.7);
         assert!((cost.compute_ns - expect).abs() / expect < 1e-9);
         assert!(cost.latency_ns >= cost.compute_ns);
     }
@@ -250,8 +249,15 @@ mod tests {
         let model = CostModel::paper_default();
         // True GEMV (batch 1 fully-connected, VGG fc6 style): weights are
         // used exactly once, so streaming them dominates.
-        let layer =
-            Layer::new("g", LayerKind::Gemm { m: 1, n: 4096, k: 19_712 }).unwrap();
+        let layer = Layer::new(
+            "g",
+            LayerKind::Gemm {
+                m: 1,
+                n: 4096,
+                k: 19_712,
+            },
+        )
+        .unwrap();
         let cost = model.layer_cost(&layer, &ws(2048));
         assert!(
             cost.dram_ns > cost.compute_ns,
@@ -277,7 +283,15 @@ mod tests {
         for layer in [
             conv(56, 64, 128, 3, 1),
             conv(28, 96, 96, 3, 96),
-            Layer::new("g", LayerKind::Gemm { m: 1, n: 1000, k: 512 }).unwrap(),
+            Layer::new(
+                "g",
+                LayerKind::Gemm {
+                    m: 1,
+                    n: 1000,
+                    k: 512,
+                },
+            )
+            .unwrap(),
         ] {
             let small = model.layer_cost(&layer, &ws(1024)).latency_ns;
             let big = model.layer_cost(&layer, &ws(2048)).latency_ns;
@@ -288,8 +302,25 @@ mod tests {
     #[test]
     fn fp16_layers_cost_more_mac_energy() {
         let model = CostModel::paper_default();
-        let l8 = Layer::new("a", LayerKind::Gemm { m: 8, n: 256, k: 256 }).unwrap();
-        let l16 = Layer::with_bytes("b", LayerKind::Gemm { m: 8, n: 256, k: 256 }, 2).unwrap();
+        let l8 = Layer::new(
+            "a",
+            LayerKind::Gemm {
+                m: 8,
+                n: 256,
+                k: 256,
+            },
+        )
+        .unwrap();
+        let l16 = Layer::with_bytes(
+            "b",
+            LayerKind::Gemm {
+                m: 8,
+                n: 256,
+                k: 256,
+            },
+            2,
+        )
+        .unwrap();
         let a = model.layer_cost(&l8, &ws(1024));
         let b = model.layer_cost(&l16, &ws(1024));
         assert!(b.energy_pj > a.energy_pj);

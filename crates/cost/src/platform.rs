@@ -193,7 +193,10 @@ impl Platform {
 
     /// Total PE count.
     pub fn total_pes(&self) -> u32 {
-        self.accelerators.iter().map(AcceleratorConfig::pe_count).sum()
+        self.accelerators
+            .iter()
+            .map(AcceleratorConfig::pe_count)
+            .sum()
     }
 
     /// Whether the platform mixes dataflows.
@@ -214,7 +217,12 @@ impl Platform {
 
 impl std::fmt::Display for Platform {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} [{} accelerators]", self.name, self.accelerators.len())
+        write!(
+            f,
+            "{} [{} accelerators]",
+            self.name,
+            self.accelerators.len()
+        )
     }
 }
 

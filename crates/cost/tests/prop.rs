@@ -21,8 +21,11 @@ fn arb_layer() -> impl Strategy<Value = Layer> {
             )
             .unwrap()
         ),
-        (1u32..64, 1u32..2048, 1u32..2048)
-            .prop_map(|(m, n, k)| Layer::new("g", LayerKind::Gemm { m, n, k }).unwrap()),
+        (1u32..64, 1u32..2048, 1u32..2048).prop_map(|(m, n, k)| Layer::new(
+            "g",
+            LayerKind::Gemm { m, n, k }
+        )
+        .unwrap()),
         (1u64..5_000_000)
             .prop_map(|e| Layer::new("e", LayerKind::Elementwise { elems: e }).unwrap()),
     ]

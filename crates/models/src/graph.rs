@@ -201,10 +201,7 @@ impl GraphBuilder {
             }
             if blk.first == 0 {
                 return Err(ModelError::InvalidGate {
-                    reason: format!(
-                        "graph `{}`: skip block may not start at layer 0",
-                        self.name
-                    ),
+                    reason: format!("graph `{}`: skip block may not start at layer 0", self.name),
                 });
             }
             if blk.first > blk.last || blk.last >= n {

@@ -133,8 +133,7 @@ impl Layer {
                 stride,
                 groups,
             } => {
-                if in_h == 0 || in_w == 0 || in_c == 0 || out_c == 0 || kernel == 0 || stride == 0
-                {
+                if in_h == 0 || in_w == 0 || in_c == 0 || out_c == 0 || kernel == 0 || stride == 0 {
                     return bad(format!("layer `{name}`: conv dimensions must be positive"));
                 }
                 if groups == 0 || in_c % groups != 0 || out_c % groups != 0 {
@@ -161,7 +160,9 @@ impl Layer {
             }
             LayerKind::Elementwise { elems } => {
                 if elems == 0 {
-                    return bad(format!("layer `{name}`: element-wise size must be positive"));
+                    return bad(format!(
+                        "layer `{name}`: element-wise size must be positive"
+                    ));
                 }
             }
         }
@@ -336,7 +337,16 @@ mod tests {
 
     #[test]
     fn gemm_stats() {
-        let layer = Layer::with_bytes("g", LayerKind::Gemm { m: 10, n: 4096, k: 2048 }, 2).unwrap();
+        let layer = Layer::with_bytes(
+            "g",
+            LayerKind::Gemm {
+                m: 10,
+                n: 4096,
+                k: 2048,
+            },
+            2,
+        )
+        .unwrap();
         let s = layer.stats();
         assert_eq!(s.macs, 10 * 4096 * 2048);
         assert_eq!(s.weight_bytes, 4096 * 2048 * 2);

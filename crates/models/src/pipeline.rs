@@ -229,10 +229,7 @@ mod tests {
 
     #[test]
     fn forward_parent_reference_rejected() {
-        let bad = PipelineSpec::new(
-            "bad",
-            vec![node("a", 30.0, Some(0)), node("b", 30.0, None)],
-        );
+        let bad = PipelineSpec::new("bad", vec![node("a", 30.0, Some(0)), node("b", 30.0, None)]);
         assert!(matches!(bad, Err(ModelError::InvalidDependency { .. })));
     }
 

@@ -20,8 +20,7 @@ pub fn kws_res8() -> Model {
     }
     b.push(pool("gap", hw, 45, 26, 26));
     b.push(gemm("fc", 1, 12, 45));
-    Model::single("KWS_res8", b.build().expect("kws graph is valid"))
-        .expect("kws model is valid")
+    Model::single("KWS_res8", b.build().expect("kws graph is valid")).expect("kws model is valid")
 }
 
 /// GNMT (Wu et al. 2016) translating a 24-token utterance with a

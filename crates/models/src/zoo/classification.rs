@@ -56,8 +56,11 @@ pub fn googlenet_car() -> Model {
     c = inception(&mut b, "5b", hw7, c, (384, 192, 384, 48, 128, 128));
     b.push(pool("gap", hw7, c, 7, 7));
     b.push(gemm("fc-car", 1, 431, c));
-    Model::single("GoogLeNet-car", b.build().expect("googlenet graph is valid"))
-        .expect("googlenet model is valid")
+    Model::single(
+        "GoogLeNet-car",
+        b.build().expect("googlenet graph is valid"),
+    )
+    .expect("googlenet model is valid")
 }
 
 /// SkipNet (Wang et al., ECCV'18): a ResNet-34-style backbone whose

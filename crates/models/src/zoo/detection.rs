@@ -32,7 +32,10 @@ pub fn ssd_mobilenet_v2(name: &'static str) -> Model {
     b.push(conv("conv-last", hw, 320, 1280, 1, 1));
     // SSD-lite extra feature layers: 10→5→3→2→1 pyramid.
     let mut c = 1280;
-    for (i, &(out_c, stride)) in [(512u32, 2u32), (256, 2), (256, 2), (128, 2)].iter().enumerate() {
+    for (i, &(out_c, stride)) in [(512u32, 2u32), (256, 2), (256, 2), (128, 2)]
+        .iter()
+        .enumerate()
+    {
         let names = ["extra0", "extra1", "extra2", "extra3"];
         b.push(conv(names[i], hw, c, out_c / 2, 1, 1));
         b.push(dwconv(names[i], hw, out_c / 2, 3, stride));
@@ -73,8 +76,11 @@ pub fn hand_pose_net() -> Model {
     // Global regression branch: 21 joints × 3 coordinates.
     b.push(super::gemm("fc-pose", 1, 1024, 384 * 16 * 16 / 4));
     b.push(super::gemm("fc-joints", 1, 63, 1024));
-    Model::single("HandPoseNet", b.build().expect("handposenet graph is valid"))
-        .expect("handposenet model is valid")
+    Model::single(
+        "HandPoseNet",
+        b.build().expect("handposenet graph is valid"),
+    )
+    .expect("handposenet model is valid")
 }
 
 #[cfg(test)]

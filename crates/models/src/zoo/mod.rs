@@ -180,7 +180,12 @@ mod tests {
     fn every_variant_has_positive_work() {
         for model in all_models() {
             for v in model.variants() {
-                assert!(v.total_ops() > 0, "{} variant {} empty", model.name(), v.name());
+                assert!(
+                    v.total_ops() > 0,
+                    "{} variant {} empty",
+                    model.name(),
+                    v.name()
+                );
             }
         }
     }

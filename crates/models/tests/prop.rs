@@ -42,18 +42,17 @@ fn arb_conv() -> impl Strategy<Value = LayerKind> {
 fn arb_layer() -> impl Strategy<Value = LayerKind> {
     prop_oneof![
         arb_conv(),
-        (1u32..128, 1u32..4096, 1u32..4096)
-            .prop_map(|(m, n, k)| LayerKind::Gemm { m, n, k }),
+        (1u32..128, 1u32..4096, 1u32..4096).prop_map(|(m, n, k)| LayerKind::Gemm { m, n, k }),
         (1u64..1_000_000).prop_map(|elems| LayerKind::Elementwise { elems }),
-        (1u32..128, 1u32..128, 1u32..256, 1u32..4, 1u32..4).prop_map(
-            |(h, w, c, k, s)| LayerKind::Pool {
+        (1u32..128, 1u32..128, 1u32..256, 1u32..4, 1u32..4).prop_map(|(h, w, c, k, s)| {
+            LayerKind::Pool {
                 in_h: h,
                 in_w: w,
                 c,
                 kernel: k,
-                stride: s
+                stride: s,
             }
-        ),
+        }),
     ]
 }
 

@@ -5,7 +5,9 @@ use dream_sim::*;
 
 struct Greedy;
 impl Scheduler for Greedy {
-    fn name(&self) -> &str { "greedy" }
+    fn name(&self) -> &str {
+        "greedy"
+    }
     fn schedule(&mut self, view: &SystemView<'_>) -> Decision {
         let mut d = Decision::none();
         let mut ready: Vec<_> = view.ready_tasks().collect();
@@ -21,21 +23,39 @@ impl Scheduler for Greedy {
 }
 
 fn main() {
-    for preset in [PlatformPreset::Hetero4kWs1Os2, PlatformPreset::Homo4kWs2, PlatformPreset::Hetero8kWs1Os2] {
+    for preset in [
+        PlatformPreset::Hetero4kWs1Os2,
+        PlatformPreset::Homo4kWs2,
+        PlatformPreset::Hetero8kWs1Os2,
+    ] {
         println!("== {} ==", preset.name());
         for kind in ScenarioKind::all() {
             let platform = Platform::preset(preset);
             let scenario = Scenario::new(kind, CascadeProbability::default_paper());
             let mut s = Greedy;
             let m = SimulationBuilder::new(platform, scenario)
-                .duration(Millis::new(2000)).seed(1).run(&mut s).unwrap().into_metrics();
-            println!("  {:15} util={:.3} meanDLV={:.3} energyN={:.3} layers={}",
-                kind.name(), m.mean_utilization(), m.mean_violation_rate(),
-                m.mean_normalized_energy(), m.layer_executions);
+                .duration(Millis::new(2000))
+                .seed(1)
+                .run(&mut s)
+                .unwrap()
+                .into_metrics();
+            println!(
+                "  {:15} util={:.3} meanDLV={:.3} energyN={:.3} layers={}",
+                kind.name(),
+                m.mean_utilization(),
+                m.mean_violation_rate(),
+                m.mean_normalized_energy(),
+                m.layer_executions
+            );
             for (_, s) in m.models() {
-                println!("      {:18} rel={:4} onT={:4} late={:3} viol={:.3}",
-                    s.model_name, s.released, s.completed_on_time, s.completed_late,
-                    s.raw_violation_rate().unwrap_or(0.0));
+                println!(
+                    "      {:18} rel={:4} onT={:4} late={:3} viol={:.3}",
+                    s.model_name,
+                    s.released,
+                    s.completed_on_time,
+                    s.completed_late,
+                    s.raw_violation_rate().unwrap_or(0.0)
+                );
             }
         }
     }

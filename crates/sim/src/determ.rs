@@ -58,10 +58,7 @@ mod tests {
     fn same_coordinates_same_outcome() {
         let c = DeterministicCoin::new(42);
         for frame in 0..100 {
-            assert_eq!(
-                c.decide(1, 2, frame, 3, 0.5),
-                c.decide(1, 2, frame, 3, 0.5)
-            );
+            assert_eq!(c.decide(1, 2, frame, 3, 0.5), c.decide(1, 2, frame, 3, 0.5));
         }
     }
 

@@ -1,0 +1,218 @@
+//! Slab-backed storage for live tasks.
+//!
+//! The arena owns every in-flight [`Task`] and maintains — incrementally,
+//! as state changes are reported — the two orderings the rest of the
+//! engine needs per event:
+//!
+//! * `live`: all tasks ascending by [`TaskId`] (the deterministic
+//!   iteration order schedulers observe), mapping each id to its slab
+//!   slot;
+//! * `ready`: the ids of tasks awaiting dispatch, also ascending.
+//!
+//! Task ids are allocated monotonically, so inserts append in O(1);
+//! removals and re-ready transitions are a binary search plus a small
+//! memmove over the handful of live tasks. Nothing is rebuilt per event —
+//! this replaces the `BTreeMap` the engine previously reconstructed a
+//! borrowed view from on every scheduling decision.
+
+use crate::task::{Task, TaskId};
+
+#[derive(Debug, Default)]
+pub(crate) struct TaskArena {
+    slots: Vec<Option<Task>>,
+    free: Vec<u32>,
+    /// `(id, slot)` ascending by id.
+    live: Vec<(TaskId, u32)>,
+    /// Ids of tasks in the `Ready` state, ascending.
+    ready: Vec<TaskId>,
+    next_id: u64,
+}
+
+impl TaskArena {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates the next task id (monotonic; never reused).
+    pub fn allocate_id(&mut self) -> TaskId {
+        let id = TaskId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Stores a freshly released task. Its id must come from
+    /// [`TaskArena::allocate_id`], which keeps `live` sorted by
+    /// construction.
+    pub fn insert(&mut self, task: Task) {
+        let id = task.id();
+        debug_assert!(
+            self.live.last().map(|&(last, _)| last < id).unwrap_or(true),
+            "task ids must be inserted in allocation order"
+        );
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(task);
+                s
+            }
+            None => {
+                self.slots.push(Some(task));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.live.push((id, slot));
+        // New tasks are always Ready.
+        self.ready.push(id);
+    }
+
+    /// Removes and returns a task in any state.
+    pub fn remove(&mut self, id: TaskId) -> Option<Task> {
+        let pos = self.live.binary_search_by_key(&id, |&(i, _)| i).ok()?;
+        let (_, slot) = self.live.remove(pos);
+        if let Ok(r) = self.ready.binary_search(&id) {
+            self.ready.remove(r);
+        }
+        self.free.push(slot);
+        self.slots[slot as usize].take()
+    }
+
+    pub fn get(&self, id: TaskId) -> Option<&Task> {
+        let pos = self.live.binary_search_by_key(&id, |&(i, _)| i).ok()?;
+        self.slots[self.live[pos].1 as usize].as_ref()
+    }
+
+    pub fn get_mut(&mut self, id: TaskId) -> Option<&mut Task> {
+        let pos = self.live.binary_search_by_key(&id, |&(i, _)| i).ok()?;
+        self.slots[self.live[pos].1 as usize].as_mut()
+    }
+
+    /// All live tasks ascending by id.
+    pub fn iter(&self) -> impl Iterator<Item = &Task> + '_ {
+        self.live
+            .iter()
+            .map(|&(_, slot)| self.slots[slot as usize].as_ref().expect("live slot"))
+    }
+
+    /// Number of live tasks.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Ids of ready tasks, ascending.
+    pub fn ready_ids(&self) -> &[TaskId] {
+        &self.ready
+    }
+
+    /// Whether any task awaits dispatch.
+    pub fn has_ready(&self) -> bool {
+        !self.ready.is_empty()
+    }
+
+    /// Records that `id` left the `Ready` state (it was dispatched).
+    pub fn mark_running(&mut self, id: TaskId) {
+        if let Ok(pos) = self.ready.binary_search(&id) {
+            self.ready.remove(pos);
+        } else {
+            debug_assert!(false, "mark_running on a task not in the ready list");
+        }
+    }
+
+    /// Records that `id` re-entered the `Ready` state (its layer finished).
+    pub fn mark_ready(&mut self, id: TaskId) {
+        if let Err(pos) = self.ready.binary_search(&id) {
+            self.ready.insert(pos, id);
+        } else {
+            debug_assert!(false, "mark_ready on a task already in the ready list");
+        }
+    }
+
+    /// Debug invariant: the ready list matches the task states exactly
+    /// (only evaluated under `debug_assert!`).
+    pub fn ready_list_is_consistent(&self) -> bool {
+        let derived: Vec<TaskId> = self.iter().filter(|t| t.is_ready()).map(Task::id).collect();
+        derived == self.ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Phase, WorkloadSet};
+    use crate::{Millis, ModelKey, SimTime};
+    use dream_cost::{CostModel, Platform, PlatformPreset};
+    use dream_models::{CascadeProbability, NodeId, PipelineId, Scenario, ScenarioKind};
+
+    fn make_task(arena: &mut TaskArena, ws: &WorkloadSet) -> TaskId {
+        let key = ModelKey {
+            phase: 0,
+            pipeline: PipelineId(1),
+            node: NodeId(0),
+        };
+        let id = arena.allocate_id();
+        let task = Task::new(
+            id,
+            ws.node(key),
+            0,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            SimTime::from(Millis::new(33)),
+            true,
+        );
+        arena.insert(task);
+        id
+    }
+
+    fn test_workload() -> WorkloadSet {
+        let platform = Platform::preset(PlatformPreset::Hetero4kWs1Os2);
+        WorkloadSet::build(
+            vec![Phase {
+                start: SimTime::ZERO,
+                end: SimTime::from(Millis::new(1000)),
+                scenario: Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper()),
+            }],
+            &platform,
+            &CostModel::paper_default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_remove_reuses_slots() {
+        let ws = test_workload();
+        let mut arena = TaskArena::new();
+        let a = make_task(&mut arena, &ws);
+        let b = make_task(&mut arena, &ws);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.ready_ids(), &[a, b]);
+        assert!(arena.remove(a).is_some());
+        assert!(arena.remove(a).is_none());
+        let c = make_task(&mut arena, &ws);
+        // Slot of `a` was reused but ids keep ascending.
+        assert!(c > b);
+        assert_eq!(arena.ready_ids(), &[b, c]);
+        let ids: Vec<TaskId> = arena.iter().map(Task::id).collect();
+        assert_eq!(ids, vec![b, c]);
+        assert!(arena.ready_list_is_consistent());
+    }
+
+    #[test]
+    fn ready_transitions_track_state() {
+        let ws = test_workload();
+        let mut arena = TaskArena::new();
+        let a = make_task(&mut arena, &ws);
+        let b = make_task(&mut arena, &ws);
+        arena
+            .get_mut(a)
+            .unwrap()
+            .set_running(vec![dream_cost::AcceleratorId(0)]);
+        arena.mark_running(a);
+        assert_eq!(arena.ready_ids(), &[b]);
+        assert!(arena.has_ready());
+        arena
+            .get_mut(a)
+            .unwrap()
+            .complete_head(SimTime::from_ns(5), 1.0);
+        arena.mark_ready(a);
+        assert_eq!(arena.ready_ids(), &[a, b]);
+        assert!(arena.ready_list_is_consistent());
+    }
+}

@@ -1,0 +1,105 @@
+//! Stage 1a — workload arrivals: phase starts (with their flush of the
+//! previous phase), periodic root-frame arrivals, and task release.
+
+use dream_models::{NodeId, PipelineId};
+
+use crate::event::EventKind;
+use crate::scheduler::Scheduler;
+use crate::task::{Task, TaskId};
+use crate::workload::ModelKey;
+use crate::SimTime;
+
+use super::Engine;
+
+impl Engine {
+    pub(crate) fn start_phase(&mut self, phase: usize, scheduler: &mut dyn Scheduler) {
+        self.current_phase = phase;
+        // Flush tasks from earlier phases: ready ones leave immediately;
+        // running ones drain their current layer and are discarded on
+        // completion.
+        let stale: Vec<TaskId> = self
+            .arena
+            .iter()
+            .filter(|t| t.key().phase != phase)
+            .map(Task::id)
+            .collect();
+        for id in stale {
+            let ready = self.arena.get(id).expect("stale task exists").is_ready();
+            if ready {
+                let task = self.arena.remove(id).expect("stale task exists");
+                self.record_flush(&task, scheduler);
+            } else {
+                self.flushing_insert(id);
+            }
+        }
+        // Kick off periodic arrivals for every root node of the new phase.
+        let phase_start = self.ws.phases()[phase].start;
+        let arrivals: Vec<ModelKey> = self
+            .ws
+            .nodes()
+            .filter(|n| n.key().phase == phase && n.parent().is_none())
+            .map(|n| n.key())
+            .collect();
+        for key in arrivals {
+            self.queue.push(
+                phase_start,
+                EventKind::FrameArrival {
+                    phase,
+                    pipeline: key.pipeline,
+                    node: key.node,
+                    frame: 0,
+                },
+            );
+        }
+        let names = self.ws.model_names(phase);
+        scheduler.on_phase_start(phase, &names);
+    }
+
+    pub(crate) fn frame_arrival(
+        &mut self,
+        phase: usize,
+        pipeline: PipelineId,
+        node: NodeId,
+        frame: u64,
+        scheduler: &mut dyn Scheduler,
+    ) {
+        let key = ModelKey {
+            phase,
+            pipeline,
+            node,
+        };
+        let period = self.ws.node(key).period();
+        self.release_task(key, frame, self.now, scheduler);
+        let next = self.now + period;
+        let phase_end = self.ws.phases()[phase].end;
+        if next < phase_end && next < self.horizon {
+            self.queue.push(
+                next,
+                EventKind::FrameArrival {
+                    phase,
+                    pipeline,
+                    node,
+                    frame: frame + 1,
+                },
+            );
+        }
+    }
+
+    pub(crate) fn release_task(
+        &mut self,
+        key: ModelKey,
+        frame: u64,
+        frame_arrival: SimTime,
+        scheduler: &mut dyn Scheduler,
+    ) {
+        let node = self.ws.node(key).clone();
+        let deadline = frame_arrival + node.period();
+        let phase_end = self.ws.phases()[key.phase].end;
+        let counted = deadline <= phase_end && deadline <= self.horizon;
+        let id = self.arena.allocate_id();
+        let task = Task::new(id, &node, frame, frame_arrival, self.now, deadline, counted);
+        self.record_release(&task, &node);
+        self.notify_release(id, key, counted, scheduler);
+        self.arena.insert(task);
+    }
+}

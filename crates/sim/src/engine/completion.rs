@@ -1,0 +1,64 @@
+//! Stage 1b — layer completions: free accelerators, advance the task's
+//! queue, resolve the gates the finished layer revealed, and finish or
+//! re-queue the task.
+
+use crate::scheduler::Scheduler;
+use crate::task::TaskId;
+
+use super::Engine;
+
+impl Engine {
+    pub(crate) fn layer_done(&mut self, task_id: TaskId, scheduler: &mut dyn Scheduler) {
+        let run = self
+            .in_flight_remove(task_id)
+            .expect("LayerDone for a task with no in-flight layer");
+        // Free the accelerators and remember the flush volume.
+        let out_bytes = self.ws.output_bytes(run.layer.layer);
+        for &acc in &run.accs {
+            let st = &mut self.accs[acc.0];
+            debug_assert_eq!(st.running, Some(task_id));
+            st.running = None;
+            st.last_task = Some(task_id);
+            st.last_output_bytes = out_bytes;
+            self.release_acc(acc);
+        }
+        self.metrics.layer_executions += 1;
+
+        if self.flushing_remove(task_id) {
+            let task = self.arena.remove(task_id).expect("flushing task exists");
+            self.record_flush(&task, scheduler);
+            return;
+        }
+
+        let task = self.arena.get_mut(task_id).expect("running task exists");
+        let key = task.key();
+        let counted = task.counted();
+        for &acc in &run.accs {
+            self.accs[acc.0].last_model = Some(key);
+        }
+        let completed = task.complete_head(self.now, run.energy_pj);
+        if counted {
+            if let Some(stats) = self.metrics.get_mut(key) {
+                stats.energy_pj += run.energy_pj;
+            }
+        }
+
+        // Resolve operator-level dynamicity gates revealed by this layer.
+        self.resolve_operator_gates(task_id, completed.graph_idx);
+
+        let task = self.arena.get(task_id).expect("task still live");
+        if task.is_complete() {
+            self.finish_task(task_id, scheduler);
+        } else {
+            self.arena.mark_ready(task_id);
+        }
+    }
+
+    pub(crate) fn finish_task(&mut self, task_id: TaskId, scheduler: &mut dyn Scheduler) {
+        let task = self.arena.remove(task_id).expect("finished task exists");
+        let node = self.ws.node(task.key()).clone();
+        let on_time = self.now <= task.deadline();
+        self.record_completion(&task, &node, on_time, scheduler);
+        self.fire_cascades(&task, &node, scheduler);
+    }
+}

@@ -1,0 +1,148 @@
+//! Stages 2 and 3 — scheduling and dispatch: build the borrowed
+//! [`SystemView`], collect the scheduler's [`Decision`], validate it, and
+//! start the chosen layers.
+
+use crate::scheduler::{Decision, Scheduler, SystemView};
+use crate::SimTime;
+
+use super::{Engine, InFlight};
+
+impl Engine {
+    /// Runs the decide + dispatch stages when there is anything to decide
+    /// over. The view borrows the engine's incrementally maintained state
+    /// directly — no per-decision reconstruction.
+    pub(crate) fn invoke_scheduler(&mut self, scheduler: &mut dyn Scheduler) {
+        if self.idle.is_empty() || !self.arena.has_ready() {
+            return;
+        }
+        let decision = {
+            let view = SystemView {
+                now: self.now,
+                phase: self.current_phase,
+                accs: &self.accs,
+                arena: &self.arena,
+                idle: &self.idle,
+                workload: &self.ws,
+                cost: &self.cost,
+                platform: &self.platform,
+            };
+            self.metrics.scheduler_invocations += 1;
+            scheduler.schedule(&view)
+        };
+        self.apply_decision(decision, scheduler);
+    }
+
+    pub(crate) fn apply_decision(&mut self, decision: Decision, scheduler: &mut dyn Scheduler) {
+        let ws = &self.ws;
+        for (task_id, variant) in decision.variant_switches {
+            let valid = match self.arena.get_mut(task_id) {
+                Some(task) if task.is_ready() && !task.started() => {
+                    task.switch_variant(ws.node(task.key()), variant)
+                }
+                _ => false,
+            };
+            if !valid {
+                self.metrics.invalid_decisions += 1;
+            }
+        }
+
+        for task_id in decision.drops {
+            match self.arena.get(task_id) {
+                Some(task) if task.is_ready() => {
+                    let task = self.arena.remove(task_id).expect("dropped task exists");
+                    self.record_drop(&task, scheduler);
+                }
+                _ => self.metrics.invalid_decisions += 1,
+            }
+        }
+
+        for assignment in decision.assignments {
+            if !self.apply_assignment(&assignment) {
+                self.metrics.invalid_decisions += 1;
+            }
+        }
+    }
+
+    pub(crate) fn apply_assignment(&mut self, assignment: &crate::scheduler::Assignment) -> bool {
+        if assignment.accs.is_empty() {
+            return false;
+        }
+        // No duplicate accelerators, all idle.
+        for (i, &acc) in assignment.accs.iter().enumerate() {
+            if acc.0 >= self.accs.len()
+                || assignment.accs[..i].contains(&acc)
+                || !self.accs[acc.0].is_idle()
+            {
+                return false;
+            }
+        }
+        let Some(task) = self.arena.get(assignment.task) else {
+            return false;
+        };
+        if !task.is_ready() {
+            return false;
+        }
+        let Some(head) = task.next_layer() else {
+            return false;
+        };
+
+        let lead = assignment.accs[0];
+        let (mut latency_ns, mut energy_pj) = if assignment.accs.len() == 1 {
+            (
+                self.ws.latency_ns(head.layer, lead),
+                self.ws.energy_pj(head.layer, lead),
+            )
+        } else {
+            let configs: Vec<&dream_cost::AcceleratorConfig> = assignment
+                .accs
+                .iter()
+                .map(|a| self.platform.accelerator(*a).expect("validated id"))
+                .collect();
+            let cost = self.cost.gang_cost(self.ws.layer(head.layer), &configs);
+            (cost.latency_ns, cost.energy_pj)
+        };
+
+        // Context switch: the lead accelerator last ran a different task.
+        let lead_state = &self.accs[lead.0];
+        if lead_state.last_task != Some(assignment.task) {
+            let sw = self.cost.switch_cost(
+                self.ws.input_bytes(head.layer),
+                lead_state.last_output_bytes,
+                self.platform.accelerator(lead).expect("validated id"),
+            );
+            latency_ns += sw.latency_ns;
+            energy_pj += sw.energy_pj;
+            if lead_state.last_task.is_some() {
+                self.metrics.context_switches += 1;
+            }
+        }
+
+        self.charge_dispatch_wait(assignment.task);
+        let task = self.arena.get_mut(assignment.task).expect("checked above");
+        task.set_running(assignment.accs.clone());
+        self.arena.mark_running(assignment.task);
+        let done_at = self.now + SimTime::from_ns_f64(latency_ns.max(1.0));
+        for &acc in &assignment.accs {
+            let st = &mut self.accs[acc.0];
+            st.running = Some(assignment.task);
+            st.busy_until = done_at;
+            st.busy_ns += done_at.saturating_sub(self.now).as_ns();
+            self.occupy_acc(acc);
+        }
+        self.in_flight_insert(
+            assignment.task,
+            InFlight {
+                energy_pj,
+                accs: assignment.accs.clone(),
+                layer: head,
+            },
+        );
+        self.queue.push(
+            done_at,
+            crate::event::EventKind::LayerDone {
+                task: assignment.task,
+            },
+        );
+        true
+    }
+}

@@ -1,0 +1,322 @@
+//! The staged simulation executor.
+//!
+//! One simulation is executed by [`Engine`], a discrete-event loop split
+//! into explicit stages per event batch:
+//!
+//! 1. **advance** — pop the earliest event batch from the binary-heap
+//!    [`EventQueue`](crate::event::EventQueue) and apply every event at
+//!    that instant ([`arrivals`], [`completion`]), updating the slab-backed
+//!    [`TaskArena`](arena::TaskArena) and the idle-accelerator list
+//!    incrementally;
+//! 2. **decide** — when work is ready and capacity is idle, hand the
+//!    scheduler a borrowed [`SystemView`](crate::SystemView) over that
+//!    incrementally maintained state (nothing is rebuilt per decision);
+//! 3. **dispatch** — validate and apply the returned
+//!    [`Decision`](crate::Decision) ([`dispatch`]), scheduling
+//!    `LayerDone` completions back into the queue.
+//!
+//! Stochastic workload structure (cascades, skips, early exits) resolves
+//! in [`dynamics`]; metric updates live in [`accounting`].
+
+pub(crate) mod accounting;
+pub(crate) mod arena;
+pub(crate) mod arrivals;
+pub(crate) mod completion;
+pub(crate) mod dispatch;
+pub(crate) mod dynamics;
+
+#[cfg(test)]
+mod tests;
+
+use dream_cost::{AcceleratorId, CostModel, Platform};
+use dream_models::Scenario;
+
+use crate::determ::DeterministicCoin;
+use crate::event::{EventKind, EventQueue};
+use crate::metrics::Metrics;
+use crate::scheduler::{AccState, Scheduler};
+use crate::task::{QueuedLayer, TaskId};
+use crate::workload::{Phase, WorkloadSet};
+use crate::{SimError, SimTime};
+
+use arena::TaskArena;
+
+/// Configures and runs one simulation.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Debug)]
+pub struct SimulationBuilder {
+    platform: Platform,
+    phases: Vec<(SimTime, Scenario)>,
+    duration: SimTime,
+    seed: u64,
+    cost: CostModel,
+}
+
+impl SimulationBuilder {
+    /// Starts a builder for `scenario` running on `platform` from time 0.
+    pub fn new(platform: Platform, scenario: Scenario) -> Self {
+        SimulationBuilder {
+            platform,
+            phases: vec![(SimTime::ZERO, scenario)],
+            duration: SimTime::from(crate::Millis::new(2_000)),
+            seed: 0,
+            cost: CostModel::paper_default(),
+        }
+    }
+
+    /// Sets the measurement horizon (default: the paper's 2 s window).
+    pub fn duration(mut self, duration: impl Into<SimTime>) -> Self {
+        self.duration = duration.into();
+        self
+    }
+
+    /// Sets the workload-realization seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the cost model (default: calibrated paper defaults).
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Adds a workload phase: at `start`, the running scenario is replaced
+    /// by `scenario` (task-level dynamicity — in-flight frames of the old
+    /// phase are flushed). Phases may be added in any order; they are
+    /// sorted by start time.
+    pub fn add_phase(mut self, start: impl Into<SimTime>, scenario: Scenario) -> Self {
+        self.phases.push((start.into(), scenario));
+        self
+    }
+
+    /// Runs the simulation to completion under `scheduler`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::ZeroDuration`] for an empty horizon.
+    /// * [`SimError::InvalidPhase`] if two phases share a start time or a
+    ///   phase starts at/after the horizon.
+    pub fn run(self, scheduler: &mut dyn Scheduler) -> Result<SimOutcome, SimError> {
+        if self.duration == SimTime::ZERO {
+            return Err(SimError::ZeroDuration);
+        }
+        let mut phases = self.phases;
+        phases.sort_by_key(|(start, _)| *start);
+        for w in phases.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(SimError::InvalidPhase {
+                    reason: format!("two phases share start time {}", w[0].0),
+                });
+            }
+        }
+        if phases[0].0 != SimTime::ZERO {
+            return Err(SimError::InvalidPhase {
+                reason: "the first phase must start at time 0".into(),
+            });
+        }
+        if let Some((start, _)) = phases.iter().find(|(s, _)| *s >= self.duration) {
+            return Err(SimError::InvalidPhase {
+                reason: format!("phase at {start} starts at/after the horizon"),
+            });
+        }
+        let mut resolved = Vec::with_capacity(phases.len());
+        for (i, (start, scenario)) in phases.iter().enumerate() {
+            let end = phases.get(i + 1).map(|(s, _)| *s).unwrap_or(self.duration);
+            resolved.push(Phase {
+                start: *start,
+                end,
+                scenario: scenario.clone(),
+            });
+        }
+        let ws = WorkloadSet::build(resolved, &self.platform, &self.cost)?;
+        let mut engine = Engine::new(ws, self.platform, self.cost, self.seed, self.duration);
+        Ok(engine.run(scheduler))
+    }
+}
+
+/// The result of a completed simulation.
+#[derive(Debug)]
+pub struct SimOutcome {
+    metrics: Metrics,
+    final_time: SimTime,
+}
+
+impl SimOutcome {
+    /// Aggregated metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Consumes the outcome, returning the metrics.
+    pub fn into_metrics(self) -> Metrics {
+        self.metrics
+    }
+
+    /// The time the simulation stopped (= the horizon).
+    pub fn final_time(&self) -> SimTime {
+        self.final_time
+    }
+}
+
+/// A layer currently executing: what to charge and free on completion.
+pub(crate) struct InFlight {
+    pub energy_pj: f64,
+    pub accs: Vec<AcceleratorId>,
+    pub layer: QueuedLayer,
+}
+
+pub(crate) struct Engine {
+    pub(crate) now: SimTime,
+    pub(crate) horizon: SimTime,
+    pub(crate) ws: WorkloadSet,
+    pub(crate) platform: Platform,
+    pub(crate) cost: CostModel,
+    pub(crate) coin: DeterministicCoin,
+    pub(crate) accs: Vec<AccState>,
+    pub(crate) arena: TaskArena,
+    /// Idle accelerator ids, ascending — maintained incrementally by
+    /// dispatch/completion.
+    pub(crate) idle: Vec<AcceleratorId>,
+    /// Tasks draining their current layer before being discarded by a
+    /// phase flush, ascending by id.
+    pub(crate) flushing: Vec<TaskId>,
+    /// `(task, in-flight record)` ascending by task id.
+    pub(crate) in_flight: Vec<(TaskId, InFlight)>,
+    pub(crate) queue: EventQueue,
+    pub(crate) metrics: Metrics,
+    pub(crate) current_phase: usize,
+}
+
+impl Engine {
+    pub(crate) fn new(
+        ws: WorkloadSet,
+        platform: Platform,
+        cost: CostModel,
+        seed: u64,
+        horizon: SimTime,
+    ) -> Self {
+        let accs: Vec<AccState> = platform.ids().map(AccState::new).collect();
+        let idle: Vec<AcceleratorId> = platform.ids().collect();
+        let mut metrics = Metrics::new(horizon, platform.len());
+        for node in ws.nodes() {
+            metrics.entry(
+                node.key(),
+                node.model_name(),
+                node.rate().as_fps(),
+                node.variant_count(),
+            );
+        }
+        Engine {
+            now: SimTime::ZERO,
+            horizon,
+            ws,
+            platform,
+            cost,
+            coin: DeterministicCoin::new(seed),
+            accs,
+            arena: TaskArena::new(),
+            idle,
+            flushing: Vec::new(),
+            in_flight: Vec::new(),
+            queue: EventQueue::new(),
+            metrics,
+            current_phase: 0,
+        }
+    }
+
+    pub(crate) fn run(&mut self, scheduler: &mut dyn Scheduler) -> SimOutcome {
+        // Seed phase starts (which in turn seed frame arrivals) and the end.
+        for (idx, phase) in self.ws.phases().to_vec().iter().enumerate() {
+            self.queue
+                .push(phase.start, EventKind::PhaseStart { phase: idx });
+        }
+        self.queue.push(self.horizon, EventKind::End);
+
+        'outer: while let Some(event) = self.queue.pop() {
+            // Stage 1 — advance: apply this event (and, via the `continue`
+            // below, every simultaneous one) to the incremental state.
+            self.now = event.time;
+            self.metrics.events_processed += 1;
+            match event.kind {
+                EventKind::End => break 'outer,
+                EventKind::PhaseStart { phase } => self.start_phase(phase, scheduler),
+                EventKind::FrameArrival {
+                    phase,
+                    pipeline,
+                    node,
+                    frame,
+                } => self.frame_arrival(phase, pipeline, node, frame, scheduler),
+                EventKind::LayerDone { task } => self.layer_done(task, scheduler),
+            }
+            // Drain all simultaneous events before scheduling so the view
+            // reflects every accelerator freed at this instant.
+            if self.queue.peek_time() == Some(self.now) {
+                continue;
+            }
+            debug_assert!(self.arena.ready_list_is_consistent());
+            // Stages 2 and 3 — decide over the borrowed view, then
+            // dispatch the decision.
+            self.invoke_scheduler(scheduler);
+        }
+
+        self.finalize_accounting();
+        SimOutcome {
+            metrics: std::mem::replace(&mut self.metrics, Metrics::new(self.horizon, 0)),
+            final_time: self.now,
+        }
+    }
+
+    // ---- small helpers shared by the stage modules ----
+
+    /// Returns an accelerator to the idle pool.
+    pub(crate) fn release_acc(&mut self, acc: AcceleratorId) {
+        if let Err(pos) = self.idle.binary_search(&acc) {
+            self.idle.insert(pos, acc);
+        } else {
+            debug_assert!(false, "released an already-idle accelerator");
+        }
+    }
+
+    /// Claims an accelerator from the idle pool.
+    pub(crate) fn occupy_acc(&mut self, acc: AcceleratorId) {
+        if let Ok(pos) = self.idle.binary_search(&acc) {
+            self.idle.remove(pos);
+        } else {
+            debug_assert!(false, "occupied a non-idle accelerator");
+        }
+    }
+
+    pub(crate) fn in_flight_remove(&mut self, task: TaskId) -> Option<InFlight> {
+        let pos = self
+            .in_flight
+            .binary_search_by_key(&task, |&(id, _)| id)
+            .ok()?;
+        Some(self.in_flight.remove(pos).1)
+    }
+
+    pub(crate) fn in_flight_insert(&mut self, task: TaskId, run: InFlight) {
+        match self.in_flight.binary_search_by_key(&task, |&(id, _)| id) {
+            Ok(_) => debug_assert!(false, "task already has an in-flight layer"),
+            Err(pos) => self.in_flight.insert(pos, (task, run)),
+        }
+    }
+
+    pub(crate) fn flushing_insert(&mut self, task: TaskId) {
+        if let Err(pos) = self.flushing.binary_search(&task) {
+            self.flushing.insert(pos, task);
+        }
+    }
+
+    pub(crate) fn flushing_remove(&mut self, task: TaskId) -> bool {
+        match self.flushing.binary_search(&task) {
+            Ok(pos) => {
+                self.flushing.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}

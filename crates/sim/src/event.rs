@@ -87,8 +87,14 @@ mod tests {
     fn orders_by_time_then_insertion() {
         let mut q = EventQueue::new();
         q.push(SimTime::from_ns(50), EventKind::End);
-        q.push(SimTime::from_ns(10), EventKind::LayerDone { task: TaskId(1) });
-        q.push(SimTime::from_ns(10), EventKind::LayerDone { task: TaskId(2) });
+        q.push(
+            SimTime::from_ns(10),
+            EventKind::LayerDone { task: TaskId(1) },
+        );
+        q.push(
+            SimTime::from_ns(10),
+            EventKind::LayerDone { task: TaskId(2) },
+        );
         assert_eq!(q.len(), 3);
         assert_eq!(q.peek_time(), Some(SimTime::from_ns(10)));
         let a = q.pop().unwrap();

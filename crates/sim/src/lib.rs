@@ -13,9 +13,13 @@
 //! * [`SimulationBuilder`] assembles a [`Platform`](dream_cost::Platform), a
 //!   [`Scenario`](dream_models::Scenario) (or several phases of scenarios
 //!   for task-level dynamicity), a seed, and a duration.
-//! * The engine maintains per-task queues of remaining layers and invokes a
-//!   pluggable [`Scheduler`] whenever an accelerator is idle and work is
-//!   ready. The scheduler sees an immutable [`SystemView`] and returns a
+//! * The engine is a staged executor (`engine/`): events drain from a
+//!   binary-heap queue into per-stage modules (arrivals, completion,
+//!   dynamics, dispatch, accounting) that update a slab-backed task arena
+//!   and an idle-accelerator index *incrementally*. Whenever an
+//!   accelerator is idle and work is ready it invokes a pluggable
+//!   [`Scheduler`], which sees an immutable borrowed [`SystemView`] over
+//!   that state — never a per-decision reconstruction — and returns a
 //!   [`Decision`]: layer→accelerator assignments (possibly gangs), frame
 //!   drops, and supernet variant switches.
 //! * All randomness (cascade edges, skip gates, early exits) is

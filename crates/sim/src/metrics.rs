@@ -226,6 +226,46 @@ impl Metrics {
         self.stats.values().map(|s| s.energy_pj).sum::<f64>() / 1.0e9
     }
 
+    /// A deterministic digest of every counter and energy value in the
+    /// metrics (f64s hashed by bit pattern). Two runs produce the same
+    /// fingerprint iff their metrics are bit-identical — the witness the
+    /// determinism property tests and the `ExperimentGrid` thread-count
+    /// equivalence check compare.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(self.horizon.as_ns());
+        mix(self.scheduler_invocations);
+        mix(self.invalid_decisions);
+        mix(self.layer_executions);
+        mix(self.context_switches);
+        mix(self.events_processed);
+        for &busy in &self.acc_busy_ns {
+            mix(busy);
+        }
+        for (key, s) in &self.stats {
+            mix(key.phase as u64);
+            mix(key.pipeline.0 as u64);
+            mix(key.node.0 as u64);
+            mix(s.released);
+            mix(s.censored);
+            mix(s.completed_on_time);
+            mix(s.completed_late);
+            mix(s.dropped);
+            mix(s.flushed);
+            mix(s.energy_pj.to_bits());
+            mix(s.worst_energy_pj.to_bits());
+            mix(s.wait_ns);
+            for &v in &s.variant_runs {
+                mix(v);
+            }
+        }
+        h
+    }
+
     /// Mean accelerator utilisation over the horizon, in `[0, 1]`.
     pub fn mean_utilization(&self) -> f64 {
         if self.acc_busy_ns.is_empty() || self.horizon.as_ns() == 0 {

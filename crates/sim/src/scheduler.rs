@@ -177,45 +177,125 @@ pub enum TaskEventKind {
     Flushed,
 }
 
-/// An immutable snapshot of the system a scheduler decides over.
+/// An immutable, *borrowed* view of the system a scheduler decides over.
+///
+/// The engine maintains the underlying structures — the slab-backed task
+/// arena, the ready-task index, and the idle-accelerator list —
+/// incrementally as events apply, and lends them out here per decision.
+/// Nothing is reconstructed per event, which is what keeps the paper's
+/// per-event scheduling loop cheap (§5.2's overhead claim).
+///
+/// Indexed accessors ([`SystemView::task`], [`SystemView::ready_ids`],
+/// [`SystemView::idle_ids`], [`SystemView::acc`]) resolve in O(log n) or
+/// O(1); the iterators walk the live set ascending by [`TaskId`] so every
+/// scheduler observes the same deterministic order.
 #[derive(Debug)]
 pub struct SystemView<'a> {
-    /// Current simulation time.
-    pub now: SimTime,
-    /// Current workload phase index.
-    pub phase: usize,
-    /// All sub-accelerators.
-    pub accs: &'a [AccState],
-    /// All live tasks (ready and running), ascending by id.
-    pub tasks: &'a [&'a Task],
-    /// The resolved workload with its offline cost tables.
-    pub workload: &'a WorkloadSet,
-    /// The analytical cost model (for on-demand queries such as gang
-    /// costing).
-    pub cost: &'a CostModel,
-    /// The hardware platform.
-    pub platform: &'a Platform,
+    pub(crate) now: SimTime,
+    pub(crate) phase: usize,
+    pub(crate) accs: &'a [AccState],
+    pub(crate) arena: &'a crate::engine::arena::TaskArena,
+    pub(crate) idle: &'a [AcceleratorId],
+    pub(crate) workload: &'a WorkloadSet,
+    pub(crate) cost: &'a CostModel,
+    pub(crate) platform: &'a Platform,
 }
 
 impl<'a> SystemView<'a> {
-    /// Tasks awaiting dispatch.
-    pub fn ready_tasks(&self) -> impl Iterator<Item = &'a Task> + '_ {
-        self.tasks.iter().copied().filter(|t| t.is_ready())
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
     }
 
-    /// Idle accelerators.
+    /// Current workload phase index.
+    pub fn phase(&self) -> usize {
+        self.phase
+    }
+
+    /// All sub-accelerators, ascending by id.
+    pub fn accs(&self) -> &'a [AccState] {
+        self.accs
+    }
+
+    /// One sub-accelerator's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an accelerator of this platform.
+    pub fn acc(&self, id: AcceleratorId) -> &'a AccState {
+        &self.accs[id.0]
+    }
+
+    /// All live tasks (ready and running), ascending by id.
+    pub fn tasks(&self) -> impl Iterator<Item = &'a Task> + '_ {
+        self.arena.iter()
+    }
+
+    /// Number of live tasks.
+    pub fn task_count(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Tasks awaiting dispatch, ascending by id.
+    pub fn ready_tasks(&self) -> impl Iterator<Item = &'a Task> + '_ {
+        self.arena
+            .ready_ids()
+            .iter()
+            .map(|&id| self.arena.get(id).expect("ready ids are live"))
+    }
+
+    /// Ids of tasks awaiting dispatch, ascending (the engine's
+    /// incrementally maintained ready index).
+    pub fn ready_ids(&self) -> &'a [TaskId] {
+        self.arena.ready_ids()
+    }
+
+    /// Number of ready tasks.
+    pub fn ready_count(&self) -> usize {
+        self.arena.ready_ids().len()
+    }
+
+    /// Idle accelerators, ascending by id.
     pub fn idle_accs(&self) -> impl Iterator<Item = &'a AccState> + '_ {
-        self.accs.iter().filter(|a| a.is_idle())
+        self.idle.iter().map(|&id| &self.accs[id.0])
+    }
+
+    /// Ids of idle accelerators, ascending (the engine's incrementally
+    /// maintained occupancy index).
+    pub fn idle_ids(&self) -> &'a [AcceleratorId] {
+        self.idle
     }
 
     /// Number of idle accelerators.
     pub fn idle_count(&self) -> usize {
-        self.accs.iter().filter(|a| a.is_idle()).count()
+        self.idle.len()
     }
 
     /// Looks up a live task by id.
     pub fn task(&self, id: TaskId) -> Option<&'a Task> {
-        self.tasks.iter().copied().find(|t| t.id() == id)
+        self.arena.get(id)
+    }
+
+    /// Remaining time to `id`'s deadline right now (negative when past
+    /// due); `None` for ids no longer live.
+    pub fn slack_ns(&self, id: TaskId) -> Option<f64> {
+        self.arena.get(id).map(|t| t.slack_ns(self.now))
+    }
+
+    /// The resolved workload with its offline cost tables.
+    pub fn workload(&self) -> &'a WorkloadSet {
+        self.workload
+    }
+
+    /// The analytical cost model (for on-demand queries such as gang
+    /// costing).
+    pub fn cost(&self) -> &'a CostModel {
+        self.cost
+    }
+
+    /// The hardware platform.
+    pub fn platform(&self) -> &'a Platform {
+        self.platform
     }
 }
 

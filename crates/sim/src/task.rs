@@ -307,11 +307,17 @@ impl Task {
     }
 
     pub(crate) fn pending_skip_starting_at(&self, first: usize) -> Option<SkipBlock> {
-        self.pending_skips.iter().find(|b| b.first == first).copied()
+        self.pending_skips
+            .iter()
+            .find(|b| b.first == first)
+            .copied()
     }
 
     pub(crate) fn pending_exit_after(&self, after: usize) -> Option<ExitPoint> {
-        self.pending_exits.iter().find(|e| e.after == after).copied()
+        self.pending_exits
+            .iter()
+            .find(|e| e.after == after)
+            .copied()
     }
 }
 
@@ -358,7 +364,10 @@ mod tests {
     fn new_task_queues_all_layers() {
         let ws = ar_call_ws();
         let t = skipnet_task(&ws);
-        assert_eq!(t.remaining().len(), ws.node(t.key()).variant_layers(VariantId(0)).len());
+        assert_eq!(
+            t.remaining().len(),
+            ws.node(t.key()).variant_layers(VariantId(0)).len()
+        );
         assert!(t.is_ready());
         assert!(!t.started());
         assert_eq!(t.next_layer().unwrap().graph_idx, 0);

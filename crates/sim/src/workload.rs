@@ -2,8 +2,7 @@ use std::collections::BTreeMap;
 
 use dream_cost::{AcceleratorId, CostModel, Platform};
 use dream_models::{
-    CascadeProbability, ExitPoint, Layer, NodeId, PipelineId, Rate, Scenario, SkipBlock,
-    VariantId,
+    CascadeProbability, ExitPoint, Layer, NodeId, PipelineId, Rate, Scenario, SkipBlock, VariantId,
 };
 
 use crate::{SimError, SimTime};
@@ -254,11 +253,8 @@ impl WorkloadSet {
                             exit_points: graph.exit_points().to_vec(),
                         });
                     }
-                    let worst_frame_energy_pj = variants[0]
-                        .layers
-                        .iter()
-                        .map(|&l| ws.max_energy[l.0])
-                        .sum();
+                    let worst_frame_energy_pj =
+                        variants[0].layers.iter().map(|&l| ws.max_energy[l.0]).sum();
                     ws.nodes.insert(
                         key,
                         NodeInfo {
@@ -279,12 +275,7 @@ impl WorkloadSet {
         Ok(ws)
     }
 
-    fn register_layer(
-        &mut self,
-        layer: Layer,
-        platform: &Platform,
-        cost: &CostModel,
-    ) -> LayerId {
+    fn register_layer(&mut self, layer: Layer, platform: &Platform, cost: &CostModel) -> LayerId {
         let id = LayerId(self.layers.len());
         let stats = layer.stats();
         let mut sum_l = 0.0;

@@ -6,8 +6,8 @@
 //! cargo run --release --example custom_hardware
 //! ```
 
-use dream::cost::{AcceleratorConfig, CostModel, CostParams, Dataflow};
 use dream::core::{ObjectiveKind, ParamOptimizer, ScoreParams};
+use dream::cost::{AcceleratorConfig, CostModel, CostParams, Dataflow};
 use dream::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -17,9 +17,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let platform = Platform::new(
         "wearable-soc",
         vec![
-            AcceleratorConfig::new("big-WS", 3072, Dataflow::WeightStationary, 0.6, 16.0, 5 << 20)?,
+            AcceleratorConfig::new(
+                "big-WS",
+                3072,
+                Dataflow::WeightStationary,
+                0.6,
+                16.0,
+                5 << 20,
+            )?,
             AcceleratorConfig::new("mid-OS", 768, Dataflow::OutputStationary, 0.6, 8.0, 2 << 20)?,
-            AcceleratorConfig::new("tiny-OS", 256, Dataflow::OutputStationary, 0.6, 4.0, 1 << 20)?,
+            AcceleratorConfig::new(
+                "tiny-OS",
+                256,
+                Dataflow::OutputStationary,
+                0.6,
+                4.0,
+                1 << 20,
+            )?,
         ],
     )?;
 

@@ -48,6 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("final parameters: {}", scheduler.current_params());
 
     let report = UxCostReport::from_metrics(metrics);
-    println!("\noverall UXCost over the whole mission: {:.4}", report.uxcost());
+    println!(
+        "\noverall UXCost over the whole mission: {:.4}",
+        report.uxcost()
+    );
     Ok(())
 }

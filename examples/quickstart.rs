@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("layers executed   : {}", metrics.layer_executions);
     println!("context switches  : {}", metrics.context_switches);
-    println!("mean utilisation  : {:.1}%", 100.0 * metrics.mean_utilization());
+    println!(
+        "mean utilisation  : {:.1}%",
+        100.0 * metrics.mean_utilization()
+    );
     println!("frames dropped    : {}", scheduler.total_drops());
     println!("final (α, β)      : {}", scheduler.current_params());
     Ok(())

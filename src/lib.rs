@@ -1,8 +1,8 @@
 //! # DREAM — a dynamic scheduler for dynamic real-time multi-model ML workloads
 //!
 //! This crate is the facade of a full reproduction of *DREAM: A Dynamic
-//! Scheduler for Dynamic Real-time Multi-model ML Workloads* (ASPLOS 2024).
-//! It re-exports the four building blocks:
+//! Scheduler for Dynamic Real-time Multi-model ML Workloads* (ASPLOS 2023).
+//! It re-exports the building blocks:
 //!
 //! * [`models`] — layer-level descriptions of the fourteen workload networks,
 //!   their dynamic control structure (supernets, early exits, layer skipping),
@@ -11,12 +11,25 @@
 //!   output-stationary dataflows) standing in for MAESTRO, plus the eight
 //!   hardware platforms of Table 2.
 //! * [`sim`] — a deterministic discrete-event simulator of a multi-accelerator
-//!   system executing RTMM workloads under a pluggable scheduler.
+//!   system executing RTMM workloads under a pluggable scheduler. The engine
+//!   is a *staged executor* split across an `engine/` module tree —
+//!   `arrivals` (phase starts, frame releases), `completion` (layer
+//!   finishes), `dynamics` (cascade/skip/exit gates), `dispatch` (decision
+//!   validation + start), and `accounting` (metrics) — over a slab-backed
+//!   task arena and a binary-heap event queue. Schedulers receive a
+//!   borrowed, incrementally-maintained [`sim::SystemView`] with indexed
+//!   accessors for ready tasks, accelerator occupancy, and slack; nothing
+//!   is reconstructed per event.
 //! * [`core`] — the DREAM scheduler itself: MapScore (Algorithm 1), UXCost
 //!   (Algorithm 2), the smart frame-drop engine, the adaptivity engine with
 //!   online α/β tuning, and supernet switching.
 //! * [`baselines`] — FCFS, a static offline scheduler, and Veltair- and
 //!   Planaria-style schedulers used as comparison points in the paper.
+//! * `dream-bench` (dev-only) — the experiment harness. Its
+//!   `ExperimentGrid` fans whole (scheduler × scenario × platform × seed)
+//!   figure grids out across a thread pool with deterministic, seed-keyed
+//!   aggregation: the same grid produces bit-identical metrics for 1 and
+//!   N worker threads.
 //!
 //! # Quickstart
 //!
@@ -63,7 +76,5 @@ pub mod prelude {
     };
     pub use dream_cost::{AcceleratorConfig, CostModel, Dataflow, Platform, PlatformPreset};
     pub use dream_models::{CascadeProbability, Model, ModelGraph, Scenario, ScenarioKind};
-    pub use dream_sim::{
-        Metrics, Millis, Scheduler, SimOutcome, SimTime, SimulationBuilder,
-    };
+    pub use dream_sim::{Metrics, Millis, Scheduler, SimOutcome, SimTime, SimulationBuilder};
 }

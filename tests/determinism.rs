@@ -1,0 +1,103 @@
+//! Determinism properties: identical seed ⇒ bit-identical [`Metrics`] —
+//! across repeated runs, across schedulers' shared workload realization,
+//! and across `ExperimentGrid` thread counts.
+
+use dream::prelude::*;
+use dream_bench::{ExperimentGrid, RunSpec, SchedulerKind};
+use dream_models::ScenarioKind;
+
+/// One full simulation, fingerprinted.
+fn fingerprint(seed: u64, kind: ScenarioKind, preset: PlatformPreset) -> u64 {
+    let scenario = Scenario::new(kind, CascadeProbability::default_paper());
+    let mut sched = DreamScheduler::new(DreamConfig::full());
+    SimulationBuilder::new(Platform::preset(preset), scenario)
+        .duration(Millis::new(400))
+        .seed(seed)
+        .run(&mut sched)
+        .unwrap()
+        .into_metrics()
+        .fingerprint()
+}
+
+#[test]
+fn identical_seed_is_bit_identical_across_runs() {
+    // Sweep seeds × scenarios; every repeat must produce the identical
+    // metrics digest (which hashes every counter and every f64 bit).
+    for seed in 0..8 {
+        for kind in [ScenarioKind::ArCall, ScenarioKind::VrGaming] {
+            let a = fingerprint(seed, kind, PlatformPreset::Hetero4kWs1Os2);
+            let b = fingerprint(seed, kind, PlatformPreset::Hetero4kWs1Os2);
+            assert_eq!(a, b, "seed {seed} on {kind} diverged");
+        }
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = fingerprint(1, ScenarioKind::ArCall, PlatformPreset::Hetero4kWs1Os2);
+    let b = fingerprint(2, ScenarioKind::ArCall, PlatformPreset::Hetero4kWs1Os2);
+    assert_ne!(a, b, "distinct seeds should realize distinct workloads");
+}
+
+/// The tentpole acceptance property: the same grid produces identical
+/// aggregated metrics for 1 thread and N threads on the same seeds.
+#[test]
+fn experiment_grid_is_thread_count_invariant() {
+    let mut grid = ExperimentGrid::new();
+    grid.add_product(
+        &[PlatformPreset::Homo4kWs2, PlatformPreset::Hetero4kWs1Os2],
+        &[ScenarioKind::ArCall],
+        &[
+            SchedulerKind::Fcfs,
+            SchedulerKind::Edf,
+            SchedulerKind::Planaria,
+        ],
+        3,
+    );
+    // Shorten the horizon so the sweep stays fast; 2 platforms × 3
+    // schedulers × 3 seeds = 18 cells.
+    let mut short = ExperimentGrid::new();
+    for spec in grid.specs() {
+        short.push(spec.clone().with_duration_ms(250));
+    }
+
+    let serial = short.clone().with_threads(1).run();
+    let wide = short.clone().with_threads(8).run();
+    assert_eq!(
+        serial.fingerprint(),
+        wide.fingerprint(),
+        "grid results must not depend on the thread count"
+    );
+    // And the aggregates agree cell by cell, bitwise.
+    for (a, b) in serial.averaged().iter().zip(wide.averaged().iter()) {
+        assert_eq!(a.scheduler_name, b.scheduler_name);
+        assert_eq!(a.uxcost.to_bits(), b.uxcost.to_bits());
+        assert_eq!(
+            a.mean_violation_rate.to_bits(),
+            b.mean_violation_rate.to_bits()
+        );
+        assert_eq!(a.mean_norm_energy.to_bits(), b.mean_norm_energy.to_bits());
+    }
+    // Repeating the wide run reproduces it exactly.
+    let wide2 = short.with_threads(8).run();
+    assert_eq!(wide.fingerprint(), wide2.fingerprint());
+}
+
+#[test]
+fn grid_results_stay_in_spec_order_under_parallelism() {
+    let mut grid = ExperimentGrid::new().with_threads(4);
+    for seed in [9, 3, 7, 1] {
+        grid.push(
+            RunSpec::new(
+                SchedulerKind::Fcfs,
+                ScenarioKind::ArCall,
+                PlatformPreset::Homo4kWs2,
+            )
+            .with_duration_ms(200)
+            .with_seed(seed),
+        );
+    }
+    let results = grid.run();
+    let seeds: Vec<u64> = results.runs().iter().map(|r| r.spec.seed).collect();
+    assert_eq!(seeds, vec![9, 3, 7, 1]);
+}

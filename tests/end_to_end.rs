@@ -83,13 +83,12 @@ fn workload_realization_is_scheduler_independent() {
     // GNMT's released-frame count is a direct witness of cascade draws.
     let released_gnmt = |scheduler: &mut dyn Scheduler| {
         let scenario = Scenario::ar_call(CascadeProbability::default());
-        let metrics =
-            SimulationBuilder::new(Platform::preset(PlatformPreset::Homo4kWs2), scenario)
-                .duration(Millis::new(1_000))
-                .seed(9)
-                .run(scheduler)
-                .unwrap()
-                .into_metrics();
+        let metrics = SimulationBuilder::new(Platform::preset(PlatformPreset::Homo4kWs2), scenario)
+            .duration(Millis::new(1_000))
+            .seed(9)
+            .run(scheduler)
+            .unwrap()
+            .into_metrics();
         let released = metrics
             .models()
             .find(|(_, s)| s.model_name == "GNMT")
@@ -111,13 +110,12 @@ fn workload_realization_is_scheduler_independent() {
 fn frame_accounting_matches_fps_contracts() {
     let scenario = Scenario::drone_outdoor();
     let mut s = EdfScheduler::new();
-    let metrics =
-        SimulationBuilder::new(Platform::preset(PlatformPreset::Homo8kWs2), scenario)
-            .duration(Millis::new(2_000))
-            .seed(3)
-            .run(&mut s)
-            .unwrap()
-            .into_metrics();
+    let metrics = SimulationBuilder::new(Platform::preset(PlatformPreset::Homo8kWs2), scenario)
+        .duration(Millis::new(2_000))
+        .seed(3)
+        .run(&mut s)
+        .unwrap()
+        .into_metrics();
     for (_, stats) in metrics.models() {
         // Counted frames are those whose deadline lies inside the 2 s
         // horizon: fps·2s minus one boundary frame.
@@ -133,8 +131,7 @@ fn frame_accounting_matches_fps_contracts() {
         // Outcome partition: everything released is on-time, late, dropped,
         // flushed, or still in flight at the horizon.
         assert!(
-            stats.completed_on_time + stats.completed_late + stats.dropped
-                <= stats.released,
+            stats.completed_on_time + stats.completed_late + stats.dropped <= stats.released,
             "{}: outcome counts exceed releases",
             stats.model_name
         );
@@ -147,15 +144,13 @@ fn dream_beats_naive_baselines_on_stressed_platform() {
         let mut acc = 0.0;
         for seed in [21, 22] {
             let scenario = Scenario::ar_social(CascadeProbability::default());
-            let metrics = SimulationBuilder::new(
-                Platform::preset(PlatformPreset::Hetero4kOs1Ws2),
-                scenario,
-            )
-            .duration(Millis::new(1_500))
-            .seed(seed)
-            .run(scheduler)
-            .unwrap()
-            .into_metrics();
+            let metrics =
+                SimulationBuilder::new(Platform::preset(PlatformPreset::Hetero4kOs1Ws2), scenario)
+                    .duration(Millis::new(1_500))
+                    .seed(seed)
+                    .run(scheduler)
+                    .unwrap()
+                    .into_metrics();
             acc += UxCostReport::from_metrics(&metrics).uxcost() / 2.0;
         }
         acc
@@ -209,7 +204,10 @@ fn phase_switch_flushes_and_notifies() {
         Platform::preset(PlatformPreset::Hetero4kWs1Os2),
         Scenario::vr_gaming(CascadeProbability::default()),
     )
-    .add_phase(Millis::new(400), Scenario::ar_call(CascadeProbability::default()))
+    .add_phase(
+        Millis::new(400),
+        Scenario::ar_call(CascadeProbability::default()),
+    )
     .duration(Millis::new(800))
     .seed(13)
     .run(&mut w)

@@ -32,8 +32,8 @@ fn figure2_dynamic_beats_static_on_ar_call() {
     ] {
         let mut statik = StaticScheduler::new();
         let mut fcfs = FcfsScheduler::new();
-        total_static += run(&mut statik, ScenarioKind::ArCall, preset, 0.5, 2_000, 1)
-            .mean_violation_rate();
+        total_static +=
+            run(&mut statik, ScenarioKind::ArCall, preset, 0.5, 2_000, 1).mean_violation_rate();
         total_dynamic +=
             run(&mut fcfs, ScenarioKind::ArCall, preset, 0.5, 2_000, 1).mean_violation_rate();
     }

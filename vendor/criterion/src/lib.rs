@@ -1,0 +1,187 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Supports `Criterion::bench_function`, `benchmark_group` (with
+//! `sample_size` and `finish`), and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark runs a short warmup, then
+//! timed batches, and prints the mean ns/iter to stdout. Results are
+//! also collected so callers can export them (see
+//! [`Criterion::results`]).
+
+use std::time::{Duration, Instant};
+
+/// One recorded benchmark result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id (`group/name` when run inside a group).
+    pub id: String,
+    /// Mean wall time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Iterations the mean was computed over.
+    pub iterations: u64,
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    target_time: Duration,
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target_time: Duration::from_millis(300),
+            sample_size: 10,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let r = run_bench(id, self.target_time, self.sample_size, f);
+        self.results.push(r);
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// All results recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let r = run_bench(&full, self.parent.target_time, samples, f);
+        self.parent.results.push(r);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over an adaptively chosen number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        // Aim each timed sample at ~1/10 of the per-call budget.
+        let per_sample = Duration::from_millis(30);
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += iters;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: &str,
+    target: Duration,
+    samples: usize,
+    mut f: F,
+) -> BenchResult {
+    let mut b = Bencher::default();
+    let start = Instant::now();
+    for _ in 0..samples {
+        f(&mut b);
+        if start.elapsed() > target * 4 {
+            break;
+        }
+    }
+    let mean_ns = if b.iterations == 0 {
+        0.0
+    } else {
+        b.elapsed.as_nanos() as f64 / b.iterations as f64
+    };
+    println!(
+        "bench: {id:50} {mean_ns:14.1} ns/iter  ({} iters)",
+        b.iterations
+    );
+    BenchResult {
+        id: id.to_string(),
+        mean_ns,
+        iterations: b.iterations,
+    }
+}
+
+/// Groups benchmark functions into one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_result() {
+        let mut c = Criterion {
+            target_time: Duration::from_millis(5),
+            sample_size: 2,
+            results: Vec::new(),
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].iterations > 0);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2)
+            .bench_function("inner", |b| b.iter(|| 2 * 2));
+        g.finish();
+        assert_eq!(c.results()[1].id, "g/inner");
+    }
+}
