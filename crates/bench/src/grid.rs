@@ -188,12 +188,11 @@ impl GridResults {
     /// order — bit-identical across thread counts by construction, and
     /// the witness the determinism tests assert on.
     pub fn fingerprint(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut h = dream_sim::Fnv64::new();
         for run in &self.runs {
-            h ^= run.metrics.fingerprint();
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            h.mix(run.metrics.fingerprint());
         }
-        h
+        h.finish()
     }
 }
 
@@ -208,6 +207,9 @@ struct CellKey {
     preset_name: &'static str,
     cascade_micros: u64,
     duration_ms: u64,
+    /// Exact arrival-stream key (parameters by bit pattern, traces by
+    /// content digest).
+    arrival: String,
 }
 
 impl CellKey {
@@ -223,6 +225,7 @@ impl CellKey {
             preset_name: spec.preset.name(),
             cascade_micros: crate::tuning::cascade_key(spec.cascade),
             duration_ms: spec.duration_ms,
+            arrival: spec.arrival.group_key(),
         }
     }
 }

@@ -3,8 +3,11 @@
 //! [`ExperimentGrid`], fans the whole (scheduler × scenario × platform ×
 //! seed) grid out across a thread pool, and prints the same rows/series the
 //! paper reports. Grid aggregation is deterministic and seed-keyed: the
-//! same grid yields bit-identical metrics for 1 and N worker threads. Raw
-//! CSVs land in `target/experiments/`.
+//! same grid yields bit-identical metrics for 1 and N worker threads.
+//! Beyond the paper's fixed-FPS pipelines, [`ArrivalConfig`] points a cell
+//! at Poisson/MMPP/trace-driven traffic (the `served_traffic` bench). Raw
+//! CSVs land in `artifacts/experiments/` at the workspace root (override
+//! with `DREAM_ARTIFACTS_DIR`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -17,8 +20,8 @@ mod tuning;
 pub use grid::{ExperimentGrid, GridResults};
 pub use report::{csv_path, geomean, write_csv, Table};
 pub use runner::{
-    parallel_map, parallel_map_threads, run_averaged, run_spec, AveragedResult, DreamVariant,
-    RunResult, RunSpec, SchedulerKind,
+    parallel_map, parallel_map_threads, run_averaged, run_spec, ArrivalConfig, AveragedResult,
+    DreamVariant, RunResult, RunSpec, SchedulerKind,
 };
 pub use tuning::{tune_params, tuned_params_cached};
 

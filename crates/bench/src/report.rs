@@ -96,13 +96,21 @@ impl Table {
     }
 }
 
-/// Where experiment CSVs are written.
+/// Where experiment CSVs are written: `$DREAM_ARTIFACTS_DIR` when set,
+/// otherwise `artifacts/` at the workspace root. Deliberately *not*
+/// under `target/`, so `cargo clean` keeps results and build output
+/// never mingles with data (the directory is gitignored).
 pub fn csv_path(name: &str) -> PathBuf {
-    let mut dir = std::env::var_os("CARGO_TARGET_DIR")
+    let mut dir = std::env::var_os("DREAM_ARTIFACTS_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("target"));
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("artifacts")
+        });
     dir.push("experiments");
     let _ = fs::create_dir_all(&dir);
+    let mut dir = fs::canonicalize(&dir).unwrap_or(dir);
     dir.push(format!("{name}.csv"));
     dir
 }

@@ -1,10 +1,15 @@
+use std::sync::Arc;
+
 use dream_baselines::{
     EdfScheduler, FcfsScheduler, PlanariaScheduler, StaticScheduler, VeltairScheduler,
 };
 use dream_core::{DreamConfig, DreamScheduler, ScoreParams, UxCostReport};
 use dream_cost::{Platform, PlatformPreset};
 use dream_models::{CascadeProbability, Scenario, ScenarioKind};
-use dream_sim::{Metrics, Millis, Scheduler, SimulationBuilder};
+use dream_sim::{
+    ArrivalTrace, Metrics, Millis, MmppArrivals, PoissonArrivals, Scheduler, SimulationBuilder,
+    TraceArrivals,
+};
 
 /// Which DREAM ablation level to run (the paper's Table 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -85,6 +90,91 @@ impl SchedulerKind {
     }
 }
 
+/// How a run's root frames arrive — the experiment-level face of the
+/// simulator's [`ArrivalSource`](dream_sim::ArrivalSource) seam.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum ArrivalConfig {
+    /// The paper's fixed-FPS pipelines (the default).
+    #[default]
+    Periodic,
+    /// Open-loop Poisson traffic at `intensity` × the nominal rate.
+    Poisson {
+        /// Rate multiplier (1.0 = nominal load in expectation).
+        intensity: f64,
+    },
+    /// Bursty two-state MMPP traffic (see
+    /// [`MmppArrivals`](dream_sim::MmppArrivals)).
+    Mmpp {
+        /// Calm-state intensity multiplier.
+        calm: f64,
+        /// Burst-state intensity multiplier.
+        burst: f64,
+        /// Per-frame probability of entering a burst.
+        p_enter: f64,
+        /// Per-frame probability of leaving a burst.
+        p_exit: f64,
+    },
+    /// Replay of a recorded request trace.
+    Trace(Arc<ArrivalTrace>),
+}
+
+impl ArrivalConfig {
+    /// A short human-readable label for tables. Lossy (floats are
+    /// rounded) — cell grouping uses [`group_key`](Self::group_key).
+    pub fn label(&self) -> String {
+        match self {
+            ArrivalConfig::Periodic => "periodic".into(),
+            ArrivalConfig::Poisson { intensity } => format!("poisson x{intensity:.2}"),
+            ArrivalConfig::Mmpp { calm, burst, .. } => format!("mmpp {calm:.2}/{burst:.2}"),
+            ArrivalConfig::Trace(t) => {
+                format!("trace:{}#{}@{:08x}", t.name(), t.len(), t.digest() as u32)
+            }
+        }
+    }
+
+    /// An exact grouping key: every parameter by bit pattern (traces by
+    /// content digest), so two configs that merely *format* identically
+    /// never merge into one averaged cell.
+    pub fn group_key(&self) -> String {
+        match self {
+            ArrivalConfig::Periodic => "periodic".into(),
+            ArrivalConfig::Poisson { intensity } => {
+                format!("poisson:{:016x}", intensity.to_bits())
+            }
+            ArrivalConfig::Mmpp {
+                calm,
+                burst,
+                p_enter,
+                p_exit,
+            } => format!(
+                "mmpp:{:016x}:{:016x}:{:016x}:{:016x}",
+                calm.to_bits(),
+                burst.to_bits(),
+                p_enter.to_bits(),
+                p_exit.to_bits()
+            ),
+            ArrivalConfig::Trace(t) => format!("trace:{:016x}:{}", t.digest(), t.len()),
+        }
+    }
+
+    /// Applies this config to a simulation builder.
+    fn apply(&self, builder: SimulationBuilder) -> SimulationBuilder {
+        match self {
+            ArrivalConfig::Periodic => builder,
+            ArrivalConfig::Poisson { intensity } => {
+                builder.arrivals(PoissonArrivals::new(*intensity))
+            }
+            ArrivalConfig::Mmpp {
+                calm,
+                burst,
+                p_enter,
+                p_exit,
+            } => builder.arrivals(MmppArrivals::new(*calm, *burst, *p_enter, *p_exit)),
+            ArrivalConfig::Trace(trace) => builder.arrivals(TraceArrivals::new(trace.clone())),
+        }
+    }
+}
+
 /// A fully specified simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunSpec {
@@ -100,6 +190,8 @@ pub struct RunSpec {
     pub duration_ms: u64,
     /// Workload-realization seed.
     pub seed: u64,
+    /// Arrival stream feeding the run.
+    pub arrival: ArrivalConfig,
 }
 
 impl RunSpec {
@@ -112,7 +204,14 @@ impl RunSpec {
             cascade: 0.5,
             duration_ms: crate::DEFAULT_DURATION_MS,
             seed: crate::DEFAULT_SEED,
+            arrival: ArrivalConfig::Periodic,
         }
+    }
+
+    /// Overrides the arrival stream (default: periodic).
+    pub fn with_arrivals(mut self, arrival: ArrivalConfig) -> Self {
+        self.arrival = arrival;
+        self
     }
 
     /// Overrides the cascade probability.
@@ -159,6 +258,12 @@ pub struct RunResult {
     pub variant_runs: Vec<u64>,
     /// Context switches charged.
     pub context_switches: u64,
+    /// Median per-request sojourn time (ms); `None` when nothing completed.
+    pub sojourn_p50_ms: Option<f64>,
+    /// 95th-percentile per-request sojourn time (ms).
+    pub sojourn_p95_ms: Option<f64>,
+    /// 99th-percentile per-request sojourn time (ms).
+    pub sojourn_p99_ms: Option<f64>,
     /// Full metrics for custom analyses.
     pub metrics: Metrics,
 }
@@ -174,9 +279,11 @@ pub fn run_spec(spec: &RunSpec) -> RunResult {
         CascadeProbability::new(spec.cascade).expect("experiment cascade probabilities are valid");
     let platform = Platform::preset(spec.preset);
     let scenario = Scenario::new(spec.scenario, cascade);
-    let builder = SimulationBuilder::new(platform, scenario)
-        .duration(Millis::new(spec.duration_ms))
-        .seed(spec.seed);
+    let builder = spec.arrival.apply(
+        SimulationBuilder::new(platform, scenario)
+            .duration(Millis::new(spec.duration_ms))
+            .seed(spec.seed),
+    );
 
     let mut fcfs;
     let mut statik;
@@ -223,6 +330,7 @@ pub fn run_spec(spec: &RunSpec) -> RunResult {
         .expect("experiment specs are valid simulations")
         .into_metrics();
     let report = UxCostReport::from_metrics(&metrics);
+    let sojourn = metrics.sojourn_percentiles_ms(&[0.50, 0.95, 0.99]);
     let variant_runs = metrics
         .models()
         .find(|(_, s)| s.variant_runs.len() > 1)
@@ -240,6 +348,9 @@ pub fn run_spec(spec: &RunSpec) -> RunResult {
         drops: metrics.models().map(|(_, s)| s.dropped).sum(),
         variant_runs,
         context_switches: metrics.context_switches,
+        sojourn_p50_ms: sojourn[0],
+        sojourn_p95_ms: sojourn[1],
+        sojourn_p99_ms: sojourn[2],
         metrics,
     }
 }
@@ -319,6 +430,29 @@ mod tests {
     }
 
     #[test]
+    fn arrival_group_key_is_exact_where_label_is_lossy() {
+        let a = ArrivalConfig::Poisson { intensity: 1.001 };
+        let b = ArrivalConfig::Poisson { intensity: 1.004 };
+        assert_eq!(a.label(), b.label(), "labels round for display");
+        assert_ne!(a.group_key(), b.group_key(), "grouping must not merge");
+        let m1 = ArrivalConfig::Mmpp {
+            calm: 0.8,
+            burst: 2.5,
+            p_enter: 0.1,
+            p_exit: 0.4,
+        };
+        let m2 = ArrivalConfig::Mmpp {
+            calm: 0.8,
+            burst: 2.5,
+            p_enter: 0.5,
+            p_exit: 0.1,
+        };
+        assert_eq!(m1.label(), m2.label());
+        assert_ne!(m1.group_key(), m2.group_key());
+        assert_eq!(ArrivalConfig::Periodic.group_key(), "periodic");
+    }
+
+    #[test]
     fn scheduler_kind_names() {
         assert_eq!(SchedulerKind::Fcfs.name(), "FCFS");
         assert_eq!(
@@ -344,6 +478,12 @@ pub struct AveragedResult {
     pub mean_norm_energy: f64,
     /// Mean drops across seeds.
     pub drops: f64,
+    /// Mean p50 sojourn (ms) across the seeds that completed frames.
+    pub sojourn_p50_ms: Option<f64>,
+    /// Mean p95 sojourn (ms) across the seeds that completed frames.
+    pub sojourn_p95_ms: Option<f64>,
+    /// Mean p99 sojourn (ms) across the seeds that completed frames.
+    pub sojourn_p99_ms: Option<f64>,
     /// Element-wise mean of the supernet variant histogram (empty when no
     /// supernet ran).
     pub variant_shares: Vec<f64>,
@@ -382,6 +522,17 @@ pub(crate) fn average_runs(runs: Vec<RunResult>) -> AveragedResult {
     let mean_violation_rate = runs.iter().map(|r| r.mean_violation_rate).sum::<f64>() / n;
     let mean_norm_energy = runs.iter().map(|r| r.mean_norm_energy).sum::<f64>() / n;
     let drops = runs.iter().map(|r| r.drops as f64).sum::<f64>() / n;
+    let mean_opt = |f: fn(&RunResult) -> Option<f64>| {
+        let vals: Vec<f64> = runs.iter().filter_map(f).collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    };
+    let sojourn_p50_ms = mean_opt(|r| r.sojourn_p50_ms);
+    let sojourn_p95_ms = mean_opt(|r| r.sojourn_p95_ms);
+    let sojourn_p99_ms = mean_opt(|r| r.sojourn_p99_ms);
     let hist_len = runs.iter().map(|r| r.variant_runs.len()).max().unwrap_or(0);
     let mut variant_shares = vec![0.0; hist_len];
     for r in &runs {
@@ -399,6 +550,9 @@ pub(crate) fn average_runs(runs: Vec<RunResult>) -> AveragedResult {
         mean_violation_rate,
         mean_norm_energy,
         drops,
+        sojourn_p50_ms,
+        sojourn_p95_ms,
+        sojourn_p99_ms,
         variant_shares,
         runs,
     }

@@ -1,3 +1,34 @@
+/// Incremental 64-bit FNV-1a mixer — the one digest primitive behind
+/// [`Metrics::fingerprint`](crate::Metrics::fingerprint),
+/// [`ArrivalTrace::digest`](crate::ArrivalTrace::digest), and the bench
+/// grid's result fingerprints, so every digest evolves in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// Starts a digest at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one value into the digest.
+    pub fn mix(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    /// The digest so far.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Counter-based deterministic randomness for workload realization.
 ///
 /// Every stochastic decision in a workload (does a cascade edge fire? is a

@@ -84,6 +84,9 @@ impl Engine {
                 }
                 stats.variant_runs[task.variant().0] += 1;
                 stats.wait_ns += (self.now.saturating_sub(task.released())).as_ns();
+                stats
+                    .sojourn_ns
+                    .push(self.now.saturating_sub(task.frame_arrival()).as_ns());
             }
         }
         scheduler.on_task_event(&TaskEvent {

@@ -1,5 +1,6 @@
 //! Stage 1a — workload arrivals: phase starts (with their flush of the
-//! previous phase), periodic root-frame arrivals, and task release.
+//! previous phase), root-frame arrivals from the pluggable
+//! [`ArrivalSource`](crate::arrivals::ArrivalSource), and task release.
 
 use dream_models::{NodeId, PipelineId};
 
@@ -32,8 +33,10 @@ impl Engine {
                 self.flushing_insert(id);
             }
         }
-        // Kick off periodic arrivals for every root node of the new phase.
+        // Kick off arrivals for every root node of the new phase; the
+        // arrival source decides when each node's frame 0 lands.
         let phase_start = self.ws.phases()[phase].start;
+        let phase_end = self.ws.phases()[phase].end;
         let arrivals: Vec<ModelKey> = self
             .ws
             .nodes()
@@ -41,15 +44,23 @@ impl Engine {
             .map(|n| n.key())
             .collect();
         for key in arrivals {
-            self.queue.push(
-                phase_start,
-                EventKind::FrameArrival {
-                    phase,
-                    pipeline: key.pipeline,
-                    node: key.node,
-                    frame: 0,
-                },
+            let first = self.arrivals.first_arrival(
+                self.ws.node(key),
+                &self.ws.phases()[phase],
+                &self.coin,
             );
+            let Some(first) = first else { continue };
+            if first >= phase_start && first < phase_end && first < self.horizon {
+                self.queue.push(
+                    first,
+                    EventKind::FrameArrival {
+                        phase,
+                        pipeline: key.pipeline,
+                        node: key.node,
+                        frame: 0,
+                    },
+                );
+            }
         }
         let names = self.ws.model_names(phase);
         scheduler.on_phase_start(phase, &names);
@@ -68,11 +79,20 @@ impl Engine {
             pipeline,
             node,
         };
-        let period = self.ws.node(key).period();
         self.release_task(key, frame, self.now, scheduler);
-        let next = self.now + period;
+        let next = self.arrivals.next_arrival(
+            self.ws.node(key),
+            &self.ws.phases()[phase],
+            frame,
+            self.now,
+            &self.coin,
+        );
+        let Some(next) = next else { return };
         let phase_end = self.ws.phases()[phase].end;
-        if next < phase_end && next < self.horizon {
+        // Arrivals stay strictly inside the phase window and the horizon
+        // (release-time censoring is the inclusive counterpart: a frame
+        // whose *deadline* lands exactly on either boundary still counts).
+        if next >= self.now && next < phase_end && next < self.horizon {
             self.queue.push(
                 next,
                 EventKind::FrameArrival {

@@ -24,10 +24,19 @@ impl Engine {
         }
         self.metrics.layer_executions += 1;
 
-        if self.flushing_remove(task_id) {
-            let task = self.arena.remove(task_id).expect("flushing task exists");
-            self.record_flush(&task, scheduler);
-            return;
+        if let Some(flush_time) = self.flushing_remove(task_id) {
+            // A layer completing exactly at the flush instant completed
+            // *by* the phase boundary. If it was the task's last layer,
+            // the inference finished inside its window: record the
+            // completion (deadline-checked as usual) instead of a flush,
+            // matching the inclusive deadline-at-phase-end censoring.
+            let task = self.arena.get(task_id).expect("flushing task exists");
+            let finished_at_boundary = self.now == flush_time && task.remaining().len() == 1;
+            if !finished_at_boundary {
+                let task = self.arena.remove(task_id).expect("flushing task exists");
+                self.record_flush(&task, scheduler);
+                return;
+            }
         }
 
         let task = self.arena.get_mut(task_id).expect("running task exists");

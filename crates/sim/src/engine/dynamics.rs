@@ -9,16 +9,11 @@ use crate::workload::{ModelKey, NodeInfo};
 use super::Engine;
 
 /// Gate-id namespaces for the deterministic coin, so cascade, skip, and
-/// exit draws never collide.
+/// exit draws never collide (arrival draws use 3000+; see
+/// [`crate::arrivals`]).
 const GATE_CASCADE: u64 = 0;
 const GATE_SKIP_BASE: u64 = 1_000;
 const GATE_EXIT_BASE: u64 = 2_000;
-
-/// Coin coordinate that disambiguates identical pipeline indices across
-/// phases.
-fn coin_pipeline(key: ModelKey) -> usize {
-    key.phase * 4096 + key.pipeline.0
-}
 
 impl Engine {
     /// Resolves the skip/exit gates revealed by completing the layer at
@@ -26,7 +21,7 @@ impl Engine {
     pub(crate) fn resolve_operator_gates(&mut self, task_id: TaskId, graph_idx: usize) {
         let task = self.arena.get_mut(task_id).expect("gated task exists");
         let key = task.key();
-        let coin_pl = coin_pipeline(key);
+        let coin_pl = key.coin_channel();
         let g = graph_idx;
         if let Some(exit) = task.pending_exit_after(g) {
             let take = self.coin.decide(
@@ -67,7 +62,7 @@ impl Engine {
         if self.now >= phase_end {
             return;
         }
-        let coin_pl = coin_pipeline(key);
+        let coin_pl = key.coin_channel();
         for &child in node.children() {
             let child_key = ModelKey {
                 phase: key.phase,

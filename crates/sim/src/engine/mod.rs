@@ -31,6 +31,7 @@ mod tests;
 use dream_cost::{AcceleratorId, CostModel, Platform};
 use dream_models::Scenario;
 
+use crate::arrivals::{ArrivalSource, PeriodicArrivals};
 use crate::determ::DeterministicCoin;
 use crate::event::{EventKind, EventQueue};
 use crate::metrics::Metrics;
@@ -51,6 +52,7 @@ pub struct SimulationBuilder {
     duration: SimTime,
     seed: u64,
     cost: CostModel,
+    arrivals: Box<dyn ArrivalSource>,
 }
 
 impl SimulationBuilder {
@@ -62,6 +64,7 @@ impl SimulationBuilder {
             duration: SimTime::from(crate::Millis::new(2_000)),
             seed: 0,
             cost: CostModel::paper_default(),
+            arrivals: Box::new(PeriodicArrivals),
         }
     }
 
@@ -83,6 +86,14 @@ impl SimulationBuilder {
         self
     }
 
+    /// Replaces the arrival source (default: [`PeriodicArrivals`], the
+    /// paper's fixed-FPS pipelines). See the
+    /// [`arrivals`](crate::arrivals) module for the built-in sources.
+    pub fn arrivals(mut self, source: impl ArrivalSource + 'static) -> Self {
+        self.arrivals = Box::new(source);
+        self
+    }
+
     /// Adds a workload phase: at `start`, the running scenario is replaced
     /// by `scenario` (task-level dynamicity — in-flight frames of the old
     /// phase are flushed). Phases may be added in any order; they are
@@ -92,18 +103,13 @@ impl SimulationBuilder {
         self
     }
 
-    /// Runs the simulation to completion under `scheduler`.
-    ///
-    /// # Errors
-    ///
-    /// * [`SimError::ZeroDuration`] for an empty horizon.
-    /// * [`SimError::InvalidPhase`] if two phases share a start time or a
-    ///   phase starts at/after the horizon.
-    pub fn run(self, scheduler: &mut dyn Scheduler) -> Result<SimOutcome, SimError> {
+    /// Resolves the configured phases into time-ordered `[start, end)`
+    /// windows.
+    fn resolved_phases(&self) -> Result<Vec<Phase>, SimError> {
         if self.duration == SimTime::ZERO {
             return Err(SimError::ZeroDuration);
         }
-        let mut phases = self.phases;
+        let mut phases = self.phases.clone();
         phases.sort_by_key(|(start, _)| *start);
         for w in phases.windows(2) {
             if w[0].0 == w[1].0 {
@@ -131,8 +137,41 @@ impl SimulationBuilder {
                 scenario: scenario.clone(),
             });
         }
+        Ok(resolved)
+    }
+
+    /// Builds the [`WorkloadSet`] this configuration would simulate,
+    /// without running it — e.g. to record an
+    /// [`ArrivalTrace`](crate::ArrivalTrace) against it.
+    ///
+    /// # Errors
+    ///
+    /// Same phase/duration validation as [`run`](Self::run).
+    pub fn build_workload(&self) -> Result<WorkloadSet, SimError> {
+        WorkloadSet::build(self.resolved_phases()?, &self.platform, &self.cost)
+    }
+
+    /// Runs the simulation to completion under `scheduler`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::ZeroDuration`] for an empty horizon.
+    /// * [`SimError::InvalidPhase`] if two phases share a start time or a
+    ///   phase starts at/after the horizon.
+    /// * [`SimError::InvalidTrace`] if the arrival source is inconsistent
+    ///   with the workload.
+    pub fn run(self, scheduler: &mut dyn Scheduler) -> Result<SimOutcome, SimError> {
+        let resolved = self.resolved_phases()?;
         let ws = WorkloadSet::build(resolved, &self.platform, &self.cost)?;
-        let mut engine = Engine::new(ws, self.platform, self.cost, self.seed, self.duration);
+        self.arrivals.validate(&ws, self.duration)?;
+        let mut engine = Engine::new(
+            ws,
+            self.platform,
+            self.cost,
+            self.seed,
+            self.duration,
+            self.arrivals,
+        );
         Ok(engine.run(scheduler))
     }
 }
@@ -175,14 +214,18 @@ pub(crate) struct Engine {
     pub(crate) platform: Platform,
     pub(crate) cost: CostModel,
     pub(crate) coin: DeterministicCoin,
+    /// Where root-frame arrivals come from (stage 1a's seam).
+    pub(crate) arrivals: Box<dyn ArrivalSource>,
     pub(crate) accs: Vec<AccState>,
     pub(crate) arena: TaskArena,
     /// Idle accelerator ids, ascending — maintained incrementally by
     /// dispatch/completion.
     pub(crate) idle: Vec<AcceleratorId>,
     /// Tasks draining their current layer before being discarded by a
-    /// phase flush, ascending by id.
-    pub(crate) flushing: Vec<TaskId>,
+    /// phase flush, ascending by id, each with the instant the flush was
+    /// ordered (a layer completing exactly at that instant completed *by*
+    /// the boundary and may still finish its task).
+    pub(crate) flushing: Vec<(TaskId, SimTime)>,
     /// `(task, in-flight record)` ascending by task id.
     pub(crate) in_flight: Vec<(TaskId, InFlight)>,
     pub(crate) queue: EventQueue,
@@ -197,6 +240,7 @@ impl Engine {
         cost: CostModel,
         seed: u64,
         horizon: SimTime,
+        arrivals: Box<dyn ArrivalSource>,
     ) -> Self {
         let accs: Vec<AccState> = platform.ids().map(AccState::new).collect();
         let idle: Vec<AcceleratorId> = platform.ids().collect();
@@ -216,6 +260,7 @@ impl Engine {
             platform,
             cost,
             coin: DeterministicCoin::new(seed),
+            arrivals,
             accs,
             arena: TaskArena::new(),
             idle,
@@ -241,7 +286,10 @@ impl Engine {
             self.now = event.time;
             self.metrics.events_processed += 1;
             match event.kind {
-                EventKind::End => break 'outer,
+                EventKind::End => {
+                    self.drain_horizon_completions(scheduler);
+                    break 'outer;
+                }
                 EventKind::PhaseStart { phase } => self.start_phase(phase, scheduler),
                 EventKind::FrameArrival {
                     phase,
@@ -266,6 +314,23 @@ impl Engine {
         SimOutcome {
             metrics: std::mem::replace(&mut self.metrics, Metrics::new(self.horizon, 0)),
             final_time: self.now,
+        }
+    }
+
+    /// Applies the layer completions scheduled at exactly the horizon
+    /// instant before the run stops. A layer finishing *at* the horizon
+    /// finished *by* it, so a frame whose deadline is exactly the horizon
+    /// (which release-time censoring counts) gets its completion recorded
+    /// instead of silently becoming a violation — the inclusive-deadline
+    /// counterpart of stopping the arrival recurrence strictly before the
+    /// horizon.
+    pub(crate) fn drain_horizon_completions(&mut self, scheduler: &mut dyn Scheduler) {
+        while self.queue.peek_time() == Some(self.now) {
+            let event = self.queue.pop().expect("peeked event exists");
+            if let EventKind::LayerDone { task } = event.kind {
+                self.metrics.events_processed += 1;
+                self.layer_done(task, scheduler);
+            }
         }
     }
 
@@ -304,19 +369,20 @@ impl Engine {
         }
     }
 
+    /// Marks a task as draining toward a flush ordered at the current
+    /// instant.
     pub(crate) fn flushing_insert(&mut self, task: TaskId) {
-        if let Err(pos) = self.flushing.binary_search(&task) {
-            self.flushing.insert(pos, task);
+        if let Err(pos) = self.flushing.binary_search_by_key(&task, |&(id, _)| id) {
+            self.flushing.insert(pos, (task, self.now));
         }
     }
 
-    pub(crate) fn flushing_remove(&mut self, task: TaskId) -> bool {
-        match self.flushing.binary_search(&task) {
-            Ok(pos) => {
-                self.flushing.remove(pos);
-                true
-            }
-            Err(_) => false,
+    /// Removes a task from the flush list, returning the instant its
+    /// flush was ordered.
+    pub(crate) fn flushing_remove(&mut self, task: TaskId) -> Option<SimTime> {
+        match self.flushing.binary_search_by_key(&task, |&(id, _)| id) {
+            Ok(pos) => Some(self.flushing.remove(pos).1),
+            Err(_) => None,
         }
     }
 }

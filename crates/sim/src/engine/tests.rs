@@ -1,10 +1,12 @@
 use super::*;
+use crate::arrivals::PeriodicArrivals;
 use crate::metrics::Metrics;
 use crate::scheduler::{Assignment, Decision, Scheduler, SchedulerCapabilities, SystemView};
 use crate::task::TaskId;
+use crate::workload::ModelKey;
 use crate::Millis;
 use dream_cost::PlatformPreset;
-use dream_models::{CascadeProbability, ScenarioKind};
+use dream_models::{CascadeProbability, NodeId, PipelineId, ScenarioKind};
 
 /// Greedy test scheduler: oldest ready task onto the lowest idle
 /// accelerator.
@@ -189,6 +191,155 @@ fn utilization_is_positive_under_load() {
     let m = run_ar_call(5, 500);
     assert!(m.mean_utilization() > 0.01);
     assert!(m.mean_utilization() <= 1.0);
+}
+
+/// SkipNet's 30 fps period: divides the windows below exactly, so the
+/// boundary frame's deadline lands exactly on the phase end / horizon.
+const PERIOD_NS: u64 = 33_333_333;
+
+/// Builds an engine over explicit phases and hand-places one SkipNet task
+/// (frame 11, deadline exactly at `12 * PERIOD_NS`) mid-flight on
+/// accelerator 0 with a single layer left, returning `(engine, task_id)`.
+fn engine_with_boundary_task(
+    phases: Vec<crate::workload::Phase>,
+    horizon: SimTime,
+) -> (Engine, TaskId) {
+    let platform = Platform::preset(PlatformPreset::Hetero4kWs1Os2);
+    let cost = CostModel::paper_default();
+    let ws = crate::workload::WorkloadSet::build(phases, &platform, &cost).unwrap();
+    let mut engine = Engine::new(ws, platform, cost, 0, horizon, Box::new(PeriodicArrivals));
+    let mut sched = Greedy;
+    let key = ModelKey {
+        phase: 0,
+        pipeline: PipelineId(1),
+        node: NodeId(0),
+    };
+    assert_eq!(engine.ws.node(key).period().as_ns(), PERIOD_NS);
+    // Frame 11 arrives at 11 periods; deadline = 12 periods = the boundary.
+    engine.now = SimTime::from_ns(11 * PERIOD_NS);
+    engine.release_task(key, 11, engine.now, &mut sched);
+    let id = engine.arena.iter().next().unwrap().id();
+    {
+        let task = engine.arena.get_mut(id).unwrap();
+        assert!(task.counted(), "deadline at the boundary must be counted");
+        // Drain all but the last layer, then start it on accelerator 0.
+        while task.remaining().len() > 1 {
+            task.set_running(vec![dream_cost::AcceleratorId(0)]);
+            task.complete_head(engine.now, 0.0);
+        }
+        task.set_running(vec![dream_cost::AcceleratorId(0)]);
+    }
+    engine.arena.mark_running(id);
+    engine.occupy_acc(dream_cost::AcceleratorId(0));
+    engine.accs[0].running = Some(id);
+    let head = engine.arena.get(id).unwrap().next_layer().unwrap();
+    engine.in_flight_insert(
+        id,
+        InFlight {
+            energy_pj: 0.0,
+            accs: vec![dream_cost::AcceleratorId(0)],
+            layer: head,
+        },
+    );
+    (engine, id)
+}
+
+fn two_phases() -> Vec<crate::workload::Phase> {
+    let p = CascadeProbability::default_paper();
+    vec![
+        crate::workload::Phase::new(
+            SimTime::ZERO,
+            SimTime::from_ns(12 * PERIOD_NS),
+            Scenario::new(ScenarioKind::ArCall, p),
+        ),
+        crate::workload::Phase::new(
+            SimTime::from_ns(12 * PERIOD_NS),
+            SimTime::from_ns(24 * PERIOD_NS),
+            Scenario::new(ScenarioKind::DroneOutdoor, p),
+        ),
+    ]
+}
+
+#[test]
+fn completion_at_flush_instant_counts_as_completed() {
+    // Regression: a counted frame with deadline exactly at its phase end
+    // used to be flushed (→ spurious violation) when its last layer
+    // finished exactly at the boundary, because the PhaseStart event
+    // processes first at that instant.
+    let boundary = SimTime::from_ns(12 * PERIOD_NS);
+    let (mut engine, id) =
+        engine_with_boundary_task(two_phases(), SimTime::from_ns(24 * PERIOD_NS));
+    let mut sched = Greedy;
+    engine.now = boundary;
+    engine.start_phase(1, &mut sched);
+    assert!(
+        engine.arena.get(id).is_some(),
+        "running stale task drains, not discarded"
+    );
+    // Its last layer completes exactly at the flush instant.
+    engine.layer_done(id, &mut sched);
+    let stats = engine.metrics.get_mut(ModelKey {
+        phase: 0,
+        pipeline: PipelineId(1),
+        node: NodeId(0),
+    });
+    let stats = stats.unwrap();
+    assert_eq!(stats.completed_on_time, 1, "on-time: now == deadline");
+    assert_eq!(stats.flushed, 0);
+    assert_eq!(stats.released, 1);
+}
+
+#[test]
+fn completion_after_flush_instant_is_still_flushed() {
+    let boundary = SimTime::from_ns(12 * PERIOD_NS);
+    let (mut engine, id) =
+        engine_with_boundary_task(two_phases(), SimTime::from_ns(24 * PERIOD_NS));
+    let mut sched = Greedy;
+    engine.now = boundary;
+    engine.start_phase(1, &mut sched);
+    // The layer drains past the boundary: the flush stands.
+    engine.now = boundary + SimTime::from_ns(5);
+    engine.layer_done(id, &mut sched);
+    let stats = engine
+        .metrics
+        .get_mut(ModelKey {
+            phase: 0,
+            pipeline: PipelineId(1),
+            node: NodeId(0),
+        })
+        .unwrap();
+    assert_eq!(stats.completed_on_time, 0);
+    assert_eq!(stats.flushed, 1);
+}
+
+#[test]
+fn completion_at_horizon_instant_is_recorded() {
+    // Regression: a counted frame with deadline exactly at the horizon
+    // used to lose its completion when the layer finished exactly at the
+    // horizon instant (the End event breaks the loop first).
+    let horizon = SimTime::from_ns(12 * PERIOD_NS);
+    let phases = vec![crate::workload::Phase::new(
+        SimTime::ZERO,
+        horizon,
+        Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper()),
+    )];
+    let (mut engine, id) = engine_with_boundary_task(phases, horizon);
+    let mut sched = Greedy;
+    engine.now = horizon;
+    engine
+        .queue
+        .push(horizon, EventKind::LayerDone { task: id });
+    engine.drain_horizon_completions(&mut sched);
+    let stats = engine
+        .metrics
+        .get_mut(ModelKey {
+            phase: 0,
+            pipeline: PipelineId(1),
+            node: NodeId(0),
+        })
+        .unwrap();
+    assert_eq!(stats.completed_on_time, 1, "deadline == horizon is on time");
+    assert_eq!(stats.released, 1);
 }
 
 #[test]

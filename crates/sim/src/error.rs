@@ -12,6 +12,12 @@ pub enum SimError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// An arrival trace is inconsistent with the workload (unknown key,
+    /// non-root target, entry outside its phase window) or malformed.
+    InvalidTrace {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
     /// Propagated model-construction error.
     Model(dream_models::ModelError),
     /// Propagated cost-model error.
@@ -23,6 +29,7 @@ impl fmt::Display for SimError {
         match self {
             SimError::ZeroDuration => write!(f, "simulation duration must be positive"),
             SimError::InvalidPhase { reason } => write!(f, "invalid workload phase: {reason}"),
+            SimError::InvalidTrace { reason } => write!(f, "invalid arrival trace: {reason}"),
             SimError::Model(e) => write!(f, "model error: {e}"),
             SimError::Cost(e) => write!(f, "cost model error: {e}"),
         }

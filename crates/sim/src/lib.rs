@@ -22,17 +22,36 @@
 //!   that state — never a per-decision reconstruction — and returns a
 //!   [`Decision`]: layer→accelerator assignments (possibly gangs), frame
 //!   drops, and supernet variant switches.
-//! * All randomness (cascade edges, skip gates, early exits) is
-//!   *counter-based*: outcomes are pure functions of
+//! * Root-frame arrivals come through the [`ArrivalSource`] seam
+//!   ([`arrivals`]): the default [`PeriodicArrivals`] reproduces the
+//!   paper's fixed-FPS pipelines bit-for-bit, while [`PoissonArrivals`],
+//!   [`MmppArrivals`], and [`TraceArrivals`] (replaying a recorded
+//!   [`ArrivalTrace`]) open the executor to served-traffic experiments —
+//!   open-loop stochastic streams and recorded request logs.
+//! * All randomness (cascade edges, skip gates, early exits, stochastic
+//!   inter-arrivals) is *counter-based*: outcomes are pure functions of
 //!   `(seed, pipeline, node, frame, gate)`, so every scheduler faces the
 //!   identical realized workload — the apples-to-apples comparison the
 //!   paper's evaluation relies on.
-//! * [`Metrics`] aggregates per-model deadline violations, drops, and
-//!   energy, from which `dream-core` computes UXCost (Algorithm 2).
+//! * [`Metrics`] aggregates per-model deadline violations, drops,
+//!   energy, and per-request sojourn-time percentiles (p50/p95/p99 — the
+//!   latency axis for open-loop traffic), from which `dream-core`
+//!   computes UXCost (Algorithm 2).
+//!
+//! # Phase and censoring boundary semantics
+//!
+//! Workload phases are half-open `[start, end)` windows; gaps between
+//! phases are legal and deploy no scenario
+//! ([`WorkloadSet::active_phase_at`]). Arrivals occur strictly before
+//! their phase's end and the horizon. A frame is *counted* iff its
+//! deadline falls at or before both boundaries; completions landing
+//! exactly on a boundary instant are processed before the boundary takes
+//! effect, so inclusive deadlines and strict arrivals agree.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 mod determ;
 mod engine;
 mod error;
@@ -43,7 +62,10 @@ mod task;
 mod time;
 mod workload;
 
-pub use determ::DeterministicCoin;
+pub use arrivals::{
+    ArrivalSource, ArrivalTrace, MmppArrivals, PeriodicArrivals, PoissonArrivals, TraceArrivals,
+};
+pub use determ::{DeterministicCoin, Fnv64};
 pub use engine::{SimOutcome, SimulationBuilder};
 pub use error::SimError;
 pub use metrics::{Metrics, ModelStats};
@@ -53,4 +75,4 @@ pub use scheduler::{
 };
 pub use task::{Task, TaskId, TaskState};
 pub use time::{Micros, Millis, SimTime};
-pub use workload::{LayerId, ModelKey, WorkloadSet};
+pub use workload::{LayerId, ModelKey, NodeInfo, Phase, WorkloadSet};

@@ -34,6 +34,11 @@ pub struct ModelStats {
     pub variant_runs: Vec<u64>,
     /// Total queueing delay accumulated by counted frames (ns).
     pub wait_ns: u64,
+    /// Per-request sojourn time of every counted completion, in ns:
+    /// originating frame arrival → this model's completion (end-to-end
+    /// through the cascade for child models). Dropped and never-finished
+    /// frames contribute no sample. Unordered; percentile accessors sort.
+    pub sojourn_ns: Vec<u64>,
 }
 
 impl ModelStats {
@@ -51,6 +56,7 @@ impl ModelStats {
             worst_energy_pj: 0.0,
             variant_runs: vec![0; variant_count],
             wait_ns: 0,
+            sojourn_ns: Vec::new(),
         }
     }
 
@@ -85,6 +91,13 @@ impl ModelStats {
         }
     }
 
+    /// The `q`-quantile (nearest-rank, `0 < q <= 1`) of this model's
+    /// per-request sojourn times, in milliseconds. `None` when no counted
+    /// frame completed or `q` is out of range.
+    pub fn sojourn_percentile_ms(&self, q: f64) -> Option<f64> {
+        percentile_ms(&mut self.sojourn_ns.clone(), q)
+    }
+
     /// Energy normalised to the worst case (Algorithm 2 line 5). `None`
     /// when no frames were counted.
     pub fn normalized_energy(&self) -> Option<f64> {
@@ -94,6 +107,22 @@ impl ModelStats {
             Some(self.energy_pj / self.worst_energy_pj)
         }
     }
+}
+
+/// Nearest-rank quantile over an already-sorted sample buffer, in
+/// milliseconds.
+fn sorted_percentile_ms(sorted: &[u64], q: f64) -> Option<f64> {
+    if sorted.is_empty() || !(0.0 < q && q <= 1.0) {
+        return None;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1] as f64 / 1.0e6)
+}
+
+/// Nearest-rank quantile over a scratch sample buffer, in milliseconds.
+fn percentile_ms(samples: &mut [u64], q: f64) -> Option<f64> {
+    samples.sort_unstable();
+    sorted_percentile_ms(samples, q)
 }
 
 /// Aggregated simulation results.
@@ -221,6 +250,28 @@ impl Metrics {
         }
     }
 
+    /// The `q`-quantile (nearest-rank, `0 < q <= 1`) of per-request
+    /// sojourn times pooled across every model, in milliseconds — the
+    /// served-traffic latency axis (p50/p95/p99). `None` when no counted
+    /// frame completed.
+    pub fn sojourn_percentile_ms(&self, q: f64) -> Option<f64> {
+        self.sojourn_percentiles_ms(&[q])[0]
+    }
+
+    /// Several pooled sojourn quantiles at once, sorting the pooled
+    /// samples a single time (use this for p50/p95/p99 triples).
+    pub fn sojourn_percentiles_ms(&self, qs: &[f64]) -> Vec<Option<f64>> {
+        let mut pooled: Vec<u64> = self
+            .stats
+            .values()
+            .flat_map(|s| s.sojourn_ns.iter().copied())
+            .collect();
+        pooled.sort_unstable();
+        qs.iter()
+            .map(|&q| sorted_percentile_ms(&pooled, q))
+            .collect()
+    }
+
     /// Total energy consumed by counted frames, in millijoules.
     pub fn total_energy_mj(&self) -> f64 {
         self.stats.values().map(|s| s.energy_pj).sum::<f64>() / 1.0e9
@@ -231,12 +282,14 @@ impl Metrics {
     /// fingerprint iff their metrics are bit-identical — the witness the
     /// determinism property tests and the `ExperimentGrid` thread-count
     /// equivalence check compare.
+    ///
+    /// The per-request sojourn samples are deliberately *not* part of the
+    /// digest: the counters and energies fully pin down a run's outcome,
+    /// and keeping the field set fixed keeps fingerprints comparable with
+    /// values recorded before the samples existed.
     pub fn fingerprint(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |v: u64| {
-            h ^= v;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        };
+        let mut h = crate::Fnv64::new();
+        let mut mix = |v: u64| h.mix(v);
         mix(self.horizon.as_ns());
         mix(self.scheduler_invocations);
         mix(self.invalid_decisions);
@@ -263,7 +316,7 @@ impl Metrics {
                 mix(v);
             }
         }
-        h
+        h.finish()
     }
 
     /// Mean accelerator utilisation over the horizon, in `[0, 1]`.

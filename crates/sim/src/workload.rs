@@ -25,6 +25,14 @@ pub struct ModelKey {
     pub node: NodeId,
 }
 
+impl ModelKey {
+    /// The deterministic-coin "pipeline" coordinate: disambiguates
+    /// identical pipeline indices across phases so draws never collide.
+    pub(crate) fn coin_channel(self) -> usize {
+        self.phase * 4096 + self.pipeline.0
+    }
+}
+
 impl std::fmt::Display for ModelKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "p{}.{}.{}", self.phase, self.pipeline.0, self.node.0)
@@ -147,6 +155,20 @@ pub struct Phase {
 }
 
 impl Phase {
+    /// Creates a phase: `scenario` is active during `[start, end)`.
+    ///
+    /// Phases handed to [`WorkloadSet::build`] must be non-overlapping
+    /// and time-ordered; *gaps* between consecutive phases are legal and
+    /// mean no scenario is deployed during the gap (no arrivals occur
+    /// there — see [`WorkloadSet::active_phase_at`]).
+    pub fn new(start: SimTime, end: SimTime, scenario: Scenario) -> Self {
+        Phase {
+            start,
+            end,
+            scenario,
+        }
+    }
+
     /// Phase start time (inclusive).
     pub fn start(&self) -> SimTime {
         self.start
@@ -200,6 +222,15 @@ impl WorkloadSet {
                 reason: "no workload phases configured".into(),
             });
         }
+        for p in &phases {
+            if p.end <= p.start {
+                return Err(SimError::InvalidPhase {
+                    reason: format!("phase [{}, {}) is empty", p.start, p.end),
+                });
+            }
+        }
+        // Gaps between consecutive phases are legal (no scenario deployed
+        // during the gap); only overlaps are rejected.
         for w in phases.windows(2) {
             if w[1].start < w[0].end {
                 return Err(SimError::InvalidPhase {
@@ -306,12 +337,34 @@ impl WorkloadSet {
         &self.phases
     }
 
-    /// The phase index active at `time` (clamps to the last phase).
+    /// The phase index governing `time`: the phase whose `[start, end)`
+    /// window contains it, or — since phases may be separated by gaps in
+    /// which no scenario is deployed — the phase the workload is
+    /// transitioning *into* (the next phase to start). Times at/after the
+    /// last phase's end clamp to the last phase, times before the first
+    /// phase's start clamp to the first.
+    ///
+    /// Use [`active_phase_at`](Self::active_phase_at) to distinguish a
+    /// gap from an active phase.
     pub fn phase_at(&self, time: SimTime) -> usize {
+        if let Some(active) = self.active_phase_at(time) {
+            return active;
+        }
+        // In a gap (or outside the schedule): the next phase to start,
+        // clamped to the last phase once the schedule is over.
         self.phases
             .iter()
-            .rposition(|p| time >= p.start)
-            .unwrap_or(0)
+            .position(|p| time < p.start)
+            .unwrap_or(self.phases.len() - 1)
+    }
+
+    /// The phase whose half-open window `[start, end)` contains `time`,
+    /// or `None` when `time` falls in an inter-phase gap, before the
+    /// first phase, or at/after the end of the last one.
+    pub fn active_phase_at(&self, time: SimTime) -> Option<usize> {
+        self.phases
+            .iter()
+            .position(|p| time >= p.start && time < p.end)
     }
 
     /// All model nodes across all phases.
@@ -503,6 +556,47 @@ mod tests {
         assert_eq!(ws.phase_at(SimTime::from_ns(u64::MAX / 2)), 0);
         assert_eq!(ws.model_names(0).len(), 3);
         assert!(ws.model_names(7).is_empty());
+    }
+
+    #[test]
+    fn gapped_phases_resolve_per_window() {
+        // Regression: phase_at used to return the previous, already-ended
+        // phase for any time inside an inter-phase gap.
+        let platform = Platform::preset(PlatformPreset::Homo4kWs2);
+        let cost = CostModel::paper_default();
+        let s = || Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper());
+        let ws = WorkloadSet::build(
+            vec![
+                Phase::new(SimTime::from_ns(0), SimTime::from_ns(100), s()),
+                // Gap: [100, 200) has no deployed scenario.
+                Phase::new(SimTime::from_ns(200), SimTime::from_ns(300), s()),
+            ],
+            &platform,
+            &cost,
+        )
+        .unwrap();
+        // Inside the phases.
+        assert_eq!(ws.active_phase_at(SimTime::from_ns(0)), Some(0));
+        assert_eq!(ws.active_phase_at(SimTime::from_ns(99)), Some(0));
+        assert_eq!(ws.active_phase_at(SimTime::from_ns(200)), Some(1));
+        assert_eq!(ws.active_phase_at(SimTime::from_ns(299)), Some(1));
+        // The gap: no active phase; phase_at reports the upcoming one.
+        assert_eq!(ws.active_phase_at(SimTime::from_ns(100)), None);
+        assert_eq!(ws.active_phase_at(SimTime::from_ns(150)), None);
+        assert_eq!(ws.active_phase_at(SimTime::from_ns(199)), None);
+        assert_eq!(ws.phase_at(SimTime::from_ns(150)), 1);
+        // Past the schedule: clamped to the last phase, but not active.
+        assert_eq!(ws.active_phase_at(SimTime::from_ns(300)), None);
+        assert_eq!(ws.phase_at(SimTime::from_ns(1_000)), 1);
+    }
+
+    #[test]
+    fn empty_phase_window_rejected() {
+        let platform = Platform::preset(PlatformPreset::Homo4kWs2);
+        let cost = CostModel::paper_default();
+        let s = Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper());
+        let phases = vec![Phase::new(SimTime::from_ns(50), SimTime::from_ns(50), s)];
+        assert!(WorkloadSet::build(phases, &platform, &cost).is_err());
     }
 
     #[test]

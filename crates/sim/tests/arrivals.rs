@@ -1,0 +1,280 @@
+//! Arrival-seam properties: the trace source replays the periodic
+//! generator bit-for-bit, stochastic sources are seed-deterministic, and
+//! the censoring boundary conditions (phase end, horizon) balance.
+
+use dream_cost::{Platform, PlatformPreset};
+use dream_models::{CascadeProbability, Scenario, ScenarioKind};
+use dream_sim::{
+    ArrivalSource, ArrivalTrace, Assignment, Decision, Metrics, MmppArrivals, PeriodicArrivals,
+    PoissonArrivals, Scheduler, SimError, SimTime, SimulationBuilder, SystemView, TraceArrivals,
+};
+use proptest::prelude::*;
+
+struct Greedy;
+impl Scheduler for Greedy {
+    fn name(&self) -> &str {
+        "greedy"
+    }
+    fn schedule(&mut self, view: &SystemView<'_>) -> Decision {
+        let mut d = Decision::none();
+        let mut ready: Vec<_> = view.ready_tasks().collect();
+        ready.sort_by_key(|t| (t.deadline(), t.id()));
+        let mut idle: Vec<_> = view.idle_accs().map(|a| a.id()).collect();
+        for t in ready {
+            let Some(acc) = idle.pop() else { break };
+            d.assignments.push(Assignment::single(t.id(), acc));
+        }
+        d
+    }
+}
+
+fn builder(kind: ScenarioKind, seed: u64, horizon: SimTime) -> SimulationBuilder {
+    let scenario = Scenario::new(kind, CascadeProbability::default_paper());
+    SimulationBuilder::new(Platform::preset(PlatformPreset::Hetero4kWs1Os2), scenario)
+        .duration(horizon)
+        .seed(seed)
+}
+
+fn run(b: SimulationBuilder) -> Metrics {
+    let mut s = Greedy;
+    b.run(&mut s).unwrap().into_metrics()
+}
+
+/// Records `source` offline against the builder's workload and returns
+/// the metrics of replaying it through [`TraceArrivals`].
+fn run_recorded(
+    kind: ScenarioKind,
+    seed: u64,
+    horizon: SimTime,
+    source: &mut dyn ArrivalSource,
+) -> Metrics {
+    let ws = builder(kind, seed, horizon).build_workload().unwrap();
+    let trace = ArrivalTrace::record("recorded", &ws, horizon, seed, source);
+    run(builder(kind, seed, horizon).arrivals(TraceArrivals::new(trace)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Tentpole property (a): a periodic trace replayed through the trace
+    /// source is bit-identical to the built-in periodic generator — same
+    /// arrival times, same frame numbering, same coin draws, same metrics.
+    #[test]
+    fn periodic_trace_replay_matches_builtin(
+        seed in 0u64..500,
+        ms in 150u64..400,
+        kind in prop_oneof![
+            Just(ScenarioKind::ArCall),
+            Just(ScenarioKind::VrGaming),
+            Just(ScenarioKind::DroneOutdoor),
+        ],
+    ) {
+        let horizon = SimTime::from(dream_sim::Millis::new(ms));
+        let direct = run(builder(kind, seed, horizon));
+        let replayed = run_recorded(kind, seed, horizon, &mut PeriodicArrivals);
+        prop_assert_eq!(direct.fingerprint(), replayed.fingerprint());
+    }
+
+    /// Tentpole property (b): stochastic sources are seed-deterministic —
+    /// the same seed realizes the identical stream (and metrics), and the
+    /// round-trip through a recorded trace reproduces it exactly.
+    #[test]
+    fn stochastic_sources_are_seed_deterministic(seed in 0u64..500) {
+        let horizon = SimTime::from(dream_sim::Millis::new(300));
+        let poisson = || PoissonArrivals::new(1.25);
+        let a = run(builder(ScenarioKind::ArCall, seed, horizon).arrivals(poisson()));
+        let b = run(builder(ScenarioKind::ArCall, seed, horizon).arrivals(poisson()));
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        let replayed = run_recorded(ScenarioKind::ArCall, seed, horizon, &mut poisson());
+        prop_assert_eq!(a.fingerprint(), replayed.fingerprint());
+
+        let mmpp = || MmppArrivals::new(0.8, 3.0, 0.15, 0.3);
+        let c = run(builder(ScenarioKind::ArCall, seed, horizon).arrivals(mmpp()));
+        let d = run(builder(ScenarioKind::ArCall, seed, horizon).arrivals(mmpp()));
+        prop_assert_eq!(c.fingerprint(), d.fingerprint());
+        // Different processes realize different traffic.
+        prop_assert!(a.fingerprint() != c.fingerprint());
+    }
+}
+
+#[test]
+fn different_seeds_realize_different_poisson_streams() {
+    let horizon = SimTime::from(dream_sim::Millis::new(300));
+    let a = run(builder(ScenarioKind::ArCall, 1, horizon).arrivals(PoissonArrivals::new(1.0)));
+    let b = run(builder(ScenarioKind::ArCall, 2, horizon).arrivals(PoissonArrivals::new(1.0)));
+    assert_ne!(a.fingerprint(), b.fingerprint());
+}
+
+/// Expected periodic arrival/censoring counts for a root node with
+/// period `p` over `[0, stop)` (arrivals strictly before `stop`,
+/// deadlines counted iff `<= stop`).
+fn expected_counts(p: u64, stop: u64) -> (u64, u64) {
+    let arrivals = stop.div_ceil(p);
+    let censored = (0..arrivals).filter(|k| (k + 1) * p > stop).count() as u64;
+    (arrivals, censored)
+}
+
+/// Censoring boundary: horizon an exact multiple of a root's period. The
+/// boundary frame's deadline == horizon must be *counted* (inclusive),
+/// arrivals stop strictly before the horizon, and released + censored
+/// accounts for every arrival.
+#[test]
+fn censoring_balances_at_exact_horizon() {
+    const SKIPNET_PERIOD: u64 = 33_333_333;
+    let horizon = SimTime::from_ns(12 * SKIPNET_PERIOD);
+    let b = builder(ScenarioKind::ArCall, 3, horizon);
+    let ws = b.build_workload().unwrap();
+    let m = run(b);
+    for node in ws.nodes().filter(|n| n.parent().is_none()) {
+        let stats = m.model(node.key()).unwrap();
+        let (arrivals, censored) = expected_counts(node.period().as_ns(), horizon.as_ns());
+        assert_eq!(
+            stats.released + stats.censored,
+            arrivals,
+            "{}: every arrival is released or censored",
+            stats.model_name
+        );
+        assert_eq!(stats.censored, censored, "{}", stats.model_name);
+    }
+    // SkipNet's period divides the horizon: its boundary frame (deadline
+    // exactly at the horizon) is counted, so nothing is censored.
+    let skipnet = m.models().find(|(_, s)| s.model_name == "SkipNet").unwrap();
+    assert_eq!(skipnet.1.released, 12);
+    assert_eq!(skipnet.1.censored, 0);
+    // KWS (15 fps) does not divide it: its last frame is censored.
+    let kws = m
+        .models()
+        .find(|(_, s)| s.model_name == "KWS_res8")
+        .unwrap();
+    assert_eq!(kws.1.censored, 1);
+}
+
+/// One tick short of the multiple: the boundary frame's deadline now
+/// falls past the horizon, flipping it from counted to censored.
+#[test]
+fn censoring_balances_just_inside_horizon() {
+    const SKIPNET_PERIOD: u64 = 33_333_333;
+    let horizon = SimTime::from_ns(12 * SKIPNET_PERIOD - 1);
+    let b = builder(ScenarioKind::ArCall, 3, horizon);
+    let ws = b.build_workload().unwrap();
+    let m = run(b);
+    for node in ws.nodes().filter(|n| n.parent().is_none()) {
+        let stats = m.model(node.key()).unwrap();
+        let (arrivals, censored) = expected_counts(node.period().as_ns(), horizon.as_ns());
+        assert_eq!(
+            stats.released + stats.censored,
+            arrivals,
+            "{}",
+            stats.model_name
+        );
+        assert_eq!(stats.censored, censored, "{}", stats.model_name);
+    }
+    let skipnet = m.models().find(|(_, s)| s.model_name == "SkipNet").unwrap();
+    assert_eq!(skipnet.1.released, 11);
+    assert_eq!(skipnet.1.censored, 1);
+}
+
+/// Censoring boundary at a phase end: the phase switches exactly at a
+/// period multiple, so the boundary frame's deadline == phase end is
+/// counted while arrivals stop strictly before it.
+#[test]
+fn censoring_balances_at_exact_phase_end() {
+    const SKIPNET_PERIOD: u64 = 33_333_333;
+    let boundary = SimTime::from_ns(12 * SKIPNET_PERIOD);
+    let horizon = SimTime::from_ns(24 * SKIPNET_PERIOD);
+    let p = CascadeProbability::default_paper();
+    let make = || {
+        SimulationBuilder::new(
+            Platform::preset(PlatformPreset::Hetero4kWs1Os2),
+            Scenario::new(ScenarioKind::ArCall, p),
+        )
+        .add_phase(boundary, Scenario::new(ScenarioKind::DroneOutdoor, p))
+        .duration(horizon)
+        .seed(4)
+    };
+    let ws = make().build_workload().unwrap();
+    let m = run(make());
+    for node in ws
+        .nodes()
+        .filter(|n| n.key().phase == 0 && n.parent().is_none())
+    {
+        let stats = m.model(node.key()).unwrap();
+        let (arrivals, censored) = expected_counts(node.period().as_ns(), boundary.as_ns());
+        assert_eq!(
+            stats.released + stats.censored,
+            arrivals,
+            "{}: phase-0 arrivals all accounted",
+            stats.model_name
+        );
+        assert_eq!(stats.censored, censored, "{}", stats.model_name);
+    }
+    let skipnet = m
+        .models()
+        .find(|(k, s)| k.phase == 0 && s.model_name == "SkipNet")
+        .unwrap();
+    assert_eq!(skipnet.1.released, 12, "deadline == phase end is counted");
+    assert_eq!(skipnet.1.censored, 0);
+}
+
+#[test]
+fn trace_validation_rejects_inconsistent_traces() {
+    let horizon = SimTime::from(dream_sim::Millis::new(200));
+    // Unknown pipeline.
+    let t = ArrivalTrace::parse("bad", "0,0,9,0").unwrap();
+    let err = builder(ScenarioKind::ArCall, 0, horizon)
+        .arrivals(TraceArrivals::new(t))
+        .run(&mut Greedy)
+        .unwrap_err();
+    assert!(matches!(err, SimError::InvalidTrace { .. }), "{err}");
+    // Cascade child (GNMT is node 1 of pipeline 0).
+    let t = ArrivalTrace::parse("child", "0,0,0,1").unwrap();
+    let err = builder(ScenarioKind::ArCall, 0, horizon)
+        .arrivals(TraceArrivals::new(t))
+        .run(&mut Greedy)
+        .unwrap_err();
+    assert!(matches!(err, SimError::InvalidTrace { .. }), "{err}");
+    // Entry outside its phase window (phase 0 ends at the horizon here,
+    // so declare a nonexistent later phase instead: also invalid).
+    let t = ArrivalTrace::parse("phase", "0,3,0,0").unwrap();
+    let err = builder(ScenarioKind::ArCall, 0, horizon)
+        .arrivals(TraceArrivals::new(t))
+        .run(&mut Greedy)
+        .unwrap_err();
+    assert!(matches!(err, SimError::InvalidTrace { .. }), "{err}");
+}
+
+#[test]
+fn trace_entries_beyond_horizon_are_ignored() {
+    let horizon = SimTime::from(dream_sim::Millis::new(100));
+    // Two in-window arrivals for SkipNet plus one far past the horizon.
+    let text = "0,0,1,0\n50000000,0,1,0\n999000000,0,1,0";
+    let trace = ArrivalTrace::parse("t", text).unwrap();
+    let m = run(builder(ScenarioKind::ArCall, 0, horizon).arrivals(TraceArrivals::new(trace)));
+    let skipnet = m.models().find(|(_, s)| s.model_name == "SkipNet").unwrap();
+    assert_eq!(skipnet.1.released + skipnet.1.censored, 2);
+    // KWS got no arrivals at all: open-loop traffic is per-key.
+    let kws = m
+        .models()
+        .find(|(_, s)| s.model_name == "KWS_res8")
+        .unwrap();
+    assert_eq!(kws.1.released + kws.1.censored, 0);
+}
+
+#[test]
+fn open_loop_traffic_reports_sojourn_percentiles() {
+    let horizon = SimTime::from(dream_sim::Millis::new(400));
+    let m = run(builder(ScenarioKind::ArCall, 7, horizon).arrivals(PoissonArrivals::new(1.5)));
+    let p50 = m.sojourn_percentile_ms(0.50).unwrap();
+    let p95 = m.sojourn_percentile_ms(0.95).unwrap();
+    let p99 = m.sojourn_percentile_ms(0.99).unwrap();
+    assert!(p50 > 0.0);
+    assert!(p50 <= p95 && p95 <= p99, "{p50} <= {p95} <= {p99}");
+    assert!(m.sojourn_percentile_ms(0.0).is_none());
+    assert!(m.sojourn_percentile_ms(1.5).is_none());
+    // Per-model percentiles are bounded by the pooled extremes.
+    for (_, s) in m.models() {
+        if let Some(mp99) = s.sojourn_percentile_ms(0.99) {
+            assert!(mp99 <= m.sojourn_percentile_ms(1.0).unwrap());
+        }
+    }
+}

@@ -76,5 +76,8 @@ pub mod prelude {
     };
     pub use dream_cost::{AcceleratorConfig, CostModel, Dataflow, Platform, PlatformPreset};
     pub use dream_models::{CascadeProbability, Model, ModelGraph, Scenario, ScenarioKind};
-    pub use dream_sim::{Metrics, Millis, Scheduler, SimOutcome, SimTime, SimulationBuilder};
+    pub use dream_sim::{
+        ArrivalSource, ArrivalTrace, Metrics, Millis, MmppArrivals, PeriodicArrivals,
+        PoissonArrivals, Scheduler, SimOutcome, SimTime, SimulationBuilder, TraceArrivals,
+    };
 }

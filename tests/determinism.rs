@@ -3,7 +3,7 @@
 //! and across `ExperimentGrid` thread counts.
 
 use dream::prelude::*;
-use dream_bench::{ExperimentGrid, RunSpec, SchedulerKind};
+use dream_bench::{ArrivalConfig, ExperimentGrid, RunSpec, SchedulerKind};
 use dream_models::ScenarioKind;
 
 /// One full simulation, fingerprinted.
@@ -81,6 +81,70 @@ fn experiment_grid_is_thread_count_invariant() {
     // Repeating the wide run reproduces it exactly.
     let wide2 = short.with_threads(8).run();
     assert_eq!(wide.fingerprint(), wide2.fingerprint());
+}
+
+/// Open-loop arrival streams keep the thread-count invariance: Poisson,
+/// bursty MMPP, and trace-replay cells aggregate bit-identically for 1
+/// and N workers, and re-running reproduces the digest exactly.
+#[test]
+fn stochastic_arrival_grids_are_thread_count_invariant() {
+    use dream_sim::{ArrivalTrace, MmppArrivals, SimTime, SimulationBuilder};
+
+    let horizon_ms = 250u64;
+    let trace = {
+        let ws = SimulationBuilder::new(
+            Platform::preset(PlatformPreset::Hetero4kWs1Os2),
+            Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper()),
+        )
+        .duration(Millis::new(horizon_ms))
+        .build_workload()
+        .unwrap();
+        let mut src = MmppArrivals::new(0.8, 2.5, 0.2, 0.3);
+        std::sync::Arc::new(ArrivalTrace::record(
+            "burst",
+            &ws,
+            SimTime::from(Millis::new(horizon_ms)),
+            11,
+            &mut src,
+        ))
+    };
+    let arrivals = [
+        ArrivalConfig::Poisson { intensity: 1.2 },
+        ArrivalConfig::Mmpp {
+            calm: 0.8,
+            burst: 2.5,
+            p_enter: 0.2,
+            p_exit: 0.3,
+        },
+        ArrivalConfig::Trace(trace),
+    ];
+    let mut grid = ExperimentGrid::new();
+    for arrival in &arrivals {
+        for kind in [
+            SchedulerKind::Fcfs,
+            SchedulerKind::Edf,
+            SchedulerKind::Planaria,
+        ] {
+            grid.add_seed_sweep(
+                RunSpec::new(kind, ScenarioKind::ArCall, PlatformPreset::Hetero4kWs1Os2)
+                    .with_duration_ms(horizon_ms)
+                    .with_arrivals(arrival.clone()),
+                2,
+            );
+        }
+    }
+    let serial = grid.clone().with_threads(1).run();
+    let wide = grid.clone().with_threads(8).run();
+    assert_eq!(
+        serial.fingerprint(),
+        wide.fingerprint(),
+        "open-loop arrival grids must not depend on the thread count"
+    );
+    let wide2 = grid.with_threads(8).run();
+    assert_eq!(wide.fingerprint(), wide2.fingerprint());
+    // Grouping keeps the three arrival families apart even for the same
+    // scheduler (labels include the stream identity).
+    assert_eq!(serial.averaged().len(), arrivals.len() * 3);
 }
 
 #[test]
