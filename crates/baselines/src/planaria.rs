@@ -1,4 +1,4 @@
-use dream_cost::AcceleratorConfig;
+use dream_cost::{AcceleratorConfig, AcceleratorId};
 use dream_sim::{Assignment, Decision, Scheduler, SchedulerCapabilities, SystemView, Task};
 
 /// Planaria-style scheduler (Ghodrati et al., MICRO'20): deadline-aware
@@ -28,22 +28,34 @@ impl PlanariaScheduler {
     }
 
     /// Estimated remaining completion time of `task` if every remaining
-    /// layer ran on `gang`.
+    /// layer ran on the gang `ids` (whose configs are `configs`, aligned).
     ///
     /// Planaria predates RTMM dynamicity, so the estimate is *worst case*:
     /// every remaining layer executes (no skip/exit knowledge) — exactly
     /// the conservatism §2.2 attributes to schedulers that cannot reason
     /// about constrained dynamicity.
-    fn remaining_on_gang(view: &SystemView<'_>, task: &Task, gang: &[&AcceleratorConfig]) -> f64 {
+    ///
+    /// Single-accelerator gangs read the offline latency table the
+    /// workload precomputed (bit-identical to an on-demand
+    /// `CostModel::layer_cost`, which is how the table was built); only
+    /// true multi-member gangs pay the analytical gang costing.
+    fn remaining_on_gang(
+        view: &SystemView<'_>,
+        task: &Task,
+        ids: &[AcceleratorId],
+        configs: &[&AcceleratorConfig],
+    ) -> f64 {
+        if let [only] = ids {
+            return task
+                .remaining()
+                .map(|q| view.workload().latency_ns(q.layer, *only))
+                .sum();
+        }
         task.remaining()
             .map(|q| {
-                let layer = view.workload().layer(q.layer);
-                let cost = if gang.len() == 1 {
-                    view.cost().layer_cost(layer, gang[0])
-                } else {
-                    view.cost().gang_cost(layer, gang)
-                };
-                cost.latency_ns
+                view.cost()
+                    .gang_cost(view.workload().layer(q.layer), configs)
+                    .latency_ns
             })
             .sum()
     }
@@ -82,6 +94,10 @@ impl Scheduler for PlanariaScheduler {
         let mut ready: Vec<_> = view.ready_tasks().collect();
         ready.sort_by_key(|t| (t.deadline(), t.id()));
 
+        let mut pool_configs: Vec<&AcceleratorConfig> = pool
+            .iter()
+            .map(|id| view.platform().accelerator(*id).expect("pool ids valid"))
+            .collect();
         for task in ready {
             if pool.is_empty() {
                 break;
@@ -91,26 +107,22 @@ impl Scheduler for PlanariaScheduler {
             // deadline (or the pool is exhausted).
             let mut chosen = 1;
             for size in 1..=pool.len() {
-                let gang: Vec<&AcceleratorConfig> = pool[..size]
-                    .iter()
-                    .map(|id| view.platform().accelerator(*id).expect("pool ids valid"))
-                    .collect();
                 chosen = size;
-                if Self::remaining_on_gang(view, task, &gang) <= slack {
+                if Self::remaining_on_gang(view, task, &pool[..size], &pool_configs[..size])
+                    <= slack
+                {
                     break;
                 }
             }
             // A task that cannot meet its deadline anyway gets the minimum
             // allocation (Planaria does not waste subarrays on lost
             // causes).
-            let gang_config: Vec<&AcceleratorConfig> = pool[..chosen]
-                .iter()
-                .map(|id| view.platform().accelerator(*id).expect("pool ids valid"))
-                .collect();
-            if Self::remaining_on_gang(view, task, &gang_config) > slack {
+            if Self::remaining_on_gang(view, task, &pool[..chosen], &pool_configs[..chosen]) > slack
+            {
                 chosen = 1;
             }
             let accs: Vec<_> = pool.drain(..chosen).collect();
+            pool_configs.drain(..chosen);
             decision.assignments.push(Assignment {
                 task: task.id(),
                 accs,

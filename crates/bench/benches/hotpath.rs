@@ -4,13 +4,18 @@
 //! Algorithm 1).
 //!
 //! Writes `BENCH_hotpath.json` at the workspace root so successive PRs
-//! can track the perf trajectory of the hot path.
+//! can track the perf trajectory of the hot path (schema documented in
+//! `crates/bench/README.md`; `scripts/check_hotpath.sh` gates CI on the
+//! `decisions_per_sec` field). Headline rates come from uninstrumented
+//! reps; one extra instrumented rep records the per-stage split (MapScore
+//! table build vs. greedy matching vs. engine stepping).
 
 use std::path::PathBuf;
 use std::time::Instant;
 
-use dream_core::{DreamConfig, DreamScheduler};
-use dream_cost::{Platform, PlatformPreset};
+use dream_bench::shared_workload;
+use dream_core::{DreamConfig, DreamScheduler, StageTimings};
+use dream_cost::{CostModel, Platform, PlatformPreset};
 use dream_models::{CascadeProbability, Scenario, ScenarioKind};
 use dream_sim::{Millis, SimulationBuilder};
 
@@ -22,16 +27,31 @@ struct Sample {
     decisions: u64,
     layers: u64,
     wall_s: f64,
+    timings: Option<StageTimings>,
 }
 
-fn run_once(seed: u64) -> Sample {
+fn run_once(seed: u64, instrument: bool) -> Sample {
     let platform = Platform::preset(PlatformPreset::Hetero4kWs1Os2);
     let scenario = Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper());
+    // Reps share the offline tables through the process-wide cache, the
+    // way experiment-grid cells now do; the timed section covers engine
+    // setup + the full event loop, not the one-time table build.
+    let tables = shared_workload(
+        ScenarioKind::ArCall,
+        PlatformPreset::Hetero4kWs1Os2,
+        CascadeProbability::default_paper().value(),
+        HORIZON_MS,
+        &CostModel::paper_default(),
+    );
     let mut sched = DreamScheduler::new(DreamConfig::mapscore());
+    if instrument {
+        sched.enable_stage_timing();
+    }
     let start = Instant::now();
     let metrics = SimulationBuilder::new(platform, scenario)
         .duration(Millis::new(HORIZON_MS))
         .seed(seed)
+        .prebuilt_workload(tables)
         .run(&mut sched)
         .expect("hot-path bench sim is valid")
         .into_metrics();
@@ -40,18 +60,19 @@ fn run_once(seed: u64) -> Sample {
         decisions: metrics.scheduler_invocations,
         layers: metrics.layer_executions,
         wall_s: start.elapsed().as_secs_f64(),
+        timings: sched.stage_timings(),
     }
 }
 
 fn main() {
     // Warm up allocator + cost tables once before timing.
-    let _ = run_once(0);
+    let _ = run_once(0, false);
 
     // Keep the recorded counts and rates from the same (best) rep so the
     // JSON numbers are mutually consistent across PR-to-PR comparisons.
     let mut best: Option<Sample> = None;
     for rep in 0..REPS {
-        let s = run_once(u64::from(rep));
+        let s = run_once(u64::from(rep), false);
         let eps = s.events as f64 / s.wall_s;
         println!(
             "rep {rep}: {} events, {} decisions, {} layers in {:.1} ms  →  {:.0} events/s, {:.0} decisions/s",
@@ -77,9 +98,33 @@ fn main() {
         "hotpath: DreamScheduler::schedule on AR_Call — best {events_per_sec:.0} events/s, {decisions_per_sec:.0} decisions/s",
     );
 
+    // One instrumented rep for the stage split. Timer reads add overhead,
+    // so this rep never contributes to the headline rates; the engine
+    // share is the wall time minus the measured scheduler time.
+    let probe = run_once(0, true);
+    let t = probe.timings.expect("instrumentation was enabled");
+    let per = |ns: u64| ns as f64 / t.invocations.max(1) as f64;
+    let wall_ns = probe.wall_s * 1e9;
+    let engine_ns_total = (wall_ns - t.total_ns() as f64).max(0.0);
+    let engine_ns_per_event = engine_ns_total / probe.events.max(1) as f64;
+    println!(
+        "stages (instrumented rep): score build {:.0} ns/decision, matching {:.0} ns/decision, \
+         scheduler other {:.0} ns/decision, engine stepping {:.0} ns/event",
+        per(t.score_build_ns),
+        per(t.matching_ns),
+        per(t.other_ns),
+        engine_ns_per_event,
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"hotpath\",\n  \"scenario\": \"AR_Call\",\n  \"scheduler\": \"DREAM-MapScore\",\n  \"horizon_ms\": {HORIZON_MS},\n  \"events\": {},\n  \"decisions\": {},\n  \"layer_executions\": {},\n  \"events_per_sec\": {events_per_sec:.0},\n  \"decisions_per_sec\": {decisions_per_sec:.0}\n}}\n",
-        best.events, best.decisions, best.layers
+        "{{\n  \"bench\": \"hotpath\",\n  \"scenario\": \"AR_Call\",\n  \"scheduler\": \"DREAM-MapScore\",\n  \"horizon_ms\": {HORIZON_MS},\n  \"events\": {},\n  \"decisions\": {},\n  \"layer_executions\": {},\n  \"events_per_sec\": {events_per_sec:.0},\n  \"decisions_per_sec\": {decisions_per_sec:.0},\n  \"stages\": {{\n    \"score_build_ns_per_decision\": {:.1},\n    \"matching_ns_per_decision\": {:.1},\n    \"scheduler_other_ns_per_decision\": {:.1},\n    \"engine_stepping_ns_per_event\": {:.1}\n  }}\n}}\n",
+        best.events,
+        best.decisions,
+        best.layers,
+        per(t.score_build_ns),
+        per(t.matching_ns),
+        per(t.other_ns),
+        engine_ns_per_event,
     );
     let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_hotpath.json"]
         .iter()

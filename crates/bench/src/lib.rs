@@ -16,6 +16,7 @@ mod grid;
 mod report;
 mod runner;
 mod tuning;
+mod workload_cache;
 
 pub use grid::{ExperimentGrid, GridResults};
 pub use report::{csv_path, geomean, write_csv, Table};
@@ -24,6 +25,7 @@ pub use runner::{
     DreamVariant, RunResult, RunSpec, SchedulerKind,
 };
 pub use tuning::{tune_params, tuned_params_cached};
+pub use workload_cache::shared_workload;
 
 /// The paper's default evaluation window (§3.6 mentions 2 s windows).
 pub const DEFAULT_DURATION_MS: u64 = 2_000;

@@ -279,10 +279,21 @@ pub fn run_spec(spec: &RunSpec) -> RunResult {
         CascadeProbability::new(spec.cascade).expect("experiment cascade probabilities are valid");
     let platform = Platform::preset(spec.preset);
     let scenario = Scenario::new(spec.scenario, cascade);
+    // Cells sharing (scenario, platform, cascade, duration, cost) — every
+    // seed of a sweep, every scheduler of a row — share one built
+    // workload instead of rebuilding the offline tables per cell.
+    let workload = crate::shared_workload(
+        spec.scenario,
+        spec.preset,
+        spec.cascade,
+        spec.duration_ms,
+        &dream_cost::CostModel::paper_default(),
+    );
     let builder = spec.arrival.apply(
         SimulationBuilder::new(platform, scenario)
             .duration(Millis::new(spec.duration_ms))
-            .seed(spec.seed),
+            .seed(spec.seed)
+            .prebuilt_workload(workload),
     );
 
     let mut fcfs;

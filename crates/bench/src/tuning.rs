@@ -24,16 +24,25 @@ pub fn tune_params(
     variant: DreamVariant,
     objective: ObjectiveKind,
 ) -> ScoreParams {
+    const TUNING_HORIZON_MS: u64 = 800;
     let evaluate_seed = |params: ScoreParams, seed: u64| {
         let platform = Platform::preset(preset);
         let workload = Scenario::new(
             scenario,
             CascadeProbability::new(cascade).expect("tuning cascade is valid"),
         );
+        let tables = crate::shared_workload(
+            scenario,
+            preset,
+            cascade,
+            TUNING_HORIZON_MS,
+            &dream_cost::CostModel::paper_default(),
+        );
         let mut sched = DreamScheduler::new(variant.config().with_params(params));
         let metrics = SimulationBuilder::new(platform, workload)
-            .duration(Millis::new(800))
+            .duration(Millis::new(TUNING_HORIZON_MS))
             .seed(seed)
+            .prebuilt_workload(tables)
             .run(&mut sched)
             .expect("tuning simulations are valid")
             .into_metrics();

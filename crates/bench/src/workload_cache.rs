@@ -1,0 +1,134 @@
+//! Process-wide cache of built [`WorkloadSet`]s.
+//!
+//! Building a workload resolves every (layer, accelerator) cost pair plus
+//! the precomputed MapScore tables — identical work for every
+//! [`ExperimentGrid`](crate::ExperimentGrid) cell that shares a
+//! (scenario, platform, cascade, duration, cost calibration) tuple, which
+//! is *every seed* of a seed sweep and every scheduler of a comparison
+//! row. Sharing one `Arc<WorkloadSet>` across those cells makes per-cell
+//! setup O(1) and is behaviourally invisible: a built workload is a pure
+//! function of the key, so prebuilt and fresh runs are bit-identical
+//! (asserted by the determinism tests).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use dream_cost::{CostModel, Platform, PlatformPreset};
+use dream_models::{CascadeProbability, Scenario, ScenarioKind};
+use dream_sim::{Millis, SimulationBuilder, WorkloadSet};
+
+/// Everything the offline tables depend on: scenario realization inputs
+/// (cascade by exact bit pattern — rounding would alias nearby
+/// probabilities onto one realization), the platform, and the
+/// cost-calibration digest the engine also validates prebuilt workloads
+/// against ([`WorkloadSet::cost_digest_of`]).
+type WsKey = (ScenarioKind, PlatformPreset, u64, u64, u64);
+
+static CACHE: Mutex<BTreeMap<WsKey, Arc<WorkloadSet>>> = Mutex::new(BTreeMap::new());
+
+/// The shared offline tables for a single-phase run of `scenario` on
+/// `preset` over `duration_ms` with the given cascade probability and
+/// cost calibration — built once per process and shared by reference.
+///
+/// # Panics
+///
+/// Panics on an invalid cascade probability or an unbuildable workload;
+/// experiment code treats both as programming errors.
+pub fn shared_workload(
+    scenario: ScenarioKind,
+    preset: PlatformPreset,
+    cascade: f64,
+    duration_ms: u64,
+    cost: &CostModel,
+) -> Arc<WorkloadSet> {
+    let key = (
+        scenario,
+        preset,
+        cascade.to_bits(),
+        duration_ms,
+        WorkloadSet::cost_digest_of(cost),
+    );
+    if let Some(ws) = CACHE.lock().expect("workload cache poisoned").get(&key) {
+        return Arc::clone(ws);
+    }
+    let platform = Platform::preset(preset);
+    let realization = Scenario::new(
+        scenario,
+        CascadeProbability::new(cascade).expect("experiment cascade probabilities are valid"),
+    );
+    let ws = Arc::new(
+        SimulationBuilder::new(platform, realization)
+            .duration(Millis::new(duration_ms))
+            .cost_model(cost.clone())
+            .build_workload()
+            .expect("experiment workloads are buildable"),
+    );
+    // A racing builder may have inserted first; keep whichever won so
+    // every caller shares one allocation.
+    Arc::clone(
+        CACHE
+            .lock()
+            .expect("workload cache poisoned")
+            .entry(key)
+            .or_insert(ws),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_returns_the_same_allocation() {
+        let cost = CostModel::paper_default();
+        let a = shared_workload(
+            ScenarioKind::ArCall,
+            PlatformPreset::Homo4kWs2,
+            0.5,
+            300,
+            &cost,
+        );
+        let b = shared_workload(
+            ScenarioKind::ArCall,
+            PlatformPreset::Homo4kWs2,
+            0.5,
+            300,
+            &cost,
+        );
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one build");
+        let c = shared_workload(
+            ScenarioKind::ArCall,
+            PlatformPreset::Homo4kWs2,
+            0.5,
+            301,
+            &cost,
+        );
+        assert!(!Arc::ptr_eq(&a, &c), "different durations are distinct");
+    }
+
+    #[test]
+    fn custom_cost_calibrations_never_collide_with_defaults() {
+        let mut params = dream_cost::CostParams::paper_defaults();
+        params.dram_energy_pj_per_byte *= 2.0;
+        let custom = CostModel::new(params).unwrap();
+        let a = shared_workload(
+            ScenarioKind::ArCall,
+            PlatformPreset::Homo4kWs2,
+            0.5,
+            300,
+            &CostModel::paper_default(),
+        );
+        let b = shared_workload(
+            ScenarioKind::ArCall,
+            PlatformPreset::Homo4kWs2,
+            0.5,
+            300,
+            &custom,
+        );
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(
+            a.switch_energy_pj_per_byte(dream_cost::AcceleratorId(0)),
+            b.switch_energy_pj_per_byte(dream_cost::AcceleratorId(0)),
+        );
+    }
+}

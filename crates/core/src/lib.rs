@@ -33,6 +33,7 @@
 
 mod adaptivity;
 mod frame_drop;
+mod matching;
 mod optimizer;
 mod params;
 mod scheduler;
@@ -41,8 +42,9 @@ mod uxcost;
 
 pub use adaptivity::{AdaptivityConfig, AdaptivityEngine};
 pub use frame_drop::{DropDecision, FrameDropEngine};
+pub use matching::{greedy_assign, Candidate};
 pub use optimizer::{ObjectiveKind, OptimizationTrace, OptimizerStep, ParamOptimizer};
 pub use params::{DreamConfig, ParamError, ScoreParams};
-pub use scheduler::DreamScheduler;
-pub use score::{MapScore, ScoreBreakdown, ScoreContext};
+pub use scheduler::{DreamScheduler, StageTimings};
+pub use score::{MapScore, ScoreBreakdown, ScoreContext, TaskTerms};
 pub use uxcost::{uxcost_of, ModelCostRow, UxCostReport};

@@ -1,10 +1,59 @@
+use std::time::Instant;
+
 use dream_models::VariantId;
 use dream_sim::{
     Assignment, Decision, Scheduler, SchedulerCapabilities, SystemView, Task, TaskEvent,
-    TaskEventKind,
+    TaskEventKind, TaskId,
 };
 
+use crate::matching::{greedy_assign, Candidate};
 use crate::{AdaptivityEngine, DreamConfig, FrameDropEngine, ScoreContext, ScoreParams};
+
+/// Cumulative wall-clock spent in each stage of
+/// [`DreamScheduler::schedule`], recorded only when
+/// [`DreamScheduler::enable_stage_timing`] was called (the hot path pays
+/// a single branch otherwise). Consumed by the hotpath bench's per-stage
+/// report in `BENCH_hotpath.json`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Scheduler invocations measured.
+    pub invocations: u64,
+    /// Building the MapScore candidate table (per-task terms + cached
+    /// table lookups).
+    pub score_build_ns: u64,
+    /// Sorting the candidates and emitting the greedy matching.
+    pub matching_ns: u64,
+    /// Everything else inside `schedule` (supernet switching, frame drop,
+    /// adaptivity tick, decision bookkeeping).
+    pub other_ns: u64,
+}
+
+impl StageTimings {
+    /// Total measured scheduler time.
+    pub fn total_ns(&self) -> u64 {
+        self.score_build_ns + self.matching_ns + self.other_ns
+    }
+}
+
+/// Reusable per-invocation buffers: held on the scheduler so the steady
+/// state of [`DreamScheduler::schedule`] performs no heap allocation
+/// (the returned [`Decision`] itself is the only remaining allocation).
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Ready tasks surviving the drop filter, ascending by id (mirrors
+    /// the view's ready index order).
+    ready: Vec<TaskId>,
+    /// Tasks switched to a new variant this invocation, ascending by id
+    /// (pushed in ready-index order), so membership is a binary search
+    /// instead of the former O(n) `Vec::contains` scan.
+    switched: Vec<TaskId>,
+    /// The flattened MapScore table as (score, row, column) candidates.
+    candidates: Vec<Candidate>,
+    /// Occupancy flags over `ready` rows.
+    used_tasks: Vec<bool>,
+    /// Occupancy flags over the view's idle-accelerator columns.
+    used_accs: Vec<bool>,
+}
 
 /// The DREAM scheduler (§4): MapScore-driven job assignment with optional
 /// smart frame drop, supernet switching, and online (α, β) adaptation.
@@ -13,6 +62,17 @@ use crate::{AdaptivityEngine, DreamConfig, FrameDropEngine, ScoreContext, ScoreP
 /// [`DreamConfig::mapscore`], [`DreamConfig::smart_drop`], or
 /// [`DreamConfig::full`], then pass the scheduler to a
 /// [`dream_sim::SimulationBuilder`].
+///
+/// # Decision-path structure
+///
+/// Each invocation computes the two accelerator-independent unit scores
+/// once per ready task ([`ScoreContext::task_terms`]), combines them with
+/// the static per-(layer, accelerator) tables precomputed by
+/// [`dream_sim::WorkloadSet::build`], and resolves the assignment with a
+/// sort-once greedy matching ([`crate::greedy_assign`]) whose equal-score
+/// ties break deterministically by lowest (task index, accelerator
+/// index). All intermediate vectors are reusable scratch held on the
+/// scheduler.
 #[derive(Debug)]
 pub struct DreamScheduler {
     config: DreamConfig,
@@ -20,6 +80,8 @@ pub struct DreamScheduler {
     adaptivity: AdaptivityEngine,
     drop_engine: FrameDropEngine,
     supernet_switches: u64,
+    scratch: Scratch,
+    timing: Option<StageTimings>,
 }
 
 impl DreamScheduler {
@@ -38,7 +100,22 @@ impl DreamScheduler {
             adaptivity,
             drop_engine,
             supernet_switches: 0,
+            scratch: Scratch::default(),
+            timing: None,
         }
+    }
+
+    /// Starts recording per-stage wall-clock timings (see
+    /// [`StageTimings`]). Timing never influences decisions; it adds two
+    /// `Instant` reads per stage, so benches keep it off for headline
+    /// numbers and on for the stage breakdown.
+    pub fn enable_stage_timing(&mut self) {
+        self.timing = Some(StageTimings::default());
+    }
+
+    /// The per-stage timings accumulated so far, if enabled.
+    pub fn stage_timings(&self) -> Option<StageTimings> {
+        self.timing
     }
 
     /// The configuration in use.
@@ -76,19 +153,42 @@ impl DreamScheduler {
         self.supernet_switches
     }
 
+    /// The platform's effective parallelism: capacity weighted by peak
+    /// throughput. Platform-static, so `schedule` computes it at most once
+    /// per invocation (lazily, on the first supernet candidate).
+    fn effective_parallelism(view: &SystemView<'_>) -> f64 {
+        let peak_max = view
+            .platform()
+            .accelerators()
+            .iter()
+            .map(dream_cost::AcceleratorConfig::peak_macs_per_ns)
+            .fold(0.0f64, f64::max);
+        view.platform()
+            .accelerators()
+            .iter()
+            .map(|a| a.peak_macs_per_ns() / peak_max)
+            .sum()
+    }
+
     /// Supernet switching (§4.5.1): pick the heaviest variant whose
     /// remaining work fits the task's slack after accounting for the other
     /// ready work competing for the same accelerators; fall back to the
     /// lightest when nothing fits.
-    fn choose_variant(&self, task: &Task, view: &SystemView<'_>) -> Option<VariantId> {
-        let node = view.workload().node(task.key());
-        if !node.is_supernet() || task.started() {
-            return None;
-        }
+    ///
+    /// The caller has already established that `node` is `task`'s node,
+    /// is a supernet, and that the task has not started — `schedule` is
+    /// the single place that filter lives.
+    fn choose_variant(
+        &self,
+        task: &Task,
+        node: &dream_sim::NodeInfo,
+        view: &SystemView<'_>,
+        n_effective: f64,
+    ) -> VariantId {
         let slack = task.slack_ns(view.now());
         let variants = node.variant_count();
         if slack <= 0.0 {
-            return Some(VariantId(variants - 1));
+            return VariantId(variants - 1);
         }
         // Expected queueing delay: the remaining work of every *other*
         // active task (ready or running), spread over the platform's
@@ -99,18 +199,6 @@ impl DreamScheduler {
             .tasks()
             .filter(|t| t.id() != task.id())
             .map(|t| t.to_go_avg_ns(view.workload()))
-            .sum();
-        let peak_max = view
-            .platform()
-            .accelerators()
-            .iter()
-            .map(dream_cost::AcceleratorConfig::peak_macs_per_ns)
-            .fold(0.0f64, f64::max);
-        let n_effective: f64 = view
-            .platform()
-            .accelerators()
-            .iter()
-            .map(|a| a.peak_macs_per_ns() / peak_max)
             .sum();
         // Only the fraction of queued work that actually precedes this
         // task's layers delays it; the weight is calibrated so the fit
@@ -127,10 +215,10 @@ impl DreamScheduler {
                 .map(|&l| view.workload().avg_latency_ns(l))
                 .sum();
             if queue_delay + to_go * self.config.supernet_safety <= slack {
-                return Some(VariantId(v));
+                return VariantId(v);
             }
         }
-        Some(VariantId(variants - 1))
+        VariantId(variants - 1)
     }
 }
 
@@ -152,6 +240,7 @@ impl Scheduler for DreamScheduler {
     }
 
     fn schedule(&mut self, view: &SystemView<'_>) -> Decision {
+        let t_enter = self.timing.is_some().then(Instant::now);
         if self.config.online_adaptation {
             self.adaptivity.tick(view.now());
         }
@@ -162,16 +251,23 @@ impl Scheduler for DreamScheduler {
         // 1. Supernet switching (§4.5.1): every waiting supernet inference
         //    that has not started yet re-evaluates its variant against the
         //    current load, so an overloaded system lightens queued requests
-        //    *before* they become hopeless (Figure 6).
-        let mut switched: Vec<dream_sim::TaskId> = Vec::new();
+        //    *before* they become hopeless (Figure 6). Switched ids land in
+        //    ready-index (= ascending id) order, so the scratch list stays
+        //    sorted for the binary-search membership test below.
+        self.scratch.switched.clear();
         if self.config.supernet_switching {
+            let mut n_effective: Option<f64> = None;
             for task in view.ready_tasks() {
-                if let Some(variant) = self.choose_variant(task, view) {
-                    if variant != task.variant() {
-                        decision.variant_switches.push((task.id(), variant));
-                        self.supernet_switches += 1;
-                        switched.push(task.id());
-                    }
+                let node = view.workload().node(task.key());
+                if !node.is_supernet() || task.started() {
+                    continue;
+                }
+                let n_eff = *n_effective.get_or_insert_with(|| Self::effective_parallelism(view));
+                let variant = self.choose_variant(task, node, view, n_eff);
+                if variant != task.variant() {
+                    decision.variant_switches.push((task.id(), variant));
+                    self.supernet_switches += 1;
+                    self.scratch.switched.push(task.id());
                 }
             }
         }
@@ -179,10 +275,10 @@ impl Scheduler for DreamScheduler {
         // 2. Smart frame drop (§4.2.1) — at most one victim per invocation.
         //    A task just lightened by a variant switch gets a chance to
         //    make its deadline before being considered for dropping.
-        let mut dropped: Option<dream_sim::TaskId> = None;
+        let mut dropped: Option<TaskId> = None;
         if self.config.smart_drop {
             if let Some(victim) = self.drop_engine.evaluate(view) {
-                if !switched.contains(&victim.task) {
+                if self.scratch.switched.binary_search(&victim.task).is_err() {
                     let key = view
                         .task(victim.task)
                         .expect("drop victims come from the view")
@@ -195,49 +291,68 @@ impl Scheduler for DreamScheduler {
         }
 
         // 3. MapScore table over (ready task, idle accelerator) pairs
-        //    (Figure 4's MapScore engine).
-        let ready: Vec<&Task> = view
-            .ready_tasks()
-            .filter(|t| Some(t.id()) != dropped)
-            .collect();
-        let idle: Vec<&dream_sim::AccState> = view.idle_accs().collect();
-        if ready.is_empty() || idle.is_empty() {
+        //    (Figure 4's MapScore engine). The accelerator-independent
+        //    terms are computed once per task; each cell is then a couple
+        //    of precomputed-table loads and multiply-adds.
+        let t_score = self.timing.is_some().then(Instant::now);
+        let scratch = &mut self.scratch;
+        scratch.ready.clear();
+        scratch.ready.extend(
+            view.ready_ids()
+                .iter()
+                .copied()
+                .filter(|&id| Some(id) != dropped),
+        );
+        let idle_ids = view.idle_ids();
+        if scratch.ready.is_empty() || idle_ids.is_empty() {
+            if let (Some(timing), Some(t0), Some(t1)) = (self.timing.as_mut(), t_enter, t_score) {
+                timing.invocations += 1;
+                timing.other_ns += (t1 - t0).as_nanos() as u64;
+                timing.score_build_ns += t1.elapsed().as_nanos() as u64;
+            }
             return decision;
         }
-        let mut table = vec![vec![0.0f64; idle.len()]; ready.len()];
-        for (ti, task) in ready.iter().enumerate() {
-            for (ai, acc) in idle.iter().enumerate() {
-                table[ti][ai] = ctx.map_score(task, acc, params).value;
+        scratch.candidates.clear();
+        for (ti, &tid) in scratch.ready.iter().enumerate() {
+            let task = view.task(tid).expect("ready ids are live");
+            let terms = ctx.task_terms(task);
+            for (ai, &aid) in idle_ids.iter().enumerate() {
+                let acc = view.acc(aid);
+                scratch.candidates.push(Candidate {
+                    score: ctx.map_score_with(terms, task, acc, params).value,
+                    task: ti as u32,
+                    acc: ai as u32,
+                });
             }
         }
 
         // 4. Greedy maximum-score matching (the job assignment & dispatch
-        //    engine): repeatedly dispatch the best remaining pair. Flat
-        //    occupancy flags keep the per-decision loop allocation-light.
-        let mut used_tasks = vec![false; ready.len()];
-        let mut used_accs = vec![false; idle.len()];
-        loop {
-            let mut best: Option<(usize, usize, f64)> = None;
-            for (ti, row) in table.iter().enumerate() {
-                if used_tasks[ti] {
-                    continue;
-                }
-                for (ai, &score) in row.iter().enumerate() {
-                    if used_accs[ai] {
-                        continue;
-                    }
-                    if best.map(|(_, _, b)| score > b).unwrap_or(true) {
-                        best = Some((ti, ai, score));
-                    }
-                }
-            }
-            let Some((ti, ai, _)) = best else { break };
-            used_tasks[ti] = true;
-            used_accs[ai] = true;
-            let task = ready[ti];
-            decision
-                .assignments
-                .push(Assignment::single(task.id(), idle[ai].id()));
+        //    engine): sort the candidates once and dispatch in order; ties
+        //    resolve by lowest (task, acc) index (see `crate::matching`).
+        let t_match = self.timing.is_some().then(Instant::now);
+        scratch.used_tasks.clear();
+        scratch.used_tasks.resize(scratch.ready.len(), false);
+        scratch.used_accs.clear();
+        scratch.used_accs.resize(idle_ids.len(), false);
+        let ready = &scratch.ready;
+        greedy_assign(
+            &mut scratch.candidates,
+            &mut scratch.used_tasks,
+            &mut scratch.used_accs,
+            |ti, ai| {
+                decision.assignments.push(Assignment::single(
+                    ready[ti as usize],
+                    idle_ids[ai as usize],
+                ));
+            },
+        );
+        if let (Some(timing), Some(t0), Some(t1), Some(t2)) =
+            (self.timing.as_mut(), t_enter, t_score, t_match)
+        {
+            timing.invocations += 1;
+            timing.other_ns += (t1 - t0).as_nanos() as u64;
+            timing.score_build_ns += (t2 - t1).as_nanos() as u64;
+            timing.matching_ns += t2.elapsed().as_nanos() as u64;
         }
         decision
     }

@@ -32,6 +32,20 @@ pub struct MapScore {
     pub breakdown: ScoreBreakdown,
 }
 
+/// The per-task half of Algorithm 1's static/dynamic split: the two unit
+/// scores that depend on the task's live state (queue contents, waiting
+/// time) but **not** on the accelerator. A scheduler computes them once
+/// per task per decision and combines them with the per-(layer, acc)
+/// tables [`WorkloadSet`] precomputed offline — turning each MapScore
+/// cell into a handful of multiply-adds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskTerms {
+    /// `ScoreUrgency(tsk)` (line 7) — see [`ScoreContext::urgency`].
+    pub urgency: f64,
+    /// `ScoreStarv(tsk)` (line 9) — see [`ScoreContext::starvation`].
+    pub starvation: f64,
+}
+
 /// Everything Algorithm 1 needs besides the task and accelerator:
 /// the offline cost tables, the cost model (for switch costs), and the
 /// current time.
@@ -39,11 +53,15 @@ pub struct MapScore {
 pub struct ScoreContext<'a> {
     /// Current time (`Tcurr`).
     pub now: SimTime,
-    /// Offline latency/energy tables (`EstLatency`, `EstEnergy`).
+    /// Offline latency/energy tables (`EstLatency`, `EstEnergy`) plus the
+    /// precomputed static score tables (`lat_pref`, `pref_energy`,
+    /// cold-switch ratios).
     pub workload: &'a WorkloadSet,
-    /// The analytical cost model (context-switch energies).
+    /// The analytical cost model — only consulted by the from-scratch
+    /// [`ScoreContext::map_score_reference`] path; the hot path reads the
+    /// tables.
     pub cost: &'a CostModel,
-    /// The platform (accelerator configs for switch costs).
+    /// The platform (accelerator configs for reference switch costs).
     pub platform: &'a Platform,
     /// Floor applied to `Slack` so urgency stays finite past the deadline.
     pub slack_floor_ns: f64,
@@ -73,7 +91,8 @@ impl<'a> ScoreContext<'a> {
     /// `ScoreLatPref(tsk, acc)` (line 8): the inverse of this accelerator's
     /// share of the summed latency of the task's next layer. Higher is
     /// better; 1.0 means "as good as the sum of everyone" (impossible),
-    /// `N` means uniform.
+    /// `N` means uniform. Served from the table
+    /// [`WorkloadSet::build`] precomputed.
     ///
     /// Returns 0 for tasks with an empty queue (cannot happen for live
     /// tasks).
@@ -81,7 +100,7 @@ impl<'a> ScoreContext<'a> {
         let Some(next) = task.next_layer() else {
             return 0.0;
         };
-        self.workload.sum_latency_ns(next.layer) / self.workload.latency_ns(next.layer, acc)
+        self.workload.lat_pref(next.layer, acc)
     }
 
     /// `ScoreStarv(tsk) = Tqueue / mean-latency(next)` (line 9): how many
@@ -94,9 +113,35 @@ impl<'a> ScoreContext<'a> {
         t_queue / self.workload.avg_latency_ns(next.layer)
     }
 
-    /// `PrefEnergy` and `Cost_switch` (lines 10–11). The switch term is
-    /// zero when the accelerator last ran this very task.
+    /// `PrefEnergy` and `Cost_switch` (lines 10–11), served from the
+    /// precomputed tables. The switch term is zero when the accelerator
+    /// last ran this very task; for a cold accelerator (nothing to flush)
+    /// it is the precomputed cold ratio; otherwise the only online input
+    /// is the departing task's flush volume.
     pub fn energy_terms(&self, task: &Task, acc: &AccState) -> (f64, f64) {
+        let Some(next) = task.next_layer() else {
+            return (0.0, 0.0);
+        };
+        let ws = self.workload;
+        let pref = ws.pref_energy(next.layer, acc.id());
+        let cost_switch = if acc.last_task() == Some(task.id()) {
+            0.0
+        } else if acc.last_output_bytes() == 0 {
+            ws.cold_switch_ratio(next.layer, acc.id())
+        } else {
+            // Identical operation sequence to CostModel::switch_cost
+            // followed by the ratio — see map_score_reference.
+            let bytes = (ws.input_bytes(next.layer) + acc.last_output_bytes()) as f64;
+            bytes * ws.switch_energy_pj_per_byte(acc.id()) / ws.energy_pj(next.layer, acc.id())
+        };
+        (pref, cost_switch)
+    }
+
+    /// `PrefEnergy` and `Cost_switch` recomputed from scratch through
+    /// [`CostModel::switch_cost`] — the pre-optimization arithmetic,
+    /// kept as the reference the cached tables are property-tested
+    /// against (bit-for-bit).
+    pub fn energy_terms_reference(&self, task: &Task, acc: &AccState) -> (f64, f64) {
         let Some(next) = task.next_layer() else {
             return (0.0, 0.0);
         };
@@ -119,12 +164,71 @@ impl<'a> ScoreContext<'a> {
         (pref, cost_switch)
     }
 
+    /// The accelerator-independent unit scores of `task`, computed once
+    /// per task per decision (they walk the task's remaining-layer queue)
+    /// and reused across every accelerator column by
+    /// [`map_score_with`](Self::map_score_with).
+    pub fn task_terms(&self, task: &Task) -> TaskTerms {
+        TaskTerms {
+            urgency: self.urgency(task),
+            starvation: self.starvation(task),
+        }
+    }
+
+    /// MapScore(tsk, acc) with the per-task terms already in hand — the
+    /// allocation-free hot path: two table loads, at most one switch
+    /// ratio, and three multiply-adds.
+    pub fn map_score_with(
+        &self,
+        terms: TaskTerms,
+        task: &Task,
+        acc: &AccState,
+        params: ScoreParams,
+    ) -> MapScore {
+        let lat_pref = self.latency_preference(task, acc.id());
+        let (pref_energy, cost_switch) = self.energy_terms(task, acc);
+        let energy = pref_energy - cost_switch;
+        MapScore {
+            value: terms.urgency * lat_pref
+                + params.alpha() * terms.starvation
+                + params.beta() * energy,
+            breakdown: ScoreBreakdown {
+                urgency: terms.urgency,
+                lat_pref,
+                starvation: terms.starvation,
+                pref_energy,
+                cost_switch,
+                energy,
+            },
+        }
+    }
+
     /// The full Algorithm 1: MapScore(tsk, acc) with weights `params`.
     pub fn map_score(&self, task: &Task, acc: &AccState, params: ScoreParams) -> MapScore {
+        self.map_score_with(self.task_terms(task), task, acc, params)
+    }
+
+    /// [`map_score`](Self::map_score) recomputed entirely from scratch —
+    /// every term walked through the raw tables and [`CostModel`] with
+    /// the pre-optimization operation sequence. The property tests assert
+    /// this is bit-for-bit equal to the cached path across random
+    /// layers, accelerators, and parameters.
+    pub fn map_score_reference(
+        &self,
+        task: &Task,
+        acc: &AccState,
+        params: ScoreParams,
+    ) -> MapScore {
         let urgency = self.urgency(task);
-        let lat_pref = self.latency_preference(task, acc.id());
+        let lat_pref = match task.next_layer() {
+            Some(next) => {
+                self.workload.sum_latency_ns(next.layer)
+                    / self.workload.latency_ns(next.layer, acc.id())
+            }
+            None => 0.0,
+        };
         let starvation = self.starvation(task);
-        let (pref_energy, cost_switch) = self.energy_terms(task, acc);
+        let (pref_energy, cost_switch) = self.energy_terms_reference(task, acc);
         let energy = pref_energy - cost_switch;
         MapScore {
             value: urgency * lat_pref + params.alpha() * starvation + params.beta() * energy,

@@ -1,0 +1,130 @@
+//! Property tests for the static/dynamic MapScore split: the cached-table
+//! hot path must be **bit-for-bit** equal to a from-scratch recomputation
+//! through [`CostModel`](dream_cost::CostModel), across random layers,
+//! accelerators, score parameters, and live system states (cold and warm
+//! accelerators, overdue tasks, partially resolved gates).
+
+use dream_core::{ScoreContext, ScoreParams};
+use dream_cost::{Platform, PlatformPreset};
+use dream_models::{CascadeProbability, Scenario, ScenarioKind};
+use dream_sim::{Assignment, Decision, Millis, Scheduler, SimulationBuilder, SystemView};
+use proptest::prelude::*;
+
+/// Drives a simulation while comparing, at every decision, the cached
+/// MapScore of every (ready task, accelerator) pair against the reference
+/// recomputation. Greedy dispatch keeps accelerators cycling through
+/// cold/warm/last-task states so the switch-ratio branches all execute.
+struct CompareProbe {
+    params: ScoreParams,
+    slack_floor_ns: f64,
+    comparisons: u64,
+}
+
+impl Scheduler for CompareProbe {
+    fn name(&self) -> &str {
+        "compare-probe"
+    }
+
+    fn schedule(&mut self, view: &SystemView<'_>) -> Decision {
+        let ctx = ScoreContext::from_view(view, self.slack_floor_ns);
+        for task in view.ready_tasks() {
+            let terms = ctx.task_terms(task);
+            for acc in view.accs() {
+                let cached = ctx.map_score_with(terms, task, acc, self.params);
+                let reference = ctx.map_score_reference(task, acc, self.params);
+                assert_eq!(
+                    cached.value.to_bits(),
+                    reference.value.to_bits(),
+                    "MapScore diverged for {} on {:?}",
+                    task.id(),
+                    acc.id()
+                );
+                for (label, a, b) in [
+                    (
+                        "urgency",
+                        cached.breakdown.urgency,
+                        reference.breakdown.urgency,
+                    ),
+                    (
+                        "lat_pref",
+                        cached.breakdown.lat_pref,
+                        reference.breakdown.lat_pref,
+                    ),
+                    (
+                        "starvation",
+                        cached.breakdown.starvation,
+                        reference.breakdown.starvation,
+                    ),
+                    (
+                        "pref_energy",
+                        cached.breakdown.pref_energy,
+                        reference.breakdown.pref_energy,
+                    ),
+                    (
+                        "cost_switch",
+                        cached.breakdown.cost_switch,
+                        reference.breakdown.cost_switch,
+                    ),
+                    (
+                        "energy",
+                        cached.breakdown.energy,
+                        reference.breakdown.energy,
+                    ),
+                ] {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{label} diverged");
+                }
+                self.comparisons += 1;
+            }
+        }
+        // Greedy dispatch to advance the simulation (and to warm the
+        // accelerators' last-task state).
+        let mut d = Decision::none();
+        let mut idle: Vec<_> = view.idle_accs().map(|a| a.id()).collect();
+        for t in view.ready_tasks() {
+            let Some(acc) = idle.pop() else { break };
+            d.assignments.push(Assignment::single(t.id(), acc));
+        }
+        d
+    }
+}
+
+fn scenario_for(ix: usize) -> ScenarioKind {
+    let all = ScenarioKind::all();
+    all[ix % all.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole guardrail: cached tables are a pure refactor of the
+    /// arithmetic — every unit score and the combined value agree with
+    /// the from-scratch CostModel path bit-for-bit.
+    #[test]
+    fn cached_map_score_is_bit_identical_to_reference(
+        seed in 0u64..1_000,
+        scenario_ix in 0usize..5,
+        alpha in 0.0f64..2.0,
+        beta in 0.0f64..2.0,
+        hetero in any::<bool>(),
+        ms in 120u64..400,
+    ) {
+        let preset = if hetero {
+            PlatformPreset::Hetero4kWs1Os2
+        } else {
+            PlatformPreset::Homo4kWs2
+        };
+        let platform = Platform::preset(preset);
+        let scenario = Scenario::new(scenario_for(scenario_ix), CascadeProbability::default_paper());
+        let mut probe = CompareProbe {
+            params: ScoreParams::new(alpha, beta).expect("sampled inside the box"),
+            slack_floor_ns: 1_000.0,
+            comparisons: 0,
+        };
+        SimulationBuilder::new(platform, scenario)
+            .duration(Millis::new(ms))
+            .seed(seed)
+            .run(&mut probe)
+            .unwrap();
+        prop_assert!(probe.comparisons > 0, "the probe never scored a pair");
+    }
+}

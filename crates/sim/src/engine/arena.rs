@@ -156,6 +156,7 @@ mod tests {
             SimTime::ZERO,
             SimTime::from(Millis::new(33)),
             true,
+            ws,
         );
         arena.insert(task);
         id
@@ -210,7 +211,7 @@ mod tests {
         arena
             .get_mut(a)
             .unwrap()
-            .complete_head(SimTime::from_ns(5), 1.0);
+            .complete_head(SimTime::from_ns(5), 1.0, &ws);
         arena.mark_ready(a);
         assert_eq!(arena.ready_ids(), &[a, b]);
         assert!(arena.ready_list_is_consistent());

@@ -112,13 +112,25 @@ impl Engine {
         frame_arrival: SimTime,
         scheduler: &mut dyn Scheduler,
     ) {
-        let node = self.ws.node(key).clone();
+        // Clone the Arc handle (not the node) so the borrow of the shared
+        // tables outlives the `&mut self` calls below.
+        let ws = std::sync::Arc::clone(&self.ws);
+        let node = ws.node(key);
         let deadline = frame_arrival + node.period();
-        let phase_end = self.ws.phases()[key.phase].end;
+        let phase_end = ws.phases()[key.phase].end;
         let counted = deadline <= phase_end && deadline <= self.horizon;
         let id = self.arena.allocate_id();
-        let task = Task::new(id, &node, frame, frame_arrival, self.now, deadline, counted);
-        self.record_release(&task, &node);
+        let task = Task::new(
+            id,
+            node,
+            frame,
+            frame_arrival,
+            self.now,
+            deadline,
+            counted,
+            &ws,
+        );
+        self.record_release(&task, node);
         self.notify_release(id, key, counted, scheduler);
         self.arena.insert(task);
     }

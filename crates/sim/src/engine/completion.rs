@@ -45,7 +45,7 @@ impl Engine {
         for &acc in &run.accs {
             self.accs[acc.0].last_model = Some(key);
         }
-        let completed = task.complete_head(self.now, run.energy_pj);
+        let completed = task.complete_head(self.now, run.energy_pj, &self.ws);
         if counted {
             if let Some(stats) = self.metrics.get_mut(key) {
                 stats.energy_pj += run.energy_pj;
@@ -65,9 +65,12 @@ impl Engine {
 
     pub(crate) fn finish_task(&mut self, task_id: TaskId, scheduler: &mut dyn Scheduler) {
         let task = self.arena.remove(task_id).expect("finished task exists");
-        let node = self.ws.node(task.key()).clone();
+        // An Arc handle keeps the node borrow alive across the `&mut
+        // self` accounting calls without deep-cloning the NodeInfo.
+        let ws = std::sync::Arc::clone(&self.ws);
+        let node = ws.node(task.key());
         let on_time = self.now <= task.deadline();
-        self.record_completion(&task, &node, on_time, scheduler);
-        self.fire_cascades(&task, &node, scheduler);
+        self.record_completion(&task, node, on_time, scheduler);
+        self.fire_cascades(&task, node, scheduler);
     }
 }

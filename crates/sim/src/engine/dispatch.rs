@@ -37,7 +37,7 @@ impl Engine {
         for (task_id, variant) in decision.variant_switches {
             let valid = match self.arena.get_mut(task_id) {
                 Some(task) if task.is_ready() && !task.started() => {
-                    task.switch_variant(ws.node(task.key()), variant)
+                    task.switch_variant(ws.node(task.key()), variant, ws)
                 }
                 _ => false,
             };

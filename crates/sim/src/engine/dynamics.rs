@@ -31,7 +31,7 @@ impl Engine {
                 GATE_EXIT_BASE + g as u64,
                 exit.p_exit,
             );
-            task.resolve_exit(g, take);
+            task.resolve_exit(g, take, &self.ws);
         }
         if !task.is_complete() {
             if let Some(blk) = task.pending_skip_starting_at(g + 1) {
@@ -42,7 +42,7 @@ impl Engine {
                     GATE_SKIP_BASE + (g as u64 + 1),
                     blk.p_skip,
                 );
-                task.resolve_skip(g + 1, skip);
+                task.resolve_skip(g + 1, skip, &self.ws);
             }
         }
     }

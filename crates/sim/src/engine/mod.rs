@@ -28,6 +28,8 @@ pub(crate) mod dynamics;
 #[cfg(test)]
 mod tests;
 
+use std::sync::Arc;
+
 use dream_cost::{AcceleratorId, CostModel, Platform};
 use dream_models::Scenario;
 
@@ -53,6 +55,7 @@ pub struct SimulationBuilder {
     seed: u64,
     cost: CostModel,
     arrivals: Box<dyn ArrivalSource>,
+    prebuilt: Option<Arc<WorkloadSet>>,
 }
 
 impl SimulationBuilder {
@@ -65,6 +68,7 @@ impl SimulationBuilder {
             seed: 0,
             cost: CostModel::paper_default(),
             arrivals: Box::new(PeriodicArrivals),
+            prebuilt: None,
         }
     }
 
@@ -151,6 +155,62 @@ impl SimulationBuilder {
         WorkloadSet::build(self.resolved_phases()?, &self.platform, &self.cost)
     }
 
+    /// Reuses an already-built [`WorkloadSet`] instead of rebuilding the
+    /// offline cost tables from scratch — the seam the experiment grid's
+    /// shared-workload cache plugs into. The workload **must** have been
+    /// produced by [`build_workload`](Self::build_workload) on an
+    /// identically configured builder (same phases, platform, and cost
+    /// model); [`run`](Self::run) verifies the platform width, the phase
+    /// schedule, and the cost-calibration digest, and rejects
+    /// mismatches.
+    pub fn prebuilt_workload(mut self, workload: Arc<WorkloadSet>) -> Self {
+        self.prebuilt = Some(workload);
+        self
+    }
+
+    /// Validates that a prebuilt workload matches this builder's resolved
+    /// configuration (cheap structural checks; see
+    /// [`prebuilt_workload`](Self::prebuilt_workload)).
+    fn check_prebuilt(&self, ws: &WorkloadSet, resolved: &[Phase]) -> Result<(), SimError> {
+        if ws.cost_digest() != WorkloadSet::cost_digest_of(&self.cost) {
+            return Err(SimError::WorkloadMismatch {
+                reason: "workload tables were built with a different cost calibration".into(),
+            });
+        }
+        if ws.acc_count() != self.platform.len() {
+            return Err(SimError::WorkloadMismatch {
+                reason: format!(
+                    "workload tables were built for {} accelerators, platform has {}",
+                    ws.acc_count(),
+                    self.platform.len()
+                ),
+            });
+        }
+        if ws.phases().len() != resolved.len() {
+            return Err(SimError::WorkloadMismatch {
+                reason: format!(
+                    "workload has {} phases, builder resolves {}",
+                    ws.phases().len(),
+                    resolved.len()
+                ),
+            });
+        }
+        for (built, want) in ws.phases().iter().zip(resolved) {
+            if built.start() != want.start() || built.end() != want.end() {
+                return Err(SimError::WorkloadMismatch {
+                    reason: format!(
+                        "phase window [{}, {}) differs from configured [{}, {})",
+                        built.start(),
+                        built.end(),
+                        want.start(),
+                        want.end()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Runs the simulation to completion under `scheduler`.
     ///
     /// # Errors
@@ -160,9 +220,17 @@ impl SimulationBuilder {
     ///   phase starts at/after the horizon.
     /// * [`SimError::InvalidTrace`] if the arrival source is inconsistent
     ///   with the workload.
+    /// * [`SimError::WorkloadMismatch`] if a prebuilt workload does not
+    ///   match the configured phases/platform.
     pub fn run(self, scheduler: &mut dyn Scheduler) -> Result<SimOutcome, SimError> {
         let resolved = self.resolved_phases()?;
-        let ws = WorkloadSet::build(resolved, &self.platform, &self.cost)?;
+        let ws = match &self.prebuilt {
+            Some(ws) => {
+                self.check_prebuilt(ws, &resolved)?;
+                Arc::clone(ws)
+            }
+            None => Arc::new(WorkloadSet::build(resolved, &self.platform, &self.cost)?),
+        };
         self.arrivals.validate(&ws, self.duration)?;
         let mut engine = Engine::new(
             ws,
@@ -210,7 +278,9 @@ pub(crate) struct InFlight {
 pub(crate) struct Engine {
     pub(crate) now: SimTime,
     pub(crate) horizon: SimTime,
-    pub(crate) ws: WorkloadSet,
+    /// Shared, immutable offline tables: several engines (e.g. the cells
+    /// of an experiment grid over one scenario) may hold the same build.
+    pub(crate) ws: Arc<WorkloadSet>,
     pub(crate) platform: Platform,
     pub(crate) cost: CostModel,
     pub(crate) coin: DeterministicCoin,
@@ -235,7 +305,7 @@ pub(crate) struct Engine {
 
 impl Engine {
     pub(crate) fn new(
-        ws: WorkloadSet,
+        ws: Arc<WorkloadSet>,
         platform: Platform,
         cost: CostModel,
         seed: u64,

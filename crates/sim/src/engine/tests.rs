@@ -129,6 +129,70 @@ fn zero_duration_rejected() {
 }
 
 #[test]
+fn mismatched_prebuilt_workloads_rejected() {
+    let platform = || Platform::preset(PlatformPreset::Homo4kWs2);
+    let scenario = || Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper());
+    let build = |ms: u64, cost: CostModel| {
+        std::sync::Arc::new(
+            SimulationBuilder::new(platform(), scenario())
+                .duration(Millis::new(ms))
+                .cost_model(cost)
+                .build_workload()
+                .unwrap(),
+        )
+    };
+    let mut s = Greedy;
+
+    // Matching prebuilt workload: accepted, bit-identical to fresh.
+    let fresh = SimulationBuilder::new(platform(), scenario())
+        .duration(Millis::new(200))
+        .run(&mut s)
+        .unwrap()
+        .into_metrics()
+        .fingerprint();
+    let shared = SimulationBuilder::new(platform(), scenario())
+        .duration(Millis::new(200))
+        .prebuilt_workload(build(200, CostModel::paper_default()))
+        .run(&mut s)
+        .unwrap()
+        .into_metrics()
+        .fingerprint();
+    assert_eq!(fresh, shared);
+
+    // Different phase schedule: rejected.
+    let err = SimulationBuilder::new(platform(), scenario())
+        .duration(Millis::new(300))
+        .prebuilt_workload(build(200, CostModel::paper_default()))
+        .run(&mut s);
+    assert!(
+        matches!(err, Err(SimError::WorkloadMismatch { .. })),
+        "{err:?}"
+    );
+
+    // Different platform width: rejected.
+    let err = SimulationBuilder::new(Platform::preset(PlatformPreset::Hetero4kWs1Os2), scenario())
+        .duration(Millis::new(200))
+        .prebuilt_workload(build(200, CostModel::paper_default()))
+        .run(&mut s);
+    assert!(
+        matches!(err, Err(SimError::WorkloadMismatch { .. })),
+        "{err:?}"
+    );
+
+    // Different cost calibration: rejected.
+    let mut params = dream_cost::CostParams::paper_defaults();
+    params.dram_energy_pj_per_byte *= 2.0;
+    let err = SimulationBuilder::new(platform(), scenario())
+        .duration(Millis::new(200))
+        .prebuilt_workload(build(200, CostModel::new(params).unwrap()))
+        .run(&mut s);
+    assert!(
+        matches!(err, Err(SimError::WorkloadMismatch { .. })),
+        "{err:?}"
+    );
+}
+
+#[test]
 fn phase_change_flushes_and_switches_models() {
     let platform = Platform::preset(PlatformPreset::Hetero4kWs1Os2);
     let p = CascadeProbability::default_paper();
@@ -207,7 +271,14 @@ fn engine_with_boundary_task(
     let platform = Platform::preset(PlatformPreset::Hetero4kWs1Os2);
     let cost = CostModel::paper_default();
     let ws = crate::workload::WorkloadSet::build(phases, &platform, &cost).unwrap();
-    let mut engine = Engine::new(ws, platform, cost, 0, horizon, Box::new(PeriodicArrivals));
+    let mut engine = Engine::new(
+        std::sync::Arc::new(ws),
+        platform,
+        cost,
+        0,
+        horizon,
+        Box::new(PeriodicArrivals),
+    );
     let mut sched = Greedy;
     let key = ModelKey {
         phase: 0,
@@ -225,7 +296,7 @@ fn engine_with_boundary_task(
         // Drain all but the last layer, then start it on accelerator 0.
         while task.remaining().len() > 1 {
             task.set_running(vec![dream_cost::AcceleratorId(0)]);
-            task.complete_head(engine.now, 0.0);
+            task.complete_head(engine.now, 0.0, &engine.ws);
         }
         task.set_running(vec![dream_cost::AcceleratorId(0)]);
     }

@@ -18,6 +18,14 @@ pub enum SimError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// A prebuilt [`WorkloadSet`](crate::WorkloadSet) handed to
+    /// [`SimulationBuilder::prebuilt_workload`](crate::SimulationBuilder::prebuilt_workload)
+    /// does not match the builder's configuration (different platform
+    /// width or phase schedule).
+    WorkloadMismatch {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
     /// Propagated model-construction error.
     Model(dream_models::ModelError),
     /// Propagated cost-model error.
@@ -30,6 +38,9 @@ impl fmt::Display for SimError {
             SimError::ZeroDuration => write!(f, "simulation duration must be positive"),
             SimError::InvalidPhase { reason } => write!(f, "invalid workload phase: {reason}"),
             SimError::InvalidTrace { reason } => write!(f, "invalid arrival trace: {reason}"),
+            SimError::WorkloadMismatch { reason } => {
+                write!(f, "prebuilt workload mismatch: {reason}")
+            }
             SimError::Model(e) => write!(f, "model error: {e}"),
             SimError::Cost(e) => write!(f, "cost model error: {e}"),
         }

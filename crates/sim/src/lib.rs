@@ -73,6 +73,6 @@ pub use scheduler::{
     AccState, Assignment, Decision, Scheduler, SchedulerCapabilities, SystemView, TaskEvent,
     TaskEventKind,
 };
-pub use task::{Task, TaskId, TaskState};
+pub use task::{QueuedLayer, Task, TaskId, TaskState};
 pub use time::{Micros, Millis, SimTime};
 pub use workload::{LayerId, ModelKey, NodeInfo, Phase, WorkloadSet};

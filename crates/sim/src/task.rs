@@ -34,6 +34,21 @@ pub struct QueuedLayer {
     pub graph_idx: usize,
 }
 
+/// One remaining layer's contribution to the cached remaining-work terms,
+/// aligned with the task's queue. Products are frozen when the gate set
+/// changes (they only depend on gate state and the offline tables), so a
+/// head completion just re-sums the tail instead of re-walking gates and
+/// tables.
+#[derive(Debug, Clone, Copy)]
+struct ToGoContrib {
+    /// `layer_probability(graph_idx) · avg_latency_ns(layer)`.
+    avg: f64,
+    /// `min_latency_ns(layer)` — counted only when `certain`.
+    min: f64,
+    /// Whether the layer is certain to execute (`probability ≥ 1`).
+    certain: bool,
+}
+
 /// An active inference request: the paper's `tsk`, with its remaining-layer
 /// queue (`Q_task`), timing contract, and unresolved dynamic gates.
 #[derive(Debug, Clone)]
@@ -53,9 +68,23 @@ pub struct Task {
     last_completion: SimTime,
     executed_layers: u32,
     energy_pj: f64,
+    /// Cached `Σ p(layer) · avg_lat(layer)` over the remaining queue —
+    /// Algorithm 1's `ToGo(tsk)`. Recomputed (by the identical walk) on
+    /// every queue/gate mutation instead of on every scheduler query, so
+    /// the per-decision read is O(1).
+    to_go_avg_cache: f64,
+    /// Cached best-case remaining work (`minimum_to_go`, §4.2.1),
+    /// maintained alongside [`Task::to_go_avg_cache`].
+    min_to_go_cache: f64,
+    /// Per-layer contributions behind the two caches, aligned with
+    /// `remaining`.
+    contrib: VecDeque<ToGoContrib>,
 }
 
 impl Task {
+    // Crate-internal constructor with one caller per release path; the
+    // timing contract reads better flat than behind a params struct.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         id: TaskId,
         node: &NodeInfo,
@@ -64,10 +93,11 @@ impl Task {
         released: SimTime,
         deadline: SimTime,
         counted: bool,
+        ws: &WorkloadSet,
     ) -> Self {
         let variant = VariantId(0);
         let plan = node.variant(variant);
-        Task {
+        let mut task = Task {
             id,
             key: node.key(),
             variant,
@@ -88,7 +118,65 @@ impl Task {
             last_completion: released,
             executed_layers: 0,
             energy_pj: 0.0,
+            to_go_avg_cache: 0.0,
+            min_to_go_cache: 0.0,
+            contrib: VecDeque::new(),
+        };
+        task.refresh_to_go(ws);
+        task
+    }
+
+    /// Rebuilds the per-layer contributions and the remaining-work caches
+    /// after a gate mutation or queue replacement. Every product and the
+    /// left-to-right summation repeat byte-for-byte the operations the
+    /// former on-demand accessors performed, so cached reads are
+    /// bit-identical to a fresh walk.
+    fn refresh_to_go(&mut self, ws: &WorkloadSet) {
+        self.contrib.clear();
+        for i in 0..self.remaining.len() {
+            let q = self.remaining[i];
+            let p = self.layer_probability(q.graph_idx);
+            self.contrib.push_back(ToGoContrib {
+                avg: p * ws.avg_latency_ns(q.layer),
+                min: ws.min_latency_ns(q.layer),
+                certain: p >= 1.0,
+            });
         }
+        self.resum_to_go();
+    }
+
+    /// Re-folds the cached contributions into the two sums — the only
+    /// work a head completion pays (the gate set, and therefore every
+    /// remaining contribution, is unchanged by popping the head).
+    fn resum_to_go(&mut self) {
+        // -0.0 is `<f64 as Sum>`'s fold identity; starting from +0.0
+        // would flip empty sums to +0.0 and break bit-identity with the
+        // reference `.sum()` walks.
+        let mut avg = -0.0f64;
+        let mut min = -0.0f64;
+        for c in &self.contrib {
+            avg += c.avg;
+            if c.certain {
+                min += c.min;
+            }
+        }
+        self.to_go_avg_cache = avg;
+        self.min_to_go_cache = min;
+    }
+
+    fn compute_to_go_avg(&self, ws: &WorkloadSet) -> f64 {
+        self.remaining
+            .iter()
+            .map(|q| self.layer_probability(q.graph_idx) * ws.avg_latency_ns(q.layer))
+            .sum()
+    }
+
+    fn compute_min_to_go(&self, ws: &WorkloadSet) -> f64 {
+        self.remaining
+            .iter()
+            .filter(|q| self.layer_probability(q.graph_idx) >= 1.0)
+            .map(|q| ws.min_latency_ns(q.layer))
+            .sum()
     }
 
     /// Unique id.
@@ -197,23 +285,32 @@ impl Task {
 
     /// Expected remaining work using the across-accelerator *average*
     /// latency per layer — Algorithm 1 line 2's `ToGo(tsk)`, extended with
-    /// execution probabilities for dynamic layers.
+    /// execution probabilities for dynamic layers. Served from the cache
+    /// maintained at queue mutations, so the per-decision cost is O(1).
     pub fn to_go_avg_ns(&self, ws: &WorkloadSet) -> f64 {
-        self.remaining
-            .iter()
-            .map(|q| self.layer_probability(q.graph_idx) * ws.avg_latency_ns(q.layer))
-            .sum()
+        debug_assert_eq!(
+            self.to_go_avg_cache.to_bits(),
+            self.compute_to_go_avg(ws).to_bits(),
+            "stale ToGo cache on {}",
+            self.id
+        );
+        let _ = ws;
+        self.to_go_avg_cache
     }
 
     /// Best-case remaining work: only layers certain to execute, each on its
     /// best-latency accelerator, no context switches — the smart frame
-    /// drop's `minimum_to_go` (§4.2.1).
+    /// drop's `minimum_to_go` (§4.2.1). Cached like
+    /// [`to_go_avg_ns`](Self::to_go_avg_ns).
     pub fn min_to_go_ns(&self, ws: &WorkloadSet) -> f64 {
-        self.remaining
-            .iter()
-            .filter(|q| self.layer_probability(q.graph_idx) >= 1.0)
-            .map(|q| ws.min_latency_ns(q.layer))
-            .sum()
+        debug_assert_eq!(
+            self.min_to_go_cache.to_bits(),
+            self.compute_min_to_go(ws).to_bits(),
+            "stale minimum_to_go cache on {}",
+            self.id
+        );
+        let _ = ws;
+        self.min_to_go_cache
     }
 
     /// Worst-case remaining work: every remaining layer on the
@@ -244,7 +341,12 @@ impl Task {
     }
 
     /// Pops the completed head layer, charging energy and stamping `Tcmpl`.
-    pub(crate) fn complete_head(&mut self, now: SimTime, energy_pj: f64) -> QueuedLayer {
+    pub(crate) fn complete_head(
+        &mut self,
+        now: SimTime,
+        energy_pj: f64,
+        ws: &WorkloadSet,
+    ) -> QueuedLayer {
         let head = self
             .remaining
             .pop_front()
@@ -253,6 +355,18 @@ impl Task {
         self.last_completion = now;
         self.executed_layers += 1;
         self.energy_pj += energy_pj;
+        // Gates are untouched by a head pop: drop the head's contribution
+        // and re-fold the (unchanged) tail.
+        self.contrib
+            .pop_front()
+            .expect("contributions stay aligned with the queue");
+        self.resum_to_go();
+        debug_assert_eq!(
+            self.to_go_avg_cache.to_bits(),
+            self.compute_to_go_avg(ws).to_bits(),
+            "re-folded ToGo diverged from a fresh walk on {}",
+            self.id
+        );
         head
     }
 
@@ -260,7 +374,7 @@ impl Task {
     /// removes the block's layers when `skip` is true. The gate is dropped
     /// from the pending set either way, and any exit points strictly inside
     /// a skipped span vanish with it.
-    pub(crate) fn resolve_skip(&mut self, first: usize, skip: bool) {
+    pub(crate) fn resolve_skip(&mut self, first: usize, skip: bool, ws: &WorkloadSet) {
         let Some(pos) = self.pending_skips.iter().position(|b| b.first == first) else {
             return;
         };
@@ -271,11 +385,12 @@ impl Task {
             self.pending_exits
                 .retain(|e| e.after < blk.first || e.after > blk.last);
         }
+        self.refresh_to_go(ws);
     }
 
     /// Resolves an exit decision at `after`: when taken, the rest of the
     /// queue is discarded (successful early completion).
-    pub(crate) fn resolve_exit(&mut self, after: usize, exit: bool) {
+    pub(crate) fn resolve_exit(&mut self, after: usize, exit: bool, ws: &WorkloadSet) {
         let Some(pos) = self.pending_exits.iter().position(|e| e.after == after) else {
             return;
         };
@@ -285,11 +400,17 @@ impl Task {
             self.pending_skips.clear();
             self.pending_exits.clear();
         }
+        self.refresh_to_go(ws);
     }
 
     /// Replaces the remaining queue with another variant's layers. Only
     /// legal before any layer has executed.
-    pub(crate) fn switch_variant(&mut self, node: &NodeInfo, variant: VariantId) -> bool {
+    pub(crate) fn switch_variant(
+        &mut self,
+        node: &NodeInfo,
+        variant: VariantId,
+        ws: &WorkloadSet,
+    ) -> bool {
         if self.started() || variant.0 >= node.variant_count() {
             return false;
         }
@@ -303,6 +424,7 @@ impl Task {
             .collect();
         self.pending_skips = plan.skip_blocks.clone();
         self.pending_exits = plan.exit_points.clone();
+        self.refresh_to_go(ws);
         true
     }
 
@@ -357,6 +479,7 @@ mod tests {
             SimTime::ZERO,
             SimTime::from(Millis::new(33)),
             true,
+            ws,
         )
     }
 
@@ -391,11 +514,11 @@ mod tests {
         let mut t = skipnet_task(&ws);
         let blk = t.pending_skips[0];
         let before = t.remaining().len();
-        t.resolve_skip(blk.first, true);
+        t.resolve_skip(blk.first, true, &ws);
         let after = t.remaining().len();
         assert_eq!(before - after, blk.last - blk.first + 1);
         // Resolving again is a no-op.
-        t.resolve_skip(blk.first, true);
+        t.resolve_skip(blk.first, true, &ws);
         assert_eq!(t.remaining().len(), after);
     }
 
@@ -405,7 +528,7 @@ mod tests {
         let mut t = skipnet_task(&ws);
         let blk = t.pending_skips[0];
         assert!(t.layer_probability(blk.first) < 1.0);
-        t.resolve_skip(blk.first, false);
+        t.resolve_skip(blk.first, false, &ws);
         assert_eq!(t.layer_probability(blk.first), 1.0);
         assert_eq!(
             t.remaining().len(),
@@ -420,7 +543,7 @@ mod tests {
         // SkipNet task by resolving a synthetic exit: use resolve_exit on a
         // pending one — SkipNet has none, so this is a no-op.
         let mut t = skipnet_task(&ws);
-        t.resolve_exit(3, true);
+        t.resolve_exit(3, true, &ws);
         assert!(!t.is_complete(), "no-op on models without exits");
     }
 
@@ -430,7 +553,7 @@ mod tests {
         let mut t = skipnet_task(&ws);
         let now = SimTime::from_ns(500);
         t.set_running(vec![dream_cost::AcceleratorId(0)]);
-        let head = t.complete_head(now, 42.0);
+        let head = t.complete_head(now, 42.0, &ws);
         assert_eq!(head.graph_idx, 0);
         assert_eq!(t.last_completion(), now);
         assert_eq!(t.energy_pj(), 42.0);
@@ -470,17 +593,18 @@ mod tests {
             SimTime::ZERO,
             SimTime::from(Millis::new(33)),
             true,
+            &ws2,
         );
         let full = t.remaining().len();
-        assert!(t.switch_variant(node, VariantId(3)));
+        assert!(t.switch_variant(node, VariantId(3), &ws2));
         assert!(t.remaining().len() < full);
         assert_eq!(t.variant(), VariantId(3));
         // Out-of-range variant rejected.
-        assert!(!t.switch_variant(node, VariantId(9)));
+        assert!(!t.switch_variant(node, VariantId(9), &ws2));
         // After execution starts, switching is rejected.
         t.set_running(vec![dream_cost::AcceleratorId(0)]);
-        t.complete_head(SimTime::from_ns(10), 1.0);
-        assert!(!t.switch_variant(node, VariantId(0)));
+        t.complete_head(SimTime::from_ns(10), 1.0, &ws2);
+        assert!(!t.switch_variant(node, VariantId(0), &ws2));
         let _ = ws;
     }
 

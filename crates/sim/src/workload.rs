@@ -188,6 +188,24 @@ impl Phase {
 /// The fully-resolved workload a simulation executes: phases, nodes,
 /// flattened layers, and the offline latency/energy tables DREAM consumes
 /// (the paper's `EstLatency` / `EstEnergy` inputs, Figure 4).
+///
+/// Beyond the raw tables, [`WorkloadSet::build`] precomputes every
+/// MapScore term that is constant per (layer, accelerator) pair — the
+/// static half of Algorithm 1's static/dynamic split (cf. Sparse-DySta):
+///
+/// * `lat_pref[layer, acc]   = Σᵢ lat(layer, i) / lat(layer, acc)`
+/// * `pref_energy[layer, acc] = Σᵢ E(layer, i) / E(layer, acc)`
+/// * `cold_switch_ratio[layer, acc]` — the context-switch energy ratio of
+///   a *cold* accelerator (nothing to flush, only the incoming fetch)
+/// * `switch_energy_pj_per_byte[acc]` — DRAM energy per switched byte, so
+///   the warm-switch ratio needs only the dynamic flush volume online
+/// * `avg_lat[layer]` — the across-accelerator mean (`ToGo`'s per-layer
+///   term)
+///
+/// Each cached value is produced by the *identical* floating-point
+/// operation sequence the former online path used, so schedulers reading
+/// the tables are bit-for-bit equal to a from-scratch recomputation via
+/// [`CostModel`] (property-tested in `dream-core`).
 #[derive(Debug, Clone)]
 pub struct WorkloadSet {
     phases: Vec<Phase>,
@@ -197,11 +215,17 @@ pub struct WorkloadSet {
     lat: Vec<f64>,
     energy: Vec<f64>,
     sum_lat: Vec<f64>,
+    avg_lat: Vec<f64>,
     min_lat: Vec<f64>,
     sum_energy: Vec<f64>,
     max_energy: Vec<f64>,
     input_bytes: Vec<u64>,
     output_bytes: Vec<u64>,
+    lat_pref: Vec<f64>,
+    pref_energy: Vec<f64>,
+    cold_switch_ratio: Vec<f64>,
+    switch_energy_pj_per_byte: Vec<f64>,
+    cost_digest: u64,
 }
 
 impl WorkloadSet {
@@ -241,6 +265,14 @@ impl WorkloadSet {
                 });
             }
         }
+        // Per-accelerator DRAM energy per switched byte: the static factor
+        // of Algorithm 1's Cost_switch term. Derived through the cost
+        // model's own switch_cost so alternative backends stay honest.
+        let switch_energy_pj_per_byte = platform
+            .accelerators()
+            .iter()
+            .map(|acc| cost.switch_cost(1, 0, acc).energy_pj)
+            .collect();
         let mut ws = WorkloadSet {
             phases,
             nodes: BTreeMap::new(),
@@ -249,11 +281,17 @@ impl WorkloadSet {
             lat: Vec::new(),
             energy: Vec::new(),
             sum_lat: Vec::new(),
+            avg_lat: Vec::new(),
             min_lat: Vec::new(),
             sum_energy: Vec::new(),
             max_energy: Vec::new(),
             input_bytes: Vec::new(),
             output_bytes: Vec::new(),
+            lat_pref: Vec::new(),
+            pref_energy: Vec::new(),
+            cold_switch_ratio: Vec::new(),
+            switch_energy_pj_per_byte,
+            cost_digest: Self::cost_digest_of(cost),
         };
         let phases_snapshot = ws.phases.clone();
         for (phase_idx, phase) in phases_snapshot.iter().enumerate() {
@@ -313,6 +351,7 @@ impl WorkloadSet {
         let mut min_l = f64::INFINITY;
         let mut sum_e = 0.0;
         let mut max_e: f64 = 0.0;
+        let base = id.0 * self.acc_count;
         for acc in platform.accelerators() {
             let c = cost.layer_cost(&layer, acc);
             self.lat.push(c.latency_ns);
@@ -322,7 +361,20 @@ impl WorkloadSet {
             sum_e += c.energy_pj;
             max_e = max_e.max(c.energy_pj);
         }
+        // Second pass: the static MapScore terms. Each expression repeats
+        // the exact operation sequence the online path would perform
+        // (sum / entry, incoming-bytes · per-byte / entry), keeping the
+        // cached tables bit-identical to on-demand recomputation.
+        for i in 0..self.acc_count {
+            self.lat_pref.push(sum_l / self.lat[base + i]);
+            self.pref_energy.push(sum_e / self.energy[base + i]);
+            self.cold_switch_ratio.push(
+                stats.input_bytes as f64 * self.switch_energy_pj_per_byte[i]
+                    / self.energy[base + i],
+            );
+        }
         self.sum_lat.push(sum_l);
+        self.avg_lat.push(sum_l / self.acc_count as f64);
         self.min_lat.push(min_l);
         self.sum_energy.push(sum_e);
         self.max_energy.push(max_e);
@@ -419,9 +471,10 @@ impl WorkloadSet {
         self.sum_lat[layer.0]
     }
 
-    /// Mean latency across accelerators (Algorithm 1's `ToGo` term).
+    /// Mean latency across accelerators (Algorithm 1's `ToGo` term),
+    /// precomputed at build time.
     pub fn avg_latency_ns(&self, layer: LayerId) -> f64 {
-        self.sum_lat[layer.0] / self.acc_count as f64
+        self.avg_lat[layer.0]
     }
 
     /// Best-case latency across accelerators (smart frame drop's
@@ -448,6 +501,60 @@ impl WorkloadSet {
     /// Output activation bytes of a layer (context-switch flush volume).
     pub fn output_bytes(&self, layer: LayerId) -> u64 {
         self.output_bytes[layer.0]
+    }
+
+    /// Precomputed `ScoreLatPref(layer, acc)` — Algorithm 1 line 8's
+    /// `Σᵢ lat(layer, i) / lat(layer, acc)`, hoisted offline.
+    pub fn lat_pref(&self, layer: LayerId, acc: AcceleratorId) -> f64 {
+        self.lat_pref[layer.0 * self.acc_count + acc.0]
+    }
+
+    /// Precomputed `PrefEnergy(layer, acc)` — Algorithm 1 line 11's
+    /// `Σᵢ E(layer, i) / E(layer, acc)`, hoisted offline.
+    pub fn pref_energy(&self, layer: LayerId, acc: AcceleratorId) -> f64 {
+        self.pref_energy[layer.0 * self.acc_count + acc.0]
+    }
+
+    /// Precomputed cold context-switch energy ratio — Algorithm 1 line
+    /// 10's `CswitchEnergy / EstEnergy(layer, acc)` when the accelerator
+    /// has nothing to flush (`last_output_bytes == 0`): only the incoming
+    /// working-set fetch is paid.
+    pub fn cold_switch_ratio(&self, layer: LayerId, acc: AcceleratorId) -> f64 {
+        self.cold_switch_ratio[layer.0 * self.acc_count + acc.0]
+    }
+
+    /// DRAM energy per context-switched byte on `acc` (pJ/byte) — the
+    /// static factor of the warm-switch ratio, whose only online input is
+    /// the departing task's flush volume.
+    pub fn switch_energy_pj_per_byte(&self, acc: AcceleratorId) -> f64 {
+        self.switch_energy_pj_per_byte[acc.0]
+    }
+
+    /// Digest of a cost calibration (the bit pattern of every constant).
+    /// Two workloads built from calibrations with different digests hold
+    /// different tables; the engine uses this to reject a prebuilt
+    /// workload whose calibration disagrees with the simulation's.
+    pub fn cost_digest_of(cost: &CostModel) -> u64 {
+        let p = cost.params();
+        let mut h = crate::determ::Fnv64::new();
+        for v in [
+            p.mac_energy_pj,
+            p.vector_op_energy_pj,
+            p.sram_energy_pj_per_byte,
+            p.dram_energy_pj_per_byte,
+            p.layer_launch_ns,
+            p.mapping_efficiency,
+            p.gang_overhead,
+        ] {
+            h.mix(v.to_bits());
+        }
+        h.mix(p.psum_tile_depth);
+        h.finish()
+    }
+
+    /// The digest of the calibration these tables were built with.
+    pub fn cost_digest(&self) -> u64 {
+        self.cost_digest
     }
 
     /// The distinct model names active in `phase` — the "inference model
@@ -508,6 +615,35 @@ mod tests {
                     }
                     assert!(ws.min_latency_ns(l) <= ws.avg_latency_ns(l));
                     assert!(ws.max_energy_pj(l) * 3.0 >= ws.sum_energy_pj(l));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn precomputed_score_tables_match_from_scratch_bitwise() {
+        let (ws, platform) = build_default();
+        let cost = CostModel::paper_default();
+        for node in ws.nodes() {
+            for v in 0..node.variant_count() {
+                for &l in node.variant_layers(VariantId(v)) {
+                    for acc in platform.ids() {
+                        let lp = ws.sum_latency_ns(l) / ws.latency_ns(l, acc);
+                        assert_eq!(ws.lat_pref(l, acc).to_bits(), lp.to_bits());
+                        let pe = ws.sum_energy_pj(l) / ws.energy_pj(l, acc);
+                        assert_eq!(ws.pref_energy(l, acc).to_bits(), pe.to_bits());
+                        let config = platform.accelerator(acc).unwrap();
+                        let sw = cost.switch_cost(ws.input_bytes(l), 0, config);
+                        let cold = sw.energy_pj / ws.energy_pj(l, acc);
+                        assert_eq!(ws.cold_switch_ratio(l, acc).to_bits(), cold.to_bits());
+                        let per_byte = cost.switch_cost(1, 0, config).energy_pj;
+                        assert_eq!(
+                            ws.switch_energy_pj_per_byte(acc).to_bits(),
+                            per_byte.to_bits()
+                        );
+                    }
+                    let avg = ws.sum_latency_ns(l) / ws.acc_count() as f64;
+                    assert_eq!(ws.avg_latency_ns(l).to_bits(), avg.to_bits());
                 }
             }
         }

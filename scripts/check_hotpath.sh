@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Hot-path perf regression gate.
+#
+# Compares the freshly benchmarked decisions_per_sec (written by
+# `cargo bench --bench hotpath` into BENCH_hotpath.json) against the
+# committed baseline and fails when the fresh number regresses by more
+# than the allowed fraction (default 20%, override with
+# HOTPATH_MAX_REGRESSION=0.30 etc.).
+#
+# Usage: scripts/check_hotpath.sh <baseline.json> [fresh.json]
+# CI captures the committed file before the bench overwrites it:
+#   cp BENCH_hotpath.json /tmp/hotpath_baseline.json
+#   cargo bench --bench hotpath
+#   scripts/check_hotpath.sh /tmp/hotpath_baseline.json BENCH_hotpath.json
+set -euo pipefail
+
+baseline="${1:?usage: check_hotpath.sh <baseline.json> [fresh.json]}"
+fresh="${2:-BENCH_hotpath.json}"
+max_regression="${HOTPATH_MAX_REGRESSION:-0.20}"
+
+extract() {
+    grep -o '"decisions_per_sec": *[0-9.]*' "$1" | head -1 | grep -o '[0-9.]*$'
+}
+
+base=$(extract "$baseline")
+new=$(extract "$fresh")
+if [ -z "$base" ] || [ -z "$new" ]; then
+    echo "check_hotpath: could not read decisions_per_sec (baseline='$base' fresh='$new')" >&2
+    exit 2
+fi
+
+awk -v base="$base" -v new="$new" -v max="$max_regression" 'BEGIN {
+    floor = base * (1.0 - max)
+    ratio = new / base
+    if (new < floor) {
+        printf "HOTPATH REGRESSION: %.0f decisions/s is %.1f%% of the %.0f baseline (floor: %.0f)\n",
+               new, ratio * 100.0, base, floor
+        exit 1
+    }
+    printf "hotpath ok: %.0f decisions/s (%.1f%% of the %.0f baseline, floor %.0f)\n",
+           new, ratio * 100.0, base, floor
+}'

@@ -147,6 +147,50 @@ fn stochastic_arrival_grids_are_thread_count_invariant() {
     assert_eq!(serial.averaged().len(), arrivals.len() * 3);
 }
 
+/// The shared-workload cache is a pure refactor: a run over a prebuilt
+/// `Arc<WorkloadSet>` (what every grid cell now does) is bit-identical to
+/// a run that builds its own tables, and reusing one build across
+/// schedulers and seeds never lets state leak between runs.
+#[test]
+fn prebuilt_workload_runs_bit_identical_to_fresh_builds() {
+    use dream_bench::shared_workload;
+    use dream_cost::CostModel;
+
+    let run = |prebuilt: bool, seed: u64, dream: bool| {
+        let scenario = Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper());
+        let mut builder =
+            SimulationBuilder::new(Platform::preset(PlatformPreset::Hetero4kWs1Os2), scenario)
+                .duration(Millis::new(300))
+                .seed(seed);
+        if prebuilt {
+            builder = builder.prebuilt_workload(shared_workload(
+                ScenarioKind::ArCall,
+                PlatformPreset::Hetero4kWs1Os2,
+                0.5,
+                300,
+                &CostModel::paper_default(),
+            ));
+        }
+        let metrics = if dream {
+            let mut s = DreamScheduler::new(DreamConfig::full());
+            builder.run(&mut s).unwrap().into_metrics()
+        } else {
+            let mut s = dream_baselines::FcfsScheduler::new();
+            builder.run(&mut s).unwrap().into_metrics()
+        };
+        metrics.fingerprint()
+    };
+    for seed in [0, 3, 11] {
+        for dream in [true, false] {
+            assert_eq!(
+                run(true, seed, dream),
+                run(false, seed, dream),
+                "seed {seed} dream {dream}: cached tables changed the simulation"
+            );
+        }
+    }
+}
+
 #[test]
 fn grid_results_stay_in_spec_order_under_parallelism() {
     let mut grid = ExperimentGrid::new().with_threads(4);
