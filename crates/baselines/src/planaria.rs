@@ -37,8 +37,12 @@ impl PlanariaScheduler {
     ///
     /// Single-accelerator gangs read the offline latency table the
     /// workload precomputed (bit-identical to an on-demand
-    /// `CostModel::layer_cost`, which is how the table was built); only
-    /// true multi-member gangs pay the analytical gang costing.
+    /// `CostBackend::layer_cost`, which is how the table was built); only
+    /// true multi-member gangs query the backend's gang costing. A
+    /// backend that cannot cost the gang (e.g. a table import without a
+    /// matching gang row) yields an infinite estimate, so the gang never
+    /// "meets the deadline" and Planaria deterministically falls back to
+    /// its minimum single-accelerator allocation.
     fn remaining_on_gang(
         view: &SystemView<'_>,
         task: &Task,
@@ -55,7 +59,7 @@ impl PlanariaScheduler {
             .map(|q| {
                 view.cost()
                     .gang_cost(view.workload().layer(q.layer), configs)
-                    .latency_ns
+                    .map_or(f64::INFINITY, |c| c.latency_ns)
             })
             .sum()
     }

@@ -41,7 +41,7 @@ fn run_once(seed: u64, instrument: bool) -> Sample {
         PlatformPreset::Hetero4kWs1Os2,
         CascadeProbability::default_paper().value(),
         HORIZON_MS,
-        &CostModel::paper_default(),
+        std::sync::Arc::new(CostModel::paper_default()),
     );
     let mut sched = DreamScheduler::new(DreamConfig::mapscore());
     if instrument {

@@ -210,6 +210,10 @@ struct CellKey {
     /// Exact arrival-stream key (parameters by bit pattern, traces by
     /// content digest).
     arrival: String,
+    /// The cost backend's calibration digest — mixes the backend kind,
+    /// so analytical cells and table-import cells never merge even when
+    /// the table is a bit-exact export.
+    cost_digest: u64,
 }
 
 impl CellKey {
@@ -226,6 +230,7 @@ impl CellKey {
             cascade_micros: crate::tuning::cascade_key(spec.cascade),
             duration_ms: spec.duration_ms,
             arrival: spec.arrival.group_key(),
+            cost_digest: spec.cost.digest(),
         }
     }
 }

@@ -22,7 +22,7 @@ pub use grid::{ExperimentGrid, GridResults};
 pub use report::{csv_path, geomean, write_csv, Table};
 pub use runner::{
     parallel_map, parallel_map_threads, run_averaged, run_spec, ArrivalConfig, AveragedResult,
-    DreamVariant, RunResult, RunSpec, SchedulerKind,
+    CostConfig, DreamVariant, RunResult, RunSpec, SchedulerKind,
 };
 pub use tuning::{tune_params, tuned_params_cached};
 pub use workload_cache::shared_workload;

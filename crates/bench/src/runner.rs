@@ -4,7 +4,7 @@ use dream_baselines::{
     EdfScheduler, FcfsScheduler, PlanariaScheduler, StaticScheduler, VeltairScheduler,
 };
 use dream_core::{DreamConfig, DreamScheduler, ScoreParams, UxCostReport};
-use dream_cost::{Platform, PlatformPreset};
+use dream_cost::{CostBackend, CostModel, Platform, PlatformPreset};
 use dream_models::{CascadeProbability, Scenario, ScenarioKind};
 use dream_sim::{
     ArrivalTrace, Metrics, Millis, MmppArrivals, PoissonArrivals, Scheduler, SimulationBuilder,
@@ -87,6 +87,48 @@ impl SchedulerKind {
             SchedulerKind::DreamTuned(DreamVariant::SmartDrop),
             SchedulerKind::DreamTuned(DreamVariant::Full),
         ]
+    }
+}
+
+/// Which cost backend prices a run's layers and context switches — the
+/// experiment-level face of the [`CostBackend`] seam.
+///
+/// Cell grouping and the shared-workload cache key compare configs by
+/// [`digest`](Self::digest), which mixes the backend kind: an analytical
+/// run and a table-import run never merge or alias, even when the table
+/// is a bit-exact export of the analytical model.
+#[derive(Debug, Clone, Default)]
+pub enum CostConfig {
+    /// The analytical model with the paper-default calibration.
+    #[default]
+    Analytical,
+    /// An explicit backend — a re-calibrated [`CostModel`] or a loaded
+    /// [`TableBackend`](dream_cost::TableBackend).
+    Backend(Arc<dyn CostBackend>),
+}
+
+impl CostConfig {
+    /// The backend this config resolves to.
+    pub fn backend(&self) -> Arc<dyn CostBackend> {
+        match self {
+            CostConfig::Analytical => Arc::new(CostModel::paper_default()),
+            CostConfig::Backend(b) => Arc::clone(b),
+        }
+    }
+
+    /// The backend's calibration digest — the identity cache keys and
+    /// cell grouping use.
+    pub fn digest(&self) -> u64 {
+        match self {
+            CostConfig::Analytical => CostModel::paper_default().calibration_digest(),
+            CostConfig::Backend(b) => b.calibration_digest(),
+        }
+    }
+}
+
+impl PartialEq for CostConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.digest() == other.digest()
     }
 }
 
@@ -192,6 +234,8 @@ pub struct RunSpec {
     pub seed: u64,
     /// Arrival stream feeding the run.
     pub arrival: ArrivalConfig,
+    /// Cost backend pricing the run.
+    pub cost: CostConfig,
 }
 
 impl RunSpec {
@@ -205,12 +249,20 @@ impl RunSpec {
             duration_ms: crate::DEFAULT_DURATION_MS,
             seed: crate::DEFAULT_SEED,
             arrival: ArrivalConfig::Periodic,
+            cost: CostConfig::Analytical,
         }
     }
 
     /// Overrides the arrival stream (default: periodic).
     pub fn with_arrivals(mut self, arrival: ArrivalConfig) -> Self {
         self.arrival = arrival;
+        self
+    }
+
+    /// Overrides the cost backend (default: the analytical model with
+    /// paper calibration).
+    pub fn with_cost_backend(mut self, backend: Arc<dyn CostBackend>) -> Self {
+        self.cost = CostConfig::Backend(backend);
         self
     }
 
@@ -279,20 +331,22 @@ pub fn run_spec(spec: &RunSpec) -> RunResult {
         CascadeProbability::new(spec.cascade).expect("experiment cascade probabilities are valid");
     let platform = Platform::preset(spec.preset);
     let scenario = Scenario::new(spec.scenario, cascade);
-    // Cells sharing (scenario, platform, cascade, duration, cost) — every
-    // seed of a sweep, every scheduler of a row — share one built
+    // Cells sharing (scenario, platform, cascade, duration, cost backend)
+    // — every seed of a sweep, every scheduler of a row — share one built
     // workload instead of rebuilding the offline tables per cell.
+    let backend = spec.cost.backend();
     let workload = crate::shared_workload(
         spec.scenario,
         spec.preset,
         spec.cascade,
         spec.duration_ms,
-        &dream_cost::CostModel::paper_default(),
+        Arc::clone(&backend),
     );
     let builder = spec.arrival.apply(
         SimulationBuilder::new(platform, scenario)
             .duration(Millis::new(spec.duration_ms))
             .seed(spec.seed)
+            .cost_backend(backend)
             .prebuilt_workload(workload),
     );
 

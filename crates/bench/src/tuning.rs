@@ -31,12 +31,15 @@ pub fn tune_params(
             scenario,
             CascadeProbability::new(cascade).expect("tuning cascade is valid"),
         );
+        // Offline tuning always prices with the analytical paper
+        // calibration: the tuned (α, β) are plain scalars, and tuning
+        // under an imported table would fit them to that table's noise.
         let tables = crate::shared_workload(
             scenario,
             preset,
             cascade,
             TUNING_HORIZON_MS,
-            &dream_cost::CostModel::paper_default(),
+            std::sync::Arc::new(dream_cost::CostModel::paper_default()),
         );
         let mut sched = DreamScheduler::new(variant.config().with_params(params));
         let metrics = SimulationBuilder::new(platform, workload)

@@ -3,7 +3,7 @@
 //! Building a workload resolves every (layer, accelerator) cost pair plus
 //! the precomputed MapScore tables — identical work for every
 //! [`ExperimentGrid`](crate::ExperimentGrid) cell that shares a
-//! (scenario, platform, cascade, duration, cost calibration) tuple, which
+//! (scenario, platform, cascade, duration, cost backend) tuple, which
 //! is *every seed* of a seed sweep and every scheduler of a comparison
 //! row. Sharing one `Arc<WorkloadSet>` across those cells makes per-cell
 //! setup O(1) and is behaviourally invisible: a built workload is a pure
@@ -13,40 +13,44 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
-use dream_cost::{CostModel, Platform, PlatformPreset};
+use dream_cost::{CostBackend, Platform, PlatformPreset};
 use dream_models::{CascadeProbability, Scenario, ScenarioKind};
 use dream_sim::{Millis, SimulationBuilder, WorkloadSet};
 
 /// Everything the offline tables depend on: scenario realization inputs
 /// (cascade by exact bit pattern — rounding would alias nearby
-/// probabilities onto one realization), the platform, and the
-/// cost-calibration digest the engine also validates prebuilt workloads
-/// against ([`WorkloadSet::cost_digest_of`]).
+/// probabilities onto one realization), the platform, and the backend's
+/// calibration digest — which mixes the backend *kind*, so an analytical
+/// model and a table import can never alias one cache entry even if
+/// their parameter bits coincide. The engine validates prebuilt
+/// workloads against the same digest
+/// ([`dream_cost::CostBackend::calibration_digest`]).
 type WsKey = (ScenarioKind, PlatformPreset, u64, u64, u64);
 
 static CACHE: Mutex<BTreeMap<WsKey, Arc<WorkloadSet>>> = Mutex::new(BTreeMap::new());
 
 /// The shared offline tables for a single-phase run of `scenario` on
 /// `preset` over `duration_ms` with the given cascade probability and
-/// cost calibration — built once per process and shared by reference.
+/// cost backend — built once per process and shared by reference.
 ///
 /// # Panics
 ///
-/// Panics on an invalid cascade probability or an unbuildable workload;
-/// experiment code treats both as programming errors.
+/// Panics on an invalid cascade probability or an unbuildable workload
+/// (including a table backend that does not cover the scenario's
+/// layers); experiment code treats both as programming errors.
 pub fn shared_workload(
     scenario: ScenarioKind,
     preset: PlatformPreset,
     cascade: f64,
     duration_ms: u64,
-    cost: &CostModel,
+    cost: Arc<dyn CostBackend>,
 ) -> Arc<WorkloadSet> {
     let key = (
         scenario,
         preset,
         cascade.to_bits(),
         duration_ms,
-        WorkloadSet::cost_digest_of(cost),
+        cost.calibration_digest(),
     );
     if let Some(ws) = CACHE.lock().expect("workload cache poisoned").get(&key) {
         return Arc::clone(ws);
@@ -59,7 +63,7 @@ pub fn shared_workload(
     let ws = Arc::new(
         SimulationBuilder::new(platform, realization)
             .duration(Millis::new(duration_ms))
-            .cost_model(cost.clone())
+            .cost_backend(cost)
             .build_workload()
             .expect("experiment workloads are buildable"),
     );
@@ -77,23 +81,27 @@ pub fn shared_workload(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dream_cost::{CostModel, TableBackend};
+
+    fn analytical() -> Arc<dyn CostBackend> {
+        Arc::new(CostModel::paper_default())
+    }
 
     #[test]
     fn cache_returns_the_same_allocation() {
-        let cost = CostModel::paper_default();
         let a = shared_workload(
             ScenarioKind::ArCall,
             PlatformPreset::Homo4kWs2,
             0.5,
             300,
-            &cost,
+            analytical(),
         );
         let b = shared_workload(
             ScenarioKind::ArCall,
             PlatformPreset::Homo4kWs2,
             0.5,
             300,
-            &cost,
+            analytical(),
         );
         assert!(Arc::ptr_eq(&a, &b), "same key must share one build");
         let c = shared_workload(
@@ -101,7 +109,7 @@ mod tests {
             PlatformPreset::Homo4kWs2,
             0.5,
             301,
-            &cost,
+            analytical(),
         );
         assert!(!Arc::ptr_eq(&a, &c), "different durations are distinct");
     }
@@ -116,19 +124,68 @@ mod tests {
             PlatformPreset::Homo4kWs2,
             0.5,
             300,
-            &CostModel::paper_default(),
+            analytical(),
         );
         let b = shared_workload(
             ScenarioKind::ArCall,
             PlatformPreset::Homo4kWs2,
             0.5,
             300,
-            &custom,
+            Arc::new(custom),
         );
         assert!(!Arc::ptr_eq(&a, &b));
         assert_ne!(
             a.switch_energy_pj_per_byte(dream_cost::AcceleratorId(0)),
             b.switch_energy_pj_per_byte(dream_cost::AcceleratorId(0)),
+        );
+    }
+
+    /// Two *backends* never alias a cache entry, even when one is a
+    /// bit-exact table export of the other: the digest mixes the backend
+    /// kind, so the cells stay distinct while their tables carry
+    /// identical numbers.
+    #[test]
+    fn distinct_backends_never_alias_a_cache_entry() {
+        let analytical_ws = shared_workload(
+            ScenarioKind::ArCall,
+            PlatformPreset::Homo4kWs2,
+            0.5,
+            250,
+            analytical(),
+        );
+        let model = CostModel::paper_default();
+        let platform = Platform::preset(PlatformPreset::Homo4kWs2);
+        let table = TableBackend::derive(
+            "cache-alias-check",
+            &model,
+            &platform,
+            analytical_ws.layers(),
+        )
+        .unwrap();
+        assert_ne!(
+            table.calibration_digest(),
+            model.calibration_digest(),
+            "a table export must not impersonate its source backend"
+        );
+        let table_ws = shared_workload(
+            ScenarioKind::ArCall,
+            PlatformPreset::Homo4kWs2,
+            0.5,
+            250,
+            Arc::new(table),
+        );
+        assert!(
+            !Arc::ptr_eq(&analytical_ws, &table_ws),
+            "backends must not share a cache entry"
+        );
+        // …even though the exported numbers are bit-identical.
+        assert_eq!(
+            analytical_ws
+                .switch_energy_pj_per_byte(dream_cost::AcceleratorId(0))
+                .to_bits(),
+            table_ws
+                .switch_energy_pj_per_byte(dream_cost::AcceleratorId(0))
+                .to_bits(),
         );
     }
 }

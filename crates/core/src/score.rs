@@ -1,4 +1,4 @@
-use dream_cost::{CostModel, Platform};
+use dream_cost::{CostBackend, Platform};
 use dream_sim::{AccState, SimTime, Task, WorkloadSet};
 
 use crate::ScoreParams;
@@ -57,10 +57,10 @@ pub struct ScoreContext<'a> {
     /// precomputed static score tables (`lat_pref`, `pref_energy`,
     /// cold-switch ratios).
     pub workload: &'a WorkloadSet,
-    /// The analytical cost model — only consulted by the from-scratch
+    /// The cost backend — only consulted by the from-scratch
     /// [`ScoreContext::map_score_reference`] path; the hot path reads the
     /// tables.
-    pub cost: &'a CostModel,
+    pub cost: &'a dyn CostBackend,
     /// The platform (accelerator configs for reference switch costs).
     pub platform: &'a Platform,
     /// Floor applied to `Slack` so urgency stays finite past the deadline.
@@ -138,9 +138,16 @@ impl<'a> ScoreContext<'a> {
     }
 
     /// `PrefEnergy` and `Cost_switch` recomputed from scratch through
-    /// [`CostModel::switch_cost`] — the pre-optimization arithmetic,
+    /// [`CostBackend::switch_cost`] — the pre-optimization arithmetic,
     /// kept as the reference the cached tables are property-tested
     /// against (bit-for-bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend cannot cost a switch on one of the
+    /// platform's accelerators — impossible for any backend the workload
+    /// was successfully built from, since the build resolves switch
+    /// factors for every accelerator up front.
     pub fn energy_terms_reference(&self, task: &Task, acc: &AccState) -> (f64, f64) {
         let Some(next) = task.next_layer() else {
             return (0.0, 0.0);
@@ -154,11 +161,14 @@ impl<'a> ScoreContext<'a> {
                 .platform
                 .accelerator(acc.id())
                 .expect("accelerator ids come from the platform");
-            let sw = self.cost.switch_cost(
-                self.workload.input_bytes(next.layer),
-                acc.last_output_bytes(),
-                config,
-            );
+            let sw = self
+                .cost
+                .switch_cost(
+                    self.workload.input_bytes(next.layer),
+                    acc.last_output_bytes(),
+                    config,
+                )
+                .expect("the workload build already resolved switch factors for this accelerator");
             sw.energy_pj / e_here
         };
         (pref, cost_switch)
@@ -209,7 +219,7 @@ impl<'a> ScoreContext<'a> {
     }
 
     /// [`map_score`](Self::map_score) recomputed entirely from scratch —
-    /// every term walked through the raw tables and [`CostModel`] with
+    /// every term walked through the raw tables and [`CostBackend`] with
     /// the pre-optimization operation sequence. The property tests assert
     /// this is bit-for-bit equal to the cached path across random
     /// layers, accelerators, and parameters.

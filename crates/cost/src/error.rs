@@ -16,6 +16,44 @@ pub enum CostError {
     },
     /// A platform was declared with no accelerators.
     EmptyPlatform,
+    /// A cost-table document could not be parsed (wrong field count,
+    /// unknown row kind, unparseable number, bad header).
+    TableParse {
+        /// 1-based line number (CSV) or 0 for document-level problems.
+        line: usize,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A cost-table row carried a value outside its domain (NaN, infinite,
+    /// or negative cost; utilisation outside `[0, 1]`).
+    InvalidCostValue {
+        /// 1-based line number (CSV) or 0 for document-level problems.
+        line: usize,
+        /// Human-readable description of the offending value.
+        reason: String,
+    },
+    /// Two cost-table rows share the same (layer, accelerator) key.
+    DuplicateEntry {
+        /// 1-based line number of the second occurrence (0 when unknown).
+        line: usize,
+        /// The duplicated key, rendered as `layer @ acc`.
+        key: String,
+    },
+    /// A backend was asked about a (layer, accelerator) pair it does not
+    /// cover, or a loaded table left a declared pair uncovered.
+    MissingEntry {
+        /// Layer signature (or a `<switch>`/`<gang:…>` marker for
+        /// non-layer entries).
+        layer: String,
+        /// Accelerator name.
+        acc: String,
+    },
+    /// A backend or layer set could not be exported to the table format
+    /// (non-finite cost, a name the format cannot encode).
+    Export {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CostError {
@@ -26,6 +64,22 @@ impl fmt::Display for CostError {
             }
             CostError::InvalidParams { reason } => write!(f, "invalid cost parameters: {reason}"),
             CostError::EmptyPlatform => write!(f, "platform has no accelerators"),
+            CostError::TableParse { line, reason } => {
+                write!(f, "cost table parse error (line {line}): {reason}")
+            }
+            CostError::InvalidCostValue { line, reason } => {
+                write!(f, "invalid cost value (line {line}): {reason}")
+            }
+            CostError::DuplicateEntry { line, key } => {
+                write!(f, "duplicate cost-table entry (line {line}): {key}")
+            }
+            CostError::MissingEntry { layer, acc } => {
+                write!(
+                    f,
+                    "no cost entry for layer `{layer}` on accelerator `{acc}`"
+                )
+            }
+            CostError::Export { reason } => write!(f, "cost table export error: {reason}"),
         }
     }
 }

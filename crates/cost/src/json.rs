@@ -1,0 +1,361 @@
+//! A minimal JSON reader for the cost-table document format.
+//!
+//! The workspace builds offline (no serde), so this module implements just
+//! enough of RFC 8259 to load [`TableBackend`](crate::TableBackend)
+//! documents: objects, arrays, strings (with `\"`/`\\`/`\/`/`\n`/`\t`/
+//! `\r`/`\b`/`\f`/`\uXXXX` escapes), numbers, booleans, and null.
+//!
+//! Numbers are kept as their **raw source text**: the table layer parses
+//! them with `f64::from_str`, which — combined with writing floats via
+//! Rust's shortest-round-trip formatter — preserves every `f64` bit
+//! across an export/import cycle.
+
+/// A parsed JSON value. Object member order is preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Json {
+    /// `{...}` — members in source order.
+    Object(Vec<(String, Json)>),
+    /// `[...]`.
+    Array(Vec<Json>),
+    /// `"..."` after escape resolution.
+    Str(String),
+    /// A number, as raw source text (e.g. `-1.5e3`).
+    Num(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    pub(crate) fn parse(src: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object member lookup (first match).
+    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value's raw number text, if it is a number.
+    pub(crate) fn as_num(&self) -> Option<&str> {
+        match self {
+            Json::Num(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value's elements, if it is an array.
+    pub(crate) fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Nesting levels beyond which parsing fails instead of recursing — the
+/// table schema needs 3; a hostile document must get a typed error, not
+/// a stack overflow.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(format!(
+                "unexpected `{}` at byte {}",
+                char::from(b),
+                self.pos
+            )),
+            None => Err("unexpected end of document".into()),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.enter()?;
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Object(members));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.enter()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "non-ASCII \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            // Surrogate pairs are not needed by this format;
+                            // reject rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| format!("unpaired surrogate \\u{hex}"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(format!("unknown escape `\\{}`", char::from(other)));
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 scalar from the source.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8".to_string())?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut saw_digit = false;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() {
+                saw_digit = true;
+                self.pos += 1;
+            } else if matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if !saw_digit {
+            return Err(format!("malformed number at byte {start}"));
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII")
+            .to_string();
+        // Validate the shape now so the table layer can trust `as_num`.
+        raw.parse::<f64>()
+            .map_err(|_| format!("malformed number `{raw}` at byte {start}"))?;
+        Ok(Json::Num(raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = r#"{"a": [1, -2.5e3, "x\n"], "b": {"c": true, "d": null}}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[1].as_num(),
+            Some("-2.5e3")
+        );
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_str(),
+            Some("x\n")
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn number_text_is_preserved_exactly() {
+        let v = Json::parse("[0.1, 3000.0, 1e300, -0.0]").unwrap();
+        let nums: Vec<&str> = v
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|n| n.as_num().unwrap())
+            .collect();
+        assert_eq!(nums, ["0.1", "3000.0", "1e300", "-0.0"]);
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        let deep = "[".repeat(200_000);
+        assert!(Json::parse(&deep).is_err());
+        let deep_objs = "{\"k\":".repeat(100_000);
+        assert!(Json::parse(&deep_objs).is_err());
+        // The schema's actual depth (3–4 levels) stays comfortably legal.
+        assert!(Json::parse("[[[[[{\"a\": [1]}]]]]]").is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "1.2.3",
+            "[1] extra",
+            "nan",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        // Raw UTF-8 and \u escapes both decode.
+        let v = Json::parse(r#""A\u00e9é""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aéé"));
+    }
+}

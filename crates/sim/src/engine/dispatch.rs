@@ -23,7 +23,7 @@ impl Engine {
                 arena: &self.arena,
                 idle: &self.idle,
                 workload: &self.ws,
-                cost: &self.cost,
+                cost: self.cost.as_ref(),
                 platform: &self.platform,
             };
             self.metrics.scheduler_invocations += 1;
@@ -98,17 +98,24 @@ impl Engine {
                 .iter()
                 .map(|a| self.platform.accelerator(*a).expect("validated id"))
                 .collect();
-            let cost = self.cost.gang_cost(self.ws.layer(head.layer), &configs);
-            (cost.latency_ns, cost.energy_pj)
+            // A backend that cannot cost this gang (e.g. a table import
+            // without a matching gang row) makes the assignment invalid —
+            // counted, never a panic or a silently guessed cost.
+            match self.cost.gang_cost(self.ws.layer(head.layer), &configs) {
+                Ok(cost) => (cost.latency_ns, cost.energy_pj),
+                Err(_) => return false,
+            }
         };
 
         // Context switch: the lead accelerator last ran a different task.
+        // Served from the workload's build-time switch factors — the same
+        // bits the backend would return, without a dispatch-path call.
         let lead_state = &self.accs[lead.0];
         if lead_state.last_task != Some(assignment.task) {
-            let sw = self.cost.switch_cost(
+            let sw = self.ws.switch_cost(
                 self.ws.input_bytes(head.layer),
                 lead_state.last_output_bytes,
-                self.platform.accelerator(lead).expect("validated id"),
+                lead,
             );
             latency_ns += sw.latency_ns;
             energy_pj += sw.energy_pj;

@@ -30,7 +30,7 @@ mod tests;
 
 use std::sync::Arc;
 
-use dream_cost::{AcceleratorId, CostModel, Platform};
+use dream_cost::{AcceleratorId, CostBackend, CostModel, Platform};
 use dream_models::Scenario;
 
 use crate::arrivals::{ArrivalSource, PeriodicArrivals};
@@ -53,7 +53,7 @@ pub struct SimulationBuilder {
     phases: Vec<(SimTime, Scenario)>,
     duration: SimTime,
     seed: u64,
-    cost: CostModel,
+    cost: Arc<dyn CostBackend>,
     arrivals: Box<dyn ArrivalSource>,
     prebuilt: Option<Arc<WorkloadSet>>,
 }
@@ -66,7 +66,7 @@ impl SimulationBuilder {
             phases: vec![(SimTime::ZERO, scenario)],
             duration: SimTime::from(crate::Millis::new(2_000)),
             seed: 0,
-            cost: CostModel::paper_default(),
+            cost: Arc::new(CostModel::paper_default()),
             arrivals: Box::new(PeriodicArrivals),
             prebuilt: None,
         }
@@ -84,9 +84,21 @@ impl SimulationBuilder {
         self
     }
 
-    /// Replaces the cost model (default: calibrated paper defaults).
+    /// Replaces the analytical cost model (default: calibrated paper
+    /// defaults). Sugar for [`cost_backend`](Self::cost_backend) with a
+    /// [`CostModel`].
     pub fn cost_model(mut self, cost: CostModel) -> Self {
-        self.cost = cost;
+        self.cost = Arc::new(cost);
+        self
+    }
+
+    /// Replaces the cost backend — the seam that swaps the analytical
+    /// model for e.g. a table-driven MAESTRO import
+    /// ([`dream_cost::TableBackend`]). The backend is consulted only
+    /// while building the [`WorkloadSet`] tables and for on-demand gang
+    /// costing; the per-decision hot path reads the prebuilt tables.
+    pub fn cost_backend(mut self, backend: Arc<dyn CostBackend>) -> Self {
+        self.cost = backend;
         self
     }
 
@@ -152,7 +164,7 @@ impl SimulationBuilder {
     ///
     /// Same phase/duration validation as [`run`](Self::run).
     pub fn build_workload(&self) -> Result<WorkloadSet, SimError> {
-        WorkloadSet::build(self.resolved_phases()?, &self.platform, &self.cost)
+        WorkloadSet::build(self.resolved_phases()?, &self.platform, self.cost.as_ref())
     }
 
     /// Reuses an already-built [`WorkloadSet`] instead of rebuilding the
@@ -160,9 +172,11 @@ impl SimulationBuilder {
     /// shared-workload cache plugs into. The workload **must** have been
     /// produced by [`build_workload`](Self::build_workload) on an
     /// identically configured builder (same phases, platform, and cost
-    /// model); [`run`](Self::run) verifies the platform width, the phase
-    /// schedule, and the cost-calibration digest, and rejects
-    /// mismatches.
+    /// backend); [`run`](Self::run) verifies the platform width, the
+    /// phase schedule, and the backend's calibration digest, and rejects
+    /// mismatches — including a workload built by a *different backend
+    /// family* (analytical vs. table import), since the digest mixes the
+    /// backend kind.
     pub fn prebuilt_workload(mut self, workload: Arc<WorkloadSet>) -> Self {
         self.prebuilt = Some(workload);
         self
@@ -172,9 +186,10 @@ impl SimulationBuilder {
     /// configuration (cheap structural checks; see
     /// [`prebuilt_workload`](Self::prebuilt_workload)).
     fn check_prebuilt(&self, ws: &WorkloadSet, resolved: &[Phase]) -> Result<(), SimError> {
-        if ws.cost_digest() != WorkloadSet::cost_digest_of(&self.cost) {
+        if ws.cost_digest() != self.cost.calibration_digest() {
             return Err(SimError::WorkloadMismatch {
-                reason: "workload tables were built with a different cost calibration".into(),
+                reason: "workload tables were built with a different cost backend/calibration"
+                    .into(),
             });
         }
         if ws.acc_count() != self.platform.len() {
@@ -229,7 +244,11 @@ impl SimulationBuilder {
                 self.check_prebuilt(ws, &resolved)?;
                 Arc::clone(ws)
             }
-            None => Arc::new(WorkloadSet::build(resolved, &self.platform, &self.cost)?),
+            None => Arc::new(WorkloadSet::build(
+                resolved,
+                &self.platform,
+                self.cost.as_ref(),
+            )?),
         };
         self.arrivals.validate(&ws, self.duration)?;
         let mut engine = Engine::new(
@@ -282,7 +301,7 @@ pub(crate) struct Engine {
     /// of an experiment grid over one scenario) may hold the same build.
     pub(crate) ws: Arc<WorkloadSet>,
     pub(crate) platform: Platform,
-    pub(crate) cost: CostModel,
+    pub(crate) cost: Arc<dyn CostBackend>,
     pub(crate) coin: DeterministicCoin,
     /// Where root-frame arrivals come from (stage 1a's seam).
     pub(crate) arrivals: Box<dyn ArrivalSource>,
@@ -307,7 +326,7 @@ impl Engine {
     pub(crate) fn new(
         ws: Arc<WorkloadSet>,
         platform: Platform,
-        cost: CostModel,
+        cost: Arc<dyn CostBackend>,
         seed: u64,
         horizon: SimTime,
         arrivals: Box<dyn ArrivalSource>,

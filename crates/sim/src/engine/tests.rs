@@ -274,7 +274,7 @@ fn engine_with_boundary_task(
     let mut engine = Engine::new(
         std::sync::Arc::new(ws),
         platform,
-        cost,
+        std::sync::Arc::new(cost),
         0,
         horizon,
         Box::new(PeriodicArrivals),

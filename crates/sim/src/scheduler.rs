@@ -1,4 +1,4 @@
-use dream_cost::{AcceleratorId, CostModel, Platform};
+use dream_cost::{AcceleratorId, CostBackend, Platform};
 use dream_models::VariantId;
 
 use crate::task::{Task, TaskId};
@@ -197,7 +197,7 @@ pub struct SystemView<'a> {
     pub(crate) arena: &'a crate::engine::arena::TaskArena,
     pub(crate) idle: &'a [AcceleratorId],
     pub(crate) workload: &'a WorkloadSet,
-    pub(crate) cost: &'a CostModel,
+    pub(crate) cost: &'a dyn CostBackend,
     pub(crate) platform: &'a Platform,
 }
 
@@ -287,9 +287,10 @@ impl<'a> SystemView<'a> {
         self.workload
     }
 
-    /// The analytical cost model (for on-demand queries such as gang
-    /// costing).
-    pub fn cost(&self) -> &'a CostModel {
+    /// The cost backend (for on-demand queries such as gang costing).
+    /// Fallible queries signal pairs the backend does not cover —
+    /// schedulers must treat those options as unavailable, not guess.
+    pub fn cost(&self) -> &'a dyn CostBackend {
         self.cost
     }
 

@@ -1,6 +1,6 @@
 use std::collections::BTreeMap;
 
-use dream_cost::{AcceleratorId, CostModel, Platform};
+use dream_cost::{AcceleratorId, CostBackend, Platform, SwitchCost, SwitchFactors};
 use dream_models::{
     CascadeProbability, ExitPoint, Layer, NodeId, PipelineId, Rate, Scenario, SkipBlock, VariantId,
 };
@@ -205,7 +205,12 @@ impl Phase {
 /// Each cached value is produced by the *identical* floating-point
 /// operation sequence the former online path used, so schedulers reading
 /// the tables are bit-for-bit equal to a from-scratch recomputation via
-/// [`CostModel`] (property-tested in `dream-core`).
+/// the [`CostBackend`] (property-tested in `dream-core`).
+///
+/// The backend is consulted only here, at build time — every
+/// per-(layer, accelerator) quantity the decision path needs is resolved
+/// into these flat tables, so swapping backends (analytical vs. a
+/// MAESTRO-style table import) never adds dispatch cost to a decision.
 #[derive(Debug, Clone)]
 pub struct WorkloadSet {
     phases: Vec<Phase>,
@@ -224,22 +229,24 @@ pub struct WorkloadSet {
     lat_pref: Vec<f64>,
     pref_energy: Vec<f64>,
     cold_switch_ratio: Vec<f64>,
-    switch_energy_pj_per_byte: Vec<f64>,
+    switch_factors: Vec<SwitchFactors>,
     cost_digest: u64,
 }
 
 impl WorkloadSet {
     /// Resolves `phases` against `platform`, computing the per-layer cost
-    /// tables with `cost`.
+    /// tables with `cost` (any [`CostBackend`] — the analytical model or
+    /// an imported table).
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidPhase`] if phases are empty or not
-    /// strictly ordered.
+    /// strictly ordered, and [`SimError::Cost`] when the backend cannot
+    /// answer a (layer, accelerator) query the workload needs.
     pub fn build(
         phases: Vec<Phase>,
         platform: &Platform,
-        cost: &CostModel,
+        cost: &dyn CostBackend,
     ) -> Result<Self, SimError> {
         if phases.is_empty() {
             return Err(SimError::InvalidPhase {
@@ -265,14 +272,15 @@ impl WorkloadSet {
                 });
             }
         }
-        // Per-accelerator DRAM energy per switched byte: the static factor
-        // of Algorithm 1's Cost_switch term. Derived through the cost
-        // model's own switch_cost so alternative backends stay honest.
-        let switch_energy_pj_per_byte = platform
+        // Per-accelerator switch factors: the static half of Algorithm 1's
+        // Cost_switch term and of the engine's dispatch-time switch
+        // charges — resolved once here so the backend is never consulted
+        // on the decision path.
+        let switch_factors = platform
             .accelerators()
             .iter()
-            .map(|acc| cost.switch_cost(1, 0, acc).energy_pj)
-            .collect();
+            .map(|acc| cost.switch_factors(acc))
+            .collect::<Result<Vec<SwitchFactors>, _>>()?;
         let mut ws = WorkloadSet {
             phases,
             nodes: BTreeMap::new(),
@@ -290,8 +298,8 @@ impl WorkloadSet {
             lat_pref: Vec::new(),
             pref_energy: Vec::new(),
             cold_switch_ratio: Vec::new(),
-            switch_energy_pj_per_byte,
-            cost_digest: Self::cost_digest_of(cost),
+            switch_factors,
+            cost_digest: cost.calibration_digest(),
         };
         let phases_snapshot = ws.phases.clone();
         for (phase_idx, phase) in phases_snapshot.iter().enumerate() {
@@ -313,7 +321,7 @@ impl WorkloadSet {
                     for graph in node.model.variants() {
                         let mut layer_ids = Vec::with_capacity(graph.len());
                         for layer in graph.layers() {
-                            layer_ids.push(ws.register_layer(layer.clone(), platform, cost));
+                            layer_ids.push(ws.register_layer(layer.clone(), platform, cost)?);
                         }
                         variants.push(VariantPlan {
                             name: graph.name(),
@@ -344,7 +352,12 @@ impl WorkloadSet {
         Ok(ws)
     }
 
-    fn register_layer(&mut self, layer: Layer, platform: &Platform, cost: &CostModel) -> LayerId {
+    fn register_layer(
+        &mut self,
+        layer: Layer,
+        platform: &Platform,
+        cost: &dyn CostBackend,
+    ) -> Result<LayerId, SimError> {
         let id = LayerId(self.layers.len());
         let stats = layer.stats();
         let mut sum_l = 0.0;
@@ -353,7 +366,7 @@ impl WorkloadSet {
         let mut max_e: f64 = 0.0;
         let base = id.0 * self.acc_count;
         for acc in platform.accelerators() {
-            let c = cost.layer_cost(&layer, acc);
+            let c = cost.layer_cost(&layer, acc)?;
             self.lat.push(c.latency_ns);
             self.energy.push(c.energy_pj);
             sum_l += c.latency_ns;
@@ -369,7 +382,7 @@ impl WorkloadSet {
             self.lat_pref.push(sum_l / self.lat[base + i]);
             self.pref_energy.push(sum_e / self.energy[base + i]);
             self.cold_switch_ratio.push(
-                stats.input_bytes as f64 * self.switch_energy_pj_per_byte[i]
+                stats.input_bytes as f64 * self.switch_factors[i].energy_pj_per_byte
                     / self.energy[base + i],
             );
         }
@@ -381,7 +394,7 @@ impl WorkloadSet {
         self.input_bytes.push(stats.input_bytes);
         self.output_bytes.push(stats.output_bytes);
         self.layers.push(layer);
-        id
+        Ok(id)
     }
 
     /// The workload phases in time order.
@@ -451,6 +464,13 @@ impl WorkloadSet {
     /// Panics if `layer` is out of range.
     pub fn layer(&self, layer: LayerId) -> &Layer {
         &self.layers[layer.0]
+    }
+
+    /// All registered layers in [`LayerId`] order — the layer universe a
+    /// cost-table export ([`dream_cost::TableBackend::derive`]) must
+    /// cover to replay this workload.
+    pub fn layers(&self) -> impl Iterator<Item = &Layer> {
+        self.layers.iter()
     }
 
     /// Estimated latency of `layer` on `acc` in nanoseconds — the paper's
@@ -527,32 +547,35 @@ impl WorkloadSet {
     /// static factor of the warm-switch ratio, whose only online input is
     /// the departing task's flush volume.
     pub fn switch_energy_pj_per_byte(&self, acc: AcceleratorId) -> f64 {
-        self.switch_energy_pj_per_byte[acc.0]
+        self.switch_factors[acc.0].energy_pj_per_byte
     }
 
-    /// Digest of a cost calibration (the bit pattern of every constant).
-    /// Two workloads built from calibrations with different digests hold
-    /// different tables; the engine uses this to reject a prebuilt
-    /// workload whose calibration disagrees with the simulation's.
-    pub fn cost_digest_of(cost: &CostModel) -> u64 {
-        let p = cost.params();
-        let mut h = crate::determ::Fnv64::new();
-        for v in [
-            p.mac_energy_pj,
-            p.vector_op_energy_pj,
-            p.sram_energy_pj_per_byte,
-            p.dram_energy_pj_per_byte,
-            p.layer_launch_ns,
-            p.mapping_efficiency,
-            p.gang_overhead,
-        ] {
-            h.mix(v.to_bits());
-        }
-        h.mix(p.psum_tile_depth);
-        h.finish()
+    /// Both per-byte context-switch factors of `acc`, as resolved from
+    /// the backend at build time.
+    pub fn switch_factors(&self, acc: AcceleratorId) -> SwitchFactors {
+        self.switch_factors[acc.0]
     }
 
-    /// The digest of the calibration these tables were built with.
+    /// The cost of a context switch fetching `incoming_bytes` and
+    /// flushing `outgoing_bytes` through `acc`, served from the
+    /// build-time factors with the one shared formula
+    /// ([`SwitchFactors::cost`]) — bit-identical to asking the backend,
+    /// without the dynamic dispatch. This is what the engine charges on
+    /// dispatch.
+    pub fn switch_cost(
+        &self,
+        incoming_bytes: u64,
+        outgoing_bytes: u64,
+        acc: AcceleratorId,
+    ) -> SwitchCost {
+        self.switch_factors[acc.0].cost(incoming_bytes, outgoing_bytes)
+    }
+
+    /// The digest of the backend calibration these tables were built
+    /// with ([`CostBackend::calibration_digest`]). Two workloads built
+    /// from backends with different digests hold different tables; the
+    /// engine uses this to reject a prebuilt workload whose backend
+    /// disagrees with the simulation's.
     pub fn cost_digest(&self) -> u64 {
         self.cost_digest
     }
@@ -570,7 +593,7 @@ impl WorkloadSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dream_cost::PlatformPreset;
+    use dream_cost::{CostModel, PlatformPreset};
     use dream_models::ScenarioKind;
 
     fn build_default() -> (WorkloadSet, Platform) {

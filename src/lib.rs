@@ -74,7 +74,9 @@ pub mod prelude {
     pub use dream_core::{
         DreamConfig, DreamScheduler, ObjectiveKind, ParamOptimizer, ScoreParams, UxCostReport,
     };
-    pub use dream_cost::{AcceleratorConfig, CostModel, Dataflow, Platform, PlatformPreset};
+    pub use dream_cost::{
+        AcceleratorConfig, CostBackend, CostModel, Dataflow, Platform, PlatformPreset, TableBackend,
+    };
     pub use dream_models::{CascadeProbability, Model, ModelGraph, Scenario, ScenarioKind};
     pub use dream_sim::{
         ArrivalSource, ArrivalTrace, Metrics, Millis, MmppArrivals, PeriodicArrivals,

@@ -1,0 +1,245 @@
+//! End-to-end differential conformance: a [`TableBackend`] loaded from a
+//! table exported by the analytical backend must reproduce the analytical
+//! run **bit-for-bit** — identical precomputed MapScore tables, and
+//! identical [`Metrics`] fingerprints across the 5-scenario × 4-seed
+//! witness grid — while still registering as a *different* backend
+//! (digest, cache identity, prebuilt-workload validation).
+
+use std::sync::Arc;
+
+use dream::prelude::*;
+use dream_baselines::PlanariaScheduler;
+use dream_cost::{AcceleratorId, CostBackend, TableBackend};
+use dream_models::ScenarioKind;
+use dream_sim::{LayerId, SimError};
+
+const HORIZON_MS: u64 = 250;
+const SEEDS: [u64; 4] = [0, 1, 2, 3];
+const PRESET: PlatformPreset = PlatformPreset::Hetero4kWs1Os2;
+
+fn builder(kind: ScenarioKind) -> SimulationBuilder {
+    let scenario = Scenario::new(kind, CascadeProbability::default_paper());
+    SimulationBuilder::new(Platform::preset(PRESET), scenario).duration(Millis::new(HORIZON_MS))
+}
+
+/// The table backend for `kind`: exported from the analytical model over
+/// exactly the workload's layer set, then round-tripped through the CSV
+/// text format so the *import* path (not just the in-memory export) is
+/// what the simulation consumes.
+fn table_backend_for(kind: ScenarioKind) -> Arc<dyn CostBackend> {
+    let ws = builder(kind).build_workload().expect("workload builds");
+    let model = CostModel::paper_default();
+    let platform = Platform::preset(PRESET);
+    let table = TableBackend::derive("fingerprint-witness", &model, &platform, ws.layers())
+        .expect("analytical backend exports cleanly");
+    Arc::new(TableBackend::from_csv_str(&table.to_csv_string()).expect("export re-imports"))
+}
+
+/// Tentpole acceptance: bit-identical `Metrics` fingerprints between the
+/// analytical backend and its re-imported table export, for every
+/// scenario and seed, under the full DREAM scheduler.
+#[test]
+fn table_backend_fingerprints_match_analytical_on_witness_grid() {
+    for kind in ScenarioKind::all() {
+        let table = table_backend_for(kind);
+        for seed in SEEDS {
+            let run = |cost: Option<Arc<dyn CostBackend>>| {
+                let mut b = builder(kind).seed(seed);
+                if let Some(t) = cost {
+                    b = b.cost_backend(t);
+                }
+                let mut sched = DreamScheduler::new(DreamConfig::full());
+                b.run(&mut sched).unwrap().into_metrics().fingerprint()
+            };
+            let analytical = run(None);
+            let imported = run(Some(Arc::clone(&table)));
+            assert_eq!(
+                analytical, imported,
+                "{kind} seed {seed}: table-backend run diverged from analytical"
+            );
+        }
+    }
+}
+
+/// Planaria exercises the one decision-path query that still reaches the
+/// backend online (multi-member gang costing); the exported gang rows
+/// must reproduce the analytical estimates and dispatch charges exactly.
+#[test]
+fn gang_costing_stays_bit_identical_under_planaria() {
+    for kind in [ScenarioKind::DroneIndoor, ScenarioKind::ArSocial] {
+        let table = table_backend_for(kind);
+        for seed in SEEDS {
+            let mut a_sched = PlanariaScheduler::new();
+            let analytical = builder(kind)
+                .seed(seed)
+                .run(&mut a_sched)
+                .unwrap()
+                .into_metrics();
+            let mut t_sched = PlanariaScheduler::new();
+            let imported = builder(kind)
+                .seed(seed)
+                .cost_backend(Arc::clone(&table))
+                .run(&mut t_sched)
+                .unwrap()
+                .into_metrics();
+            assert_eq!(
+                analytical.fingerprint(),
+                imported.fingerprint(),
+                "{kind} seed {seed}: Planaria diverged under the table backend"
+            );
+            assert!(analytical.layer_executions > 0);
+        }
+    }
+}
+
+/// The precomputed MapScore tables — the static half of Algorithm 1's
+/// split — are bit-identical between workloads built from the two
+/// backends, even though the workloads identify as different builds.
+#[test]
+fn precomputed_score_tables_are_bit_identical_across_backends() {
+    for kind in ScenarioKind::all() {
+        let analytical_ws = builder(kind).build_workload().unwrap();
+        let table = table_backend_for(kind);
+        let table_ws = builder(kind)
+            .cost_backend(Arc::clone(&table))
+            .build_workload()
+            .unwrap();
+        assert_ne!(
+            analytical_ws.cost_digest(),
+            table_ws.cost_digest(),
+            "{kind}: backends must keep distinct identities"
+        );
+        assert_eq!(analytical_ws.layer_count(), table_ws.layer_count());
+        let accs = analytical_ws.acc_count();
+        for l in 0..analytical_ws.layer_count() {
+            let l = LayerId(l);
+            for a in 0..accs {
+                let a = AcceleratorId(a);
+                for (label, x, y) in [
+                    (
+                        "latency",
+                        analytical_ws.latency_ns(l, a),
+                        table_ws.latency_ns(l, a),
+                    ),
+                    (
+                        "energy",
+                        analytical_ws.energy_pj(l, a),
+                        table_ws.energy_pj(l, a),
+                    ),
+                    (
+                        "lat_pref",
+                        analytical_ws.lat_pref(l, a),
+                        table_ws.lat_pref(l, a),
+                    ),
+                    (
+                        "pref_energy",
+                        analytical_ws.pref_energy(l, a),
+                        table_ws.pref_energy(l, a),
+                    ),
+                    (
+                        "cold_switch_ratio",
+                        analytical_ws.cold_switch_ratio(l, a),
+                        table_ws.cold_switch_ratio(l, a),
+                    ),
+                ] {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{kind}: {label}[{l:?}, {a:?}] diverged"
+                    );
+                }
+            }
+            assert_eq!(
+                analytical_ws.avg_latency_ns(l).to_bits(),
+                table_ws.avg_latency_ns(l).to_bits()
+            );
+            assert_eq!(
+                analytical_ws.min_latency_ns(l).to_bits(),
+                table_ws.min_latency_ns(l).to_bits()
+            );
+        }
+        for a in 0..accs {
+            let a = AcceleratorId(a);
+            assert_eq!(
+                analytical_ws.switch_energy_pj_per_byte(a).to_bits(),
+                table_ws.switch_energy_pj_per_byte(a).to_bits()
+            );
+        }
+    }
+}
+
+/// Regression (satellite): `prebuilt_workload` rejects a workload built
+/// from a different *backend* — not just a different calibration of the
+/// same backend, which is all the digest used to cover.
+#[test]
+fn prebuilt_workload_from_another_backend_is_rejected() {
+    let kind = ScenarioKind::ArCall;
+    let table = table_backend_for(kind);
+
+    // Built by the table backend, handed to an analytical simulation.
+    let table_ws = Arc::new(
+        builder(kind)
+            .cost_backend(Arc::clone(&table))
+            .build_workload()
+            .unwrap(),
+    );
+    let mut sched = DreamScheduler::new(DreamConfig::full());
+    let err = builder(kind)
+        .prebuilt_workload(Arc::clone(&table_ws))
+        .run(&mut sched);
+    assert!(
+        matches!(err, Err(SimError::WorkloadMismatch { .. })),
+        "analytical run accepted a table-built workload: {err:?}"
+    );
+
+    // Built analytically, handed to a table-backend simulation.
+    let analytical_ws = Arc::new(builder(kind).build_workload().unwrap());
+    let err = builder(kind)
+        .cost_backend(Arc::clone(&table))
+        .prebuilt_workload(analytical_ws)
+        .run(&mut sched);
+    assert!(
+        matches!(err, Err(SimError::WorkloadMismatch { .. })),
+        "table run accepted an analytically-built workload: {err:?}"
+    );
+
+    // The matching pairing still works, and a prebuilt table workload is
+    // bit-identical to a fresh table build.
+    let fresh = {
+        let mut s = DreamScheduler::new(DreamConfig::full());
+        builder(kind)
+            .seed(7)
+            .cost_backend(Arc::clone(&table))
+            .run(&mut s)
+            .unwrap()
+            .into_metrics()
+            .fingerprint()
+    };
+    let prebuilt = {
+        let mut s = DreamScheduler::new(DreamConfig::full());
+        builder(kind)
+            .seed(7)
+            .cost_backend(Arc::clone(&table))
+            .prebuilt_workload(Arc::clone(&table_ws))
+            .run(&mut s)
+            .unwrap()
+            .into_metrics()
+            .fingerprint()
+    };
+    assert_eq!(fresh, prebuilt);
+}
+
+/// `WorkloadSet::build` surfaces a table that does not cover the workload
+/// as a typed cost error, not a panic.
+#[test]
+fn incomplete_table_fails_workload_build_typed() {
+    // A table exported for AR_Call cannot price VR_Gaming's layers.
+    let table = table_backend_for(ScenarioKind::ArCall);
+    let err = builder(ScenarioKind::VrGaming)
+        .cost_backend(table)
+        .build_workload();
+    match err {
+        Err(SimError::Cost(dream_cost::CostError::MissingEntry { .. })) => {}
+        other => panic!("expected a typed MissingEntry, got {other:?}"),
+    }
+}

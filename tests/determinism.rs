@@ -168,7 +168,7 @@ fn prebuilt_workload_runs_bit_identical_to_fresh_builds() {
                 PlatformPreset::Hetero4kWs1Os2,
                 0.5,
                 300,
-                &CostModel::paper_default(),
+                std::sync::Arc::new(CostModel::paper_default()),
             ));
         }
         let metrics = if dream {
