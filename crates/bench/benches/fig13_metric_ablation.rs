@@ -28,7 +28,14 @@ fn main() {
     for scenario in [ScenarioKind::VrGaming, ScenarioKind::ArSocial] {
         for cascade in [0.5, 0.9] {
             for &obj in &objectives {
-                let params = tune_params(scenario, preset, cascade, DreamVariant::MapScore, obj);
+                let params = tune_params(
+                    scenario,
+                    preset,
+                    cascade,
+                    DreamVariant::MapScore,
+                    obj,
+                    &dream_bench::CostConfig::Analytical,
+                );
                 cells.push((scenario, cascade, obj, params));
             }
         }

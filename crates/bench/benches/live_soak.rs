@@ -1,0 +1,170 @@
+//! Live-ingress soak: how much request traffic the serving runtime
+//! sustains with *bounded* queues.
+//!
+//! Two phases:
+//!
+//! 1. **Channel soak** — several producer threads blast the in-process
+//!    [`ChannelClient`] for a fixed wall window against a shed-oldest
+//!    queue and a per-tick admission budget. The floor asserted here
+//!    (≥ 50k requests/s through the ingress) is the acceptance bar; the
+//!    overload is absorbed as observable `shed` counters, never as
+//!    unbounded queue growth (ingress backlog ≤ capacity, engine ready
+//!    depth bounded by the admission budget).
+//! 2. **Socket soak** — one TCP peer streams `r` lines through the wire
+//!    protocol as fast as it can write them.
+//!
+//! Virtual time runs 1000× wall so the admitted trickle stays inside the
+//! scenario's service capacity — the soak stresses the *ingress*, not
+//! the simulator's overload behavior (that is `served_traffic`'s job).
+
+use std::io::{BufWriter, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dream_core::{DreamConfig, DreamScheduler};
+use dream_cost::{Platform, PlatformPreset};
+use dream_models::{CascadeProbability, NodeId, PipelineId, Scenario, ScenarioKind};
+use dream_serve::{listen_tcp, AdmissionPolicy, ServeConfig, ServeEngine, WallClock};
+
+const CHANNEL_PRODUCERS: usize = 4;
+const CHANNEL_SOAK: Duration = Duration::from_millis(1200);
+const SOCKET_LINES: usize = 100_000;
+const REQUIRED_CHANNEL_RPS: f64 = 50_000.0;
+
+fn main() {
+    let scenario = Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper());
+    let mut config = ServeConfig::new(Platform::preset(PlatformPreset::Hetero4kWs1Os2), scenario);
+    config.seed = 2024;
+    config.clock = Arc::new(WallClock::accelerated(1000.0));
+    config.tick = Duration::from_millis(1);
+    config.queue_capacity = 4096;
+    config.policy = AdmissionPolicy::ShedOldest;
+    config.max_admissions_per_tick = 64;
+    config.snapshot_every = 16;
+    let (engine, handle) =
+        ServeEngine::new(config, Box::new(DreamScheduler::new(DreamConfig::full())))
+            .expect("soak config is valid");
+    let mut snapshots = handle.snapshots();
+    let server = std::thread::spawn(move || engine.run());
+
+    // ---- Phase 1: channel soak ----
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let producers: Vec<_> = (0..CHANNEL_PRODUCERS)
+        .map(|p| {
+            let client = handle.client(format!("channel:soak-{p}"));
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut sent = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // ShedOldest never blocks: the queue absorbs or sheds.
+                    client
+                        .submit(PipelineId((sent % 2) as usize), NodeId(0))
+                        .expect("ingress open during the soak");
+                    sent += 1;
+                }
+                sent
+            })
+        })
+        .collect();
+    std::thread::sleep(CHANNEL_SOAK);
+    stop.store(true, Ordering::Relaxed);
+    let submitted: u64 = producers
+        .into_iter()
+        .map(|p| p.join().expect("producer"))
+        .sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    let channel_rps = submitted as f64 / elapsed;
+
+    let snap = snapshots
+        .wait_for_update(Duration::from_secs(5))
+        .expect("serving loop publishes snapshots");
+    println!(
+        "channel soak: {submitted} submitted in {elapsed:.2} s  →  {channel_rps:.0} req/s \
+         (admitted {}, shed {}, backlog {} ≤ cap 4096, ready {}, running {})",
+        snap.admitted, snap.shed, snap.ingress_backlog, snap.ready_tasks, snap.running_layers,
+    );
+    assert!(
+        channel_rps >= REQUIRED_CHANNEL_RPS,
+        "channel ingress must sustain ≥ {REQUIRED_CHANNEL_RPS:.0} req/s, measured {channel_rps:.0}"
+    );
+    assert!(snap.ingress_backlog <= 4096, "ingress queue stays bounded");
+    assert!(
+        snap.shed > 0,
+        "overload must surface as observable shed counters"
+    );
+    assert!(
+        snap.ready_tasks < 20_000,
+        "engine queues stay bounded under overload (ready = {})",
+        snap.ready_tasks
+    );
+
+    // ---- Phase 2: socket soak ----
+    let (addr, socket_server) = listen_tcp(&handle, "127.0.0.1:0").expect("bind");
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = BufWriter::new(stream);
+    let start = Instant::now();
+    for i in 0..SOCKET_LINES {
+        writeln!(writer, "r {} 0", i % 2).expect("write");
+    }
+    writer.flush().expect("flush");
+    let write_elapsed = start.elapsed().as_secs_f64();
+    // Wait until the connection thread has parsed and forwarded the lines.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let socket_submitted = loop {
+        let sources = snapshots
+            .wait_for_update(Duration::from_millis(500))
+            .map(|s| s.sources.clone())
+            .unwrap_or_default();
+        let n: u64 = sources
+            .iter()
+            .filter(|s| s.label.starts_with("tcp:"))
+            .map(|s| s.submitted)
+            .sum();
+        if n >= SOCKET_LINES as u64 || Instant::now() > deadline {
+            break n;
+        }
+    };
+    let parse_elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "socket soak: {SOCKET_LINES} lines written in {write_elapsed:.2} s \
+         ({:.0} lines/s), {socket_submitted} parsed+queued in {parse_elapsed:.2} s \
+         ({:.0} req/s)",
+        SOCKET_LINES as f64 / write_elapsed,
+        socket_submitted as f64 / parse_elapsed,
+    );
+    assert!(
+        socket_submitted >= SOCKET_LINES as u64,
+        "every socket line must reach the ingress"
+    );
+
+    // ---- Drain and report ----
+    handle.drain();
+    let report = server
+        .join()
+        .expect("server thread")
+        .expect("session completes");
+    socket_server.shutdown();
+    let total_shed: u64 = report.sources.iter().map(|s| s.shed).sum();
+    let total_admitted: u64 = report.sources.iter().map(|s| s.admitted).sum();
+    let total_rejected: u64 = report
+        .sources
+        .iter()
+        .map(|s| s.rejected_capacity + s.rejected_invalid + s.rejected_closed)
+        .sum();
+    println!(
+        "drained after {} ticks: admitted {total_admitted}, shed {total_shed}, rejected {total_rejected}, \
+         {} arrivals recorded, {} layers executed",
+        report.ticks,
+        report.record.trace().len(),
+        report.outcome.metrics().layer_executions,
+    );
+    assert_eq!(total_admitted, report.record.trace().len() as u64);
+    assert!(report.outcome.metrics().layer_executions > 0);
+    println!(
+        "live_soak ok: channel {channel_rps:.0} req/s (floor {REQUIRED_CHANNEL_RPS:.0}), \
+         shed/reject observable, queues bounded"
+    );
+}

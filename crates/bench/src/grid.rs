@@ -111,6 +111,7 @@ impl ExperimentGrid {
             dream_cost::PlatformPreset,
             u64,
             crate::DreamVariant,
+            u64,
         )> = BTreeSet::new();
         for spec in &self.specs {
             if let SchedulerKind::DreamTuned(variant) = &spec.scheduler {
@@ -119,9 +120,16 @@ impl ExperimentGrid {
                     spec.preset,
                     crate::tuning::cascade_key(spec.cascade),
                     *variant,
+                    spec.cost.digest(),
                 );
                 if seen.insert(key) {
-                    crate::tuned_params_cached(spec.scenario, spec.preset, spec.cascade, *variant);
+                    crate::tuned_params_cached(
+                        spec.scenario,
+                        spec.preset,
+                        spec.cascade,
+                        *variant,
+                        &spec.cost,
+                    );
                 }
             }
         }

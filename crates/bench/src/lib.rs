@@ -19,7 +19,7 @@ mod tuning;
 mod workload_cache;
 
 pub use grid::{ExperimentGrid, GridResults};
-pub use report::{csv_path, geomean, write_csv, Table};
+pub use report::{artifacts_dir, csv_path, geomean, write_csv, Table};
 pub use runner::{
     parallel_map, parallel_map_threads, run_averaged, run_spec, ArrivalConfig, AveragedResult,
     CostConfig, DreamVariant, RunResult, RunSpec, SchedulerKind,

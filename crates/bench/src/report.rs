@@ -96,11 +96,14 @@ impl Table {
     }
 }
 
-/// Where experiment CSVs are written: `$DREAM_ARTIFACTS_DIR` when set,
-/// otherwise `artifacts/` at the workspace root. Deliberately *not*
-/// under `target/`, so `cargo clean` keeps results and build output
-/// never mingles with data (the directory is gitignored).
-pub fn csv_path(name: &str) -> PathBuf {
+/// The artifact directory for `subdir` (e.g. `"experiments"`,
+/// `"tables"`, `"sessions"`), created on first use: rooted at
+/// `$DREAM_ARTIFACTS_DIR` when set, otherwise `artifacts/` at the
+/// workspace root. Deliberately *not* under `target/`, so `cargo clean`
+/// keeps results and build output never mingles with data (the directory
+/// is gitignored). Every experiment, example, and recorder that writes
+/// files goes through this one helper so the override works uniformly.
+pub fn artifacts_dir(subdir: &str) -> PathBuf {
     let mut dir = std::env::var_os("DREAM_ARTIFACTS_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|| {
@@ -108,9 +111,15 @@ pub fn csv_path(name: &str) -> PathBuf {
                 .join("../..")
                 .join("artifacts")
         });
-    dir.push("experiments");
+    dir.push(subdir);
     let _ = fs::create_dir_all(&dir);
-    let mut dir = fs::canonicalize(&dir).unwrap_or(dir);
+    fs::canonicalize(&dir).unwrap_or(dir)
+}
+
+/// Where experiment CSVs are written: `<artifacts>/experiments/<name>.csv`
+/// (see [`artifacts_dir`]).
+pub fn csv_path(name: &str) -> PathBuf {
+    let mut dir = artifacts_dir("experiments");
     dir.push(format!("{name}.csv"));
     dir
 }

@@ -382,8 +382,13 @@ pub fn run_spec(spec: &RunSpec) -> RunResult {
             &mut dream
         }
         SchedulerKind::DreamTuned(variant) => {
-            let params =
-                crate::tuned_params_cached(spec.scenario, spec.preset, spec.cascade, *variant);
+            let params = crate::tuned_params_cached(
+                spec.scenario,
+                spec.preset,
+                spec.cascade,
+                *variant,
+                &spec.cost,
+            );
             dream = DreamScheduler::new(variant.config().with_params(params));
             &mut dream
         }

@@ -6,14 +6,17 @@ use dream_cost::{Platform, PlatformPreset};
 use dream_models::{CascadeProbability, Scenario, ScenarioKind};
 use dream_sim::{Millis, SimulationBuilder};
 
-use crate::DreamVariant;
+use crate::{CostConfig, DreamVariant};
 
 /// Offline (α, β) tuning: runs the §3.6 radius-shrinking search where each
 /// candidate is evaluated by a full (shorter-horizon) simulation of the
 /// same scenario/platform under the *target* DREAM configuration,
 /// minimising `objective`. Tuning against the deployed configuration
 /// matters: the frame-drop and supernet engines change the dynamics the
-/// parameters must match.
+/// parameters must match — and the tuning simulations price with the
+/// *deployment's* cost backend (`cost`), so parameters fitted for a
+/// table-imported calibration track that table, not the analytical model
+/// it may have diverged from.
 ///
 /// The tuning simulations use a different seed than the measurement runs so
 /// parameters are not fitted to the evaluated realization.
@@ -23,6 +26,7 @@ pub fn tune_params(
     cascade: f64,
     variant: DreamVariant,
     objective: ObjectiveKind,
+    cost: &CostConfig,
 ) -> ScoreParams {
     const TUNING_HORIZON_MS: u64 = 800;
     let evaluate_seed = |params: ScoreParams, seed: u64| {
@@ -31,20 +35,19 @@ pub fn tune_params(
             scenario,
             CascadeProbability::new(cascade).expect("tuning cascade is valid"),
         );
-        // Offline tuning always prices with the analytical paper
-        // calibration: the tuned (α, β) are plain scalars, and tuning
-        // under an imported table would fit them to that table's noise.
+        let backend = cost.backend();
         let tables = crate::shared_workload(
             scenario,
             preset,
             cascade,
             TUNING_HORIZON_MS,
-            std::sync::Arc::new(dream_cost::CostModel::paper_default()),
+            std::sync::Arc::clone(&backend),
         );
         let mut sched = DreamScheduler::new(variant.config().with_params(params));
         let metrics = SimulationBuilder::new(platform, workload)
             .duration(Millis::new(TUNING_HORIZON_MS))
             .seed(seed)
+            .cost_backend(backend)
             .prebuilt_workload(tables)
             .run(&mut sched)
             .expect("tuning simulations are valid")
@@ -70,7 +73,11 @@ pub fn tune_params(
     trace.final_params
 }
 
-type TuneKey = (ScenarioKind, PlatformPreset, u64, DreamVariant);
+/// The cache key: everything the tuned parameters depend on, including
+/// the backend's calibration digest — an analytical deployment and a
+/// table import never share a tuning entry, even when the table is a
+/// bit-exact export (the digest mixes the backend kind).
+type TuneKey = (ScenarioKind, PlatformPreset, u64, DreamVariant, u64);
 
 /// Canonical integer key for a cascade probability, shared by the tuning
 /// cache and the grid's tune-dedup/cell grouping so the two can never
@@ -82,19 +89,33 @@ pub(crate) fn cascade_key(cascade: f64) -> u64 {
 static CACHE: Mutex<BTreeMap<TuneKey, ScoreParams>> = Mutex::new(BTreeMap::new());
 
 /// [`tune_params`] with a process-wide cache (UXCost objective), so sweeps
-/// that revisit the same (scenario, platform, cascade, variant) key tune
-/// only once.
+/// that revisit the same (scenario, platform, cascade, variant, backend)
+/// key tune only once.
 pub fn tuned_params_cached(
     scenario: ScenarioKind,
     preset: PlatformPreset,
     cascade: f64,
     variant: DreamVariant,
+    cost: &CostConfig,
 ) -> ScoreParams {
-    let key = (scenario, preset, cascade_key(cascade), variant);
+    let key = (
+        scenario,
+        preset,
+        cascade_key(cascade),
+        variant,
+        cost.digest(),
+    );
     if let Some(p) = CACHE.lock().expect("tuning cache poisoned").get(&key) {
         return *p;
     }
-    let params = tune_params(scenario, preset, cascade, variant, ObjectiveKind::UxCost);
+    let params = tune_params(
+        scenario,
+        preset,
+        cascade,
+        variant,
+        ObjectiveKind::UxCost,
+        cost,
+    );
     CACHE
         .lock()
         .expect("tuning cache poisoned")
@@ -113,15 +134,61 @@ mod tests {
             PlatformPreset::Homo4kWs2,
             0.5,
             DreamVariant::MapScore,
+            &CostConfig::Analytical,
         );
         let b = tuned_params_cached(
             ScenarioKind::ArCall,
             PlatformPreset::Homo4kWs2,
             0.5,
             DreamVariant::MapScore,
+            &CostConfig::Analytical,
         );
         assert_eq!(a, b);
         assert!((0.0..=2.0).contains(&a.alpha()));
         assert!((0.0..=2.0).contains(&a.beta()));
+    }
+
+    /// Backends occupy distinct tuning-cache entries (keyed by
+    /// calibration digest), and a bit-exact table export tunes to the
+    /// *identical* parameters — the tuning simulations under the imported
+    /// table are bit-identical to the analytical ones, so the radius
+    /// search walks the same path.
+    #[test]
+    fn table_backend_tunes_separately_but_bit_identically() {
+        use dream_cost::{CostModel, TableBackend};
+        use dream_sim::Millis;
+
+        let scenario = ScenarioKind::ArCall;
+        let preset = PlatformPreset::Homo4kWs2;
+        let analytical = CostModel::paper_default();
+        let platform = Platform::preset(preset);
+        let ws = SimulationBuilder::new(
+            platform.clone(),
+            Scenario::new(scenario, CascadeProbability::new(0.5).unwrap()),
+        )
+        .duration(Millis::new(100))
+        .build_workload()
+        .unwrap();
+        let table =
+            TableBackend::derive("tuning-test", &analytical, &platform, ws.layers()).unwrap();
+        let table_cfg = CostConfig::Backend(std::sync::Arc::new(table));
+        assert_ne!(
+            table_cfg.digest(),
+            CostConfig::Analytical.digest(),
+            "export must not impersonate its source backend"
+        );
+        let tuned_analytical = tuned_params_cached(
+            scenario,
+            preset,
+            0.5,
+            DreamVariant::MapScore,
+            &CostConfig::Analytical,
+        );
+        let tuned_table =
+            tuned_params_cached(scenario, preset, 0.5, DreamVariant::MapScore, &table_cfg);
+        assert_eq!(
+            tuned_analytical, tuned_table,
+            "a bit-exact table import must tune to the identical (α, β)"
+        );
     }
 }

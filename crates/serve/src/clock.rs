@@ -1,0 +1,132 @@
+//! Virtual-time sources for the serving loop.
+//!
+//! The engine schedules in *virtual* nanoseconds; a [`ServeClock`] maps
+//! the outside world onto that axis. [`WallClock`] ties virtual time to
+//! wall time (optionally accelerated, so an hour of traffic replays in
+//! seconds); [`ManualClock`] hands control to the caller — the
+//! deterministic choice for tests and offline feeding.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dream_sim::SimTime;
+
+/// A monotone source of virtual session time.
+pub trait ServeClock: Send + Sync {
+    /// Virtual nanoseconds elapsed since the session started. Must be
+    /// monotone non-decreasing.
+    fn now(&self) -> SimTime;
+}
+
+/// Virtual time = wall time since construction, times `scale`.
+#[derive(Debug)]
+pub struct WallClock {
+    start: Instant,
+    scale: f64,
+}
+
+impl WallClock {
+    /// Real-time: one virtual nanosecond per wall nanosecond.
+    pub fn new() -> Self {
+        Self::accelerated(1.0)
+    }
+
+    /// Accelerated (or slowed) time: `scale` virtual nanoseconds per wall
+    /// nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is finite and positive.
+    pub fn accelerated(scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "clock scale must be positive, got {scale}"
+        );
+        WallClock {
+            start: Instant::now(),
+            scale,
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeClock for WallClock {
+    fn now(&self) -> SimTime {
+        let ns = self.start.elapsed().as_nanos() as f64 * self.scale;
+        SimTime::from_ns_f64(ns)
+    }
+}
+
+/// A caller-driven clock: time moves only when [`advance_to`] /
+/// [`advance_by`] say so. Cloned handles share the same time.
+///
+/// [`advance_to`]: ManualClock::advance_to
+/// [`advance_by`]: ManualClock::advance_by
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    ns: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A clock stopped at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves time forward to `t` (ignored if time is already past it).
+    pub fn advance_to(&self, t: SimTime) {
+        self.ns.fetch_max(t.as_ns(), Ordering::SeqCst);
+    }
+
+    /// Moves time forward by `dt`.
+    pub fn advance_by(&self, dt: SimTime) {
+        self.ns.fetch_add(dt.as_ns(), Ordering::SeqCst);
+    }
+}
+
+impl ServeClock for ManualClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_ns(self.ns.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_shared_and_monotone() {
+        let c = ManualClock::new();
+        let c2 = c.clone();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance_to(SimTime::from_ns(50));
+        assert_eq!(c2.now(), SimTime::from_ns(50));
+        c2.advance_to(SimTime::from_ns(20)); // backwards: ignored
+        assert_eq!(c.now(), SimTime::from_ns(50));
+        c.advance_by(SimTime::from_ns(5));
+        assert_eq!(c2.now(), SimTime::from_ns(55));
+    }
+
+    #[test]
+    fn wall_clock_advances_and_scales() {
+        let slow = WallClock::new();
+        let fast = WallClock::accelerated(1000.0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let a = slow.now();
+        let b = fast.now();
+        assert!(a > SimTime::ZERO);
+        assert!(b > a, "accelerated clock runs faster: {b} vs {a}");
+    }
+
+    #[test]
+    #[should_panic(expected = "clock scale")]
+    fn rejects_bad_scale() {
+        let _ = WallClock::accelerated(0.0);
+    }
+}

@@ -1,0 +1,443 @@
+//! The serving loop: drains the ingress every tick, stamps requests onto
+//! the virtual clock, steps the [`LiveSession`], and publishes
+//! [`MetricsSnapshot`]s.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use dream_cost::{CostBackend, CostModel, Platform};
+use dream_models::Scenario;
+use dream_sim::live::DEFAULT_HORIZON_CAP_NS;
+use dream_sim::{
+    LiveError, LiveSession, LiveSessionBuilder, LiveSessionRecord, Metrics, ModelKey, Scheduler,
+    SimOutcome, SimTime,
+};
+
+use crate::clock::{ServeClock, WallClock};
+use crate::ingress::{AdmissionPolicy, ChannelClient, Ingress, Request, SourceStats};
+use crate::watch::{watch_channel, WatchReceiver, WatchSender};
+
+/// Configuration of a serving session.
+pub struct ServeConfig {
+    /// Hardware platform.
+    pub platform: Platform,
+    /// The initial scenario.
+    pub scenario: Scenario,
+    /// Workload-realization seed.
+    pub seed: u64,
+    /// Cost backend pricing the session.
+    pub cost: Arc<dyn CostBackend>,
+    /// Hard virtual horizon (sessions end here even without a drain).
+    pub horizon_cap: SimTime,
+    /// Virtual-time source.
+    pub clock: Arc<dyn ServeClock>,
+    /// Wall-clock pause between serving ticks.
+    pub tick: Duration,
+    /// Bounded ingress queue capacity.
+    pub queue_capacity: usize,
+    /// What happens when the queue is full.
+    pub policy: AdmissionPolicy,
+    /// At most this many requests are admitted per tick; the excess stays
+    /// queued and is subject to the admission policy — the knob that keeps
+    /// the *engine's* queues bounded under overload, the way the queue
+    /// capacity bounds the ingress itself.
+    pub max_admissions_per_tick: usize,
+    /// Publish a snapshot every this many ticks (1 = every tick).
+    pub snapshot_every: u32,
+}
+
+impl ServeConfig {
+    /// Defaults: real-time wall clock, 1 ms ticks, a 4096-deep
+    /// shed-oldest queue, unbounded per-tick admissions, snapshots every
+    /// 16 ticks.
+    pub fn new(platform: Platform, scenario: Scenario) -> Self {
+        ServeConfig {
+            platform,
+            scenario,
+            seed: 0,
+            cost: Arc::new(CostModel::paper_default()),
+            horizon_cap: SimTime::from_ns(DEFAULT_HORIZON_CAP_NS),
+            clock: Arc::new(WallClock::new()),
+            tick: Duration::from_millis(1),
+            queue_capacity: 4096,
+            policy: AdmissionPolicy::ShedOldest,
+            max_admissions_per_tick: usize::MAX,
+            snapshot_every: 16,
+        }
+    }
+}
+
+/// A control command traveling beside the data path (never subject to the
+/// data queue's bounds).
+enum Control {
+    Swap(Scenario),
+    Drain,
+}
+
+struct ControlQueue {
+    queue: Mutex<VecDeque<Control>>,
+}
+
+/// A point-in-time view of the serving session, published over the watch
+/// channel: cumulative scheduling [`Metrics`] plus the live state the
+/// batch simulator never has — ingress backlog, in-flight depths, and the
+/// admission funnel.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Serving ticks elapsed.
+    pub tick: u64,
+    /// The virtual frontier: instants at or before this are fully
+    /// scheduled.
+    pub frontier: SimTime,
+    /// The engine's current virtual instant (≤ frontier).
+    pub now: SimTime,
+    /// The phase requests currently target.
+    pub phase: usize,
+    /// Whether a drain is in progress.
+    pub draining: bool,
+    /// Requests waiting in the ingress queue.
+    pub ingress_backlog: usize,
+    /// Tasks ready for dispatch inside the engine.
+    pub ready_tasks: usize,
+    /// Layers executing right now.
+    pub running_layers: usize,
+    /// Total arrivals admitted so far.
+    pub admitted: u64,
+    /// Total requests shed from the bounded queue.
+    pub shed: u64,
+    /// Total requests rejected (capacity, invalid, or closed).
+    pub rejected: u64,
+    /// Per-source admission-funnel counters.
+    pub sources: Vec<SourceStats>,
+    /// Pooled per-request sojourn percentiles, in ms (p50, p95, p99);
+    /// `None` until something completes. Computed over a sliding window
+    /// of the most recent [`SOJOURN_WINDOW`] completions, so snapshot
+    /// cost stays O(1) in session length (exact for short sessions,
+    /// recent-traffic percentiles for long ones — the number a live
+    /// dashboard wants anyway).
+    pub sojourn_ms: [Option<f64>; 3],
+    /// The cumulative scheduling metrics, with the per-request sojourn
+    /// sample vectors left empty ([`Metrics::clone_counters`]) — the
+    /// samples grow without bound over a long session, and the counters
+    /// alone pin down the outcome (they fingerprint identically).
+    pub metrics: Metrics,
+}
+
+/// How many recent completions the snapshot sojourn percentiles pool.
+pub const SOJOURN_WINDOW: usize = 4096;
+
+/// What a completed session hands back.
+pub struct SessionReport {
+    /// Final metrics (bit-identical to a batch replay of `record`).
+    pub outcome: SimOutcome,
+    /// The replayable session record (phase schedule + arrival trace).
+    pub record: LiveSessionRecord,
+    /// Final per-source admission accounting.
+    pub sources: Vec<SourceStats>,
+    /// Serving ticks executed.
+    pub ticks: u64,
+}
+
+/// A cloneable handle for feeding and steering a running [`ServeEngine`].
+#[derive(Clone)]
+pub struct ServeHandle {
+    ingress: Arc<Ingress>,
+    control: Arc<ControlQueue>,
+    snapshots: WatchReceiver<MetricsSnapshot>,
+}
+
+impl ServeHandle {
+    /// Registers a new ingress source and returns its client handle. The
+    /// label is the source's row in [`SourceStats`] listings; in-process
+    /// callers conventionally use `channel:<name>` (the socket listeners
+    /// register as `tcp:<peer>` / `unix:<path>`).
+    pub fn client(&self, label: impl Into<String>) -> ChannelClient {
+        ChannelClient {
+            source: self.ingress.register(label),
+            ingress: Arc::clone(&self.ingress),
+        }
+    }
+
+    /// Orders a scenario hot-swap. Takes effect at the next tick; if the
+    /// previous swap's boundary has not been reached yet the command is
+    /// retried tick by tick until it applies.
+    pub fn swap(&self, scenario: Scenario) {
+        self.control
+            .queue
+            .lock()
+            .expect("control queue poisoned")
+            .push_back(Control::Swap(scenario));
+    }
+
+    /// Orders a graceful drain: admissions stop, in-flight work completes,
+    /// the session finishes and [`ServeEngine::run`] returns.
+    pub fn drain(&self) {
+        self.control
+            .queue
+            .lock()
+            .expect("control queue poisoned")
+            .push_back(Control::Drain);
+    }
+
+    /// A receiver over the session's snapshot stream.
+    pub fn snapshots(&self) -> WatchReceiver<MetricsSnapshot> {
+        self.snapshots.clone()
+    }
+
+    /// Whether the serving loop has shut its ingress (drained or dropped).
+    pub fn is_closed(&self) -> bool {
+        self.ingress.is_closed()
+    }
+}
+
+/// The live serving runtime: owns a [`LiveSession`] and drives it from
+/// the ingress against the configured clock. See the crate docs for the
+/// execution model.
+pub struct ServeEngine {
+    session: LiveSession,
+    clock: Arc<dyn ServeClock>,
+    tick: Duration,
+    max_admissions_per_tick: usize,
+    snapshot_every: u32,
+    ingress: Arc<Ingress>,
+    control: Arc<ControlQueue>,
+    publisher: WatchSender<MetricsSnapshot>,
+    ticks: u64,
+    scratch: Vec<Request>,
+    /// How many sojourn samples per model have been folded into the
+    /// window already (the engine's vectors are append-only).
+    sojourn_seen: BTreeMap<ModelKey, usize>,
+    /// The most recent completions' sojourn samples, bounded.
+    sojourn_window: VecDeque<u64>,
+    sojourn_scratch: Vec<u64>,
+}
+
+impl ServeEngine {
+    /// Builds the engine and its handle. The session (and its offline
+    /// cost tables) is constructed here, so configuration errors surface
+    /// before any traffic flows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LiveError`] from session construction (uncostable
+    /// scenario, zero horizon).
+    pub fn new(
+        config: ServeConfig,
+        scheduler: Box<dyn Scheduler>,
+    ) -> Result<(ServeEngine, ServeHandle), LiveError> {
+        let session = LiveSessionBuilder::new(config.platform, config.scenario)
+            .seed(config.seed)
+            .cost_backend(config.cost)
+            .horizon_cap(config.horizon_cap)
+            .start(scheduler)?;
+        let ingress = Ingress::new(config.queue_capacity, config.policy);
+        let control = Arc::new(ControlQueue {
+            queue: Mutex::new(VecDeque::new()),
+        });
+        let (publisher, snapshots) = watch_channel();
+        let handle = ServeHandle {
+            ingress: Arc::clone(&ingress),
+            control: Arc::clone(&control),
+            snapshots,
+        };
+        Ok((
+            ServeEngine {
+                session,
+                clock: config.clock,
+                tick: config.tick,
+                max_admissions_per_tick: config.max_admissions_per_tick.max(1),
+                snapshot_every: config.snapshot_every.max(1),
+                ingress,
+                control,
+                publisher,
+                ticks: 0,
+                scratch: Vec::new(),
+                sojourn_seen: BTreeMap::new(),
+                sojourn_window: VecDeque::with_capacity(SOJOURN_WINDOW),
+                sojourn_scratch: Vec::with_capacity(SOJOURN_WINDOW),
+            },
+            handle,
+        ))
+    }
+
+    /// Runs the serving loop until the session drains (or hits the
+    /// horizon cap), then returns the report. Blocks the calling thread;
+    /// spawn it to serve in the background.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LiveError`] from the final drain (cannot occur for a
+    /// session this engine has driven itself).
+    pub fn run(mut self) -> Result<SessionReport, LiveError> {
+        loop {
+            let finished = self.run_tick()?;
+            if finished {
+                break;
+            }
+            std::thread::sleep(self.tick);
+        }
+        self.ingress.close();
+        let ticks = self.ticks;
+        let sources = self.ingress.stats();
+        self.publish_snapshot();
+        let (outcome, record) = self.session.finish()?;
+        Ok(SessionReport {
+            outcome,
+            record,
+            sources,
+            ticks,
+        })
+    }
+
+    /// One serving tick: stamp + admit queued requests, apply control
+    /// commands, step to the frontier, publish. Returns whether the
+    /// session is done. Exposed crate-internally for deterministic tests.
+    pub(crate) fn run_tick(&mut self) -> Result<bool, LiveError> {
+        self.ticks += 1;
+        // The frontier: the clock, but never behind what the session has
+        // already closed (a stalled clock must not stall admission).
+        let frontier = self.clock.now().max(self.session.next_stamp());
+
+        // 1. Data: admit up to the per-tick budget.
+        self.scratch.clear();
+        self.ingress
+            .drain(self.max_admissions_per_tick, &mut self.scratch);
+        for i in 0..self.scratch.len() {
+            let req = self.scratch[i];
+            let stamp = req.at.unwrap_or(frontier);
+            match self.session.admit(req.pipeline, req.node, stamp) {
+                Ok(admission) => {
+                    self.ingress
+                        .record_admitted(req.source, admission.at != stamp);
+                }
+                Err(LiveError::UnknownModel { .. }) | Err(LiveError::PastHorizon { .. }) => {
+                    self.ingress.record_invalid(req.source);
+                }
+                Err(LiveError::Draining) | Err(LiveError::Finished) => {
+                    self.ingress.record_closed_rejection(req.source);
+                }
+                Err(other) => return Err(other),
+            }
+        }
+
+        // 2. Control: swaps and drains, in order. A swap blocked on a
+        //    pending boundary goes back to the front and is retried next
+        //    tick; everything behind it waits so command order holds.
+        let mut drain_ordered = false;
+        loop {
+            let cmd = self
+                .control
+                .queue
+                .lock()
+                .expect("control queue poisoned")
+                .pop_front();
+            match cmd {
+                None => break,
+                Some(Control::Drain) => {
+                    drain_ordered = true;
+                    break;
+                }
+                Some(Control::Swap(scenario)) => {
+                    match self.session.swap_scenario(scenario.clone(), frontier) {
+                        Ok(_) => {}
+                        Err(LiveError::SwapPending { .. }) => {
+                            self.control
+                                .queue
+                                .lock()
+                                .expect("control queue poisoned")
+                                .push_front(Control::Swap(scenario));
+                            break;
+                        }
+                        Err(LiveError::Draining) | Err(LiveError::Finished) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+
+        // 3. Step the session to the frontier.
+        self.session.step_until(frontier);
+
+        if drain_ordered && !self.session.is_draining() && !self.session.is_finished() {
+            match self.session.begin_drain(self.session.next_stamp()) {
+                Ok(horizon) => {
+                    // No admission can precede the resolved horizon now:
+                    // shut the ingress and fast-forward the drain — the
+                    // wall clock has nothing left to gate.
+                    self.ingress.close();
+                    self.session.step_until(horizon);
+                }
+                Err(LiveError::SwapPending { boundary }) => {
+                    // A swap boundary is still outstanding. The user wants
+                    // out: fast-forward virtual time across the boundary
+                    // and drain from there.
+                    self.session.step_until(boundary);
+                    let horizon = self.session.begin_drain(self.session.next_stamp())?;
+                    self.ingress.close();
+                    self.session.step_until(horizon);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        if self.ticks.is_multiple_of(u64::from(self.snapshot_every)) {
+            self.publish_snapshot();
+        }
+        Ok(self.session.is_finished())
+    }
+
+    fn publish_snapshot(&mut self) {
+        let sources = self.ingress.stats();
+        let admitted = sources.iter().map(|s| s.admitted).sum();
+        let shed = sources.iter().map(|s| s.shed).sum();
+        let rejected = sources
+            .iter()
+            .map(|s| s.rejected_capacity + s.rejected_invalid + s.rejected_closed)
+            .sum();
+        // Fold the sojourn samples that arrived since the last snapshot
+        // into the bounded window, then publish counters only — both
+        // sides stay O(window + new samples), never O(session length).
+        let live = self.session.live_metrics();
+        for (key, stats) in live.models() {
+            let seen = self.sojourn_seen.entry(*key).or_insert(0);
+            for &sample in &stats.sojourn_ns[*seen..] {
+                if self.sojourn_window.len() == SOJOURN_WINDOW {
+                    self.sojourn_window.pop_front();
+                }
+                self.sojourn_window.push_back(sample);
+            }
+            *seen = stats.sojourn_ns.len();
+        }
+        self.sojourn_scratch.clear();
+        self.sojourn_scratch.extend(self.sojourn_window.iter());
+        self.sojourn_scratch.sort_unstable();
+        let pct = |q: f64| -> Option<f64> {
+            // Nearest-rank, matching `Metrics::sojourn_percentile_ms`.
+            if self.sojourn_scratch.is_empty() {
+                return None;
+            }
+            let rank = (q * self.sojourn_scratch.len() as f64).ceil() as usize;
+            let idx = rank.clamp(1, self.sojourn_scratch.len()) - 1;
+            Some(self.sojourn_scratch[idx] as f64 / 1.0e6)
+        };
+        let sojourn_ms = [pct(0.50), pct(0.95), pct(0.99)];
+        let metrics = live.clone_counters();
+        self.publisher.publish(MetricsSnapshot {
+            tick: self.ticks,
+            frontier: self.session.closed().unwrap_or(SimTime::ZERO),
+            now: self.session.now(),
+            phase: self.session.current_phase(),
+            draining: self.session.is_draining(),
+            ingress_backlog: self.ingress.backlog(),
+            ready_tasks: self.session.ready_count(),
+            running_layers: self.session.running_count(),
+            admitted,
+            shed,
+            rejected,
+            sources,
+            sojourn_ms,
+            metrics,
+        });
+    }
+}

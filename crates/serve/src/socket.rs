@@ -1,0 +1,254 @@
+//! Socket ingress: line-delimited TCP and Unix-domain listeners that
+//! translate the [wire protocol](crate::wire) into ingress submissions.
+//!
+//! Each accepted connection registers its own ingress source (so the
+//! admission funnel is attributable per peer) and is served by a thread
+//! that reads lines, submits requests, and forwards control commands.
+//! Listeners poll with a short accept timeout so [`SocketServer::shutdown`]
+//! (or drop) stops them promptly.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::engine::ServeHandle;
+use crate::ingress::SubmitError;
+use crate::wire::{parse_line, WireCommand};
+
+const ACCEPT_POLL: Duration = Duration::from_millis(50);
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// A running socket listener; dropping it stops the accept loop (open
+/// connections drain on their own once the peer closes or the session
+/// ends).
+pub struct SocketServer {
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl SocketServer {
+    /// Stops accepting new connections and joins the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop_now();
+    }
+
+    fn stop_now(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SocketServer {
+    fn drop(&mut self) {
+        self.stop_now();
+    }
+}
+
+/// Starts a TCP listener feeding `handle`. Binds `addr` (use port 0 for
+/// an ephemeral port) and returns the bound address plus the server
+/// guard.
+///
+/// # Errors
+///
+/// Propagates bind errors.
+pub fn listen_tcp(
+    handle: &ServeHandle,
+    addr: impl ToSocketAddrs,
+) -> std::io::Result<(SocketAddr, SocketServer)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let handle = handle.clone();
+    let accept_thread = std::thread::spawn(move || {
+        while !accept_stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    let handle = handle.clone();
+                    let stop = Arc::clone(&accept_stop);
+                    std::thread::spawn(move || {
+                        let label = format!("tcp:{peer}");
+                        serve_connection(TcpTransport(stream), &handle, label, &stop);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    Ok((
+        local,
+        SocketServer {
+            stop,
+            accept_thread: Some(accept_thread),
+        },
+    ))
+}
+
+/// Starts a Unix-domain-socket listener feeding `handle` at `path`
+/// (removed first if it exists).
+///
+/// # Errors
+///
+/// Propagates bind errors.
+pub fn listen_unix(handle: &ServeHandle, path: impl AsRef<Path>) -> std::io::Result<SocketServer> {
+    let path = path.as_ref();
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let handle = handle.clone();
+    let label_base = path.display().to_string();
+    let accept_thread = std::thread::spawn(move || {
+        let mut conn = 0usize;
+        while !accept_stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    conn += 1;
+                    let handle = handle.clone();
+                    let stop = Arc::clone(&accept_stop);
+                    let label = format!("unix:{label_base}#{conn}");
+                    std::thread::spawn(move || {
+                        serve_connection(UnixTransport(stream), &handle, label, &stop);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    Ok(SocketServer {
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// The two stream flavors, unified just enough for one connection loop.
+trait Transport {
+    type Reader: BufRead;
+    fn split(self) -> std::io::Result<(Self::Reader, Box<dyn Write + Send>)>;
+    fn set_read_timeout(&self, dur: Duration) -> std::io::Result<()>;
+}
+
+struct TcpTransport(TcpStream);
+
+impl Transport for TcpTransport {
+    type Reader = BufReader<TcpStream>;
+
+    fn split(self) -> std::io::Result<(Self::Reader, Box<dyn Write + Send>)> {
+        let writer = self.0.try_clone()?;
+        Ok((BufReader::new(self.0), Box::new(writer)))
+    }
+
+    fn set_read_timeout(&self, dur: Duration) -> std::io::Result<()> {
+        self.0.set_read_timeout(Some(dur))
+    }
+}
+
+struct UnixTransport(UnixStream);
+
+impl Transport for UnixTransport {
+    type Reader = BufReader<UnixStream>;
+
+    fn split(self) -> std::io::Result<(Self::Reader, Box<dyn Write + Send>)> {
+        let writer = self.0.try_clone()?;
+        Ok((BufReader::new(self.0), Box::new(writer)))
+    }
+
+    fn set_read_timeout(&self, dur: Duration) -> std::io::Result<()> {
+        self.0.set_read_timeout(Some(dur))
+    }
+}
+
+fn serve_connection<T: Transport>(
+    transport: T,
+    handle: &ServeHandle,
+    label: String,
+    stop: &AtomicBool,
+) {
+    if transport.set_read_timeout(READ_POLL).is_err() {
+        return;
+    }
+    let Ok((reader, mut writer)) = transport.split() else {
+        return;
+    };
+    let client = handle.client(label);
+    let mut reader = reader;
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // `read_line` appends any bytes it consumed *before* a timeout
+        // fires, so the buffer must survive timeout retries — clearing it
+        // there would silently drop the first fragment of any command
+        // whose bytes straddle a read-timeout window.
+        let eof = match reader.read_line(&mut line) {
+            Ok(0) => true,
+            // A line is complete only at its `\n`; Ok without one means
+            // the stream ended mid-line — process the fragment, then EOF.
+            Ok(_) => !line.ends_with('\n'),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        if eof && line.is_empty() {
+            return;
+        }
+        let reply: Option<String> = match parse_line(&line) {
+            Ok(WireCommand::Empty) => None,
+            Ok(WireCommand::Ping) => Some("ok".into()),
+            Ok(WireCommand::Drain) => {
+                handle.drain();
+                Some("ok draining".into())
+            }
+            Ok(WireCommand::Swap(scenario)) => {
+                let name = scenario.name();
+                handle.swap(scenario);
+                Some(format!("ok swapping to {name}"))
+            }
+            Ok(WireCommand::Request { pipeline, node, at }) => {
+                // Requests are fire-and-forget; only failures answer.
+                let result = match at {
+                    Some(at) => client.submit_at(pipeline, node, at),
+                    None => client.submit(pipeline, node),
+                };
+                match result {
+                    Ok(()) => None,
+                    Err(SubmitError::Full) => Some("err queue full".into()),
+                    Err(SubmitError::Closed) => Some("err session closed".into()),
+                }
+            }
+            Err(reason) => Some(format!("err {reason}")),
+        };
+        if let Some(reply) = reply {
+            if writeln!(writer, "{reply}")
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                return;
+            }
+        }
+        if eof {
+            return;
+        }
+        line.clear();
+    }
+}

@@ -1,0 +1,162 @@
+//! The line-delimited wire protocol spoken over TCP/Unix-socket ingress.
+//!
+//! One command per `\n`-terminated line, fields separated by whitespace;
+//! `#` starts a comment and blank lines are ignored:
+//!
+//! ```text
+//! r <pipeline> <node> [at_ns]   # submit a request (optionally time-stamped)
+//! swap <scenario> [cascade]     # hot-swap the served scenario
+//! drain                         # graceful shutdown
+//! ping                          # liveness check
+//! ```
+//!
+//! Scenario names are the paper's (`AR_Call`, `VR_Gaming`, …),
+//! case-insensitive. Requests are fire-and-forget (errors come back as
+//! `err <reason>` lines); control commands are acknowledged with `ok`.
+
+use dream_models::{CascadeProbability, NodeId, PipelineId, Scenario, ScenarioKind};
+use dream_sim::SimTime;
+
+/// A parsed wire command.
+#[derive(Debug, Clone)]
+pub enum WireCommand {
+    /// Submit one inference request.
+    Request {
+        /// Target pipeline.
+        pipeline: PipelineId,
+        /// Target root node.
+        node: NodeId,
+        /// Optional explicit virtual arrival instant.
+        at: Option<SimTime>,
+    },
+    /// Hot-swap the served scenario.
+    Swap(Scenario),
+    /// Begin a graceful drain.
+    Drain,
+    /// Liveness check.
+    Ping,
+    /// Comment/blank line: nothing to do.
+    Empty,
+}
+
+/// Parses a scenario name (case-insensitive paper naming).
+pub fn parse_scenario_kind(name: &str) -> Option<ScenarioKind> {
+    ScenarioKind::all()
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+}
+
+/// Parses one protocol line.
+///
+/// # Errors
+///
+/// A human-readable reason, sent back to the peer as `err <reason>`.
+pub fn parse_line(line: &str) -> Result<WireCommand, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(WireCommand::Empty);
+    }
+    let mut fields = line.split_ascii_whitespace();
+    let cmd = fields.next().expect("non-empty line has a first field");
+    match cmd {
+        "r" => {
+            let mut num = |what: &str| -> Result<u64, String> {
+                fields
+                    .next()
+                    .ok_or_else(|| format!("missing {what}"))?
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid {what}"))
+            };
+            let pipeline = num("pipeline")?;
+            let node = num("node")?;
+            let at = match fields.next() {
+                None => None,
+                Some(raw) => Some(SimTime::from_ns(
+                    raw.parse::<u64>()
+                        .map_err(|_| "invalid at_ns".to_string())?,
+                )),
+            };
+            if fields.next().is_some() {
+                return Err("too many fields for r".into());
+            }
+            Ok(WireCommand::Request {
+                pipeline: PipelineId(pipeline as usize),
+                node: NodeId(node as usize),
+                at,
+            })
+        }
+        "swap" => {
+            let name = fields
+                .next()
+                .ok_or_else(|| "missing scenario".to_string())?;
+            let kind =
+                parse_scenario_kind(name).ok_or_else(|| format!("unknown scenario {name:?}"))?;
+            let cascade = match fields.next() {
+                None => CascadeProbability::default_paper(),
+                Some(raw) => {
+                    let p = raw
+                        .parse::<f64>()
+                        .map_err(|_| "invalid cascade".to_string())?;
+                    CascadeProbability::new(p).map_err(|e| e.to_string())?
+                }
+            };
+            if fields.next().is_some() {
+                return Err("too many fields for swap".into());
+            }
+            Ok(WireCommand::Swap(Scenario::new(kind, cascade)))
+        }
+        "drain" => Ok(WireCommand::Drain),
+        "ping" => Ok(WireCommand::Ping),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_requests_with_and_without_stamp() {
+        let WireCommand::Request { pipeline, node, at } = parse_line("r 1 0").unwrap() else {
+            panic!("expected request");
+        };
+        assert_eq!((pipeline, node, at), (PipelineId(1), NodeId(0), None));
+        let WireCommand::Request { pipeline, node, at } = parse_line("  r 0 2 5000 ").unwrap()
+        else {
+            panic!("expected request");
+        };
+        assert_eq!(
+            (pipeline, node, at),
+            (PipelineId(0), NodeId(2), Some(SimTime::from_ns(5000)))
+        );
+    }
+
+    #[test]
+    fn parses_control_and_comments() {
+        assert!(matches!(parse_line("drain").unwrap(), WireCommand::Drain));
+        assert!(matches!(parse_line("ping").unwrap(), WireCommand::Ping));
+        assert!(matches!(parse_line("").unwrap(), WireCommand::Empty));
+        assert!(matches!(parse_line("# hi").unwrap(), WireCommand::Empty));
+        let WireCommand::Swap(s) = parse_line("swap ar_call 0.25").unwrap() else {
+            panic!("expected swap");
+        };
+        assert_eq!(s.kind(), ScenarioKind::ArCall);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "r",
+            "r 1",
+            "r a b",
+            "r 1 2 x",
+            "r 1 2 3 4",
+            "swap",
+            "swap NoSuch",
+            "swap AR_Call 1.5",
+            "nonsense",
+        ] {
+            assert!(parse_line(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+}

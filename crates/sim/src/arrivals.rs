@@ -67,8 +67,9 @@ const GATE_ARRIVAL_STATE: u64 = 4_000;
 ///
 /// Implementations that randomize must draw through the provided
 /// [`DeterministicCoin`] (or otherwise be a pure function of the seed) so
-/// that every scheduler faces the identical arrival stream.
-pub trait ArrivalSource: std::fmt::Debug {
+/// that every scheduler faces the identical arrival stream. `Send` so
+/// configured simulations can move across threads.
+pub trait ArrivalSource: std::fmt::Debug + Send {
     /// Display name for run labels and diagnostics.
     fn name(&self) -> &str;
 

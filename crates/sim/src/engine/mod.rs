@@ -186,44 +186,7 @@ impl SimulationBuilder {
     /// configuration (cheap structural checks; see
     /// [`prebuilt_workload`](Self::prebuilt_workload)).
     fn check_prebuilt(&self, ws: &WorkloadSet, resolved: &[Phase]) -> Result<(), SimError> {
-        if ws.cost_digest() != self.cost.calibration_digest() {
-            return Err(SimError::WorkloadMismatch {
-                reason: "workload tables were built with a different cost backend/calibration"
-                    .into(),
-            });
-        }
-        if ws.acc_count() != self.platform.len() {
-            return Err(SimError::WorkloadMismatch {
-                reason: format!(
-                    "workload tables were built for {} accelerators, platform has {}",
-                    ws.acc_count(),
-                    self.platform.len()
-                ),
-            });
-        }
-        if ws.phases().len() != resolved.len() {
-            return Err(SimError::WorkloadMismatch {
-                reason: format!(
-                    "workload has {} phases, builder resolves {}",
-                    ws.phases().len(),
-                    resolved.len()
-                ),
-            });
-        }
-        for (built, want) in ws.phases().iter().zip(resolved) {
-            if built.start() != want.start() || built.end() != want.end() {
-                return Err(SimError::WorkloadMismatch {
-                    reason: format!(
-                        "phase window [{}, {}) differs from configured [{}, {})",
-                        built.start(),
-                        built.end(),
-                        want.start(),
-                        want.end()
-                    ),
-                });
-            }
-        }
-        Ok(())
+        check_workload_matches(ws, resolved, &self.platform, self.cost.as_ref())
     }
 
     /// Runs the simulation to completion under `scheduler`.
@@ -263,6 +226,56 @@ impl SimulationBuilder {
     }
 }
 
+/// Checks a prebuilt [`WorkloadSet`] against a resolved configuration:
+/// same backend calibration digest (which mixes the backend *kind*), same
+/// platform width, and the same phase windows. Shared by
+/// [`SimulationBuilder::prebuilt_workload`] validation and the live
+/// session's digest-validated scenario hot-swap.
+pub(crate) fn check_workload_matches(
+    ws: &WorkloadSet,
+    resolved: &[Phase],
+    platform: &Platform,
+    cost: &dyn CostBackend,
+) -> Result<(), SimError> {
+    if ws.cost_digest() != cost.calibration_digest() {
+        return Err(SimError::WorkloadMismatch {
+            reason: "workload tables were built with a different cost backend/calibration".into(),
+        });
+    }
+    if ws.acc_count() != platform.len() {
+        return Err(SimError::WorkloadMismatch {
+            reason: format!(
+                "workload tables were built for {} accelerators, platform has {}",
+                ws.acc_count(),
+                platform.len()
+            ),
+        });
+    }
+    if ws.phases().len() != resolved.len() {
+        return Err(SimError::WorkloadMismatch {
+            reason: format!(
+                "workload has {} phases, configuration resolves {}",
+                ws.phases().len(),
+                resolved.len()
+            ),
+        });
+    }
+    for (built, want) in ws.phases().iter().zip(resolved) {
+        if built.start() != want.start() || built.end() != want.end() {
+            return Err(SimError::WorkloadMismatch {
+                reason: format!(
+                    "phase window [{}, {}) differs from configured [{}, {})",
+                    built.start(),
+                    built.end(),
+                    want.start(),
+                    want.end()
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// The result of a completed simulation.
 #[derive(Debug)]
 pub struct SimOutcome {
@@ -285,6 +298,17 @@ impl SimOutcome {
     pub fn final_time(&self) -> SimTime {
         self.final_time
     }
+}
+
+/// What one [`Engine::step_event`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepStatus {
+    /// An event at or before the bound was applied.
+    Processed,
+    /// No pending event at or before the bound.
+    Blocked,
+    /// The `End` event fired; the run is over.
+    Finished,
 }
 
 /// A layer currently executing: what to charge and free on completion.
@@ -369,36 +393,66 @@ impl Engine {
         }
         self.queue.push(self.horizon, EventKind::End);
 
-        'outer: while let Some(event) = self.queue.pop() {
-            // Stage 1 — advance: apply this event (and, via the `continue`
-            // below, every simultaneous one) to the incremental state.
-            self.now = event.time;
-            self.metrics.events_processed += 1;
-            match event.kind {
-                EventKind::End => {
-                    self.drain_horizon_completions(scheduler);
-                    break 'outer;
-                }
-                EventKind::PhaseStart { phase } => self.start_phase(phase, scheduler),
-                EventKind::FrameArrival {
-                    phase,
-                    pipeline,
-                    node,
-                    frame,
-                } => self.frame_arrival(phase, pipeline, node, frame, scheduler),
-                EventKind::LayerDone { task } => self.layer_done(task, scheduler),
-            }
-            // Drain all simultaneous events before scheduling so the view
-            // reflects every accelerator freed at this instant.
-            if self.queue.peek_time() == Some(self.now) {
-                continue;
-            }
-            debug_assert!(self.arena.ready_list_is_consistent());
-            // Stages 2 and 3 — decide over the borrowed view, then
-            // dispatch the decision.
-            self.invoke_scheduler(scheduler);
-        }
+        while matches!(
+            self.step_event(scheduler, SimTime::MAX),
+            StepStatus::Processed
+        ) {}
 
+        self.take_outcome()
+    }
+
+    /// Pops and applies the next pending event if its time is at or before
+    /// `bound` — one iteration of the staged loop, shared verbatim by the
+    /// batch [`run`](Self::run) (bound = ∞) and the incremental
+    /// [`LiveSession`](crate::live::LiveSession) stepping (bound = the
+    /// live frontier). Because the event queue's intra-instant order is
+    /// canonical (see [`crate::event`]), driving the loop in bounded slices
+    /// is invisible: the same events produce the same processing sequence.
+    pub(crate) fn step_event(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        bound: SimTime,
+    ) -> StepStatus {
+        match self.queue.peek_time() {
+            None => return StepStatus::Blocked,
+            Some(t) if t > bound => return StepStatus::Blocked,
+            Some(_) => {}
+        }
+        let event = self.queue.pop().expect("peeked event exists");
+        // Stage 1 — advance: apply this event to the incremental state.
+        self.now = event.time;
+        self.metrics.events_processed += 1;
+        match event.kind {
+            EventKind::End => {
+                self.drain_horizon_completions(scheduler);
+                return StepStatus::Finished;
+            }
+            EventKind::PhaseStart { phase } => self.start_phase(phase, scheduler),
+            EventKind::FrameArrival {
+                phase,
+                pipeline,
+                node,
+                frame,
+            } => self.frame_arrival(phase, pipeline, node, frame, scheduler),
+            EventKind::LayerDone { task } => self.layer_done(task, scheduler),
+        }
+        // Drain all simultaneous events before scheduling so the view
+        // reflects every accelerator freed at this instant. A live caller
+        // never bounds mid-instant: admissions carry stamps strictly past
+        // the frontier, so everything at `now` is already queued.
+        if self.queue.peek_time() == Some(self.now) {
+            return StepStatus::Processed;
+        }
+        debug_assert!(self.arena.ready_list_is_consistent());
+        // Stages 2 and 3 — decide over the borrowed view, then dispatch
+        // the decision.
+        self.invoke_scheduler(scheduler);
+        StepStatus::Processed
+    }
+
+    /// Finalizes accounting and moves the metrics out — the common tail of
+    /// a completed run.
+    pub(crate) fn take_outcome(&mut self) -> SimOutcome {
         self.finalize_accounting();
         SimOutcome {
             metrics: std::mem::replace(&mut self.metrics, Metrics::new(self.horizon, 0)),

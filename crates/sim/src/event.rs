@@ -30,13 +30,50 @@ pub(crate) struct Event {
     pub kind: EventKind,
 }
 
+impl EventKind {
+    /// Processing rank among simultaneous events. Phase boundaries apply
+    /// first, then the horizon, then completions, then new arrivals — so
+    /// an instant's order is a pure function of the events at it, not of
+    /// when each was pushed. That independence is what lets a live session
+    /// inject arrivals as they are admitted (long after the recurrence
+    /// would have pushed them) and still replay bit-identically through
+    /// the batch path.
+    fn rank(&self) -> u8 {
+        match self {
+            EventKind::PhaseStart { .. } => 0,
+            EventKind::End => 1,
+            EventKind::LayerDone { .. } => 2,
+            EventKind::FrameArrival { .. } => 3,
+        }
+    }
+
+    /// Canonical tie-break within a rank. Arrivals order by model key and
+    /// frame; completions have no push-order-free identity, but their
+    /// pushes happen in dispatch order, which *is* reproducible, so seq
+    /// (compared by the caller) stays their tie-break.
+    fn tie_key(&self) -> (usize, usize, usize, u64) {
+        match self {
+            EventKind::FrameArrival {
+                phase,
+                pipeline,
+                node,
+                frame,
+            } => (*phase, pipeline.0, node.0, *frame),
+            EventKind::PhaseStart { phase } => (*phase, 0, 0, 0),
+            _ => (0, 0, 0, 0),
+        }
+    }
+}
+
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for the max-heap: earliest time first, then insertion
-        // order for a deterministic tie-break.
+        // Reverse for the max-heap: earliest time first, then the
+        // canonical kind rank and key, then insertion order.
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.kind.rank().cmp(&self.kind.rank()))
+            .then_with(|| other.kind.tie_key().cmp(&self.kind.tie_key()))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -82,6 +119,49 @@ impl EventQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn simultaneous_events_order_by_rank_then_key_not_push_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(100);
+        let arrival = |pl: usize, node: usize, frame: u64| EventKind::FrameArrival {
+            phase: 0,
+            pipeline: PipelineId(pl),
+            node: NodeId(node),
+            frame,
+        };
+        // Push in scrambled order: arrivals first, completion last.
+        q.push(t, arrival(1, 0, 7));
+        q.push(t, arrival(0, 2, 3));
+        q.push(t, EventKind::PhaseStart { phase: 1 });
+        q.push(t, arrival(0, 0, 4));
+        q.push(t, EventKind::LayerDone { task: TaskId(9) });
+        let kinds: Vec<EventKind> = std::iter::from_fn(|| q.pop().map(|e| e.kind)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::PhaseStart { phase: 1 },
+                EventKind::LayerDone { task: TaskId(9) },
+                arrival(0, 0, 4),
+                arrival(0, 2, 3),
+                arrival(1, 0, 7),
+            ],
+            "an instant's order is canonical, not push order"
+        );
+    }
+
+    #[test]
+    fn end_precedes_simultaneous_completions() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        q.push(t, EventKind::LayerDone { task: TaskId(1) });
+        q.push(t, EventKind::End);
+        assert_eq!(q.pop().unwrap().kind, EventKind::End);
+        assert_eq!(
+            q.pop().unwrap().kind,
+            EventKind::LayerDone { task: TaskId(1) }
+        );
+    }
 
     #[test]
     fn orders_by_time_then_insertion() {

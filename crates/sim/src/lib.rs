@@ -56,6 +56,7 @@ mod determ;
 mod engine;
 mod error;
 mod event;
+pub mod live;
 mod metrics;
 mod scheduler;
 mod task;
@@ -68,6 +69,9 @@ pub use arrivals::{
 pub use determ::{DeterministicCoin, Fnv64};
 pub use engine::{SimOutcome, SimulationBuilder};
 pub use error::SimError;
+pub use live::{
+    Admission, LiveError, LiveSession, LiveSessionBuilder, LiveSessionRecord, LiveStatus,
+};
 pub use metrics::{Metrics, ModelStats};
 pub use scheduler::{
     AccState, Assignment, Decision, Scheduler, SchedulerCapabilities, SystemView, TaskEvent,

@@ -175,6 +175,14 @@ impl Metrics {
         self.stats.get_mut(&key)
     }
 
+    /// Re-pins the measurement horizon — used by a live session when a
+    /// drain resolves the provisional open-ended horizon into the real
+    /// one, so the finished metrics fingerprint the same window a batch
+    /// replay of the session would.
+    pub(crate) fn set_horizon(&mut self, horizon: SimTime) {
+        self.horizon = horizon;
+    }
+
     /// The measurement horizon.
     pub fn horizon(&self) -> SimTime {
         self.horizon
@@ -319,6 +327,49 @@ impl Metrics {
         h.finish()
     }
 
+    /// A clone with the per-request sojourn sample vectors left empty:
+    /// every counter, energy, and histogram is copied, but the raw
+    /// samples — which grow one entry per completion, without bound over
+    /// a long-running session — are not. This is the bounded-size form
+    /// live snapshots publish; the counters fully pin down a run's
+    /// outcome (the samples are excluded from [`fingerprint`](Self::fingerprint)
+    /// for the same reason).
+    pub fn clone_counters(&self) -> Metrics {
+        Metrics {
+            horizon: self.horizon,
+            stats: self
+                .stats
+                .iter()
+                .map(|(&key, s)| {
+                    (
+                        key,
+                        ModelStats {
+                            model_name: s.model_name,
+                            fps: s.fps,
+                            released: s.released,
+                            censored: s.censored,
+                            completed_on_time: s.completed_on_time,
+                            completed_late: s.completed_late,
+                            dropped: s.dropped,
+                            flushed: s.flushed,
+                            energy_pj: s.energy_pj,
+                            worst_energy_pj: s.worst_energy_pj,
+                            variant_runs: s.variant_runs.clone(),
+                            wait_ns: s.wait_ns,
+                            sojourn_ns: Vec::new(),
+                        },
+                    )
+                })
+                .collect(),
+            scheduler_invocations: self.scheduler_invocations,
+            invalid_decisions: self.invalid_decisions,
+            layer_executions: self.layer_executions,
+            context_switches: self.context_switches,
+            acc_busy_ns: self.acc_busy_ns.clone(),
+            events_processed: self.events_processed,
+        }
+    }
+
     /// Mean accelerator utilisation over the horizon, in `[0, 1]`.
     pub fn mean_utilization(&self) -> f64 {
         if self.acc_busy_ns.is_empty() || self.horizon.as_ns() == 0 {
@@ -407,6 +458,29 @@ mod tests {
         assert!((m.overall_normalized_energy() - 0.7).abs() < 1e-12);
         assert!((m.mean_violation_rate() - 0.25).abs() < 1e-12);
         assert!((m.total_energy_mj() - 70.0 / 1.0e9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn clone_counters_drops_samples_but_fingerprints_identically() {
+        let mut m = Metrics::new(SimTime::from_ns(1_000), 1);
+        {
+            let s = m.entry(key(0), "a", 30.0, 2);
+            s.released = 3;
+            s.completed_on_time = 3;
+            s.variant_runs = vec![2, 1];
+            s.sojourn_ns = vec![5, 9, 7];
+            s.energy_pj = 12.5;
+        }
+        m.layer_executions = 4;
+        let c = m.clone_counters();
+        assert!(c.model(key(0)).unwrap().sojourn_ns.is_empty());
+        assert_eq!(c.model(key(0)).unwrap().variant_runs, vec![2, 1]);
+        assert_eq!(c.layer_executions, 4);
+        // Samples are not part of the fingerprint, so the counter clone
+        // fingerprints identically.
+        assert_eq!(c.fingerprint(), m.fingerprint());
+        assert!(c.sojourn_percentile_ms(0.5).is_none());
+        assert_eq!(m.sojourn_percentile_ms(0.5), Some(7.0 / 1.0e6));
     }
 
     #[test]

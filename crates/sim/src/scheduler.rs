@@ -305,8 +305,9 @@ impl<'a> SystemView<'a> {
 /// The engine calls [`Scheduler::schedule`] whenever at least one
 /// accelerator is idle and at least one task is ready. Implementations must
 /// be deterministic functions of the view (plus their own state) for runs
-/// to be reproducible.
-pub trait Scheduler {
+/// to be reproducible. `Send` so simulations (and the live serving
+/// runtime) can move across threads.
+pub trait Scheduler: Send {
     /// Display name (used in experiment tables).
     fn name(&self) -> &str;
 

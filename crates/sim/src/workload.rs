@@ -446,6 +446,12 @@ impl WorkloadSet {
         &self.nodes[&key]
     }
 
+    /// Non-panicking node lookup — for validating externally supplied
+    /// keys (trace entries, live admissions).
+    pub fn try_node(&self, key: ModelKey) -> Option<&NodeInfo> {
+        self.nodes.get(&key)
+    }
+
     /// Number of sub-accelerators the tables were built for.
     pub fn acc_count(&self) -> usize {
         self.acc_count

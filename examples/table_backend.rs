@@ -45,11 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    otherwise produce.
     let model = CostModel::paper_default();
     let exported = TableBackend::derive("ar-call-demo", &model, &platform, ws.layers())?;
-    let dir = std::env::var_os("DREAM_ARTIFACTS_DIR")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| [env!("CARGO_MANIFEST_DIR"), "artifacts"].iter().collect())
-        .join("tables");
-    std::fs::create_dir_all(&dir)?;
+    let dir = dream_bench::artifacts_dir("tables");
     let csv_path = dir.join("ar_call_costs.csv");
     let json_path = dir.join("ar_call_costs.json");
     exported.save(&csv_path)?;

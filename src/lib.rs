@@ -25,6 +25,12 @@
 //!   online α/β tuning, and supernet switching.
 //! * [`baselines`] — FCFS, a static offline scheduler, and Veltair- and
 //!   Planaria-style schedulers used as comparison points in the paper.
+//! * [`serve`] — the live serving runtime: bounded channel/TCP/Unix-socket
+//!   ingress with explicit admission policies feeds a long-running
+//!   [`sim::LiveSession`] (incremental engine stepping, scenario hot-swap,
+//!   graceful drain) and publishes live metrics snapshots. Every admitted
+//!   arrival is recorded, and a session's batch replay is bit-identical —
+//!   live serving *is* the simulator, fed incrementally.
 //! * `dream-bench` (dev-only) — the experiment harness. Its
 //!   `ExperimentGrid` fans whole (scheduler × scenario × platform × seed)
 //!   figure grids out across a thread pool with deterministic, seed-keyed
@@ -64,6 +70,7 @@ pub use dream_baselines as baselines;
 pub use dream_core as core;
 pub use dream_cost as cost;
 pub use dream_models as models;
+pub use dream_serve as serve;
 pub use dream_sim as sim;
 
 /// Convenience re-exports of the most commonly used types.
@@ -77,9 +84,12 @@ pub mod prelude {
     pub use dream_cost::{
         AcceleratorConfig, CostBackend, CostModel, Dataflow, Platform, PlatformPreset, TableBackend,
     };
-    pub use dream_models::{CascadeProbability, Model, ModelGraph, Scenario, ScenarioKind};
+    pub use dream_models::{
+        CascadeProbability, Model, ModelGraph, NodeId, PipelineId, Scenario, ScenarioKind,
+    };
     pub use dream_sim::{
-        ArrivalSource, ArrivalTrace, Metrics, Millis, MmppArrivals, PeriodicArrivals,
-        PoissonArrivals, Scheduler, SimOutcome, SimTime, SimulationBuilder, TraceArrivals,
+        ArrivalSource, ArrivalTrace, LiveSession, LiveSessionBuilder, LiveSessionRecord, Metrics,
+        Millis, MmppArrivals, PeriodicArrivals, PoissonArrivals, Scheduler, SimOutcome, SimTime,
+        SimulationBuilder, TraceArrivals,
     };
 }
