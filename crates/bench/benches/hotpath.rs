@@ -6,9 +6,11 @@
 //! Writes `BENCH_hotpath.json` at the workspace root so successive PRs
 //! can track the perf trajectory of the hot path (schema documented in
 //! `crates/bench/README.md`; `scripts/check_hotpath.sh` gates CI on the
-//! `decisions_per_sec` field). Headline rates come from uninstrumented
-//! reps; one extra instrumented rep records the per-stage split (MapScore
-//! table build vs. greedy matching vs. engine stepping).
+//! `decisions_per_sec` field). The gated decision rate comes from the
+//! best uninstrumented rep; one extra instrumented rep records the
+//! per-stage split (MapScore table build vs. greedy matching vs. engine
+//! stepping) and supplies `events_per_sec` from that same timed region,
+//! so the event rate and the stage numbers always describe one run.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -73,40 +75,47 @@ fn main() {
     let mut best: Option<Sample> = None;
     for rep in 0..REPS {
         let s = run_once(u64::from(rep), false);
-        let eps = s.events as f64 / s.wall_s;
+        let dps = s.decisions as f64 / s.wall_s;
         println!(
             "rep {rep}: {} events, {} decisions, {} layers in {:.1} ms  →  {:.0} events/s, {:.0} decisions/s",
             s.events,
             s.decisions,
             s.layers,
             s.wall_s * 1e3,
-            eps,
-            s.decisions as f64 / s.wall_s
+            s.events as f64 / s.wall_s,
+            dps,
         );
         if best
             .as_ref()
-            .map(|b| eps > b.events as f64 / b.wall_s)
+            .map(|b| dps > b.decisions as f64 / b.wall_s)
             .unwrap_or(true)
         {
             best = Some(s);
         }
     }
     let best = best.expect("at least one rep ran");
-    let events_per_sec = best.events as f64 / best.wall_s;
     let decisions_per_sec = best.decisions as f64 / best.wall_s;
     println!(
-        "hotpath: DreamScheduler::schedule on AR_Call — best {events_per_sec:.0} events/s, {decisions_per_sec:.0} decisions/s",
+        "hotpath: DreamScheduler::schedule on AR_Call — best {decisions_per_sec:.0} decisions/s",
     );
 
     // One instrumented rep for the stage split. Timer reads add overhead,
-    // so this rep never contributes to the headline rates; the engine
-    // share is the wall time minus the measured scheduler time.
+    // so this rep never contributes to the gated decision rate; the
+    // engine share is the wall time minus the measured scheduler time.
+    // `events_per_sec` is derived from this same timed region so it and
+    // the `stages` block always describe one run (they used to come from
+    // different reps and could drift apart).
     let probe = run_once(0, true);
     let t = probe.timings.expect("instrumentation was enabled");
     let per = |ns: u64| ns as f64 / t.invocations.max(1) as f64;
     let wall_ns = probe.wall_s * 1e9;
     let engine_ns_total = (wall_ns - t.total_ns() as f64).max(0.0);
     let engine_ns_per_event = engine_ns_total / probe.events.max(1) as f64;
+    let events_per_sec = probe.events as f64 / probe.wall_s;
+    println!(
+        "instrumented rep: {:.0} events/s (same timed region as the stage split)",
+        events_per_sec,
+    );
     println!(
         "stages (instrumented rep): score build {:.0} ns/decision, matching {:.0} ns/decision, \
          scheduler other {:.0} ns/decision, engine stepping {:.0} ns/event",
@@ -118,7 +127,7 @@ fn main() {
 
     let json = format!(
         "{{\n  \"bench\": \"hotpath\",\n  \"scenario\": \"AR_Call\",\n  \"scheduler\": \"DREAM-MapScore\",\n  \"horizon_ms\": {HORIZON_MS},\n  \"events\": {},\n  \"decisions\": {},\n  \"layer_executions\": {},\n  \"events_per_sec\": {events_per_sec:.0},\n  \"decisions_per_sec\": {decisions_per_sec:.0},\n  \"stages\": {{\n    \"score_build_ns_per_decision\": {:.1},\n    \"matching_ns_per_decision\": {:.1},\n    \"scheduler_other_ns_per_decision\": {:.1},\n    \"engine_stepping_ns_per_event\": {:.1}\n  }}\n}}\n",
-        best.events,
+        probe.events,
         best.decisions,
         best.layers,
         per(t.score_build_ns),

@@ -1,7 +1,7 @@
 //! Live-ingress soak: how much request traffic the serving runtime
 //! sustains with *bounded* queues.
 //!
-//! Two phases:
+//! Three phases:
 //!
 //! 1. **Channel soak** — several producer threads blast the in-process
 //!    [`ChannelClient`] for a fixed wall window against a shed-oldest
@@ -12,6 +12,11 @@
 //!    depth bounded by the admission budget).
 //! 2. **Socket soak** — one TCP peer streams `r` lines through the wire
 //!    protocol as fast as it can write them.
+//! 3. **Multi-session soak** — many full-scheduler live sessions stepped
+//!    round-robin on one shard ([`dream_sim::MultiSession`]), each fed
+//!    its root pipelines at their native periods. Reports virtual
+//!    seconds simulated per wall second — how many always-on sessions
+//!    one core sustains in real time — with a conservative floor.
 //!
 //! Virtual time runs 1000× wall so the admitted trickle stays inside the
 //! scenario's service capacity — the soak stresses the *ingress*, not
@@ -27,11 +32,15 @@ use dream_core::{DreamConfig, DreamScheduler};
 use dream_cost::{Platform, PlatformPreset};
 use dream_models::{CascadeProbability, NodeId, PipelineId, Scenario, ScenarioKind};
 use dream_serve::{listen_tcp, AdmissionPolicy, ServeConfig, ServeEngine, WallClock};
+use dream_sim::{Millis, MultiSessionBuilder, SimTime};
 
 const CHANNEL_PRODUCERS: usize = 4;
 const CHANNEL_SOAK: Duration = Duration::from_millis(1200);
 const SOCKET_LINES: usize = 100_000;
 const REQUIRED_CHANNEL_RPS: f64 = 50_000.0;
+const MULTI_SESSIONS: usize = 64;
+const MULTI_HORIZON_MS: u64 = 200;
+const REQUIRED_SESSIONS_PER_CORE: f64 = 100.0;
 
 fn main() {
     let scenario = Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper());
@@ -163,8 +172,71 @@ fn main() {
     );
     assert_eq!(total_admitted, report.record.trace().len() as u64);
     assert!(report.outcome.metrics().layer_executions > 0);
+
+    // ---- Phase 3: multi-session stepping soak ----
+    let scenario = Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper());
+    let horizon = SimTime::from(Millis::new(MULTI_HORIZON_MS));
+    let start = Instant::now();
+    let mut multi =
+        MultiSessionBuilder::new(Platform::preset(PlatformPreset::Hetero4kWs1Os2), scenario)
+            .horizon_cap(SimTime::from(Millis::new(MULTI_HORIZON_MS + 100)))
+            .start(MULTI_SESSIONS, |_| {
+                Box::new(DreamScheduler::new(DreamConfig::full()))
+            })
+            .expect("multi-session soak config is valid");
+    let roots: Vec<(dream_sim::ModelKey, u64)> = multi
+        .workload()
+        .nodes()
+        .filter(|n| n.key().phase == 0 && n.parent().is_none())
+        .map(|n| (n.key(), n.period().as_ns()))
+        .collect();
+    let slice = SimTime::from(Millis::new(10));
+    let mut frontier = SimTime::ZERO;
+    let mut next: Vec<Vec<u64>> = (0..MULTI_SESSIONS)
+        .map(|s| vec![s as u64 * 1_000; roots.len()])
+        .collect();
+    while frontier < horizon {
+        let end = (frontier + slice).min(horizon);
+        for (s, stamps) in next.iter_mut().enumerate() {
+            for (r, stamp) in stamps.iter_mut().enumerate() {
+                let (key, period) = roots[r];
+                while *stamp < end.as_ns() {
+                    multi
+                        .admit(s, key.pipeline, key.node, SimTime::from_ns(*stamp))
+                        .expect("soak admission is valid");
+                    *stamp += period;
+                }
+            }
+        }
+        multi.step_until(end);
+        frontier = end;
+    }
+    let outcomes = multi.finish().expect("soak sessions finish");
+    let wall_s = start.elapsed().as_secs_f64();
+    let events: u64 = outcomes
+        .iter()
+        .map(|(o, _)| o.metrics().events_processed)
+        .sum();
+    let virtual_s: f64 = outcomes
+        .iter()
+        .map(|(o, _)| o.final_time().as_ns_f64() / 1e9)
+        .sum();
+    let sessions_per_core = virtual_s / wall_s;
+    println!(
+        "multi-session soak: {MULTI_SESSIONS} DREAM sessions × {MULTI_HORIZON_MS} ms on one \
+         shard — {events} events in {wall_s:.2} s ({:.0} events/s aggregate), \
+         {sessions_per_core:.0} sessions/core",
+        events as f64 / wall_s,
+    );
+    assert!(
+        sessions_per_core >= REQUIRED_SESSIONS_PER_CORE,
+        "one core must sustain ≥ {REQUIRED_SESSIONS_PER_CORE:.0} always-on sessions, \
+         measured {sessions_per_core:.0}"
+    );
+
     println!(
         "live_soak ok: channel {channel_rps:.0} req/s (floor {REQUIRED_CHANNEL_RPS:.0}), \
-         shed/reject observable, queues bounded"
+         shed/reject observable, queues bounded, \
+         {sessions_per_core:.0} sessions/core (floor {REQUIRED_SESSIONS_PER_CORE:.0})"
     );
 }

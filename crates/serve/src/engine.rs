@@ -102,6 +102,9 @@ pub struct MetricsSnapshot {
     pub ready_tasks: usize,
     /// Layers executing right now.
     pub running_layers: usize,
+    /// Events pending in the engine's queue — admitted arrivals not yet
+    /// processed, completions in flight, and phase/horizon bookkeeping.
+    pub event_backlog: usize,
     /// Total arrivals admitted so far.
     pub admitted: u64,
     /// Total requests shed from the bounded queue.
@@ -432,6 +435,7 @@ impl ServeEngine {
             ingress_backlog: self.ingress.backlog(),
             ready_tasks: self.session.ready_count(),
             running_layers: self.session.running_count(),
+            event_backlog: self.session.event_queue_depth(),
             admitted,
             shed,
             rejected,

@@ -29,6 +29,7 @@ impl Engine {
             if ready {
                 let task = self.arena.remove(id).expect("stale task exists");
                 self.record_flush(&task, scheduler);
+                self.recycle_task(task);
             } else {
                 self.flushing_insert(id);
             }
@@ -120,16 +121,34 @@ impl Engine {
         let phase_end = ws.phases()[key.phase].end;
         let counted = deadline <= phase_end && deadline <= self.horizon;
         let id = self.arena.allocate_id();
-        let task = Task::new(
-            id,
-            node,
-            frame,
-            frame_arrival,
-            self.now,
-            deadline,
-            counted,
-            &ws,
-        );
+        // Reuse a retired shell when one is pooled — `reinit` repeats
+        // `Task::new`'s initialisation (and float-op) sequence exactly, so
+        // a recycled release is bit-identical to a fresh one.
+        let task = match self.task_pool.pop() {
+            Some(mut shell) => {
+                shell.reinit(
+                    id,
+                    node,
+                    frame,
+                    frame_arrival,
+                    self.now,
+                    deadline,
+                    counted,
+                    &ws,
+                );
+                shell
+            }
+            None => Task::new(
+                id,
+                node,
+                frame,
+                frame_arrival,
+                self.now,
+                deadline,
+                counted,
+                &ws,
+            ),
+        };
         self.record_release(&task, node);
         self.notify_release(id, key, counted, scheduler);
         self.arena.insert(task);

@@ -3,7 +3,7 @@
 //! re-queue the task.
 
 use crate::scheduler::Scheduler;
-use crate::task::TaskId;
+use crate::task::{TaskId, TaskState};
 
 use super::Engine;
 
@@ -12,9 +12,23 @@ impl Engine {
         let run = self
             .in_flight_remove(task_id)
             .expect("LayerDone for a task with no in-flight layer");
+        // Copy the gang out of the task's Running state into the engine's
+        // reusable scratch, so accelerator state can be mutated below
+        // without borrowing the arena (and without a per-dispatch clone).
+        let mut gang = std::mem::take(&mut self.scratch_accs);
+        gang.clear();
+        match self
+            .arena
+            .get(task_id)
+            .expect("running task exists")
+            .state()
+        {
+            TaskState::Running(accs) => gang.extend_from_slice(accs),
+            TaskState::Ready => unreachable!("LayerDone for a task that is not running"),
+        }
         // Free the accelerators and remember the flush volume.
         let out_bytes = self.ws.output_bytes(run.layer.layer);
-        for &acc in &run.accs {
+        for &acc in &gang {
             let st = &mut self.accs[acc.0];
             debug_assert_eq!(st.running, Some(task_id));
             st.running = None;
@@ -35,6 +49,8 @@ impl Engine {
             if !finished_at_boundary {
                 let task = self.arena.remove(task_id).expect("flushing task exists");
                 self.record_flush(&task, scheduler);
+                self.recycle_task(task);
+                self.scratch_accs = gang;
                 return;
             }
         }
@@ -42,9 +58,10 @@ impl Engine {
         let task = self.arena.get_mut(task_id).expect("running task exists");
         let key = task.key();
         let counted = task.counted();
-        for &acc in &run.accs {
+        for &acc in &gang {
             self.accs[acc.0].last_model = Some(key);
         }
+        self.scratch_accs = gang;
         let completed = task.complete_head(self.now, run.energy_pj, &self.ws);
         if counted {
             if let Some(stats) = self.metrics.get_mut(key) {
@@ -72,5 +89,6 @@ impl Engine {
         let on_time = self.now <= task.deadline();
         self.record_completion(&task, node, on_time, scheduler);
         self.fire_cascades(&task, node, scheduler);
+        self.recycle_task(task);
     }
 }

@@ -51,19 +51,20 @@ impl Engine {
                 Some(task) if task.is_ready() => {
                     let task = self.arena.remove(task_id).expect("dropped task exists");
                     self.record_drop(&task, scheduler);
+                    self.recycle_task(task);
                 }
                 _ => self.metrics.invalid_decisions += 1,
             }
         }
 
         for assignment in decision.assignments {
-            if !self.apply_assignment(&assignment) {
+            if !self.apply_assignment(assignment) {
                 self.metrics.invalid_decisions += 1;
             }
         }
     }
 
-    pub(crate) fn apply_assignment(&mut self, assignment: &crate::scheduler::Assignment) -> bool {
+    pub(crate) fn apply_assignment(&mut self, assignment: crate::scheduler::Assignment) -> bool {
         if assignment.accs.is_empty() {
             return false;
         }
@@ -125,9 +126,6 @@ impl Engine {
         }
 
         self.charge_dispatch_wait(assignment.task);
-        let task = self.arena.get_mut(assignment.task).expect("checked above");
-        task.set_running(assignment.accs.clone());
-        self.arena.mark_running(assignment.task);
         let done_at = self.now + SimTime::from_ns_f64(latency_ns.max(1.0));
         for &acc in &assignment.accs {
             let st = &mut self.accs[acc.0];
@@ -136,11 +134,15 @@ impl Engine {
             st.busy_ns += done_at.saturating_sub(self.now).as_ns();
             self.occupy_acc(acc);
         }
+        // The gang vector moves from the decision into the task state —
+        // completion reads it back from there, so dispatch clones nothing.
+        let task = self.arena.get_mut(assignment.task).expect("checked above");
+        task.set_running(assignment.accs);
+        self.arena.mark_running(assignment.task);
         self.in_flight_insert(
             assignment.task,
             InFlight {
                 energy_pj,
-                accs: assignment.accs.clone(),
                 layer: head,
             },
         );

@@ -3,9 +3,10 @@
 //! One simulation is executed by [`Engine`], a discrete-event loop split
 //! into explicit stages per event batch:
 //!
-//! 1. **advance** — pop the earliest event batch from the binary-heap
-//!    [`EventQueue`](crate::event::EventQueue) and apply every event at
-//!    that instant ([`arrivals`], [`completion`]), updating the slab-backed
+//! 1. **advance** — drain the earliest pending instant from the
+//!    time-bucketed [`EventQueue`](crate::event::EventQueue) (one cell,
+//!    sorted once by the canonical order) and apply every event at that
+//!    instant ([`arrivals`], [`completion`]), updating the slab-backed
 //!    [`TaskArena`](arena::TaskArena) and the idle-accelerator list
 //!    incrementally;
 //! 2. **decide** — when work is ready and capacity is idle, hand the
@@ -311,10 +312,11 @@ pub(crate) enum StepStatus {
     Finished,
 }
 
-/// A layer currently executing: what to charge and free on completion.
+/// A layer currently executing: what to charge on completion. The gang
+/// to free lives in the task's own [`TaskState::Running`](crate::task::TaskState)
+/// — one owner, no per-dispatch clone.
 pub(crate) struct InFlight {
     pub energy_pj: f64,
-    pub accs: Vec<AcceleratorId>,
     pub layer: QueuedLayer,
 }
 
@@ -344,6 +346,12 @@ pub(crate) struct Engine {
     pub(crate) queue: EventQueue,
     pub(crate) metrics: Metrics,
     pub(crate) current_phase: usize,
+    /// Reusable buffer for the completing layer's gang (completion copies
+    /// it out of the task state before mutating accelerator state).
+    pub(crate) scratch_accs: Vec<AcceleratorId>,
+    /// Retired [`Task`](crate::task::Task) shells, reused by the next
+    /// release so steady-state task churn allocates nothing.
+    pub(crate) task_pool: Vec<crate::task::Task>,
 }
 
 impl Engine {
@@ -382,6 +390,8 @@ impl Engine {
             queue: EventQueue::new(),
             metrics,
             current_phase: 0,
+            scratch_accs: Vec::new(),
+            task_pool: Vec::new(),
         }
     }
 
@@ -401,48 +411,53 @@ impl Engine {
         self.take_outcome()
     }
 
-    /// Pops and applies the next pending event if its time is at or before
-    /// `bound` — one iteration of the staged loop, shared verbatim by the
-    /// batch [`run`](Self::run) (bound = ∞) and the incremental
-    /// [`LiveSession`](crate::live::LiveSession) stepping (bound = the
-    /// live frontier). Because the event queue's intra-instant order is
-    /// canonical (see [`crate::event`]), driving the loop in bounded slices
-    /// is invisible: the same events produce the same processing sequence.
+    /// Drains and applies every pending event at the next instant if that
+    /// instant is at or before `bound` — one iteration of the staged loop,
+    /// shared verbatim by the batch [`run`](Self::run) (bound = ∞) and the
+    /// incremental [`LiveSession`](crate::live::LiveSession) stepping
+    /// (bound = the live frontier). Because the event queue's intra-instant
+    /// order is canonical (see [`crate::event`]), draining the whole
+    /// instant in one call is invisible: the same events produce the same
+    /// processing sequence, and the bound can only split *between*
+    /// instants, never inside one. A live caller never bounds mid-instant
+    /// anyway: admissions carry stamps strictly past the frontier, so
+    /// everything at `now` is already queued.
     pub(crate) fn step_event(
         &mut self,
         scheduler: &mut dyn Scheduler,
         bound: SimTime,
     ) -> StepStatus {
-        match self.queue.peek_time() {
+        let now = match self.queue.peek_time() {
             None => return StepStatus::Blocked,
             Some(t) if t > bound => return StepStatus::Blocked,
-            Some(_) => {}
-        }
-        let event = self.queue.pop().expect("peeked event exists");
-        // Stage 1 — advance: apply this event to the incremental state.
-        self.now = event.time;
-        self.metrics.events_processed += 1;
-        match event.kind {
-            EventKind::End => {
-                self.drain_horizon_completions(scheduler);
-                return StepStatus::Finished;
+            Some(t) => t,
+        };
+        // Stage 1 — advance: apply every event at this instant to the
+        // incremental state, in canonical order, without re-searching the
+        // queue per event (each iteration is a cursor bump in the
+        // instant's cell; a handler pushing a same-instant event — e.g. a
+        // back-to-back arrival recurrence — lands in the unpopped
+        // remainder at its canonical position).
+        self.now = now;
+        while let Some(event) = self.queue.pop_if_at(now) {
+            self.metrics.events_processed += 1;
+            match event.kind {
+                EventKind::End => {
+                    self.drain_horizon_completions(scheduler);
+                    return StepStatus::Finished;
+                }
+                EventKind::PhaseStart { phase } => self.start_phase(phase, scheduler),
+                EventKind::FrameArrival {
+                    phase,
+                    pipeline,
+                    node,
+                    frame,
+                } => self.frame_arrival(phase, pipeline, node, frame, scheduler),
+                EventKind::LayerDone { task } => self.layer_done(task, scheduler),
             }
-            EventKind::PhaseStart { phase } => self.start_phase(phase, scheduler),
-            EventKind::FrameArrival {
-                phase,
-                pipeline,
-                node,
-                frame,
-            } => self.frame_arrival(phase, pipeline, node, frame, scheduler),
-            EventKind::LayerDone { task } => self.layer_done(task, scheduler),
         }
-        // Drain all simultaneous events before scheduling so the view
-        // reflects every accelerator freed at this instant. A live caller
-        // never bounds mid-instant: admissions carry stamps strictly past
-        // the frontier, so everything at `now` is already queued.
-        if self.queue.peek_time() == Some(self.now) {
-            return StepStatus::Processed;
-        }
+        // The instant is fully drained, so the view reflects every
+        // accelerator freed at it.
         debug_assert!(self.arena.ready_list_is_consistent());
         // Stages 2 and 3 — decide over the borrowed view, then dispatch
         // the decision.
@@ -468,8 +483,7 @@ impl Engine {
     /// counterpart of stopping the arrival recurrence strictly before the
     /// horizon.
     pub(crate) fn drain_horizon_completions(&mut self, scheduler: &mut dyn Scheduler) {
-        while self.queue.peek_time() == Some(self.now) {
-            let event = self.queue.pop().expect("peeked event exists");
+        while let Some(event) = self.queue.pop_if_at(self.now) {
             if let EventKind::LayerDone { task } = event.kind {
                 self.metrics.events_processed += 1;
                 self.layer_done(task, scheduler);
@@ -526,6 +540,15 @@ impl Engine {
         match self.flushing.binary_search_by_key(&task, |&(id, _)| id) {
             Ok(pos) => Some(self.flushing.remove(pos).1),
             Err(_) => None,
+        }
+    }
+
+    /// Returns a removed task's shell to the pool for the next release to
+    /// reuse. Capped so a transient burst cannot pin memory forever.
+    pub(crate) fn recycle_task(&mut self, task: crate::task::Task) {
+        const TASK_POOL_CAP: usize = 1024;
+        if self.task_pool.len() < TASK_POOL_CAP {
+            self.task_pool.push(task);
         }
     }
 }

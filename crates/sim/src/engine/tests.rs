@@ -308,7 +308,6 @@ fn engine_with_boundary_task(
         id,
         InFlight {
             energy_pj: 0.0,
-            accs: vec![dream_cost::AcceleratorId(0)],
             layer: head,
         },
     );

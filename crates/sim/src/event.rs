@@ -1,12 +1,52 @@
+//! The time-bucketed, arena-backed event queue.
+//!
+//! # Canonical intra-instant order
+//!
+//! The queue's contract is *exactly* the comparator [`Event`] defines:
+//! earliest time first, then the canonical kind rank
+//! ([`EventKind::rank`]), then the canonical tie key
+//! ([`EventKind::tie_key`]), then insertion order (`seq`). An instant's
+//! processing order is a pure function of the events at it, never of when
+//! each was pushed — the property that lets a live session inject
+//! arrivals as they are admitted (long after the recurrence would have
+//! pushed them) and still replay bit-identically through the batch path
+//! (see [`crate::live`]).
+//!
+//! # Representation: per-instant cells, not a heap
+//!
+//! A binary heap pays the full comparator on every sift of every push and
+//! pop. But everything about an instant's order is statically known — the
+//! rank and tie key are fixed at push time — so the queue buckets events
+//! into one **cell per pending instant** instead:
+//!
+//! * a push appends to its instant's cell in O(1) (the canonical sort key
+//!   is computed once, at push);
+//! * the first pop of an instant sorts the cell **once** by that key;
+//!   every later pop of the instant is a cursor bump;
+//! * cells live in a small vector ordered by time (earliest last), so
+//!   finding the pop target is a tail read and finding a push target is a
+//!   binary search over *instants* (a bare `u64` compare), not events;
+//! * retired cell buffers return to an internal pool, so steady-state
+//!   operation allocates nothing.
+//!
+//! The comparator stays the *definition* of order; the cells are only a
+//! cheaper way to evaluate it. An event pushed at an instant that is
+//! already draining (e.g. a stochastic arrival whose successor lands at
+//! the same time) is inserted into the unpopped remainder at its
+//! canonical position — precisely what a heap would do, since a heap also
+//! orders only the events *currently present*. The property test at the
+//! bottom of this file asserts pop-order equivalence against a reference
+//! `BinaryHeap` under arbitrary push/pop interleavings, including
+//! permutations of simultaneous instants.
+
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 use dream_models::{NodeId, PipelineId};
 
 use crate::{SimTime, TaskId};
 
 /// What happens at a point in simulated time.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum EventKind {
     /// A periodic root frame arrives for `(phase, pipeline, node)`.
     FrameArrival {
@@ -50,7 +90,7 @@ impl EventKind {
     /// Canonical tie-break within a rank. Arrivals order by model key and
     /// frame; completions have no push-order-free identity, but their
     /// pushes happen in dispatch order, which *is* reproducible, so seq
-    /// (compared by the caller) stays their tie-break.
+    /// stays their tie-break.
     fn tie_key(&self) -> (usize, usize, usize, u64) {
         match self {
             EventKind::FrameArrival {
@@ -67,8 +107,11 @@ impl EventKind {
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for the max-heap: earliest time first, then the
-        // canonical kind rank and key, then insertion order.
+        // Reverse for a max-heap: earliest time first, then the canonical
+        // kind rank and key, then insertion order. The bucket queue below
+        // pops in exactly this order; the impl is kept as the executable
+        // definition (and powers the reference heap in the equivalence
+        // property test).
         other
             .time
             .cmp(&self.time)
@@ -84,11 +127,51 @@ impl PartialOrd for Event {
     }
 }
 
-/// A deterministic time-ordered event queue.
+/// The canonical order of one event *within its instant*, resolved once
+/// at push so a cell sort compares plain integers instead of re-deriving
+/// rank and tie key per comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct CanonicalKey {
+    rank: u8,
+    tie: (usize, usize, usize, u64),
+    seq: u64,
+}
+
+/// One pending event inside a cell.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: CanonicalKey,
+    kind: EventKind,
+}
+
+/// All pending events at one instant.
+#[derive(Debug)]
+struct Cell {
+    time: SimTime,
+    /// Pushed slots; sorted ascending by [`CanonicalKey`] once the
+    /// instant starts draining.
+    slots: Vec<Slot>,
+    /// Number of slots already popped (meaningful once `sorted`).
+    cursor: usize,
+    /// Whether `slots` is in canonical order (set by the instant's first
+    /// pop; a later same-instant push inserts at its sorted position).
+    sorted: bool,
+}
+
+/// A deterministic time-ordered event queue over per-instant cells.
+///
+/// See the [module docs](self) for the design and the equivalence
+/// argument.
 #[derive(Debug, Default)]
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<Event>,
+    /// Cells ordered by time **descending** — the earliest pending
+    /// instant is last, so the hot pop path touches only the tail.
+    cells: Vec<Cell>,
+    /// Retired slot buffers, reused so steady-state pushes and pops
+    /// allocate nothing.
+    pool: Vec<Vec<Slot>>,
     next_seq: u64,
+    len: usize,
 }
 
 impl EventQueue {
@@ -99,20 +182,99 @@ impl EventQueue {
     pub fn push(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        let slot = Slot {
+            key: CanonicalKey {
+                rank: kind.rank(),
+                tie: kind.tie_key(),
+                seq,
+            },
+            kind,
+        };
+        self.len += 1;
+        // Cells are sorted descending by time, so an element compares
+        // "less" in slice order when its time is greater.
+        match self.cells.binary_search_by(|c| time.cmp(&c.time)) {
+            Ok(pos) => {
+                let cell = &mut self.cells[pos];
+                if cell.sorted {
+                    // The instant is (or was) draining: keep the unpopped
+                    // remainder in canonical order. Keys are unique (seq),
+                    // so Err is the only outcome.
+                    let at = match cell.slots[cell.cursor..]
+                        .binary_search_by(|s| s.key.cmp(&slot.key))
+                    {
+                        Err(i) => cell.cursor + i,
+                        Ok(_) => unreachable!("seq makes canonical keys unique"),
+                    };
+                    cell.slots.insert(at, slot);
+                } else {
+                    cell.slots.push(slot);
+                }
+            }
+            Err(pos) => {
+                let mut slots = self.pool.pop().unwrap_or_default();
+                slots.push(slot);
+                self.cells.insert(
+                    pos,
+                    Cell {
+                        time,
+                        slots,
+                        cursor: 0,
+                        sorted: false,
+                    },
+                );
+            }
+        }
     }
 
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        let cell = self.cells.last_mut()?;
+        if !cell.sorted {
+            // The one sort this instant pays; pure integer-key compares.
+            cell.slots.sort_unstable_by_key(|s| s.key);
+            cell.sorted = true;
+        }
+        let slot = cell.slots[cell.cursor];
+        cell.cursor += 1;
+        self.len -= 1;
+        let time = cell.time;
+        if cell.cursor == cell.slots.len() {
+            let mut retired = self.cells.pop().expect("cell exists").slots;
+            retired.clear();
+            self.pool.push(retired);
+        }
+        Some(Event {
+            time,
+            seq: slot.key.seq,
+            kind: slot.kind,
+        })
+    }
+
+    /// Pops the next event only if it lies exactly at `time` — the
+    /// instant-draining step: a tail read plus a cursor bump, never a
+    /// search. (`time` can only match the earliest pending instant, since
+    /// the caller just observed it via [`peek_time`](Self::peek_time).)
+    pub fn pop_if_at(&mut self, time: SimTime) -> Option<Event> {
+        if self.cells.last()?.time != time {
+            return None;
+        }
+        self.pop()
     }
 
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.cells.last().map(|c| c.time)
+    }
+
+    /// Number of pending (not yet popped) events — the engine's
+    /// event-queue pressure, surfaced up through
+    /// [`LiveSession::event_queue_depth`](crate::live::LiveSession::event_queue_depth).
+    pub fn len(&self) -> usize {
+        self.len
     }
 
     #[cfg(test)]
-    pub fn len(&self) -> usize {
-        self.heap.len()
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 }
 
@@ -184,5 +346,170 @@ mod tests {
         assert_eq!(b.kind, EventKind::LayerDone { task: TaskId(2) });
         assert_eq!(c.kind, EventKind::End);
         assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_into_draining_instant_lands_in_canonical_position() {
+        // A heap orders only the events currently present; the bucket
+        // queue must do the same when an instant gains events mid-drain.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(7);
+        q.push(t, EventKind::LayerDone { task: TaskId(3) });
+        q.push(
+            t,
+            EventKind::FrameArrival {
+                phase: 0,
+                pipeline: PipelineId(1),
+                node: NodeId(0),
+                frame: 5,
+            },
+        );
+        // Start draining: the completion pops first.
+        assert_eq!(
+            q.pop().unwrap().kind,
+            EventKind::LayerDone { task: TaskId(3) }
+        );
+        // Now a lower-keyed arrival joins the same instant; it must pop
+        // before the higher-keyed one that was already pending.
+        q.push(
+            t,
+            EventKind::FrameArrival {
+                phase: 0,
+                pipeline: PipelineId(0),
+                node: NodeId(0),
+                frame: 6,
+            },
+        );
+        let next = q.pop().unwrap().kind;
+        assert_eq!(
+            next,
+            EventKind::FrameArrival {
+                phase: 0,
+                pipeline: PipelineId(0),
+                node: NodeId(0),
+                frame: 6,
+            }
+        );
+        assert!(matches!(
+            q.pop().unwrap().kind,
+            EventKind::FrameArrival {
+                pipeline: PipelineId(1),
+                ..
+            }
+        ));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_if_at_only_serves_the_exact_instant() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(10), EventKind::End);
+        assert!(q.pop_if_at(SimTime::from_ns(9)).is_none());
+        assert!(q.pop_if_at(SimTime::from_ns(11)).is_none());
+        assert_eq!(
+            q.pop_if_at(SimTime::from_ns(10)).unwrap().kind,
+            EventKind::End
+        );
+        assert!(q.pop_if_at(SimTime::from_ns(10)).is_none());
+    }
+
+    /// Satellite: the queue-equivalence property — for arbitrary
+    /// (time, kind, push-order) sequences with interleaved pops, the
+    /// bucket queue pops the identical sequence a reference `BinaryHeap`
+    /// under the canonical comparator would, including permutations of
+    /// simultaneous instants.
+    mod equivalence {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::BinaryHeap;
+
+        /// A reference queue: the pre-refactor representation, verbatim.
+        #[derive(Default)]
+        struct HeapQueue {
+            heap: BinaryHeap<Event>,
+            next_seq: u64,
+        }
+
+        impl HeapQueue {
+            fn push(&mut self, time: SimTime, kind: EventKind) {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.heap.push(Event { time, seq, kind });
+            }
+
+            fn pop(&mut self) -> Option<Event> {
+                self.heap.pop()
+            }
+        }
+
+        /// Op stream: `pops` events are popped *before* this push (so
+        /// drains interleave with pushes mid-instant), then `(time, kind)`
+        /// is pushed to both queues.
+        #[derive(Debug, Clone, Copy)]
+        struct Op {
+            pops: usize,
+            time_ns: u64,
+            kind: EventKind,
+        }
+
+        fn kind_strategy() -> impl Strategy<Value = EventKind> {
+            prop_oneof![
+                (0usize..3, 0usize..3, 0usize..3, 0u64..4).prop_map(|(phase, pl, node, frame)| {
+                    EventKind::FrameArrival {
+                        phase,
+                        pipeline: PipelineId(pl),
+                        node: NodeId(node),
+                        frame,
+                    }
+                }),
+                (0u64..16).prop_map(|t| EventKind::LayerDone { task: TaskId(t) }),
+                (0usize..4).prop_map(|phase| EventKind::PhaseStart { phase }),
+                Just(EventKind::End),
+            ]
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            // A handful of distinct instants maximises simultaneous-event
+            // permutations — the case the canonical order exists for.
+            (0usize..3, 0u64..6, kind_strategy()).prop_map(|(pops, time_ns, kind)| Op {
+                pops,
+                time_ns,
+                kind,
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            #[test]
+            fn bucket_queue_pops_in_heap_order(
+                ops in proptest::collection::vec(op_strategy(), 1..60),
+            ) {
+                let mut bucket = EventQueue::new();
+                let mut heap = HeapQueue::default();
+                for op in &ops {
+                    for _ in 0..op.pops {
+                        let a = bucket.pop();
+                        let b = heap.pop();
+                        prop_assert_eq!(&a, &b, "mid-stream pops must agree");
+                    }
+                    let t = SimTime::from_ns(op.time_ns);
+                    bucket.push(t, op.kind);
+                    heap.push(t, op.kind);
+                }
+                // Drain both to exhaustion: the full remaining sequences
+                // must be identical, event by event (time, seq, and kind).
+                loop {
+                    let a = bucket.pop();
+                    let b = heap.pop();
+                    prop_assert_eq!(&a, &b, "drain pops must agree");
+                    if a.is_none() {
+                        break;
+                    }
+                }
+                prop_assert_eq!(bucket.len(), 0);
+            }
+        }
     }
 }

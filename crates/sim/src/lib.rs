@@ -13,10 +13,12 @@
 //! * [`SimulationBuilder`] assembles a [`Platform`](dream_cost::Platform), a
 //!   [`Scenario`](dream_models::Scenario) (or several phases of scenarios
 //!   for task-level dynamicity), a seed, and a duration.
-//! * The engine is a staged executor (`engine/`): events drain from a
-//!   binary-heap queue into per-stage modules (arrivals, completion,
-//!   dynamics, dispatch, accounting) that update a slab-backed task arena
-//!   and an idle-accelerator index *incrementally*. Whenever an
+//! * The engine is a staged executor (`engine/`): events drain one
+//!   *instant* at a time from a time-bucketed, pooled event queue (sorted
+//!   once per instant by the canonical order — see the `event` module —
+//!   so steady-state stepping allocates nothing) into per-stage modules
+//!   (arrivals, completion, dynamics, dispatch, accounting) that update a
+//!   slab-backed task arena and an idle-accelerator index *incrementally*. Whenever an
 //!   accelerator is idle and work is ready it invokes a pluggable
 //!   [`Scheduler`], which sees an immutable borrowed [`SystemView`] over
 //!   that state — never a per-decision reconstruction — and returns a
@@ -58,6 +60,7 @@ mod error;
 mod event;
 pub mod live;
 mod metrics;
+pub mod multi;
 mod scheduler;
 mod task;
 mod time;
@@ -73,6 +76,7 @@ pub use live::{
     Admission, LiveError, LiveSession, LiveSessionBuilder, LiveSessionRecord, LiveStatus,
 };
 pub use metrics::{Metrics, ModelStats};
+pub use multi::{MultiSession, MultiSessionBuilder};
 pub use scheduler::{
     AccState, Assignment, Decision, Scheduler, SchedulerCapabilities, SystemView, TaskEvent,
     TaskEventKind,

@@ -760,6 +760,13 @@ impl LiveSession {
         self.engine.in_flight.len()
     }
 
+    /// Events pending in the engine's queue — the session's true
+    /// event-queue pressure (admitted arrivals not yet processed, layer
+    /// completions in flight, and the phase/horizon bookkeeping events).
+    pub fn event_queue_depth(&self) -> usize {
+        self.engine.queue.len()
+    }
+
     /// The cumulative metrics as of the latest processed instant.
     pub fn live_metrics(&self) -> &Metrics {
         &self.engine.metrics

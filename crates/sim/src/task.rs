@@ -35,10 +35,10 @@ pub struct QueuedLayer {
 }
 
 /// One remaining layer's contribution to the cached remaining-work terms,
-/// aligned with the task's queue. Products are frozen when the gate set
-/// changes (they only depend on gate state and the offline tables), so a
-/// head completion just re-sums the tail instead of re-walking gates and
-/// tables.
+/// aligned with the task's queue. Products are frozen against a gate set
+/// (they only depend on gate state and the offline tables), so serving a
+/// read after a head completion just re-sums the tail instead of
+/// re-walking gates and tables.
 #[derive(Debug, Clone, Copy)]
 struct ToGoContrib {
     /// `layer_probability(graph_idx) · avg_latency_ns(layer)`.
@@ -47,6 +47,24 @@ struct ToGoContrib {
     min: f64,
     /// Whether the layer is certain to execute (`probability ≥ 1`).
     certain: bool,
+}
+
+/// Lazily maintained remaining-work state behind [`Task::to_go_avg_ns`]
+/// and [`Task::min_to_go_ns`]. Mutations only *invalidate* (a head pop
+/// additionally drops the head's frozen product — no float ops); the
+/// first read after a mutation repairs exactly the stale level: a gate
+/// change re-freezes the products (`O(layers · gates)`), a head pop just
+/// re-folds the unchanged tail (`O(layers)` additions). Schedulers that
+/// never read the terms — and the engine's own event loop — pay nothing.
+#[derive(Debug, Clone)]
+struct ToGoCache {
+    /// Frozen per-layer products, aligned with `remaining` while
+    /// `products_valid`.
+    contrib: VecDeque<ToGoContrib>,
+    /// Whether `contrib` reflects the current gate set and queue.
+    products_valid: bool,
+    /// `(ToGo, minimum_to_go)` folded from `contrib`; `None` when stale.
+    sums: Option<(f64, f64)>,
 }
 
 /// An active inference request: the paper's `tsk`, with its remaining-layer
@@ -68,17 +86,10 @@ pub struct Task {
     last_completion: SimTime,
     executed_layers: u32,
     energy_pj: f64,
-    /// Cached `Σ p(layer) · avg_lat(layer)` over the remaining queue —
-    /// Algorithm 1's `ToGo(tsk)`. Recomputed (by the identical walk) on
-    /// every queue/gate mutation instead of on every scheduler query, so
-    /// the per-decision read is O(1).
-    to_go_avg_cache: f64,
-    /// Cached best-case remaining work (`minimum_to_go`, §4.2.1),
-    /// maintained alongside [`Task::to_go_avg_cache`].
-    min_to_go_cache: f64,
-    /// Per-layer contributions behind the two caches, aligned with
-    /// `remaining`.
-    contrib: VecDeque<ToGoContrib>,
+    /// Lazy remaining-work cache (see [`ToGoCache`]). Interior mutability
+    /// lets shared-view readers (the scheduler's `&Task`) repair it; the
+    /// borrow never escapes a single accessor call.
+    to_go: std::cell::RefCell<ToGoCache>,
 }
 
 impl Task {
@@ -95,75 +106,103 @@ impl Task {
         counted: bool,
         ws: &WorkloadSet,
     ) -> Self {
-        let variant = VariantId(0);
-        let plan = node.variant(variant);
         let mut task = Task {
             id,
             key: node.key(),
-            variant,
+            variant: VariantId(0),
             frame,
             frame_arrival,
             released,
             deadline,
             counted,
             state: TaskState::Ready,
-            remaining: plan
-                .layers
-                .iter()
-                .enumerate()
-                .map(|(graph_idx, &layer)| QueuedLayer { layer, graph_idx })
-                .collect(),
-            pending_skips: plan.skip_blocks.clone(),
-            pending_exits: plan.exit_points.clone(),
+            remaining: VecDeque::new(),
+            pending_skips: Vec::new(),
+            pending_exits: Vec::new(),
             last_completion: released,
             executed_layers: 0,
             energy_pj: 0.0,
-            to_go_avg_cache: 0.0,
-            min_to_go_cache: 0.0,
-            contrib: VecDeque::new(),
+            to_go: std::cell::RefCell::new(ToGoCache {
+                contrib: VecDeque::new(),
+                products_valid: false,
+                sums: None,
+            }),
         };
-        task.refresh_to_go(ws);
+        // Delegate to reinit so a fresh task and a recycled shell run the
+        // identical initialisation (and float-op) sequence.
+        task.reinit(
+            id,
+            node,
+            frame,
+            frame_arrival,
+            released,
+            deadline,
+            counted,
+            ws,
+        );
         task
     }
 
-    /// Rebuilds the per-layer contributions and the remaining-work caches
-    /// after a gate mutation or queue replacement. Every product and the
-    /// left-to-right summation repeat byte-for-byte the operations the
-    /// former on-demand accessors performed, so cached reads are
-    /// bit-identical to a fresh walk.
-    fn refresh_to_go(&mut self, ws: &WorkloadSet) {
-        self.contrib.clear();
-        for i in 0..self.remaining.len() {
-            let q = self.remaining[i];
-            let p = self.layer_probability(q.graph_idx);
-            self.contrib.push_back(ToGoContrib {
-                avg: p * ws.avg_latency_ns(q.layer),
-                min: ws.min_latency_ns(q.layer),
-                certain: p >= 1.0,
-            });
-        }
-        self.resum_to_go();
+    /// Reinitialises a retired task shell in place for a new release —
+    /// field-for-field what [`Task::new`] produces, but reusing the
+    /// shell's queue and gate buffers so steady-state task release
+    /// allocates nothing (the engine pools shells of finished, flushed,
+    /// and dropped tasks).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn reinit(
+        &mut self,
+        id: TaskId,
+        node: &NodeInfo,
+        frame: u64,
+        frame_arrival: SimTime,
+        released: SimTime,
+        deadline: SimTime,
+        counted: bool,
+        ws: &WorkloadSet,
+    ) {
+        let variant = VariantId(0);
+        let plan = node.variant(variant);
+        self.id = id;
+        self.key = node.key();
+        self.variant = variant;
+        self.frame = frame;
+        self.frame_arrival = frame_arrival;
+        self.released = released;
+        self.deadline = deadline;
+        self.counted = counted;
+        self.state = TaskState::Ready;
+        self.remaining.clear();
+        self.remaining.extend(
+            plan.layers
+                .iter()
+                .enumerate()
+                .map(|(graph_idx, &layer)| QueuedLayer { layer, graph_idx }),
+        );
+        self.pending_skips.clear();
+        self.pending_skips.extend_from_slice(&plan.skip_blocks);
+        self.pending_exits.clear();
+        self.pending_exits.extend_from_slice(&plan.exit_points);
+        self.last_completion = released;
+        self.executed_layers = 0;
+        self.energy_pj = 0.0;
+        self.invalidate_to_go();
+        let _ = ws;
     }
 
-    /// Re-folds the cached contributions into the two sums — the only
-    /// work a head completion pays (the gate set, and therefore every
-    /// remaining contribution, is unchanged by popping the head).
-    fn resum_to_go(&mut self) {
-        // -0.0 is `<f64 as Sum>`'s fold identity; starting from +0.0
-        // would flip empty sums to +0.0 and break bit-identity with the
-        // reference `.sum()` walks.
-        let mut avg = -0.0f64;
-        let mut min = -0.0f64;
-        for c in &self.contrib {
-            avg += c.avg;
-            if c.certain {
-                min += c.min;
-            }
-        }
-        self.to_go_avg_cache = avg;
-        self.min_to_go_cache = min;
+    /// Marks the remaining-work cache wholly stale after a gate-set or
+    /// queue-replacement mutation: the frozen products no longer match,
+    /// so the next read re-freezes them before re-folding. Invalidation
+    /// is the *only* per-mutation cost — the engine's event loop never
+    /// walks tables or sums.
+    fn invalidate_to_go(&mut self) {
+        let cache = self.to_go.get_mut();
+        cache.products_valid = false;
+        cache.sums = None;
     }
 
+    /// The canonical `ToGo(tsk)` walk: `Σ p(layer) · avg_lat(layer)` over
+    /// the remaining queue, left to right. Cached reads serve exactly
+    /// this sum's bits.
     fn compute_to_go_avg(&self, ws: &WorkloadSet) -> f64 {
         self.remaining
             .iter()
@@ -283,19 +322,59 @@ impl Task {
         p
     }
 
+    /// Serves the cached `(ToGo, minimum_to_go)` pair, repairing exactly
+    /// the stale cache level first (see [`ToGoCache`]). The re-freeze and
+    /// the `-0.0`-seeded left-to-right fold repeat byte-for-byte the
+    /// operations of the reference `.sum()` walks
+    /// ([`Task::compute_to_go_avg`] / [`Task::compute_min_to_go`]), so a
+    /// cached read is bit-identical to a fresh walk — the debug asserts
+    /// in the public accessors pin that down.
+    fn to_go_pair(&self, ws: &WorkloadSet) -> (f64, f64) {
+        let mut cache = self.to_go.borrow_mut();
+        if !cache.products_valid {
+            cache.contrib.clear();
+            for q in &self.remaining {
+                let p = self.layer_probability(q.graph_idx);
+                cache.contrib.push_back(ToGoContrib {
+                    avg: p * ws.avg_latency_ns(q.layer),
+                    min: ws.min_latency_ns(q.layer),
+                    certain: p >= 1.0,
+                });
+            }
+            cache.products_valid = true;
+        }
+        if cache.sums.is_none() {
+            // -0.0 is `<f64 as Sum>`'s fold identity; starting from +0.0
+            // would flip empty sums to +0.0 and break bit-identity with
+            // the reference `.sum()` walks.
+            let mut avg = -0.0f64;
+            let mut min = -0.0f64;
+            for c in &cache.contrib {
+                avg += c.avg;
+                if c.certain {
+                    min += c.min;
+                }
+            }
+            cache.sums = Some((avg, min));
+        }
+        cache.sums.expect("folded just above")
+    }
+
     /// Expected remaining work using the across-accelerator *average*
     /// latency per layer — Algorithm 1 line 2's `ToGo(tsk)`, extended with
-    /// execution probabilities for dynamic layers. Served from the cache
-    /// maintained at queue mutations, so the per-decision cost is O(1).
+    /// execution probabilities for dynamic layers. Computed lazily at the
+    /// first read after a queue/gate mutation — bit-identical to a fresh
+    /// walk, since queue and gates are unchanged between mutation and
+    /// read — then O(1) until the next mutation.
     pub fn to_go_avg_ns(&self, ws: &WorkloadSet) -> f64 {
+        let served = self.to_go_pair(ws).0;
         debug_assert_eq!(
-            self.to_go_avg_cache.to_bits(),
+            served.to_bits(),
             self.compute_to_go_avg(ws).to_bits(),
-            "stale ToGo cache on {}",
+            "cached ToGo diverged from a fresh walk on {}",
             self.id
         );
-        let _ = ws;
-        self.to_go_avg_cache
+        served
     }
 
     /// Best-case remaining work: only layers certain to execute, each on its
@@ -303,14 +382,14 @@ impl Task {
     /// drop's `minimum_to_go` (§4.2.1). Cached like
     /// [`to_go_avg_ns`](Self::to_go_avg_ns).
     pub fn min_to_go_ns(&self, ws: &WorkloadSet) -> f64 {
+        let served = self.to_go_pair(ws).1;
         debug_assert_eq!(
-            self.min_to_go_cache.to_bits(),
+            served.to_bits(),
             self.compute_min_to_go(ws).to_bits(),
-            "stale minimum_to_go cache on {}",
+            "cached minimum_to_go diverged from a fresh walk on {}",
             self.id
         );
-        let _ = ws;
-        self.min_to_go_cache
+        served
     }
 
     /// Worst-case remaining work: every remaining layer on the
@@ -355,18 +434,18 @@ impl Task {
         self.last_completion = now;
         self.executed_layers += 1;
         self.energy_pj += energy_pj;
-        // Gates are untouched by a head pop: drop the head's contribution
-        // and re-fold the (unchanged) tail.
-        self.contrib
-            .pop_front()
-            .expect("contributions stay aligned with the queue");
-        self.resum_to_go();
-        debug_assert_eq!(
-            self.to_go_avg_cache.to_bits(),
-            self.compute_to_go_avg(ws).to_bits(),
-            "re-folded ToGo diverged from a fresh walk on {}",
-            self.id
-        );
+        // Gates are untouched by a head pop, so any frozen products stay
+        // valid for the tail — drop the head's and mark only the sums
+        // stale (re-folded at the next read, not here).
+        let cache = self.to_go.get_mut();
+        if cache.products_valid {
+            cache
+                .contrib
+                .pop_front()
+                .expect("contributions stay aligned with the queue");
+        }
+        cache.sums = None;
+        let _ = ws;
         head
     }
 
@@ -385,7 +464,8 @@ impl Task {
             self.pending_exits
                 .retain(|e| e.after < blk.first || e.after > blk.last);
         }
-        self.refresh_to_go(ws);
+        self.invalidate_to_go();
+        let _ = ws;
     }
 
     /// Resolves an exit decision at `after`: when taken, the rest of the
@@ -400,7 +480,8 @@ impl Task {
             self.pending_skips.clear();
             self.pending_exits.clear();
         }
-        self.refresh_to_go(ws);
+        self.invalidate_to_go();
+        let _ = ws;
     }
 
     /// Replaces the remaining queue with another variant's layers. Only
@@ -424,7 +505,8 @@ impl Task {
             .collect();
         self.pending_skips = plan.skip_blocks.clone();
         self.pending_exits = plan.exit_points.clone();
-        self.refresh_to_go(ws);
+        self.invalidate_to_go();
+        let _ = ws;
         true
     }
 
