@@ -1,5 +1,7 @@
 use dream_cost::{AcceleratorConfig, AcceleratorId};
-use dream_sim::{Assignment, Decision, Scheduler, SchedulerCapabilities, SystemView, Task};
+use dream_sim::{
+    canonical_sum, Assignment, Decision, Scheduler, SchedulerCapabilities, SystemView, Task,
+};
 
 /// Planaria-style scheduler (Ghodrati et al., MICRO'20): deadline-aware
 /// dynamic **spatial fission** of compute resources.
@@ -50,18 +52,16 @@ impl PlanariaScheduler {
         configs: &[&AcceleratorConfig],
     ) -> f64 {
         if let [only] = ids {
-            return task
-                .remaining()
-                .map(|q| view.workload().latency_ns(q.layer, *only))
-                .sum();
+            return canonical_sum(
+                task.remaining()
+                    .map(|q| view.workload().latency_ns(q.layer, *only)),
+            );
         }
-        task.remaining()
-            .map(|q| {
-                view.cost()
-                    .gang_cost(view.workload().layer(q.layer), configs)
-                    .map_or(f64::INFINITY, |c| c.latency_ns)
-            })
-            .sum()
+        canonical_sum(task.remaining().map(|q| {
+            view.cost()
+                .gang_cost(view.workload().layer(q.layer), configs)
+                .map_or(f64::INFINITY, |c| c.latency_ns)
+        }))
     }
 }
 

@@ -48,6 +48,7 @@ impl VeltairScheduler {
 
     /// How many upcoming layers of `task` form the next block under the
     /// current adaptive threshold.
+    // detlint: canonical-fold -- early-exit prefix scan in queue order; not a whole-collection sum, so canonical_sum cannot express it
     fn block_len(&self, view: &SystemView<'_>, task: &dream_sim::Task) -> usize {
         let threshold = self.base_threshold_ns * (1.0 + view.task_count() as f64 / 4.0);
         let mut acc = 0.0;

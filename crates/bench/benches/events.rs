@@ -15,6 +15,9 @@
 //! (`dream_sim::MultiSession`) and reports aggregate throughput plus
 //! sessions/core — the shard-sizing figure.
 
+// Benchmarks measure wall time by definition; exempt from the
+// workspace determinism lint on wall-clock reads.
+#![allow(clippy::disallowed_methods)]
 use std::path::PathBuf;
 use std::time::Instant;
 

@@ -12,6 +12,9 @@
 //! stepping) and supplies `events_per_sec` from that same timed region,
 //! so the event rate and the stage numbers always describe one run.
 
+// Benchmarks measure wall time by definition; exempt from the
+// workspace determinism lint on wall-clock reads.
+#![allow(clippy::disallowed_methods)]
 use std::path::PathBuf;
 use std::time::Instant;
 

@@ -22,6 +22,9 @@
 //! scenario's service capacity — the soak stresses the *ingress*, not
 //! the simulator's overload behavior (that is `served_traffic`'s job).
 
+// Benchmarks measure wall time by definition; exempt from the
+// workspace determinism lint on wall-clock reads.
+#![allow(clippy::disallowed_methods)]
 use std::io::{BufWriter, Write as _};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -1,5 +1,8 @@
 //! Smoke: does DREAM beat the baselines on a stressed platform?
 //! The whole grid fans out across the thread pool in one go.
+// Benchmarks measure wall time by definition; exempt from the
+// workspace determinism lint on wall-clock reads.
+#![allow(clippy::disallowed_methods)]
 use dream_bench::*;
 use dream_cost::PlatformPreset;
 use dream_models::ScenarioKind;

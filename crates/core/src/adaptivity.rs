@@ -74,6 +74,7 @@ impl WindowStats {
 
     /// Algorithm 2 over the window. `None` when nothing completed (the
     /// candidate gets an infinitely bad score so it can never win).
+    // detlint: canonical-fold -- Algorithm 2 window fold over BTreeMap order: the deterministic reference sequence itself, with conditional terms canonical_sum cannot express
     fn uxcost(&self) -> Option<f64> {
         let mut rate_sum = 0.0;
         let mut energy_sum = 0.0;

@@ -2,8 +2,8 @@ use std::time::Instant;
 
 use dream_models::VariantId;
 use dream_sim::{
-    Assignment, Decision, Scheduler, SchedulerCapabilities, SystemView, Task, TaskEvent,
-    TaskEventKind, TaskId,
+    canonical_sum, Assignment, Decision, Scheduler, SchedulerCapabilities, SystemView, Task,
+    TaskEvent, TaskEventKind, TaskId,
 };
 
 use crate::matching::{greedy_assign, Candidate};
@@ -162,12 +162,13 @@ impl DreamScheduler {
             .accelerators()
             .iter()
             .map(dream_cost::AcceleratorConfig::peak_macs_per_ns)
-            .fold(0.0f64, f64::max);
-        view.platform()
-            .accelerators()
-            .iter()
-            .map(|a| a.peak_macs_per_ns() / peak_max)
-            .sum()
+            .fold(0.0f64, f64::max); // detlint: allow(float-fold) -- max-reduce, not a sum: order-independent for finite inputs
+        canonical_sum(
+            view.platform()
+                .accelerators()
+                .iter()
+                .map(|a| a.peak_macs_per_ns() / peak_max),
+        )
     }
 
     /// Supernet switching (§4.5.1): pick the heaviest variant whose
@@ -195,11 +196,11 @@ impl DreamScheduler {
         // effective parallelism. Small sub-accelerators contribute less
         // than a full unit — a 1K array retires work at half the rate of a
         // 2K one, so capacity is weighted by peak throughput.
-        let other_work: f64 = view
-            .tasks()
-            .filter(|t| t.id() != task.id())
-            .map(|t| t.to_go_avg_ns(view.workload()))
-            .sum();
+        let other_work: f64 = canonical_sum(
+            view.tasks()
+                .filter(|t| t.id() != task.id())
+                .map(|t| t.to_go_avg_ns(view.workload())),
+        );
         // Only the fraction of queued work that actually precedes this
         // task's layers delays it; the weight is calibrated so the fit
         // threshold sits inside the observed steady-state load
@@ -209,11 +210,11 @@ impl DreamScheduler {
         const QUEUE_WEIGHT: f64 = 0.88;
         let queue_delay = QUEUE_WEIGHT * other_work / n_effective.max(1.0);
         for v in 0..variants {
-            let to_go: f64 = node
-                .variant_layers(VariantId(v))
-                .iter()
-                .map(|&l| view.workload().avg_latency_ns(l))
-                .sum();
+            let to_go: f64 = canonical_sum(
+                node.variant_layers(VariantId(v))
+                    .iter()
+                    .map(|&l| view.workload().avg_latency_ns(l)),
+            );
             if queue_delay + to_go * self.config.supernet_safety <= slack {
                 return VariantId(v);
             }
@@ -240,7 +241,9 @@ impl Scheduler for DreamScheduler {
     }
 
     fn schedule(&mut self, view: &SystemView<'_>) -> Decision {
-        let t_enter = self.timing.is_some().then(Instant::now);
+        #[allow(clippy::disallowed_methods)]
+        // opt-in stage timing instrumentation; never feeds a decision
+        let t_enter = self.timing.is_some().then(Instant::now); // detlint: allow(wall-clock) -- opt-in stage timing instrumentation; never feeds a decision
         if self.config.online_adaptation {
             self.adaptivity.tick(view.now());
         }
@@ -294,7 +297,9 @@ impl Scheduler for DreamScheduler {
         //    (Figure 4's MapScore engine). The accelerator-independent
         //    terms are computed once per task; each cell is then a couple
         //    of precomputed-table loads and multiply-adds.
-        let t_score = self.timing.is_some().then(Instant::now);
+        #[allow(clippy::disallowed_methods)]
+        // opt-in stage timing instrumentation; never feeds a decision
+        let t_score = self.timing.is_some().then(Instant::now); // detlint: allow(wall-clock) -- opt-in stage timing instrumentation; never feeds a decision
         let scratch = &mut self.scratch;
         scratch.ready.clear();
         scratch.ready.extend(
@@ -329,7 +334,9 @@ impl Scheduler for DreamScheduler {
         // 4. Greedy maximum-score matching (the job assignment & dispatch
         //    engine): sort the candidates once and dispatch in order; ties
         //    resolve by lowest (task, acc) index (see `crate::matching`).
-        let t_match = self.timing.is_some().then(Instant::now);
+        #[allow(clippy::disallowed_methods)]
+        // opt-in stage timing instrumentation; never feeds a decision
+        let t_match = self.timing.is_some().then(Instant::now); // detlint: allow(wall-clock) -- opt-in stage timing instrumentation; never feeds a decision
         scratch.used_tasks.clear();
         scratch.used_tasks.resize(scratch.ready.len(), false);
         scratch.used_accs.clear();

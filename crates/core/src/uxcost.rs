@@ -1,4 +1,4 @@
-use dream_sim::{Metrics, ModelKey};
+use dream_sim::{canonical_sum, Metrics, ModelKey};
 
 /// One model's row of the UXCost computation (Algorithm 2's loop body).
 #[derive(Debug, Clone)]
@@ -36,16 +36,12 @@ impl UxCostReport {
     /// excluded from both sums.
     pub fn from_metrics(metrics: &Metrics) -> Self {
         let mut rows = Vec::new();
-        let mut overall_rate_dlv = 0.0;
-        let mut overall_norm_energy = 0.0;
         for (key, stats) in metrics.models() {
             let (Some(rate_dlv), Some(norm_energy)) =
                 (stats.violation_rate(), stats.normalized_energy())
             else {
                 continue;
             };
-            overall_rate_dlv += rate_dlv;
-            overall_norm_energy += norm_energy;
             rows.push(ModelCostRow {
                 key: *key,
                 model_name: stats.model_name,
@@ -56,9 +52,9 @@ impl UxCostReport {
             });
         }
         UxCostReport {
+            overall_rate_dlv: canonical_sum(rows.iter().map(|r| r.rate_dlv)),
+            overall_norm_energy: canonical_sum(rows.iter().map(|r| r.norm_energy)),
             rows,
-            overall_rate_dlv,
-            overall_norm_energy,
         }
     }
 

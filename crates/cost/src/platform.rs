@@ -211,7 +211,7 @@ impl Platform {
         self.accelerators
             .iter()
             .map(AcceleratorConfig::peak_macs_per_ns)
-            .sum()
+            .sum() // detlint: allow(float-fold) -- build-time fold over the fixed accelerator slice; dream-cost sits below dream-sim, so canonical_sum is unavailable
     }
 }
 

@@ -86,7 +86,7 @@ impl ModelGraph {
             .iter()
             .enumerate()
             .map(|(i, l)| self.execution_probability(i) * l.ops() as f64)
-            .sum()
+            .sum() // detlint: allow(float-fold) -- build-time load proxy over the fixed layer slice; dream-models sits below dream-sim, so canonical_sum is unavailable
     }
 
     /// Probability that layer `idx` executes, combining every skip block

@@ -175,6 +175,7 @@ impl Scenario {
     /// Expected steady-state arithmetic demand in ops/second: each node's
     /// expected per-inference work × its rate × the probability its cascade
     /// chain fires. A coarse load proxy used for calibration and tests.
+    // detlint: canonical-fold -- build-time load proxy folding in fixed pipeline/node order; dream-models sits below dream-sim, so canonical_sum is unavailable
     pub fn expected_ops_per_second(&self) -> f64 {
         let mut total = 0.0;
         for p in &self.pipelines {

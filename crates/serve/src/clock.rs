@@ -44,6 +44,10 @@ impl WallClock {
             "clock scale must be positive, got {scale}"
         );
         WallClock {
+            // The serve-side Clock seam is the one legitimate wall-clock
+            // boundary: sessions replay deterministically from the
+            // recorded arrival trace, never from this read.
+            #[allow(clippy::disallowed_methods)]
             start: Instant::now(),
             scale,
         }

@@ -101,8 +101,12 @@ impl<T> WatchReceiver<T> {
     /// `timeout` elapses / the sender is dropped), returning it.
     pub fn wait_for_update(&mut self, timeout: Duration) -> Option<Arc<T>> {
         let mut st = self.shared.state.lock().expect("watch state poisoned");
+        // Wall-clock timeout plumbing for live subscribers; replay
+        // determinism comes from the recorded trace, not this wait.
+        #[allow(clippy::disallowed_methods)]
         let deadline = std::time::Instant::now() + timeout;
         while st.version == self.seen && !st.closed {
+            #[allow(clippy::disallowed_methods)]
             let left = deadline.saturating_duration_since(std::time::Instant::now());
             if left.is_zero() {
                 return None;

@@ -8,6 +8,10 @@
 //! The assertions on coverage (both sources admitted, both phases
 //! reached) make sure the sessions exercised the paths they claim to.
 
+// Test harness timeouts read the wall clock; exempt from the
+// workspace determinism lint (replay determinism is what the test
+// itself asserts).
+#![allow(clippy::disallowed_methods)]
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;

@@ -1,6 +1,10 @@
 //! Unix-domain-socket ingress: protocol round trip, error replies, and
 //! replay equivalence of a socket-fed session.
 
+// Test harness timeouts read the wall clock; exempt from the
+// workspace determinism lint (replay determinism is what the test
+// itself asserts).
+#![allow(clippy::disallowed_methods)]
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::sync::Arc;

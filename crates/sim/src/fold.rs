@@ -1,0 +1,66 @@
+//! The canonical float fold.
+//!
+//! Every cost/to-go sum on the replay-sensitive path must run one
+//! operation sequence so that cached sums, live replays, and
+//! thread-count-varied runs produce bit-identical `f64`s. That sequence
+//! is the one `<f64 as Sum>` defines: a left-to-right fold seeded with
+//! `-0.0` (the additive identity that keeps empty sums bit-identical to
+//! `iter.sum::<f64>()` — a `+0.0` seed differs on the empty case).
+//!
+//! [`canonical_sum`] is that fold as a named function. Ad-hoc float folds
+//! elsewhere in the deterministic crates are flagged by `detlint`'s
+//! `float-fold` rule; routing them through this helper both documents the
+//! contract and keeps the operation order in exactly one place.
+
+/// Sums `it` with the canonical fold: left-to-right `+=` seeded with
+/// `-0.0`, bit-identical to `it.sum::<f64>()` on every input (including
+/// the empty one, whose sum is `-0.0`).
+// detlint: canonical-fold -- this IS the canonical fold; every other float fold replays it
+pub fn canonical_sum<I: IntoIterator<Item = f64>>(it: I) -> f64 {
+    let mut acc = -0.0f64;
+    for x in it {
+        acc += x;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::determ::DeterministicCoin;
+
+    #[test]
+    fn empty_sum_is_negative_zero() {
+        let s = canonical_sum(std::iter::empty());
+        assert_eq!(s.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(
+            s.to_bits(),
+            std::iter::empty::<f64>().sum::<f64>().to_bits()
+        );
+    }
+
+    /// Bit-identity with `Iterator::sum` under wild magnitudes and signs,
+    /// where any reassociation or different seed would show up.
+    #[test]
+    fn bit_identical_to_iterator_sum() {
+        let coin = DeterministicCoin::new(0xD7EA_F01D);
+        for len in 0usize..64 {
+            let xs: Vec<f64> = (0..len)
+                .map(|i| {
+                    // Spread signs and exponents wide: any reassociation
+                    // or different seed changes low mantissa bits here.
+                    let unit = coin.uniform(9, len, i as u64, 0) - 0.5;
+                    let exp = (coin.uniform(9, len, i as u64, 1) * 600.0) as i32 - 300;
+                    unit * (2.0f64).powi(exp)
+                })
+                .collect();
+            let reference: f64 = xs.iter().copied().sum();
+            let canonical = canonical_sum(xs.iter().copied());
+            assert_eq!(
+                canonical.to_bits(),
+                reference.to_bits(),
+                "len={len}: {canonical:e} vs {reference:e}"
+            );
+        }
+    }
+}

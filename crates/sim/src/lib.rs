@@ -58,6 +58,7 @@ mod determ;
 mod engine;
 mod error;
 mod event;
+mod fold;
 pub mod live;
 mod metrics;
 pub mod multi;
@@ -72,6 +73,7 @@ pub use arrivals::{
 pub use determ::{DeterministicCoin, Fnv64};
 pub use engine::{SimOutcome, SimulationBuilder};
 pub use error::SimError;
+pub use fold::canonical_sum;
 pub use live::{
     Admission, LiveError, LiveSession, LiveSessionBuilder, LiveSessionRecord, LiveStatus,
 };

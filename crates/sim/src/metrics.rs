@@ -1,5 +1,6 @@
 use std::collections::BTreeMap;
 
+use crate::fold::canonical_sum;
 use crate::workload::ModelKey;
 use crate::SimTime;
 
@@ -206,19 +207,17 @@ impl Metrics {
     /// Sum of per-model violation rates (Algorithm 2 line 10), including
     /// the zero-violation floor. Models with no counted frames are skipped.
     pub fn overall_violation_rate(&self) -> f64 {
-        self.stats
-            .values()
-            .filter_map(ModelStats::violation_rate)
-            .sum()
+        canonical_sum(self.stats.values().filter_map(ModelStats::violation_rate))
     }
 
     /// Sum of per-model raw violation rates (no floor), for violation-rate
     /// plots.
     pub fn overall_raw_violation_rate(&self) -> f64 {
-        self.stats
-            .values()
-            .filter_map(ModelStats::raw_violation_rate)
-            .sum()
+        canonical_sum(
+            self.stats
+                .values()
+                .filter_map(ModelStats::raw_violation_rate),
+        )
     }
 
     /// Mean of per-model raw violation rates (a platform-comparable
@@ -232,16 +231,17 @@ impl Metrics {
         if rates.is_empty() {
             0.0
         } else {
-            rates.iter().sum::<f64>() / rates.len() as f64
+            canonical_sum(rates.iter().copied()) / rates.len() as f64
         }
     }
 
     /// Sum of per-model normalised energies (Algorithm 2 line 11).
     pub fn overall_normalized_energy(&self) -> f64 {
-        self.stats
-            .values()
-            .filter_map(ModelStats::normalized_energy)
-            .sum()
+        canonical_sum(
+            self.stats
+                .values()
+                .filter_map(ModelStats::normalized_energy),
+        )
     }
 
     /// Mean of per-model normalised energies (platform-comparable, `[0,1]`).
@@ -254,7 +254,7 @@ impl Metrics {
         if es.is_empty() {
             0.0
         } else {
-            es.iter().sum::<f64>() / es.len() as f64
+            canonical_sum(es.iter().copied()) / es.len() as f64
         }
     }
 
@@ -282,7 +282,7 @@ impl Metrics {
 
     /// Total energy consumed by counted frames, in millijoules.
     pub fn total_energy_mj(&self) -> f64 {
-        self.stats.values().map(|s| s.energy_pj).sum::<f64>() / 1.0e9
+        canonical_sum(self.stats.values().map(|s| s.energy_pj)) / 1.0e9
     }
 
     /// A deterministic digest of every counter and energy value in the

@@ -3,6 +3,7 @@ use std::collections::VecDeque;
 use dream_cost::AcceleratorId;
 use dream_models::{ExitPoint, SkipBlock, VariantId};
 
+use crate::fold::canonical_sum;
 use crate::workload::{LayerId, ModelKey, NodeInfo, WorkloadSet};
 use crate::SimTime;
 
@@ -204,18 +205,20 @@ impl Task {
     /// the remaining queue, left to right. Cached reads serve exactly
     /// this sum's bits.
     fn compute_to_go_avg(&self, ws: &WorkloadSet) -> f64 {
-        self.remaining
-            .iter()
-            .map(|q| self.layer_probability(q.graph_idx) * ws.avg_latency_ns(q.layer))
-            .sum()
+        canonical_sum(
+            self.remaining
+                .iter()
+                .map(|q| self.layer_probability(q.graph_idx) * ws.avg_latency_ns(q.layer)),
+        )
     }
 
     fn compute_min_to_go(&self, ws: &WorkloadSet) -> f64 {
-        self.remaining
-            .iter()
-            .filter(|q| self.layer_probability(q.graph_idx) >= 1.0)
-            .map(|q| ws.min_latency_ns(q.layer))
-            .sum()
+        canonical_sum(
+            self.remaining
+                .iter()
+                .filter(|q| self.layer_probability(q.graph_idx) >= 1.0)
+                .map(|q| ws.min_latency_ns(q.layer)),
+        )
     }
 
     /// Unique id.
@@ -329,6 +332,7 @@ impl Task {
     /// ([`Task::compute_to_go_avg`] / [`Task::compute_min_to_go`]), so a
     /// cached read is bit-identical to a fresh walk — the debug asserts
     /// in the public accessors pin that down.
+    // detlint: canonical-fold -- interleaved avg/min fold over cached contribs; replays the reference canonical_sum walks bit-for-bit (pinned by debug asserts in the accessors)
     fn to_go_pair(&self, ws: &WorkloadSet) -> (f64, f64) {
         let mut cache = self.to_go.borrow_mut();
         if !cache.products_valid {
@@ -395,10 +399,7 @@ impl Task {
     /// Worst-case remaining work: every remaining layer on the
     /// across-accelerator average (all gates assumed not taken).
     pub fn worst_to_go_ns(&self, ws: &WorkloadSet) -> f64 {
-        self.remaining
-            .iter()
-            .map(|q| ws.avg_latency_ns(q.layer))
-            .sum()
+        canonical_sum(self.remaining.iter().map(|q| ws.avg_latency_ns(q.layer)))
     }
 
     /// Remaining time to the deadline (the paper's `Slack`), negative if

@@ -330,8 +330,9 @@ impl WorkloadSet {
                             exit_points: graph.exit_points().to_vec(),
                         });
                     }
-                    let worst_frame_energy_pj =
-                        variants[0].layers.iter().map(|&l| ws.max_energy[l.0]).sum();
+                    let worst_frame_energy_pj = crate::fold::canonical_sum(
+                        variants[0].layers.iter().map(|&l| ws.max_energy[l.0]),
+                    );
                     ws.nodes.insert(
                         key,
                         NodeInfo {
@@ -352,6 +353,7 @@ impl WorkloadSet {
         Ok(ws)
     }
 
+    // detlint: canonical-fold -- per-accelerator cost-table fold in platform order: the reference sequence the cached min/max/avg tables replay
     fn register_layer(
         &mut self,
         layer: Layer,

@@ -8,7 +8,8 @@
 # EVENTS_MAX_REGRESSION=0.30 etc.). The top-level events_per_sec field is
 # the gated figure; the multi-session block's aggregate rate is reported
 # for trend-watching but not gated (it divides across many queues and is
-# noisier).
+# noisier). Ratio/gating logic lives in scripts/gate_lib.sh, shared with
+# check_hotpath.sh.
 #
 # Usage: scripts/check_events.sh <baseline.json> [fresh.json]
 # CI captures the committed file before the bench overwrites it:
@@ -17,33 +18,11 @@
 #   scripts/check_events.sh /tmp/events_baseline.json BENCH_events.json
 set -euo pipefail
 
+# shellcheck source=scripts/gate_lib.sh
+. "$(dirname "$0")/gate_lib.sh"
+
 baseline="${1:?usage: check_events.sh <baseline.json> [fresh.json]}"
 fresh="${2:-BENCH_events.json}"
 max_regression="${EVENTS_MAX_REGRESSION:-0.20}"
 
-extract() {
-    grep -o '"events_per_sec": *[0-9.]*' "$1" | head -1 | grep -o '[0-9.]*$'
-}
-
-base=$(extract "$baseline")
-new=$(extract "$fresh")
-if [ -z "$base" ] || [ -z "$new" ]; then
-    echo "check_events: could not read events_per_sec (baseline='$base' fresh='$new')" >&2
-    exit 2
-fi
-
-awk -v base="$base" -v new="$new" -v max="$max_regression" 'BEGIN {
-    floor = base * (1.0 - max)
-    ratio = new / base
-    drift = (ratio - 1.0) * 100.0
-    # Always print the measured-vs-baseline ratio first, so CI logs show
-    # perf drift long before it trips the regression gate.
-    printf "events: measured %.0f vs baseline %.0f events/s — ratio %.3f (%+.1f%% drift, gate floor %.0f)\n",
-           new, base, ratio, drift, floor
-    if (new < floor) {
-        printf "EVENTS REGRESSION: %.0f events/s is %.1f%% of the %.0f baseline (floor: %.0f)\n",
-               new, ratio * 100.0, base, floor
-        exit 1
-    }
-    printf "events ok (>%.0f%% of baseline retained)\n", (1.0 - max) * 100.0
-}'
+gate_ratio events events_per_sec "events/s" "$baseline" "$fresh" "$max_regression"

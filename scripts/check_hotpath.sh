@@ -5,7 +5,8 @@
 # `cargo bench --bench hotpath` into BENCH_hotpath.json) against the
 # committed baseline and fails when the fresh number regresses by more
 # than the allowed fraction (default 20%, override with
-# HOTPATH_MAX_REGRESSION=0.30 etc.).
+# HOTPATH_MAX_REGRESSION=0.30 etc.). Ratio/gating logic lives in
+# scripts/gate_lib.sh, shared with check_events.sh.
 #
 # Usage: scripts/check_hotpath.sh <baseline.json> [fresh.json]
 # CI captures the committed file before the bench overwrites it:
@@ -14,33 +15,11 @@
 #   scripts/check_hotpath.sh /tmp/hotpath_baseline.json BENCH_hotpath.json
 set -euo pipefail
 
+# shellcheck source=scripts/gate_lib.sh
+. "$(dirname "$0")/gate_lib.sh"
+
 baseline="${1:?usage: check_hotpath.sh <baseline.json> [fresh.json]}"
 fresh="${2:-BENCH_hotpath.json}"
 max_regression="${HOTPATH_MAX_REGRESSION:-0.20}"
 
-extract() {
-    grep -o '"decisions_per_sec": *[0-9.]*' "$1" | head -1 | grep -o '[0-9.]*$'
-}
-
-base=$(extract "$baseline")
-new=$(extract "$fresh")
-if [ -z "$base" ] || [ -z "$new" ]; then
-    echo "check_hotpath: could not read decisions_per_sec (baseline='$base' fresh='$new')" >&2
-    exit 2
-fi
-
-awk -v base="$base" -v new="$new" -v max="$max_regression" 'BEGIN {
-    floor = base * (1.0 - max)
-    ratio = new / base
-    drift = (ratio - 1.0) * 100.0
-    # Always print the measured-vs-baseline ratio first, so CI logs show
-    # perf drift long before it trips the regression gate.
-    printf "hotpath: measured %.0f vs baseline %.0f decisions/s — ratio %.3f (%+.1f%% drift, gate floor %.0f)\n",
-           new, base, ratio, drift, floor
-    if (new < floor) {
-        printf "HOTPATH REGRESSION: %.0f decisions/s is %.1f%% of the %.0f baseline (floor: %.0f)\n",
-               new, ratio * 100.0, base, floor
-        exit 1
-    }
-    printf "hotpath ok (>%.0f%% of baseline retained)\n", (1.0 - max) * 100.0
-}'
+gate_ratio hotpath decisions_per_sec "decisions/s" "$baseline" "$fresh" "$max_regression"

@@ -1,0 +1,45 @@
+# Shared measured-vs-baseline gating logic for the perf regression
+# checks (sourced by check_hotpath.sh and check_events.sh — not
+# executable on its own).
+#
+#   gate_ratio <name> <key> <unit> <baseline.json> <fresh.json> <max_regression>
+#
+# Extracts the first `"<key>": <number>` from each JSON file, prints the
+# measured-vs-baseline ratio (so CI logs show perf drift long before it
+# trips the gate), and fails when the fresh number falls below
+# baseline * (1 - max_regression). Exit codes: 0 ok, 1 regression,
+# 2 unreadable values — matching the callers' documented contract.
+
+extract_json_number() {
+    # Tolerate a missing key under the callers' `set -euo pipefail`: an
+    # empty result must reach gate_ratio's explicit exit-2 diagnostic,
+    # not kill the script with a bare grep status.
+    grep -o "\"$2\": *[0-9.]*" "$1" 2>/dev/null | head -1 | grep -o '[0-9.]*$' || true
+}
+
+gate_ratio() {
+    local name="$1" key="$2" unit="$3" baseline="$4" fresh="$5" max_regression="$6"
+    local base new
+    base=$(extract_json_number "$baseline" "$key")
+    new=$(extract_json_number "$fresh" "$key")
+    if [ -z "$base" ] || [ -z "$new" ]; then
+        echo "check_${name}: could not read ${key} (baseline='$base' fresh='$new')" >&2
+        return 2
+    fi
+    awk -v base="$base" -v new="$new" -v max="$max_regression" \
+        -v name="$name" -v uname="$(echo "$name" | tr '[:lower:]' '[:upper:]')" -v unit="$unit" 'BEGIN {
+        floor = base * (1.0 - max)
+        ratio = new / base
+        drift = (ratio - 1.0) * 100.0
+        # Always print the measured-vs-baseline ratio first, so CI logs
+        # show perf drift long before it trips the regression gate.
+        printf "%s: measured %.0f vs baseline %.0f %s — ratio %.3f (%+.1f%% drift, gate floor %.0f)\n",
+               name, new, base, unit, ratio, drift, floor
+        if (new < floor) {
+            printf "%s REGRESSION: %.0f %s is %.1f%% of the %.0f baseline (floor: %.0f)\n",
+                   uname, new, unit, ratio * 100.0, base, floor
+            exit 1
+        }
+        printf "%s ok (>%.0f%% of baseline retained)\n", name, (1.0 - max) * 100.0
+    }'
+}

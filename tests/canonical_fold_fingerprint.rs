@@ -1,0 +1,68 @@
+//! Regression witness for the canonical-fold refactor (detlint D2).
+//!
+//! The golden fingerprints below were captured *before* the ad-hoc
+//! `.sum::<f64>()` / manual `+=` folds in `dream-sim`, `dream-core`, and
+//! `dream-baselines` were routed through [`dream_sim::canonical_sum`].
+//! The helper replays `<f64 as Sum>`'s exact operation sequence (a
+//! left-to-right fold seeded with `-0.0`), so the refactor must be a
+//! bit-for-bit no-op: any drift in these fingerprints means a float fold
+//! changed its operation order.
+
+use dream::prelude::*;
+use dream_baselines::PlanariaScheduler;
+use dream_models::ScenarioKind;
+use dream_sim::Scheduler;
+
+const HORIZON_MS: u64 = 600;
+const PRESET: PlatformPreset = PlatformPreset::Hetero4kWs1Os2;
+
+fn fingerprint(kind: ScenarioKind, seed: u64, sched: &mut dyn Scheduler) -> u64 {
+    let scenario = Scenario::new(kind, CascadeProbability::default_paper());
+    SimulationBuilder::new(Platform::preset(PRESET), scenario)
+        .duration(Millis::new(HORIZON_MS))
+        .seed(seed)
+        .run(sched)
+        .expect("simulation runs")
+        .into_metrics()
+        .fingerprint()
+}
+
+/// Golden values captured at commit 12cd435 (pre-refactor): the
+/// canonical-fold adoption must not move a single bit.
+#[test]
+fn canonical_fold_adoption_is_bit_identical() {
+    let cases: [(ScenarioKind, u64, u64, u64); 3] = [
+        (
+            ScenarioKind::ArCall,
+            17,
+            0xc1afbce32e92dbad,
+            0xeda87967b026ab92,
+        ),
+        (
+            ScenarioKind::VrGaming,
+            5,
+            0xd8a6ddc52ab7b4e4,
+            0x6b7dbd89703369d4,
+        ),
+        (
+            ScenarioKind::DroneIndoor,
+            2024,
+            0x8302275fed4aa21d,
+            0x05f5e2596013c4e0,
+        ),
+    ];
+    for (kind, seed, golden_dream, golden_planaria) in cases {
+        let mut dream = DreamScheduler::new(DreamConfig::full());
+        let got = fingerprint(kind, seed, &mut dream);
+        assert_eq!(
+            got, golden_dream,
+            "{kind:?}/{seed} DREAM-Full fingerprint drifted from the pre-refactor golden"
+        );
+        let mut planaria = PlanariaScheduler::new();
+        let got_p = fingerprint(kind, seed, &mut planaria);
+        assert_eq!(
+            got_p, golden_planaria,
+            "{kind:?}/{seed} Planaria fingerprint drifted from the pre-refactor golden"
+        );
+    }
+}

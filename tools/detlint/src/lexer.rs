@@ -1,0 +1,398 @@
+//! A minimal hand-rolled Rust lexer: just enough to token-scan workspace
+//! sources without being fooled by strings, char literals, lifetimes, or
+//! comments. Comments are kept (separately) because suppression
+//! directives live in them.
+//!
+//! This is deliberately *not* a full Rust lexer — no proc-macro fidelity,
+//! no shebang/frontmatter handling — but it must never misclassify a
+//! string or comment as code (that is what turns a lint into noise).
+
+/// What a code token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `_`).
+    Ident,
+    /// A single punctuation character.
+    Punct,
+    /// Integer literal (incl. suffixed, hex, octal, binary).
+    IntLit,
+    /// Float literal (has a fractional part, exponent, or f32/f64 suffix).
+    FloatLit,
+    /// String/char/byte/lifetime literal (contents are opaque).
+    OtherLit,
+}
+
+/// One code token with its source position (1-based line, 0-based column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One comment (line or block), with the text after the comment marker.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Line the comment ends on (differs for block comments).
+    pub end_line: u32,
+    /// Whether a code token precedes the comment on its start line
+    /// (a trailing comment anchors to its own line, a standalone one to
+    /// the next code line).
+    pub trailing: bool,
+}
+
+/// Lexer output: code tokens and comments, both in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenises `src`. Never panics on malformed input (fixtures are allowed
+/// to be invalid Rust); unterminated literals simply run to end of file.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 0;
+    let mut last_tok_line: u32 = 0;
+
+    macro_rules! bump {
+        () => {{
+            if b[i] == '\n' {
+                line += 1;
+                col = 0;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        let (tline, tcol) = (line, col);
+        if c == '\n' || c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            let start = i + 2;
+            while i < b.len() && b[i] != '\n' {
+                bump!();
+            }
+            let text: String = b[start..i].iter().collect();
+            out.comments.push(Comment {
+                text,
+                line: tline,
+                end_line: tline,
+                trailing: last_tok_line == tline,
+            });
+            continue;
+        }
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let start = i + 2;
+            bump!();
+            bump!();
+            let mut depth = 1u32;
+            let text_start = start;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                } else {
+                    bump!();
+                }
+            }
+            let text_end = i.saturating_sub(2).max(text_start);
+            let text: String = b[text_start..text_end].iter().collect();
+            out.comments.push(Comment {
+                text,
+                line: tline,
+                end_line: line,
+                trailing: last_tok_line == tline,
+            });
+            continue;
+        }
+        // Raw / byte strings: r"", r#""#, br"", b"".
+        if (c == 'r' || c == 'b') && i + 1 < b.len() {
+            let mut j = i;
+            let mut is_raw = false;
+            if b[j] == 'b' && j + 1 < b.len() && (b[j + 1] == 'r' || b[j + 1] == '"') {
+                j += 1;
+                is_raw = b[j] == 'r';
+            } else if b[j] == 'r' && j + 1 < b.len() && (b[j + 1] == '"' || b[j + 1] == '#') {
+                is_raw = true;
+            }
+            let raw_candidate = is_raw || (b[i] == 'b' && b[j] == '"');
+            if raw_candidate {
+                if is_raw {
+                    j += 1; // past the 'r'
+                }
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == '"' {
+                    // Commit: consume up to the closing quote + hashes.
+                    while i <= j {
+                        bump!();
+                    }
+                    'raw: while i < b.len() {
+                        if b[i] == '"' {
+                            let mut k = i + 1;
+                            let mut seen = 0usize;
+                            while k < b.len() && b[k] == '#' && seen < hashes {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                while i < k {
+                                    bump!();
+                                }
+                                break 'raw;
+                            }
+                        }
+                        if !is_raw && b[i] == '\\' && i + 1 < b.len() {
+                            bump!();
+                        }
+                        bump!();
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::OtherLit,
+                        text: String::new(),
+                        line: tline,
+                        col: tcol,
+                    });
+                    last_tok_line = line;
+                    continue;
+                }
+            }
+            // else: fall through, treat as ident.
+        }
+        if c == '"' {
+            bump!();
+            while i < b.len() && b[i] != '"' {
+                if b[i] == '\\' && i + 1 < b.len() {
+                    bump!();
+                }
+                bump!();
+            }
+            if i < b.len() {
+                bump!();
+            }
+            out.toks.push(Tok {
+                kind: TokKind::OtherLit,
+                text: String::new(),
+                line: tline,
+                col: tcol,
+            });
+            last_tok_line = line;
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+            let is_lifetime = i + 1 < b.len()
+                && is_ident_start(b[i + 1])
+                && !(i + 2 < b.len() && b[i + 2] == '\'');
+            bump!();
+            if is_lifetime {
+                while i < b.len() && is_ident_continue(b[i]) {
+                    bump!();
+                }
+            } else {
+                while i < b.len() && b[i] != '\'' {
+                    if b[i] == '\\' && i + 1 < b.len() {
+                        bump!();
+                    }
+                    bump!();
+                }
+                if i < b.len() {
+                    bump!();
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::OtherLit,
+                text: String::new(),
+                line: tline,
+                col: tcol,
+            });
+            last_tok_line = line;
+            continue;
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < b.len() && is_ident_continue(b[i]) {
+                bump!();
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            last_tok_line = tline;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            if c == '0' && i + 1 < b.len() && matches!(b[i + 1], 'x' | 'o' | 'b') {
+                bump!();
+                bump!();
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    bump!();
+                }
+            } else {
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == '_') {
+                    bump!();
+                }
+                // Fractional part: `.` followed by a digit (so `0..10`
+                // and `1.max(2)` stay integers + method calls).
+                if i + 1 < b.len() && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    bump!();
+                    while i < b.len() && (b[i].is_ascii_digit() || b[i] == '_') {
+                        bump!();
+                    }
+                }
+                // Exponent.
+                if i < b.len()
+                    && (b[i] == 'e' || b[i] == 'E')
+                    && i + 1 < b.len()
+                    && (b[i + 1].is_ascii_digit()
+                        || ((b[i + 1] == '+' || b[i + 1] == '-')
+                            && i + 2 < b.len()
+                            && b[i + 2].is_ascii_digit()))
+                {
+                    is_float = true;
+                    bump!();
+                    if b[i] == '+' || b[i] == '-' {
+                        bump!();
+                    }
+                    while i < b.len() && (b[i].is_ascii_digit() || b[i] == '_') {
+                        bump!();
+                    }
+                }
+                // Type suffix (`0.0f64`, `1u32`).
+                let suffix_start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    bump!();
+                }
+                let suffix: String = b[suffix_start..i].iter().collect();
+                if suffix == "f32" || suffix == "f64" {
+                    is_float = true;
+                }
+            }
+            out.toks.push(Tok {
+                kind: if is_float {
+                    TokKind::FloatLit
+                } else {
+                    TokKind::IntLit
+                },
+                text: b[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            last_tok_line = tline;
+            continue;
+        }
+        // Single punctuation character.
+        bump!();
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line: tline,
+            col: tcol,
+        });
+        last_tok_line = tline;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant::now in a block */
+            let s = "HashMap::new()";
+            let r = r#"SystemTime"#;
+            let c = 'H';
+            fn real(h: HashMap<u32, u32>) {}
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "HashMap").count(), 1);
+        assert!(!ids.iter().any(|s| s == "Instant" || s == "SystemTime"));
+    }
+
+    #[test]
+    fn comments_are_captured_with_trailing_flag() {
+        let src = "let x = 1; // detlint: allow(wall-clock) -- why\n// standalone\nlet y = 2;\n";
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].trailing);
+        assert!(!l.comments[1].trailing);
+        assert!(l.comments[0].text.contains("detlint"));
+    }
+
+    #[test]
+    fn float_vs_int_classification() {
+        let l = lex("let a = -0.0f64; let b = 0.88; let c = 1e9; let d = 42; let r = 0..10;");
+        let floats: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::FloatLit)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(floats, vec!["0.0f64", "0.88", "1e9"]);
+        let ints: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::IntLit)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(ints, vec!["42", "0", "10"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        // No stray unterminated-literal swallowing: `str`, `x` both survive.
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(ids.iter().filter(|s| *s == "str").count() >= 2);
+        assert!(l.toks.iter().any(|t| t.text == "{"));
+    }
+}

@@ -1,0 +1,189 @@
+//! detlint — a workspace determinism lint.
+//!
+//! The replay contracts this repo depends on (live == batch replay,
+//! cached sums == reference folds, N worker threads == 1 thread) are
+//! invariants of the *code shape*, not just the tests: a single
+//! `HashMap` iteration or ad-hoc float fold on the decision path can
+//! break bit-identical fingerprints in ways no fixed test seed catches.
+//! detlint turns those prose invariants into machine-checkable rules:
+//!
+//! * **D1** banned nondeterminism sources (`unordered-map`,
+//!   `wall-clock`, `ambient-rng`, `addr-order`);
+//! * **D2** float-fold discipline (`float-fold`);
+//! * **D3** event-rank exhaustiveness (`event-rank`);
+//! * **D4** fingerprint purity (`fingerprint-purity`).
+//!
+//! Suppression is scoped and justified: `// detlint: allow(<rule>) --
+//! <reason>` on (or directly above) the offending line, or
+//! `// detlint: canonical-fold -- <reason>` above a fn that *defines* a
+//! reference fold. Directives without a reason, naming unknown rules, or
+//! matching nothing are themselves findings (`bad-allow`,
+//! `unused-allow`) and cannot be suppressed.
+//!
+//! The tool is dependency-free by design (hand-rolled lexer, hand-rolled
+//! JSON) so it runs in the offline container and adds nothing to the
+//! workspace's build graph.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rules::{d1, d2, d3, d4, Finding};
+use scan::FileAnalysis;
+
+/// Crate source trees under the determinism contract (D1/D2 scope).
+pub const DETERMINISTIC_SRC_DIRS: &[&str] = &[
+    "crates/baselines/src",
+    "crates/core/src",
+    "crates/cost/src",
+    "crates/models/src",
+    "crates/sim/src",
+];
+
+/// Source trees whose code makes scheduling decisions (D4 scope).
+pub const DECISION_DIRS: &[&str] = &["crates/baselines/src", "crates/core/src"];
+
+/// The module declaring `EventKind` and its canonical `rank` (D3 anchor).
+pub const EVENT_FILE: &str = "crates/sim/src/event.rs";
+
+/// The module declaring `Metrics` and `fingerprint` (D4 anchor).
+pub const METRICS_FILE: &str = "crates/sim/src/metrics.rs";
+
+/// The complete result of one lint run.
+pub struct LintReport {
+    pub root: String,
+    /// All findings (suppressed and not), sorted by (file, line, col).
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.suppressed)
+    }
+}
+
+/// Lints the workspace rooted at `root`. IO errors (unreadable tree)
+/// surface as `Err`; an anchored file going missing is a *finding*, not
+/// an error, so config drift cannot silently disarm a rule.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut files: Vec<(String, PathBuf)> = Vec::new();
+    for dir in DETERMINISTIC_SRC_DIRS {
+        let abs = root.join(dir);
+        if abs.is_dir() {
+            collect_rs(&abs, &mut files, root)?;
+        }
+    }
+    // Deterministic order regardless of directory-entry order.
+    files.sort();
+
+    let analyses: Vec<FileAnalysis> = files
+        .iter()
+        .map(|(rel, abs)| {
+            let src = fs::read_to_string(abs).unwrap_or_default();
+            FileAnalysis::new(rel, &src)
+        })
+        .collect();
+
+    let mut findings = Vec::new();
+
+    // Derive the D4 policy up front; its drift findings are merged into
+    // the metrics file's batch below so suppression still applies.
+    let metrics = analyses.iter().find(|a| a.name == METRICS_FILE);
+    let mut policy_findings = Vec::new();
+    let policy = match metrics {
+        Some(a) => d4::derive_policy(a, true, &mut policy_findings),
+        None => {
+            findings.push(Finding::new(
+                rules::RuleId::FingerprintPurity,
+                METRICS_FILE,
+                1,
+                0,
+                "metrics module not found; update detlint's D4 anchor so fingerprint purity stays checked".to_string(),
+                "missing file".to_string(),
+            ));
+            d4::MetricsPolicy::default()
+        }
+    };
+    if !analyses.iter().any(|a| a.name == EVENT_FILE) {
+        findings.push(Finding::new(
+            rules::RuleId::EventRank,
+            EVENT_FILE,
+            1,
+            0,
+            "event module not found; update detlint's D3 anchor so rank exhaustiveness stays checked".to_string(),
+            "missing file".to_string(),
+        ));
+    }
+
+    for a in &analyses {
+        // Out-of-line test modules: the `#[cfg(test)] mod tests;` item in
+        // the parent file is attribute-skipped, so skip the file here.
+        if a.name.ends_with("/tests.rs") {
+            continue;
+        }
+        let mut fs = Vec::new();
+        d1::run(a, &mut fs);
+        d2::run(a, &mut fs);
+        if a.name == EVENT_FILE {
+            d3::run(a, &mut fs, true);
+        }
+        if a.name == METRICS_FILE {
+            fs.append(&mut policy_findings);
+        }
+        if DECISION_DIRS.iter().any(|d| a.name.starts_with(d)) {
+            d4::scan_decisions(a, &policy, &mut fs);
+        }
+        a.apply_suppression(&mut fs);
+        findings.extend(fs);
+    }
+
+    findings.sort_by(|x, y| {
+        (x.file.as_str(), x.line, x.col, x.rule).cmp(&(y.file.as_str(), y.line, y.col, y.rule))
+    });
+    Ok(LintReport {
+        root: root.display().to_string(),
+        findings,
+    })
+}
+
+/// Lints a single source string — the fixture entry point. Runs D1/D2
+/// unconditionally, D3 when the source declares both `EventKind` and
+/// `rank`, and D4 self-referentially (policy derived from and applied to
+/// the same source), then suppression.
+pub fn lint_source(name: &str, src: &str) -> Vec<Finding> {
+    let a = FileAnalysis::new(name, src);
+    let mut fs = Vec::new();
+    d1::run(&a, &mut fs);
+    d2::run(&a, &mut fs);
+    d3::run(&a, &mut fs, false);
+    let policy = d4::derive_policy(&a, false, &mut fs);
+    d4::scan_decisions(&a, &policy, &mut fs);
+    a.apply_suppression(&mut fs);
+    fs.sort_by(|x, y| {
+        (x.file.as_str(), x.line, x.col, x.rule).cmp(&(y.file.as_str(), y.line, y.col, y.rule))
+    });
+    fs
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<(String, PathBuf)>, root: &Path) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out, root)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! detlint CLI.
+//!
+//! ```text
+//! detlint [--root DIR] [--format text|json] [--out FILE] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean (every finding suppressed with a reason),
+//! 1 unsuppressed findings, 2 usage or IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: detlint [--root DIR] [--format text|json] [--out FILE] [--list-rules]\n\
+     \n\
+     Lints the workspace's deterministic crates for replay-invariant\n\
+     violations. Exit 0 when clean, 1 on unsuppressed findings, 2 on\n\
+     usage/IO errors."
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = String::from("text");
+    let mut out_file: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return fail_usage("--root needs a value"),
+            },
+            "--format" => match args.next() {
+                Some(v) if v == "text" || v == "json" => format = v,
+                _ => return fail_usage("--format must be `text` or `json`"),
+            },
+            "--out" => match args.next() {
+                Some(v) => out_file = Some(PathBuf::from(v)),
+                None => return fail_usage("--out needs a value"),
+            },
+            "--list-rules" => {
+                print!("{}", detlint::report::list_rules());
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => return fail_usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // When no root is given, find the workspace root by walking up to the
+    // nearest directory containing a `crates/` tree (so the tool works
+    // from the workspace root and from inside `tools/detlint` alike).
+    let root = root.unwrap_or_else(|| {
+        let mut cur = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        loop {
+            if cur.join("crates").is_dir() {
+                break cur;
+            }
+            if !cur.pop() {
+                break PathBuf::from(".");
+            }
+        }
+    });
+
+    let report = match detlint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("detlint: error scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let rendered = if format == "json" {
+        detlint::report::to_json(&report)
+    } else {
+        detlint::report::to_text(&report)
+    };
+    match &out_file {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("detlint: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            // Keep the console summary even when the report goes to a file.
+            eprint!("{}", detlint::report::to_text(&report));
+        }
+        None => print!("{rendered}"),
+    }
+
+    if report.unsuppressed().next().is_some() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn fail_usage(msg: &str) -> ExitCode {
+    eprintln!("detlint: {msg}\n{}", usage());
+    ExitCode::from(2)
+}

@@ -1,0 +1,135 @@
+//! Report rendering: human text and a machine-readable JSON document.
+//!
+//! The JSON schema (version 1):
+//!
+//! ```json
+//! {
+//!   "detlint_version": 1,
+//!   "root": "<workspace root>",
+//!   "rules": [ {"rule": "...", "family": "D1", "description": "..."} ],
+//!   "findings": [
+//!     {"rule": "...", "family": "...", "file": "...", "line": 1,
+//!      "col": 0, "message": "...", "snippet": "...",
+//!      "suppressed": false, "reason": null}
+//!   ],
+//!   "summary": {"total": 0, "suppressed": 0, "unsuppressed": 0}
+//! }
+//! ```
+//!
+//! Hand-rolled writer (no serde in this dependency-free tool); key order
+//! and finding order are deterministic, so the artifact diffs cleanly
+//! across CI runs.
+
+use crate::rules::RuleId;
+use crate::LintReport;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+pub fn to_json(r: &LintReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"detlint_version\": 1,\n");
+    s.push_str(&format!("  \"root\": \"{}\",\n", esc(&r.root)));
+    s.push_str("  \"rules\": [\n");
+    for (i, rule) in RuleId::ALL.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"family\": \"{}\", \"description\": \"{}\"}}{}\n",
+            rule.name(),
+            rule.family(),
+            esc(rule.describe()),
+            if i + 1 < RuleId::ALL.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"findings\": [\n");
+    for (i, f) in r.findings.iter().enumerate() {
+        let reason = match &f.reason {
+            Some(why) => format!("\"{}\"", esc(why)),
+            None => "null".to_string(),
+        };
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"family\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\", \"snippet\": \"{}\", \"suppressed\": {}, \"reason\": {}}}{}\n",
+            f.rule.name(),
+            f.rule.family(),
+            esc(&f.file),
+            f.line,
+            f.col,
+            esc(&f.message),
+            esc(&f.snippet),
+            f.suppressed,
+            reason,
+            if i + 1 < r.findings.len() { "," } else { "" }
+        ));
+    }
+    let total = r.findings.len();
+    let suppressed = r.findings.iter().filter(|f| f.suppressed).count();
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"summary\": {{\"total\": {}, \"suppressed\": {}, \"unsuppressed\": {}}}\n}}\n",
+        total,
+        suppressed,
+        total - suppressed
+    ));
+    s
+}
+
+pub fn to_text(r: &LintReport) -> String {
+    let mut s = String::new();
+    for f in &r.findings {
+        if f.suppressed {
+            s.push_str(&format!(
+                "allowed  {}:{}:{} [{}] {} (reason: {})\n",
+                f.file,
+                f.line,
+                f.col,
+                f.rule.name(),
+                f.message,
+                f.reason.as_deref().unwrap_or("")
+            ));
+        } else {
+            s.push_str(&format!(
+                "FINDING  {}:{}:{} [{}/{}] {}\n",
+                f.file,
+                f.line,
+                f.col,
+                f.rule.family(),
+                f.rule.name(),
+                f.message
+            ));
+        }
+    }
+    let total = r.findings.len();
+    let bad = r.unsuppressed().count();
+    s.push_str(&format!(
+        "detlint: {} finding(s), {} suppressed, {} unsuppressed\n",
+        total,
+        total - bad,
+        bad
+    ));
+    s
+}
+
+pub fn list_rules() -> String {
+    let mut s = String::from("rule                 family  description\n");
+    for rule in RuleId::ALL {
+        s.push_str(&format!(
+            "{:<20} {:<7} {}\n",
+            rule.name(),
+            rule.family(),
+            rule.describe()
+        ));
+    }
+    s
+}

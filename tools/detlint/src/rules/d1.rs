@@ -1,0 +1,127 @@
+//! D1 — banned nondeterminism sources in the deterministic crates.
+//!
+//! Everything here is a *source* of cross-run variation: unordered
+//! containers, wall clocks, ambient RNGs, and thread/address identity.
+//! The simulation's replay contract (live == batch, cached == reference,
+//! N threads == 1 thread) only holds if none of them can reach the
+//! scheduling path.
+
+use crate::lexer::TokKind;
+use crate::rules::{Finding, RuleId};
+use crate::scan::FileAnalysis;
+
+const UNORDERED: &[&str] = &["HashMap", "HashSet", "hash_map", "hash_set"];
+const RNG_IDENTS: &[&str] = &[
+    "thread_rng",
+    "ThreadRng",
+    "OsRng",
+    "StdRng",
+    "SmallRng",
+    "getrandom",
+    "from_entropy",
+];
+
+pub fn run(a: &FileAnalysis, out: &mut Vec<Finding>) {
+    let toks = a.toks();
+    let mut push = |idx: usize, rule: RuleId, msg: String| {
+        out.push(Finding::new(
+            rule,
+            &a.name,
+            toks[idx].line,
+            toks[idx].col,
+            msg,
+            toks[idx].text.clone(),
+        ));
+    };
+    for i in 0..toks.len() {
+        if a.in_test(i) || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let t = toks[i].text.as_str();
+        let is_path_sep = |j: usize| {
+            toks.get(j).is_some_and(|t| t.text == ":")
+                && toks.get(j + 1).is_some_and(|t| t.text == ":")
+        };
+
+        if UNORDERED.contains(&t) {
+            push(
+                i,
+                RuleId::UnorderedMap,
+                format!("`{t}` iterates in nondeterministic order; use BTreeMap/BTreeSet or an index-keyed Vec"),
+            );
+            continue;
+        }
+        if t == "Instant" && is_path_sep(i + 1) && toks.get(i + 3).is_some_and(|t| t.text == "now")
+        {
+            push(
+                i,
+                RuleId::WallClock,
+                "`Instant::now` reads the wall clock; simulated time must come from SimTime".into(),
+            );
+            continue;
+        }
+        if t == "SystemTime" || t == "UNIX_EPOCH" {
+            push(
+                i,
+                RuleId::WallClock,
+                format!("`{t}` reads the wall clock; simulated time must come from SimTime"),
+            );
+            continue;
+        }
+        if RNG_IDENTS.contains(&t) || (t == "rand" && is_path_sep(i + 1)) {
+            push(
+                i,
+                RuleId::AmbientRng,
+                format!("`{t}` draws ambient randomness; use the seed-keyed DeterministicCoin"),
+            );
+            continue;
+        }
+        if t == "ThreadId"
+            || (t == "thread"
+                && is_path_sep(i + 1)
+                && toks.get(i + 3).is_some_and(|t| t.text == "current"))
+        {
+            push(
+                i,
+                RuleId::AddrOrder,
+                "thread identity varies across runs and schedulers; never key or order by it"
+                    .into(),
+            );
+            continue;
+        }
+        // `.as_ptr() as usize` — pointer-address ordering.
+        if t == "as_ptr"
+            && toks.get(i + 1).is_some_and(|t| t.text == "(")
+            && toks.get(i + 2).is_some_and(|t| t.text == ")")
+            && toks.get(i + 3).is_some_and(|t| t.text == "as")
+            && toks.get(i + 4).is_some_and(|t| t.text == "usize")
+        {
+            push(
+                i,
+                RuleId::AddrOrder,
+                "pointer address cast to usize; allocation addresses vary across runs".into(),
+            );
+            continue;
+        }
+        // `as *const T as usize` / `as *mut T as usize`.
+        if t == "as"
+            && toks.get(i + 1).is_some_and(|t| t.text == "*")
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| t.text == "const" || t.text == "mut")
+        {
+            // Look a short distance ahead for `as usize`.
+            for j in i + 3..(i + 8).min(toks.len().saturating_sub(1)) {
+                if toks[j].text == "as" && toks.get(j + 1).is_some_and(|t| t.text == "usize") {
+                    push(
+                        i,
+                        RuleId::AddrOrder,
+                        "pointer address cast to usize; allocation addresses vary across runs"
+                            .into(),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! D2 — float-fold discipline.
+//!
+//! Cached cost/to-go sums replay the *reference* fold bit-for-bit, which
+//! only works if every float fold runs one canonical operation sequence:
+//! a left-to-right fold seeded with `-0.0` (`<f64 as Sum>`'s identity).
+//! `dream_sim::canonical_sum` is that sequence as a function; everything
+//! else is an ad-hoc fold and gets flagged:
+//!
+//! * `.sum::<f64>()` / `.sum::<f32>()` turbofish sums;
+//! * bare `.sum()` whose `let` ascription or enclosing fn return type is
+//!   a float;
+//! * `.fold(<float literal>, ...)`;
+//! * manual accumulators: `let mut x = 0.0;` later fed by `x += ...`.
+//!
+//! A fold that *defines* a canonical sequence (the reference walk itself,
+//! or an interleaved multi-accumulator fold that provably replays it) is
+//! blessed in place with `// detlint: canonical-fold -- <reason>` on the
+//! function; one-off justified folds carry `allow(float-fold)`.
+
+use crate::lexer::TokKind;
+use crate::rules::{Finding, RuleId};
+use crate::scan::FileAnalysis;
+
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+pub fn run(a: &FileAnalysis, out: &mut Vec<Finding>) {
+    let toks = a.toks();
+    for i in 0..toks.len() {
+        if a.in_test(i) || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let t = toks[i].text.as_str();
+        let dotted = i >= 1 && toks[i - 1].text == ".";
+        if dotted && t == "sum" {
+            if let Some(f) = check_sum(a, i) {
+                out.push(f);
+            }
+            continue;
+        }
+        if dotted && t == "fold" && toks.get(i + 1).is_some_and(|t| t.text == "(") && {
+            let mut j = i + 2;
+            if toks.get(j).is_some_and(|t| t.text == "-") {
+                j += 1;
+            }
+            toks.get(j).is_some_and(|t| t.kind == TokKind::FloatLit)
+        } {
+            out.push(Finding::new(
+                RuleId::FloatFold,
+                &a.name,
+                toks[i].line,
+                toks[i].col,
+                "float-seeded `.fold(...)`; use dream_sim::canonical_sum or bless the site"
+                    .to_string(),
+                ".fold(float, ..)".to_string(),
+            ));
+            continue;
+        }
+    }
+    manual_accumulators(a, out);
+}
+
+/// Classifies one `.sum` call site. Returns a finding when the fold is a
+/// float fold outside any blessing.
+fn check_sum(a: &FileAnalysis, i: usize) -> Option<Finding> {
+    let toks = a.toks();
+    let finding = |msg: &str| {
+        Some(Finding::new(
+            RuleId::FloatFold,
+            &a.name,
+            toks[i].line,
+            toks[i].col,
+            msg.to_string(),
+            ".sum()".to_string(),
+        ))
+    };
+    // Turbofish: `.sum::<T>()` — the type decides outright.
+    if toks.get(i + 1).is_some_and(|t| t.text == ":")
+        && toks.get(i + 2).is_some_and(|t| t.text == ":")
+    {
+        let mut j = i + 3;
+        if toks.get(j).is_some_and(|t| t.text == "<") {
+            j += 1;
+        }
+        let ty = toks.get(j).map(|t| t.text.as_str()).unwrap_or("");
+        return if ty == "f64" || ty == "f32" {
+            finding("`.sum::<f64>()` is an ad-hoc float fold; use dream_sim::canonical_sum")
+        } else {
+            None
+        };
+    }
+    // Bare `.sum()`: use the `let` ascription when the statement has one.
+    if let Some(ty) = let_ascription(a, i) {
+        if ty == "f64" || ty == "f32" {
+            return finding("float `.sum()` (by `let` ascription); use dream_sim::canonical_sum");
+        }
+        if INT_TYPES.contains(&ty.as_str()) {
+            return None;
+        }
+        // Non-primitive ascription: fall through to the fn return type.
+    }
+    // Otherwise: the enclosing fn's return type.
+    let ret = a.enclosing_fn(i).map(|f| f.ret.clone()).unwrap_or_default();
+    if ret.contains("f64") || ret.contains("f32") {
+        return finding(
+            "float `.sum()` (enclosing fn returns a float); use dream_sim::canonical_sum",
+        );
+    }
+    None
+}
+
+/// The explicit type ascribed by the `let` statement containing token
+/// `i`, if any: scans back to the statement boundary and extracts the
+/// tokens between the pattern's `:` and the `=`.
+fn let_ascription(a: &FileAnalysis, i: usize) -> Option<String> {
+    let toks = a.toks();
+    // Walk back to the nearest statement boundary.
+    let mut j = i;
+    let mut depth = 0i32;
+    while j > 0 {
+        let t = toks[j - 1].text.as_str();
+        match t {
+            ")" | "]" => depth += 1,
+            "(" | "[" => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            // Any brace is a statement boundary for this purpose: a `}`
+            // at depth 0 ends a preceding block, a `{` opens ours.
+            "{" | "}" if depth == 0 => break,
+            ";" if depth == 0 => break,
+            _ => {}
+        }
+        j -= 1;
+    }
+    if toks.get(j).map(|t| t.text.as_str()) != Some("let") {
+        return None;
+    }
+    // Find the single `:` (not `::`) before the `=` sign.
+    let mut k = j + 1;
+    let mut colon = None;
+    let mut eq = None;
+    while k < i {
+        match toks[k].text.as_str() {
+            ":" => {
+                if toks.get(k + 1).is_some_and(|t| t.text == ":")
+                    || toks.get(k.wrapping_sub(1)).is_some_and(|t| t.text == ":")
+                {
+                    // path separator
+                } else if colon.is_none() {
+                    colon = Some(k);
+                }
+            }
+            "=" if eq.is_none() && toks.get(k + 1).map(|t| t.text.as_str()) != Some("=") => {
+                eq = Some(k);
+                break;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    let (c, e) = (colon?, eq?);
+    if c >= e {
+        return None;
+    }
+    let ty: Vec<&str> = toks[c + 1..e].iter().map(|t| t.text.as_str()).collect();
+    Some(ty.join(" "))
+}
+
+/// `let mut x = <float literal>;` later fed by `x += ...` in the same fn.
+fn manual_accumulators(a: &FileAnalysis, out: &mut Vec<Finding>) {
+    let toks = a.toks();
+    for f in &a.fns {
+        let (lo, hi) = f.body;
+        let mut i = lo;
+        while i + 3 < hi {
+            if a.in_test(i) {
+                i += 1;
+                continue;
+            }
+            if toks[i].text == "let" && toks[i + 1].text == "mut" {
+                let name_idx = i + 2;
+                let name = toks[name_idx].text.clone();
+                // Skip an optional `: ty` ascription.
+                let mut j = name_idx + 1;
+                if toks.get(j).is_some_and(|t| t.text == ":") {
+                    while j < hi && toks[j].text != "=" {
+                        j += 1;
+                    }
+                }
+                if toks.get(j).is_some_and(|t| t.text == "=") {
+                    let mut v = j + 1;
+                    if toks.get(v).is_some_and(|t| t.text == "-") {
+                        v += 1;
+                    }
+                    let lit_init = toks.get(v).is_some_and(|t| t.kind == TokKind::FloatLit)
+                        && toks.get(v + 1).is_some_and(|t| t.text == ";");
+                    if lit_init {
+                        // Any `name +=` later in the fn body?
+                        let fed = (v + 2..hi).any(|k| {
+                            toks[k].text == name
+                                && toks.get(k + 1).is_some_and(|t| t.text == "+")
+                                && toks.get(k + 2).is_some_and(|t| t.text == "=")
+                        });
+                        if fed {
+                            out.push(Finding::new(
+                                RuleId::FloatFold,
+                                &a.name,
+                                toks[i].line,
+                                toks[i].col,
+                                format!(
+                                    "manual float-accumulator fold over `{name}`; use dream_sim::canonical_sum or bless the fn"
+                                ),
+                                format!("let mut {name} = ..; {name} += .."),
+                            ));
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}

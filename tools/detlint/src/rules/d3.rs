@@ -1,0 +1,143 @@
+//! D3 — event-rank exhaustiveness.
+//!
+//! Intra-instant event order is the replay contract's tiebreak of last
+//! resort: `EventKind::rank` must give *every* variant an explicit rank,
+//! and may not hide new variants behind a wildcard arm. This rule parses
+//! the `EventKind` enum and the `rank` function from the event module and
+//! cross-checks them; structural drift (enum or fn renamed/moved) is
+//! itself a finding so the check can never silently stop checking.
+
+use crate::lexer::TokKind;
+use crate::rules::{Finding, RuleId};
+use crate::scan::FileAnalysis;
+
+/// Runs the check over `a`. `required` marks the designated event module:
+/// when set, a missing `EventKind` enum or `rank` fn is config drift and
+/// produces a finding instead of a silent pass.
+pub fn run(a: &FileAnalysis, out: &mut Vec<Finding>, required: bool) {
+    let toks = a.toks();
+    let variants = enum_variants(a, "EventKind");
+    let rank = a.fns.iter().find(|f| f.name == "rank");
+    match (&variants, rank) {
+        (Some((_, vs)), Some(f)) => {
+            let (lo, hi) = f.body;
+            for v in vs {
+                let present = (lo..=hi).any(|k| toks[k].text == *v);
+                if !present {
+                    out.push(Finding::new(
+                        RuleId::EventRank,
+                        &a.name,
+                        toks[f.kw_tok].line,
+                        toks[f.kw_tok].col,
+                        format!(
+                            "`EventKind::{v}` has no explicit arm in the canonical rank function"
+                        ),
+                        format!("fn rank missing {v}"),
+                    ));
+                }
+            }
+            // Wildcard arms would let future variants slip through
+            // unranked — ban them in `rank` specifically.
+            for k in lo..hi {
+                if toks[k].text == "_"
+                    && toks[k].kind == TokKind::Ident
+                    && toks.get(k + 1).is_some_and(|t| t.text == "=")
+                    && toks.get(k + 2).is_some_and(|t| t.text == ">")
+                {
+                    out.push(Finding::new(
+                        RuleId::EventRank,
+                        &a.name,
+                        toks[k].line,
+                        toks[k].col,
+                        "wildcard arm in the canonical rank function; every EventKind variant needs an explicit rank".to_string(),
+                        "_ =>".to_string(),
+                    ));
+                }
+            }
+        }
+        _ if required => {
+            let what = match (&variants, rank) {
+                (None, _) => "enum EventKind",
+                (_, None) => "fn rank",
+                _ => unreachable!(),
+            };
+            out.push(Finding::new(
+                RuleId::EventRank,
+                &a.name,
+                1,
+                0,
+                format!(
+                    "event module no longer declares `{what}`; update detlint's D3 anchor so rank exhaustiveness stays checked"
+                ),
+                what.to_string(),
+            ));
+        }
+        _ => {}
+    }
+}
+
+/// Extracts the variant names of `enum <name>`, with the token index of
+/// the `enum` keyword. Skips `#[...]` attributes and nested field groups.
+pub fn enum_variants(a: &FileAnalysis, name: &str) -> Option<(usize, Vec<String>)> {
+    let toks = a.toks();
+    let mut at = None;
+    for i in 0..toks.len().saturating_sub(2) {
+        if toks[i].text == "enum" && toks[i + 1].text == name && toks[i + 2].text == "{" {
+            at = Some(i);
+            break;
+        }
+    }
+    let i = at?;
+    let mut vs = Vec::new();
+    let mut depth = 0i32;
+    let mut k = i + 2;
+    // True at positions where a variant name may start: right after the
+    // enum's `{` or after a top-level `,`.
+    let mut expecting = true;
+    while k < toks.len() {
+        let t = toks[k].text.as_str();
+        match t {
+            "{" | "(" | "[" => {
+                depth += 1;
+                if depth > 1 {
+                    expecting = false;
+                }
+            }
+            "}" | ")" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "," if depth == 1 => expecting = true,
+            "#" if depth == 1 => {
+                // Skip the attribute group `[...]`.
+                if toks.get(k + 1).is_some_and(|t| t.text == "[") {
+                    let mut d = 0i32;
+                    k += 1;
+                    while k < toks.len() {
+                        match toks[k].text.as_str() {
+                            "[" => d += 1,
+                            "]" => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+            }
+            _ => {
+                if depth == 1 && expecting && toks[k].kind == TokKind::Ident {
+                    vs.push(toks[k].text.clone());
+                    expecting = false;
+                }
+            }
+        }
+        k += 1;
+    }
+    Some((i, vs))
+}

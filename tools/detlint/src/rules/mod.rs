@@ -1,0 +1,159 @@
+//! Rule registry and the [`Finding`] type.
+//!
+//! | family | rule | enforces |
+//! |--------|------|----------|
+//! | D1 | `unordered-map` | no `HashMap`/`HashSet` in deterministic crates |
+//! | D1 | `wall-clock` | no `Instant::now` / `SystemTime` in deterministic crates |
+//! | D1 | `ambient-rng` | no `thread_rng`/`rand` ambient randomness |
+//! | D1 | `addr-order` | no thread-id / pointer-address ordering |
+//! | D2 | `float-fold` | float folds go through blessed canonical-fold sites |
+//! | D3 | `event-rank` | every `EventKind` variant has a canonical rank arm |
+//! | D4 | `fingerprint-purity` | unfingerprinted metrics never feed decisions |
+//! | meta | `bad-allow` | suppressions name known rules and carry a reason |
+//! | meta | `unused-allow` | suppressions that match nothing are stale |
+
+pub mod d1;
+pub mod d2;
+pub mod d3;
+pub mod d4;
+
+use crate::lexer::Tok;
+use crate::scan::FnSpan;
+
+/// Stable rule identifiers (the names used in `allow(...)` and the JSON
+/// report).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    UnorderedMap,
+    WallClock,
+    AmbientRng,
+    AddrOrder,
+    FloatFold,
+    EventRank,
+    FingerprintPurity,
+    BadAllow,
+    UnusedAllow,
+}
+
+impl RuleId {
+    pub const ALL: [RuleId; 9] = [
+        RuleId::UnorderedMap,
+        RuleId::WallClock,
+        RuleId::AmbientRng,
+        RuleId::AddrOrder,
+        RuleId::FloatFold,
+        RuleId::EventRank,
+        RuleId::FingerprintPurity,
+        RuleId::BadAllow,
+        RuleId::UnusedAllow,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::UnorderedMap => "unordered-map",
+            RuleId::WallClock => "wall-clock",
+            RuleId::AmbientRng => "ambient-rng",
+            RuleId::AddrOrder => "addr-order",
+            RuleId::FloatFold => "float-fold",
+            RuleId::EventRank => "event-rank",
+            RuleId::FingerprintPurity => "fingerprint-purity",
+            RuleId::BadAllow => "bad-allow",
+            RuleId::UnusedAllow => "unused-allow",
+        }
+    }
+
+    /// Rule family, for the report and catalog.
+    pub fn family(self) -> &'static str {
+        match self {
+            RuleId::UnorderedMap | RuleId::WallClock | RuleId::AmbientRng | RuleId::AddrOrder => {
+                "D1"
+            }
+            RuleId::FloatFold => "D2",
+            RuleId::EventRank => "D3",
+            RuleId::FingerprintPurity => "D4",
+            RuleId::BadAllow | RuleId::UnusedAllow => "meta",
+        }
+    }
+
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::UnorderedMap => {
+                "HashMap/HashSet iteration order is nondeterministic; use BTreeMap/BTreeSet or an index-keyed Vec"
+            }
+            RuleId::WallClock => {
+                "Instant/SystemTime reads tie behaviour to wall-clock time and break bit-identical replay"
+            }
+            RuleId::AmbientRng => {
+                "ambient randomness is not seed-deterministic; use dream_sim::DeterministicCoin"
+            }
+            RuleId::AddrOrder => {
+                "thread ids and pointer addresses vary across runs; never order or key by them"
+            }
+            RuleId::FloatFold => {
+                "ad-hoc float fold; route it through dream_sim::canonical_sum or bless the site with `detlint: canonical-fold`"
+            }
+            RuleId::EventRank => {
+                "every Event variant needs an explicit arm in the canonical rank function (no wildcard)"
+            }
+            RuleId::FingerprintPurity => {
+                "fields excluded from Metrics::fingerprint must not feed back into scheduling decisions"
+            }
+            RuleId::BadAllow => "detlint directives must name known rules and carry a `-- reason`",
+            RuleId::UnusedAllow => "stale suppression: the allow matched no finding",
+        }
+    }
+
+    pub fn parse(name: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// Meta rules cannot themselves be suppressed.
+    pub fn suppressible(self) -> bool {
+        !matches!(self, RuleId::BadAllow | RuleId::UnusedAllow)
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: RuleId,
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+    /// The offending token(s) or directive text, for the report.
+    pub snippet: String,
+    pub suppressed: bool,
+    /// The allow reason, when suppressed.
+    pub reason: Option<String>,
+}
+
+impl Finding {
+    pub fn new(
+        rule: RuleId,
+        file: &str,
+        line: u32,
+        col: u32,
+        message: String,
+        snippet: String,
+    ) -> Self {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            col,
+            message,
+            snippet,
+            suppressed: false,
+            reason: None,
+        }
+    }
+
+    /// Whether this finding's line falls inside `span`'s body (used for
+    /// fn-level `canonical-fold` blessing).
+    pub fn line_within(&self, toks: &[Tok], span: &FnSpan) -> bool {
+        let start = toks[span.body.0].line;
+        let end = toks[span.body.1].line;
+        self.line >= start && self.line <= end
+    }
+}

@@ -1,0 +1,428 @@
+//! Per-file analysis shared by every rule: token stream, `#[cfg(test)]` /
+//! `#[test]` span skipping, function spans (for enclosing-return-type
+//! queries and `canonical-fold` blessing), and the suppression-directive
+//! parser.
+
+use crate::lexer::{lex, Lexed, Tok, TokKind};
+use crate::rules::{Finding, RuleId};
+
+/// A parsed `// detlint: ...` directive.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    pub kind: DirectiveKind,
+    pub reason: String,
+    /// Line of the directive comment itself.
+    pub line: u32,
+    /// Line the directive applies to (own line for trailing comments, the
+    /// next code line for standalone ones).
+    pub anchor_line: u32,
+    /// Index of the first token at/after the anchor (for fn blessing).
+    pub anchor_tok: usize,
+    /// Whether any finding was suppressed by this directive.
+    pub used: std::cell::Cell<bool>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// `detlint: allow(rule, ...) -- reason`
+    Allow(Vec<RuleId>),
+    /// `detlint: canonical-fold -- reason` — blesses the next `fn` for
+    /// the float-fold rule (the function *is* a reference fold site).
+    CanonicalFold,
+}
+
+/// One `fn` item's extent.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub kw_tok: usize,
+    /// Return-type text (token texts joined), empty when `()`.
+    pub ret: String,
+    /// Token index range of the body `{ ... }`, inclusive of braces.
+    pub body: (usize, usize),
+    /// Whether the fn is declared `pub` (directly preceding modifier).
+    pub is_pub: bool,
+}
+
+/// Everything the rules need to know about one file.
+pub struct FileAnalysis {
+    pub name: String,
+    pub lexed: Lexed,
+    /// Sorted, disjoint token-index ranges belonging to test code.
+    pub test_spans: Vec<(usize, usize)>,
+    pub fns: Vec<FnSpan>,
+    pub directives: Vec<Directive>,
+    /// Malformed directives discovered during parsing.
+    pub directive_findings: Vec<Finding>,
+}
+
+impl FileAnalysis {
+    pub fn new(name: &str, src: &str) -> Self {
+        let lexed = lex(src);
+        let test_spans = find_test_spans(&lexed.toks);
+        let fns = find_fns(&lexed.toks);
+        let mut analysis = FileAnalysis {
+            name: name.to_string(),
+            lexed,
+            test_spans,
+            fns,
+            directives: Vec::new(),
+            directive_findings: Vec::new(),
+        };
+        analysis.parse_directives();
+        analysis
+    }
+
+    pub fn toks(&self) -> &[Tok] {
+        &self.lexed.toks
+    }
+
+    /// Whether token `idx` sits inside `#[cfg(test)]` / `#[test]` code.
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| idx >= a && idx <= b)
+    }
+
+    /// Innermost fn span whose body contains token `idx`.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| idx >= f.body.0 && idx <= f.body.1)
+            .min_by_key(|f| f.body.1 - f.body.0)
+    }
+
+    /// The first fn whose `fn` keyword is at/after token `anchor_tok`
+    /// (used to resolve which fn a `canonical-fold` directive blesses).
+    pub fn fn_at_or_after(&self, anchor_tok: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.kw_tok >= anchor_tok)
+            .min_by_key(|f| f.kw_tok)
+    }
+
+    fn parse_directives(&mut self) {
+        let comments = self.lexed.comments.clone();
+        for c in &comments {
+            let Some(pos) = c.text.find("detlint:") else {
+                continue;
+            };
+            let body = c.text[pos + "detlint:".len()..].trim();
+            let anchor_line = if c.trailing {
+                c.line
+            } else {
+                // The next code line after the comment block.
+                self.lexed
+                    .toks
+                    .iter()
+                    .map(|t| t.line)
+                    .find(|&l| l > c.end_line)
+                    .unwrap_or(c.end_line)
+            };
+            let anchor_tok = self
+                .lexed
+                .toks
+                .iter()
+                .position(|t| t.line >= anchor_line)
+                .unwrap_or(self.lexed.toks.len());
+            let mut bad = |msg: String| {
+                self.directive_findings.push(Finding::new(
+                    RuleId::BadAllow,
+                    &self.name,
+                    c.line,
+                    0,
+                    msg,
+                    body.to_string(),
+                ));
+            };
+            // Split `<head> -- <reason>`.
+            let (head, reason) = match body.split_once("--") {
+                Some((h, r)) => (h.trim(), r.trim()),
+                None => (body, ""),
+            };
+            let kind = if let Some(rest) = head.strip_prefix("allow") {
+                let rest = rest.trim();
+                let inner = rest
+                    .strip_prefix('(')
+                    .and_then(|r| r.strip_suffix(')'))
+                    .map(str::trim);
+                let Some(inner) = inner else {
+                    bad("malformed allow: expected `allow(<rule>, ...) -- <reason>`".into());
+                    continue;
+                };
+                let mut rules = Vec::new();
+                let mut ok = true;
+                for raw in inner.split(',') {
+                    let raw = raw.trim();
+                    match RuleId::parse(raw) {
+                        Some(r) if r.suppressible() => rules.push(r),
+                        Some(r) => {
+                            bad(format!("rule `{}` cannot be suppressed", r.name()));
+                            ok = false;
+                        }
+                        None => {
+                            bad(format!("unknown rule `{raw}` in allow"));
+                            ok = false;
+                        }
+                    }
+                }
+                if !ok || rules.is_empty() {
+                    if rules.is_empty() && ok {
+                        bad("allow names no rules".into());
+                    }
+                    continue;
+                }
+                DirectiveKind::Allow(rules)
+            } else if head == "canonical-fold" {
+                DirectiveKind::CanonicalFold
+            } else {
+                bad(format!(
+                    "unknown directive `{head}` (expected `allow(...)` or `canonical-fold`)"
+                ));
+                continue;
+            };
+            if reason.is_empty() {
+                bad("suppression without a reason: append ` -- <why this is sound>`".into());
+                continue;
+            }
+            self.directives.push(Directive {
+                kind,
+                reason: reason.to_string(),
+                line: c.line,
+                anchor_line,
+                anchor_tok,
+                used: std::cell::Cell::new(false),
+            });
+        }
+    }
+
+    /// Applies suppression to `findings` in place, then appends
+    /// `unused-allow` findings for directives that matched nothing.
+    pub fn apply_suppression(&self, findings: &mut Vec<Finding>) {
+        for f in findings.iter_mut() {
+            if f.rule == RuleId::BadAllow || f.rule == RuleId::UnusedAllow {
+                continue;
+            }
+            for d in &self.directives {
+                let hit = match &d.kind {
+                    DirectiveKind::Allow(rules) => {
+                        rules.contains(&f.rule) && d.anchor_line == f.line
+                    }
+                    DirectiveKind::CanonicalFold => {
+                        f.rule == RuleId::FloatFold
+                            && self
+                                .fn_at_or_after(d.anchor_tok)
+                                .is_some_and(|span| f.line_within(self.toks(), span))
+                    }
+                };
+                if hit {
+                    f.suppressed = true;
+                    f.reason = Some(d.reason.clone());
+                    d.used.set(true);
+                    break;
+                }
+            }
+        }
+        findings.extend(self.directive_findings.iter().cloned());
+        for d in &self.directives {
+            if !d.used.get() {
+                findings.push(Finding::new(
+                    RuleId::UnusedAllow,
+                    &self.name,
+                    d.line,
+                    0,
+                    "suppression matched no finding; delete it or fix the anchor".to_string(),
+                    d.reason.clone(),
+                ));
+            }
+        }
+    }
+}
+
+/// Token-index ranges covered by `#[cfg(test)]` or `#[test]` items.
+fn find_test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "#" && i + 1 < toks.len() && toks[i + 1].text == "[" {
+            // Collect the attribute's tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut is_test_attr = false;
+            let mut saw_cfg = false;
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    "cfg" => saw_cfg = true,
+                    "test" => is_test_attr = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            // `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, ...))]` all skip.
+            let _ = saw_cfg;
+            if is_test_attr {
+                // Skip to the end of the annotated item: the matching `}`
+                // of its first brace, or the first `;` before any brace
+                // (e.g. `#[cfg(test)] mod tests;` — the out-of-line file
+                // is handled by the tests.rs filename rule).
+                let mut k = j;
+                let mut body_depth = 0i32;
+                let mut end = None;
+                while k < toks.len() {
+                    match toks[k].text.as_str() {
+                        "{" => body_depth += 1,
+                        "}" => {
+                            body_depth -= 1;
+                            if body_depth == 0 {
+                                end = Some(k);
+                                break;
+                            }
+                        }
+                        ";" if body_depth == 0 => {
+                            end = Some(k);
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let end = end.unwrap_or(toks.len() - 1);
+                spans.push((i, end));
+                i = end + 1;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// All `fn` items (including nested ones), with name, return type, and
+/// body token range.
+fn find_fns(toks: &[Tok]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "fn" && i + 1 < toks.len() {
+            let kw_tok = i;
+            let name = toks[i + 1].text.clone();
+            let is_pub = i >= 1 && toks[i - 1].text == "pub"
+                || (i >= 2 && toks[i - 2].text == "pub" && toks[i - 1].text == ")")
+                || (i >= 4 && toks[i - 4].text == "pub" && toks[i - 3].text == "(");
+            // Scan the signature to the body `{` or a terminating `;`,
+            // capturing the return type after `->`. Parenthesis depth
+            // guards against `Fn() -> T` bounds inside argument lists.
+            let mut j = i + 2;
+            let mut ret = String::new();
+            let mut in_ret = false;
+            let mut paren = 0i32;
+            let mut angle = 0i32;
+            let mut body_start = None;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" | "[" => paren += 1,
+                    ")" | "]" => paren -= 1,
+                    "<" => angle += 1,
+                    ">" if angle > 0 => angle -= 1,
+                    "-" if paren == 0
+                        && angle == 0
+                        && j + 1 < toks.len()
+                        && toks[j + 1].text == ">" =>
+                    {
+                        in_ret = true;
+                        j += 2;
+                        continue;
+                    }
+                    "{" => {
+                        body_start = Some(j);
+                        break;
+                    }
+                    ";" if paren == 0 => break,
+                    "where" if paren == 0 => in_ret = false,
+                    _ => {}
+                }
+                if in_ret {
+                    if !ret.is_empty() {
+                        ret.push(' ');
+                    }
+                    ret.push_str(&toks[j].text);
+                }
+                j += 1;
+            }
+            if let Some(start) = body_start {
+                let mut depth = 0i32;
+                let mut k = start;
+                let mut end = toks.len() - 1;
+                while k < toks.len() {
+                    match toks[k].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                end = k;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                fns.push(FnSpan {
+                    name,
+                    kw_tok,
+                    ret,
+                    body: (start, end),
+                    is_pub,
+                });
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mods_are_skipped() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn inner() { bad(); } }\n";
+        let a = FileAnalysis::new("x.rs", src);
+        let bad_idx = a.toks().iter().position(|t| t.text == "bad").unwrap();
+        assert!(a.in_test(bad_idx));
+        let live_idx = a.toks().iter().position(|t| t.text == "live").unwrap();
+        assert!(!a.in_test(live_idx));
+    }
+
+    #[test]
+    fn fn_return_types_are_captured() {
+        let src = "pub fn a() -> f64 { 0.0 }\nfn b(x: u32) -> Option<f64> { None }\nfn c() {}\n";
+        let a = FileAnalysis::new("x.rs", src);
+        assert_eq!(a.fns.len(), 3);
+        assert_eq!(a.fns[0].ret, "f64");
+        assert!(a.fns[0].is_pub);
+        assert!(a.fns[1].ret.contains("f64"));
+        assert_eq!(a.fns[2].ret, "");
+    }
+
+    #[test]
+    fn directive_without_reason_is_bad_allow() {
+        let src = "// detlint: allow(wall-clock)\nfn x() {}\n";
+        let a = FileAnalysis::new("x.rs", src);
+        assert!(a.directives.is_empty());
+        assert_eq!(a.directive_findings.len(), 1);
+        assert_eq!(a.directive_findings[0].rule, RuleId::BadAllow);
+    }
+
+    #[test]
+    fn unknown_rule_is_bad_allow() {
+        let src = "// detlint: allow(no-such-rule) -- because\nfn x() {}\n";
+        let a = FileAnalysis::new("x.rs", src);
+        assert!(a.directives.is_empty());
+        assert_eq!(a.directive_findings.len(), 1);
+    }
+}

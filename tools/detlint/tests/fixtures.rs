@@ -1,0 +1,147 @@
+//! Fixture corpus: each rule family has at least one snippet that trips
+//! it and one that must stay clean, plus the suppression-grammar cases.
+
+use detlint::lint_source;
+use detlint::rules::{Finding, RuleId};
+
+fn unsuppressed(findings: &[Finding]) -> Vec<&Finding> {
+    findings.iter().filter(|f| !f.suppressed).collect()
+}
+
+fn rules_hit(findings: &[Finding]) -> Vec<RuleId> {
+    let mut rs: Vec<RuleId> = unsuppressed(findings).iter().map(|f| f.rule).collect();
+    rs.sort();
+    rs.dedup();
+    rs
+}
+
+#[test]
+fn d1_bad_trips_every_banned_source() {
+    let fs = lint_source("d1_bad.rs", include_str!("fixtures/d1_bad.rs"));
+    let rules = rules_hit(&fs);
+    assert!(rules.contains(&RuleId::UnorderedMap), "{fs:?}");
+    assert!(rules.contains(&RuleId::WallClock), "{fs:?}");
+    assert!(rules.contains(&RuleId::AmbientRng), "{fs:?}");
+    assert!(rules.contains(&RuleId::AddrOrder), "{fs:?}");
+}
+
+#[test]
+fn d1_good_is_clean() {
+    let fs = lint_source("d1_good.rs", include_str!("fixtures/d1_good.rs"));
+    assert!(unsuppressed(&fs).is_empty(), "{fs:?}");
+}
+
+#[test]
+fn d2_bad_trips_every_fold_shape() {
+    let fs = lint_source("d2_bad.rs", include_str!("fixtures/d2_bad.rs"));
+    let hits = unsuppressed(&fs);
+    assert_eq!(hits.len(), 5, "one per fn: {fs:?}");
+    assert!(hits.iter().all(|f| f.rule == RuleId::FloatFold));
+}
+
+#[test]
+fn d2_good_is_clean_and_both_directives_are_used() {
+    let fs = lint_source("d2_good.rs", include_str!("fixtures/d2_good.rs"));
+    assert!(unsuppressed(&fs).is_empty(), "{fs:?}");
+    // The blessed fn and the allowed line each suppressed one finding.
+    assert_eq!(fs.iter().filter(|f| f.suppressed).count(), 2, "{fs:?}");
+}
+
+#[test]
+fn d3_missing_arm_is_flagged() {
+    let fs = lint_source("d3_bad.rs", include_str!("fixtures/d3_bad.rs"));
+    let hits = unsuppressed(&fs);
+    assert_eq!(hits.len(), 1, "{fs:?}");
+    assert_eq!(hits[0].rule, RuleId::EventRank);
+    assert!(hits[0].message.contains("LayerDone"), "{}", hits[0].message);
+}
+
+#[test]
+fn d3_wildcard_arm_is_flagged() {
+    let fs = lint_source("d3_wildcard.rs", include_str!("fixtures/d3_wildcard.rs"));
+    let hits = unsuppressed(&fs);
+    assert_eq!(hits.len(), 1, "{fs:?}");
+    assert_eq!(hits[0].rule, RuleId::EventRank);
+    assert!(hits[0].message.contains("wildcard"), "{}", hits[0].message);
+}
+
+#[test]
+fn d3_good_is_clean() {
+    let fs = lint_source("d3_good.rs", include_str!("fixtures/d3_good.rs"));
+    assert!(unsuppressed(&fs).is_empty(), "{fs:?}");
+}
+
+#[test]
+fn d4_excluded_field_and_stem_accessor_are_flagged() {
+    let fs = lint_source("d4_bad.rs", include_str!("fixtures/d4_bad.rs"));
+    let hits = unsuppressed(&fs);
+    assert_eq!(hits.len(), 2, "{fs:?}");
+    assert!(hits.iter().all(|f| f.rule == RuleId::FingerprintPurity));
+    assert!(hits.iter().any(|f| f.snippet.contains("sojourn_ns")));
+    assert!(hits
+        .iter()
+        .any(|f| f.snippet.contains("sojourn_percentile_ms")));
+}
+
+#[test]
+fn d4_good_is_clean() {
+    let fs = lint_source("d4_good.rs", include_str!("fixtures/d4_good.rs"));
+    assert!(unsuppressed(&fs).is_empty(), "{fs:?}");
+}
+
+// --- suppression grammar ---
+
+#[test]
+fn allow_without_reason_is_rejected() {
+    let src =
+        "fn f(xs: &[f64]) -> f64 {\n    xs.iter().sum::<f64>() // detlint: allow(float-fold)\n}\n";
+    let fs = lint_source("x.rs", src);
+    // The finding stays unsuppressed AND the directive itself is flagged.
+    let rules = rules_hit(&fs);
+    assert!(rules.contains(&RuleId::FloatFold), "{fs:?}");
+    assert!(rules.contains(&RuleId::BadAllow), "{fs:?}");
+}
+
+#[test]
+fn allow_with_empty_reason_is_rejected() {
+    let src = "fn f(xs: &[f64]) -> f64 {\n    xs.iter().sum::<f64>() // detlint: allow(float-fold) --\n}\n";
+    let fs = lint_source("x.rs", src);
+    assert!(rules_hit(&fs).contains(&RuleId::BadAllow), "{fs:?}");
+}
+
+#[test]
+fn allow_naming_unknown_rule_is_rejected() {
+    let src = "// detlint: allow(no-such-rule) -- because\nfn f() {}\n";
+    let fs = lint_source("x.rs", src);
+    assert!(rules_hit(&fs).contains(&RuleId::BadAllow), "{fs:?}");
+}
+
+#[test]
+fn meta_rules_cannot_be_suppressed() {
+    let src = "// detlint: allow(bad-allow) -- nice try\nfn f() {}\n";
+    let fs = lint_source("x.rs", src);
+    assert!(rules_hit(&fs).contains(&RuleId::BadAllow), "{fs:?}");
+}
+
+#[test]
+fn stale_allow_is_flagged_unused() {
+    let src = "fn f(xs: &[u64]) -> u64 {\n    xs.iter().sum() // detlint: allow(float-fold) -- stale: integer sum\n}\n";
+    let fs = lint_source("x.rs", src);
+    assert!(rules_hit(&fs).contains(&RuleId::UnusedAllow), "{fs:?}");
+}
+
+#[test]
+fn standalone_allow_anchors_to_next_code_line() {
+    let src = "fn f(xs: &[f64]) -> f64 {\n    // detlint: allow(float-fold) -- fixture: standalone anchor\n    xs.iter().sum::<f64>()\n}\n";
+    let fs = lint_source("x.rs", src);
+    assert!(unsuppressed(&fs).is_empty(), "{fs:?}");
+}
+
+#[test]
+fn allow_for_one_rule_does_not_cover_another() {
+    let src = "fn f(xs: &[f64]) -> f64 {\n    let m = std::collections::HashMap::<u32, u32>::new(); // detlint: allow(float-fold) -- wrong rule\n    let _ = m;\n    xs.iter().sum::<f64>()\n}\n";
+    let fs = lint_source("x.rs", src);
+    let rules = rules_hit(&fs);
+    assert!(rules.contains(&RuleId::UnorderedMap), "{fs:?}");
+    assert!(rules.contains(&RuleId::UnusedAllow), "{fs:?}");
+}

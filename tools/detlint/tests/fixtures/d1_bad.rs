@@ -1,0 +1,18 @@
+// D1 fixture: every banned nondeterminism source, one per line group.
+use std::collections::HashMap;
+
+fn clock() -> u64 {
+    let t = std::time::Instant::now();
+    let _ = std::time::SystemTime::now();
+    0
+}
+
+fn randomness() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn identity(xs: &[u32]) -> usize {
+    let tid = std::thread::current().id();
+    xs.as_ptr() as usize
+}

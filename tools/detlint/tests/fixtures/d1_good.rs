@@ -1,0 +1,22 @@
+// D1 fixture: deterministic equivalents, plus every exemption context —
+// strings, comments, and test code must not trip the rule.
+use std::collections::BTreeMap;
+
+fn ordered(m: &BTreeMap<u32, u32>) -> u32 {
+    // HashMap mentioned in a comment is fine.
+    let s = "HashMap::new() in a string is fine";
+    let _ = s;
+    m.values().copied().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        let t = std::time::Instant::now();
+        let _ = (m, t);
+    }
+}

@@ -1,0 +1,26 @@
+// D2 fixture: one of each ad-hoc float-fold shape.
+
+fn turbofish(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+fn ascribed(xs: &[f64]) {
+    let total: f64 = xs.iter().copied().sum();
+    let _ = total;
+}
+
+fn by_return_type(xs: &[f64]) -> f64 {
+    xs.iter().copied().sum()
+}
+
+fn seeded_fold(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |a, b| a + b)
+}
+
+fn manual(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += x;
+    }
+    acc
+}

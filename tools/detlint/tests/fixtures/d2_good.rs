@@ -1,0 +1,30 @@
+// D2 fixture: folds that must NOT trip — integer sums, non-sum
+// accumulators, blessed reference folds, and justified allows.
+
+fn int_sum(xs: &[u64]) -> u64 {
+    xs.iter().sum()
+}
+
+fn int_ascribed(xs: &[u64]) -> f64 {
+    let total: u64 = xs.iter().sum();
+    total as f64
+}
+
+// detlint: canonical-fold -- fixture: this fn IS a reference fold
+fn blessed(xs: &[f64]) -> f64 {
+    let mut acc = -0.0f64;
+    for x in xs {
+        acc += x;
+    }
+    acc
+}
+
+fn allowed(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() // detlint: allow(float-fold) -- fixture: justified one-off
+}
+
+fn non_literal_init(pair: (f64, f64)) -> f64 {
+    let (mut a, b) = pair;
+    a += b;
+    a
+}

@@ -1,0 +1,17 @@
+// D3 fixture: `LayerDone` has no arm in `rank`.
+pub enum EventKind {
+    FrameArrival { frame: u64 },
+    LayerDone { task: u64 },
+    PhaseStart { phase: usize },
+    End,
+}
+
+impl EventKind {
+    fn rank(&self) -> u8 {
+        match self {
+            EventKind::PhaseStart { .. } => 0,
+            EventKind::End => 1,
+            EventKind::FrameArrival { .. } => 3,
+        }
+    }
+}

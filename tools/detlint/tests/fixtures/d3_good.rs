@@ -1,0 +1,18 @@
+// D3 fixture: every variant explicitly ranked, no wildcard.
+pub enum EventKind {
+    FrameArrival { frame: u64 },
+    LayerDone { task: u64 },
+    PhaseStart { phase: usize },
+    End,
+}
+
+impl EventKind {
+    fn rank(&self) -> u8 {
+        match self {
+            EventKind::PhaseStart { .. } => 0,
+            EventKind::End => 1,
+            EventKind::LayerDone { .. } => 2,
+            EventKind::FrameArrival { .. } => 3,
+        }
+    }
+}

@@ -1,0 +1,15 @@
+// D3 fixture: a wildcard arm hides future variants from the rank order.
+pub enum EventKind {
+    FrameArrival { frame: u64 },
+    End,
+}
+
+impl EventKind {
+    fn rank(&self) -> u8 {
+        match self {
+            EventKind::FrameArrival { .. } => 3,
+            EventKind::End => 1,
+            _ => 0,
+        }
+    }
+}

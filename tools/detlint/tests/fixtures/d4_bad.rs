@@ -1,0 +1,22 @@
+// D4 fixture: `sojourn_ns` is a pub field the fingerprint never mixes,
+// so the scheduling decision below must not read it (nor the pub
+// accessor sharing its stem).
+pub struct Metrics {
+    pub completed: u64,
+    pub sojourn_ns: Vec<u64>,
+}
+
+impl Metrics {
+    pub fn fingerprint(&self) -> u64 {
+        self.completed
+    }
+
+    pub fn sojourn_percentile_ms(&self, q: f64) -> f64 {
+        let _ = q;
+        0.0
+    }
+}
+
+fn decide(m: &Metrics) -> bool {
+    m.sojourn_ns.len() > 4 && m.sojourn_percentile_ms(0.99) > 1.0
+}

@@ -1,0 +1,28 @@
+// D4 fixture: decisions reading fingerprinted fields (and test code
+// reading excluded ones) are fine.
+pub struct Metrics {
+    pub completed: u64,
+    pub sojourn_ns: Vec<u64>,
+}
+
+impl Metrics {
+    pub fn fingerprint(&self) -> u64 {
+        self.completed
+    }
+}
+
+fn decide(m: &Metrics) -> bool {
+    m.completed > 4
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn assertions_may_read_excluded_fields() {
+        let m = super::Metrics {
+            completed: 1,
+            sojourn_ns: vec![5],
+        };
+        assert_eq!(m.sojourn_ns.len(), 1);
+    }
+}

@@ -7,6 +7,10 @@
 //! also collected so callers can export them (see
 //! [`Criterion::results`]).
 
+// A benchmark harness exists to read the wall clock; exempt the shim
+// from the workspace-wide disallowed-methods determinism lint.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 /// One recorded benchmark result.
