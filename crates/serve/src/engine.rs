@@ -6,12 +6,12 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use dream_cost::{CostBackend, CostModel, Platform};
+use dream_cost::{AcceleratorId, CostBackend, CostModel, Platform};
 use dream_models::Scenario;
 use dream_sim::live::DEFAULT_HORIZON_CAP_NS;
 use dream_sim::{
-    LiveError, LiveSession, LiveSessionBuilder, LiveSessionRecord, Metrics, ModelKey, Scheduler,
-    SimOutcome, SimTime,
+    FaultKind, LiveError, LiveSession, LiveSessionBuilder, LiveSessionRecord, Metrics, ModelKey,
+    Scheduler, SimOutcome, SimTime,
 };
 
 use crate::clock::{ServeClock, WallClock};
@@ -72,6 +72,11 @@ impl ServeConfig {
 /// data queue's bounds).
 enum Control {
     Swap(Scenario),
+    Fault {
+        acc: AcceleratorId,
+        kind: FaultKind,
+        at: Option<SimTime>,
+    },
     Drain,
 }
 
@@ -171,6 +176,36 @@ impl ServeHandle {
             .lock()
             .expect("control queue poisoned")
             .push_back(Control::Swap(scenario));
+    }
+
+    /// Orders a fault injection at the admitting tick's frontier (the
+    /// earliest legally stampable instant). Chaos is fire-and-forget:
+    /// faults against out-of-range accelerators or finished sessions are
+    /// dropped, not errors — the injector races the session by design.
+    pub fn fault(&self, acc: AcceleratorId, kind: FaultKind) {
+        self.control
+            .queue
+            .lock()
+            .expect("control queue poisoned")
+            .push_back(Control::Fault {
+                acc,
+                kind,
+                at: None,
+            });
+    }
+
+    /// Orders a fault injection at an explicit virtual instant (clamped
+    /// into the open window like a stamped request).
+    pub fn fault_at(&self, acc: AcceleratorId, kind: FaultKind, at: SimTime) {
+        self.control
+            .queue
+            .lock()
+            .expect("control queue poisoned")
+            .push_back(Control::Fault {
+                acc,
+                kind,
+                at: Some(at),
+            });
     }
 
     /// Orders a graceful drain: admissions stop, in-flight work completes,
@@ -356,6 +391,18 @@ impl ServeEngine {
                         Err(e) => return Err(e),
                     }
                 }
+                Some(Control::Fault { acc, kind, at }) => {
+                    // Chaos is fire-and-forget: a fault the session can no
+                    // longer take (finished, past the horizon, bad target)
+                    // is dropped — the injector has no claim on timing.
+                    match self.session.admit_fault(acc, kind, at.unwrap_or(frontier)) {
+                        Ok(_)
+                        | Err(LiveError::Finished)
+                        | Err(LiveError::PastHorizon { .. })
+                        | Err(LiveError::Sim(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
             }
         }
 
@@ -391,7 +438,9 @@ impl ServeEngine {
     }
 
     fn publish_snapshot(&mut self) {
-        let sources = self.ingress.stats();
+        // One lock acquisition for stats + backlog, so every published
+        // snapshot satisfies the funnel identity even while peers submit.
+        let (sources, ingress_backlog) = self.ingress.funnel_snapshot();
         let admitted = sources.iter().map(|s| s.admitted).sum();
         let shed = sources.iter().map(|s| s.shed).sum();
         let rejected = sources
@@ -432,7 +481,7 @@ impl ServeEngine {
             now: self.session.now(),
             phase: self.session.current_phase(),
             draining: self.session.is_draining(),
-            ingress_backlog: self.ingress.backlog(),
+            ingress_backlog,
             ready_tasks: self.session.ready_count(),
             running_layers: self.session.running_count(),
             event_backlog: self.session.event_queue_depth(),

@@ -56,6 +56,25 @@ pub struct SourceStats {
     pub rejected_invalid: u64,
     /// Requests that arrived after the session began draining or closed.
     pub rejected_closed: u64,
+    /// Connection terminations attributed to this source — EOF, read
+    /// errors, write failures. Exactly one per connection lifetime; *not*
+    /// part of the per-request funnel identity (it counts connections,
+    /// not requests).
+    pub disconnects: u64,
+}
+
+impl SourceStats {
+    /// Per-request losses + successes: every submitted request lands in
+    /// exactly one of these buckets (or is still queued). The funnel
+    /// identity checked by the chaos tests is
+    /// `submitted == funnel_total() + backlog` summed across sources.
+    pub fn funnel_total(&self) -> u64 {
+        self.admitted
+            + self.shed
+            + self.rejected_capacity
+            + self.rejected_invalid
+            + self.rejected_closed
+    }
 }
 
 /// One inference request traveling through the ingress.
@@ -179,6 +198,7 @@ impl Ingress {
         }
     }
 
+    #[cfg(test)]
     pub(crate) fn backlog(&self) -> usize {
         self.lock().queue.len()
     }
@@ -193,6 +213,21 @@ impl Ingress {
 
     pub(crate) fn record_invalid(&self, source: SourceId) {
         self.lock().sources[source.0].rejected_invalid += 1;
+    }
+
+    /// Accounts a wire-level parse rejection: the line never became a
+    /// [`Request`], so it enters the funnel here — `submitted` and
+    /// `rejected_invalid` move together under one lock, keeping the
+    /// funnel identity intact at every snapshot.
+    pub(crate) fn record_wire_invalid(&self, source: SourceId) {
+        let mut inner = self.lock();
+        inner.sources[source.0].submitted += 1;
+        inner.sources[source.0].rejected_invalid += 1;
+    }
+
+    /// Accounts a connection termination (exactly once per connection).
+    pub(crate) fn record_disconnect(&self, source: SourceId) {
+        self.lock().sources[source.0].disconnects += 1;
     }
 
     pub(crate) fn record_closed_rejection(&self, source: SourceId) {
@@ -217,6 +252,14 @@ impl Ingress {
 
     pub(crate) fn stats(&self) -> Vec<SourceStats> {
         self.lock().sources.clone()
+    }
+
+    /// Stats and backlog read under one lock acquisition, so the funnel
+    /// identity (`sum(submitted) == sum(funnel_total()) + backlog`) holds
+    /// in the returned pair even while submitters race the snapshot.
+    pub(crate) fn funnel_snapshot(&self) -> (Vec<SourceStats>, usize) {
+        let inner = self.lock();
+        (inner.sources.clone(), inner.queue.len())
     }
 }
 
@@ -343,6 +386,22 @@ mod tests {
         let stats = ingress.stats();
         assert_eq!(stats[s.0].rejected_closed, 2, "pending + post-close");
         assert_eq!(ingress.backlog(), 0);
+    }
+
+    #[test]
+    fn wire_invalid_and_disconnects_keep_the_funnel_identity() {
+        let ingress = Ingress::new(4, AdmissionPolicy::Reject);
+        let s = ingress.register("s");
+        ingress.submit(req(s)).unwrap();
+        ingress.record_wire_invalid(s);
+        ingress.record_wire_invalid(s);
+        ingress.record_disconnect(s);
+        let (stats, backlog) = ingress.funnel_snapshot();
+        let row = &stats[s.0];
+        assert_eq!(row.submitted, 3);
+        assert_eq!(row.rejected_invalid, 2);
+        assert_eq!(row.disconnects, 1);
+        assert_eq!(row.submitted, row.funnel_total() + backlog as u64);
     }
 
     #[test]

@@ -68,4 +68,4 @@ pub use engine::{MetricsSnapshot, ServeConfig, ServeEngine, ServeHandle, Session
 pub use ingress::{AdmissionPolicy, ChannelClient, SourceId, SourceStats, SubmitError};
 pub use socket::{listen_tcp, listen_unix, SocketServer};
 pub use watch::{watch_channel, WatchReceiver, WatchSender};
-pub use wire::{parse_line, parse_scenario_kind, WireCommand};
+pub use wire::{parse_line, parse_scenario_kind, WireCommand, MAX_LINE_BYTES};

@@ -18,10 +18,23 @@ use std::time::Duration;
 
 use crate::engine::ServeHandle;
 use crate::ingress::SubmitError;
-use crate::wire::{parse_line, WireCommand};
+use crate::wire::{parse_line, WireCommand, MAX_LINE_BYTES};
 
 const ACCEPT_POLL: Duration = Duration::from_millis(50);
 const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Transient `accept()` failures (EMFILE, ECONNABORTED, EINTR, …) are
+/// retried with exponential backoff; only this many *consecutive*
+/// failures tear the listener down. Any successful accept resets the
+/// count.
+const ACCEPT_MAX_CONSECUTIVE_FAILURES: u32 = 16;
+
+/// Backoff after the `n`-th consecutive accept failure: doubles from
+/// [`ACCEPT_POLL`], capped at ~1.6 s, so a transient EMFILE storm is
+/// ridden out without spinning and without giving up the listener.
+fn accept_backoff(consecutive_failures: u32) -> Duration {
+    ACCEPT_POLL * 2u32.pow(consecutive_failures.min(5))
+}
 
 /// A running socket listener; dropping it stops the accept loop (open
 /// connections drain on their own once the peer closes or the session
@@ -69,9 +82,11 @@ pub fn listen_tcp(
     let accept_stop = Arc::clone(&stop);
     let handle = handle.clone();
     let accept_thread = std::thread::spawn(move || {
+        let mut failures = 0u32;
         while !accept_stop.load(Ordering::SeqCst) {
             match listener.accept() {
                 Ok((stream, peer)) => {
+                    failures = 0;
                     let handle = handle.clone();
                     let stop = Arc::clone(&accept_stop);
                     std::thread::spawn(move || {
@@ -82,7 +97,13 @@ pub fn listen_tcp(
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(ACCEPT_POLL);
                 }
-                Err(_) => break,
+                Err(_) => {
+                    failures += 1;
+                    if failures >= ACCEPT_MAX_CONSECUTIVE_FAILURES {
+                        break;
+                    }
+                    std::thread::sleep(accept_backoff(failures));
+                }
             }
         }
     });
@@ -112,10 +133,12 @@ pub fn listen_unix(handle: &ServeHandle, path: impl AsRef<Path>) -> std::io::Res
     let label_base = path.display().to_string();
     let accept_thread = std::thread::spawn(move || {
         let mut conn = 0usize;
+        let mut failures = 0u32;
         while !accept_stop.load(Ordering::SeqCst) {
             match listener.accept() {
                 Ok((stream, _)) => {
                     conn += 1;
+                    failures = 0;
                     let handle = handle.clone();
                     let stop = Arc::clone(&accept_stop);
                     let label = format!("unix:{label_base}#{conn}");
@@ -126,7 +149,13 @@ pub fn listen_unix(handle: &ServeHandle, path: impl AsRef<Path>) -> std::io::Res
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(ACCEPT_POLL);
                 }
-                Err(_) => break,
+                Err(_) => {
+                    failures += 1;
+                    if failures >= ACCEPT_MAX_CONSECUTIVE_FAILURES {
+                        break;
+                    }
+                    std::thread::sleep(accept_backoff(failures));
+                }
             }
         }
     });
@@ -188,9 +217,11 @@ fn serve_connection<T: Transport>(
     let client = handle.client(label);
     let mut reader = reader;
     let mut line = String::new();
+    // Past this point every exit records exactly one disconnect against
+    // the connection's source — hence `break`, never `return`.
     loop {
         if stop.load(Ordering::SeqCst) {
-            return;
+            break;
         }
         // `read_line` appends any bytes it consumed *before* a timeout
         // fires, so the buffer must survive timeout retries — clearing it
@@ -205,12 +236,38 @@ fn serve_connection<T: Transport>(
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
+                // A peer trickling a terminator-free line through timeout
+                // windows must not balloon the buffer: over-length kills
+                // the connection (checked below too, for one-read blasts).
+                if line.len() > MAX_LINE_BYTES {
+                    client.ingress.record_wire_invalid(client.source);
+                    let _ = writeln!(writer, "err line too long").and_then(|()| writer.flush());
+                    break;
+                }
                 continue;
             }
-            Err(_) => return,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Non-UTF-8 bytes: the offending line was consumed off the
+                // stream, so reject it and keep serving the connection.
+                client.ingress.record_wire_invalid(client.source);
+                if writeln!(writer, "err invalid utf-8")
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+                line.clear();
+                continue;
+            }
+            Err(_) => break,
         };
+        if line.len() > MAX_LINE_BYTES {
+            client.ingress.record_wire_invalid(client.source);
+            let _ = writeln!(writer, "err line too long").and_then(|()| writer.flush());
+            break;
+        }
         if eof && line.is_empty() {
-            return;
+            break;
         }
         let reply: Option<String> = match parse_line(&line) {
             Ok(WireCommand::Empty) => None,
@@ -224,6 +281,13 @@ fn serve_connection<T: Transport>(
                 handle.swap(scenario);
                 Some(format!("ok swapping to {name}"))
             }
+            Ok(WireCommand::Fault { acc, kind, at }) => {
+                match at {
+                    Some(at) => handle.fault_at(acc, kind, at),
+                    None => handle.fault(acc, kind),
+                }
+                Some("ok fault ordered".into())
+            }
             Ok(WireCommand::Request { pipeline, node, at }) => {
                 // Requests are fire-and-forget; only failures answer.
                 let result = match at {
@@ -236,19 +300,25 @@ fn serve_connection<T: Transport>(
                     Err(SubmitError::Closed) => Some("err session closed".into()),
                 }
             }
-            Err(reason) => Some(format!("err {reason}")),
+            Err(reason) => {
+                // A parse failure enters the funnel as exactly one
+                // `rejected_invalid` (with its matching `submitted`).
+                client.ingress.record_wire_invalid(client.source);
+                Some(format!("err {reason}"))
+            }
         };
         if let Some(reply) = reply {
             if writeln!(writer, "{reply}")
                 .and_then(|()| writer.flush())
                 .is_err()
             {
-                return;
+                break;
             }
         }
         if eof {
-            return;
+            break;
         }
         line.clear();
     }
+    client.ingress.record_disconnect(client.source);
 }

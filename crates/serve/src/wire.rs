@@ -4,18 +4,32 @@
 //! `#` starts a comment and blank lines are ignored:
 //!
 //! ```text
-//! r <pipeline> <node> [at_ns]   # submit a request (optionally time-stamped)
-//! swap <scenario> [cascade]     # hot-swap the served scenario
-//! drain                         # graceful shutdown
-//! ping                          # liveness check
+//! r <pipeline> <node> [at_ns]         # submit a request (optionally time-stamped)
+//! swap <scenario> [cascade]           # hot-swap the served scenario
+//! fault <acc> fail [at_ns]            # permanently fail an accelerator
+//! fault <acc> stall <dur_ns> [at_ns]  # stall an accelerator for a window
+//! fault <acc> slow <dur_ns> <factor> [at_ns]  # slow an accelerator by factor
+//! drain                               # graceful shutdown
+//! ping                                # liveness check
 //! ```
 //!
 //! Scenario names are the paper's (`AR_Call`, `VR_Gaming`, …),
 //! case-insensitive. Requests are fire-and-forget (errors come back as
 //! `err <reason>` lines); control commands are acknowledged with `ok`.
+//!
+//! Parsing is total: no input — wild bytes, embedded NULs, over-length
+//! lines — panics, and every malformed line maps to exactly one `Err`
+//! (which the socket layer funnels into `rejected_invalid`, exactly
+//! once). Lines longer than [`MAX_LINE_BYTES`] are rejected outright.
 
+use dream_cost::AcceleratorId;
 use dream_models::{CascadeProbability, NodeId, PipelineId, Scenario, ScenarioKind};
-use dream_sim::SimTime;
+use dream_sim::{FaultKind, SimTime};
+
+/// Longest accepted protocol line, in bytes (terminator included). The
+/// longest legal command is far shorter; the bound keeps a hostile peer
+/// from ballooning the connection buffer.
+pub const MAX_LINE_BYTES: usize = 1024;
 
 /// A parsed wire command.
 #[derive(Debug, Clone)]
@@ -31,6 +45,16 @@ pub enum WireCommand {
     },
     /// Hot-swap the served scenario.
     Swap(Scenario),
+    /// Inject a fault against an accelerator.
+    Fault {
+        /// The targeted accelerator.
+        acc: AcceleratorId,
+        /// What happens to it.
+        kind: FaultKind,
+        /// Optional explicit virtual instant; `None` = the admitting
+        /// tick's frontier.
+        at: Option<SimTime>,
+    },
     /// Begin a graceful drain.
     Drain,
     /// Liveness check.
@@ -52,7 +76,16 @@ pub fn parse_scenario_kind(name: &str) -> Option<ScenarioKind> {
 ///
 /// A human-readable reason, sent back to the peer as `err <reason>`.
 pub fn parse_line(line: &str) -> Result<WireCommand, String> {
-    let line = line.trim();
+    if line.len() > MAX_LINE_BYTES {
+        return Err(format!(
+            "line too long ({} bytes, max {MAX_LINE_BYTES})",
+            line.len()
+        ));
+    }
+    let line = line.trim_matches(|c: char| c.is_whitespace() || c == '\0');
+    if line.contains('\0') {
+        return Err("embedded NUL byte".into());
+    }
     if line.is_empty() || line.starts_with('#') {
         return Ok(WireCommand::Empty);
     }
@@ -105,6 +138,56 @@ pub fn parse_line(line: &str) -> Result<WireCommand, String> {
             }
             Ok(WireCommand::Swap(Scenario::new(kind, cascade)))
         }
+        "fault" => {
+            fn num<'a>(
+                fields: &mut impl Iterator<Item = &'a str>,
+                what: &str,
+            ) -> Result<u64, String> {
+                fields
+                    .next()
+                    .ok_or_else(|| format!("missing {what}"))?
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid {what}"))
+            }
+            let acc = num(&mut fields, "acc")?;
+            let kind_name = fields
+                .next()
+                .ok_or_else(|| "missing fault kind".to_string())?;
+            let kind = match kind_name {
+                "fail" => FaultKind::Fail,
+                "stall" => FaultKind::Stall {
+                    duration: SimTime::from_ns(num(&mut fields, "dur_ns")?),
+                },
+                "slow" => {
+                    let duration = SimTime::from_ns(num(&mut fields, "dur_ns")?);
+                    let factor = fields
+                        .next()
+                        .ok_or_else(|| "missing factor".to_string())?
+                        .parse::<f64>()
+                        .map_err(|_| "invalid factor".to_string())?;
+                    if !factor.is_finite() || factor < 1.0 {
+                        return Err(format!("factor {factor} must be finite and >= 1"));
+                    }
+                    FaultKind::Slowdown { factor, duration }
+                }
+                other => return Err(format!("unknown fault kind {other:?}")),
+            };
+            let at = match fields.next() {
+                None => None,
+                Some(raw) => Some(SimTime::from_ns(
+                    raw.parse::<u64>()
+                        .map_err(|_| "invalid at_ns".to_string())?,
+                )),
+            };
+            if fields.next().is_some() {
+                return Err("too many fields for fault".into());
+            }
+            Ok(WireCommand::Fault {
+                acc: AcceleratorId(acc as usize),
+                kind,
+                at,
+            })
+        }
         "drain" => Ok(WireCommand::Drain),
         "ping" => Ok(WireCommand::Ping),
         other => Err(format!("unknown command {other:?}")),
@@ -155,8 +238,105 @@ mod tests {
             "swap NoSuch",
             "swap AR_Call 1.5",
             "nonsense",
+            "fault",
+            "fault x fail",
+            "fault 0",
+            "fault 0 bogus",
+            "fault 0 stall",
+            "fault 0 stall x",
+            "fault 0 slow 5",
+            "fault 0 slow 5 x",
+            "fault 0 slow 5 0.5",
+            "fault 0 slow 5 nan",
+            "fault 0 slow 5 inf",
+            "fault 0 fail 1 2",
+            "fault 0 stall 5 1 2",
+            "a\0b",
         ] {
             assert!(parse_line(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn parses_fault_commands() {
+        let WireCommand::Fault { acc, kind, at } = parse_line("fault 2 fail").unwrap() else {
+            panic!("expected fault");
+        };
+        assert_eq!(acc, AcceleratorId(2));
+        assert!(matches!(kind, FaultKind::Fail));
+        assert_eq!(at, None);
+
+        let WireCommand::Fault { acc, kind, at } = parse_line("fault 0 stall 5000 77").unwrap()
+        else {
+            panic!("expected fault");
+        };
+        assert_eq!(acc, AcceleratorId(0));
+        assert!(
+            matches!(kind, FaultKind::Stall { duration } if duration == SimTime::from_ns(5000))
+        );
+        assert_eq!(at, Some(SimTime::from_ns(77)));
+
+        let WireCommand::Fault { kind, .. } = parse_line("fault 1 slow 9000 2.5").unwrap() else {
+            panic!("expected fault");
+        };
+        assert!(matches!(
+            kind,
+            FaultKind::Slowdown { factor, duration }
+                if (factor - 2.5).abs() < f64::EPSILON && duration == SimTime::from_ns(9000)
+        ));
+    }
+
+    #[test]
+    fn rejects_over_length_and_nul_lines() {
+        let long = "r ".repeat(MAX_LINE_BYTES);
+        assert!(parse_line(&long).is_err());
+        // Leading/trailing NULs are stripped like whitespace; interior
+        // NULs are rejected.
+        assert!(matches!(parse_line("\0ping\0").unwrap(), WireCommand::Ping));
+        assert!(parse_line("ping\0drain").is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Totality: no byte soup panics the parser, and anything the
+            /// parser does accept round-trips through a sane variant.
+            #[test]
+            fn parse_never_panics_on_wild_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+                let line = String::from_utf8_lossy(&bytes);
+                let _ = parse_line(&line);
+            }
+
+            /// Over-length lines are always rejected, never buffered.
+            #[test]
+            fn over_length_lines_rejected(extra in 1usize..64) {
+                let line = "x".repeat(MAX_LINE_BYTES + extra);
+                prop_assert!(parse_line(&line).is_err());
+            }
+
+            /// Every structurally valid fault line parses to Fault.
+            #[test]
+            fn valid_fault_lines_parse(
+                acc in 0u64..16,
+                dur in 1u64..1_000_000,
+                at in prop_oneof![Just(None), (0u64..1_000_000).prop_map(Some)],
+            ) {
+                let suffix = at.map(|a| format!(" {a}")).unwrap_or_default();
+                for line in [
+                    format!("fault {acc} fail{suffix}"),
+                    format!("fault {acc} stall {dur}{suffix}"),
+                    format!("fault {acc} slow {dur} 2.0{suffix}"),
+                ] {
+                    prop_assert!(
+                        matches!(parse_line(&line), Ok(WireCommand::Fault { .. })),
+                        "{line:?} must parse"
+                    );
+                }
+            }
         }
     }
 }

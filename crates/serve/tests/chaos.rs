@@ -1,0 +1,260 @@
+//! Chaos-facing serve tests: the admission funnel stays reconciled under
+//! drain-while-overloaded pressure, and fault-injected live sessions
+//! (channel *and* socket ingress) replay bit-identically through the
+//! batch `FaultPlan` path.
+
+// Test harness timeouts read the wall clock; exempt from the
+// workspace determinism lint (replay determinism is what the test
+// itself asserts).
+#![allow(clippy::disallowed_methods)]
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dream_core::{DreamConfig, DreamScheduler};
+use dream_cost::{AcceleratorId, Platform, PlatformPreset};
+use dream_models::{CascadeProbability, NodeId, PipelineId, Scenario, ScenarioKind};
+use dream_serve::{
+    listen_tcp, AdmissionPolicy, ManualClock, MetricsSnapshot, ServeConfig, ServeEngine,
+    SourceStats, SubmitError, WatchReceiver,
+};
+use dream_sim::{FaultKind, Scheduler, SimTime};
+
+fn scenario(kind: ScenarioKind) -> Scenario {
+    Scenario::new(kind, CascadeProbability::default_paper())
+}
+
+fn scheduler() -> Box<dyn Scheduler> {
+    Box::new(DreamScheduler::new(DreamConfig::full()))
+}
+
+fn wait_for(
+    rx: &mut WatchReceiver<MetricsSnapshot>,
+    what: &str,
+    mut cond: impl FnMut(&MetricsSnapshot) -> bool,
+) -> Arc<MetricsSnapshot> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    if let Some(snap) = rx.latest() {
+        if cond(&snap) {
+            return snap;
+        }
+    }
+    while Instant::now() < deadline {
+        if let Some(snap) = rx.wait_for_update(Duration::from_millis(500)) {
+            if cond(&snap) {
+                return snap;
+            }
+        }
+    }
+    panic!("timed out waiting for: {what}");
+}
+
+/// `sum(submitted) == sum(admitted + shed + rejected_*) + backlog` — the
+/// per-request funnel identity every snapshot must satisfy (snapshots
+/// read stats and backlog under one lock).
+fn assert_funnel_identity(sources: &[SourceStats], backlog: usize, context: &str) {
+    let submitted: u64 = sources.iter().map(|s| s.submitted).sum();
+    let accounted: u64 = sources.iter().map(SourceStats::funnel_total).sum();
+    assert_eq!(
+        submitted,
+        accounted + backlog as u64,
+        "funnel identity broken at {context}: {sources:?}"
+    );
+}
+
+/// Satellite: `begin_drain` while the bounded queue is at capacity and a
+/// hot-swap boundary is still pending. Every request must land in
+/// exactly one funnel bucket — reconciled at every observed snapshot and
+/// in the final report.
+#[test]
+fn drain_under_pressure_reconciles_the_funnel() {
+    let clock = ManualClock::new();
+    let mut config = ServeConfig::new(
+        Platform::preset(PlatformPreset::Hetero4kWs1Os2),
+        scenario(ScenarioKind::ArCall),
+    );
+    config.seed = 11;
+    config.clock = Arc::new(clock.clone());
+    config.tick = Duration::from_millis(1);
+    config.snapshot_every = 1;
+    config.queue_capacity = 4;
+    config.policy = AdmissionPolicy::Reject;
+    config.max_admissions_per_tick = 1;
+    let (engine, handle) = ServeEngine::new(config, scheduler()).unwrap();
+    let mut snapshots = handle.snapshots();
+    let client = handle.client("channel:pressure");
+
+    // Overfill before the serving loop starts ticking: the queue holds 4,
+    // every excess submission must be rejected-at-capacity.
+    let mut rejected_capacity = 0u64;
+    for _ in 0..32 {
+        match client.submit(PipelineId(0), NodeId(0)) {
+            Ok(()) => {}
+            Err(SubmitError::Full) => rejected_capacity += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert!(rejected_capacity > 0, "queue never filled");
+
+    // Swap first (its boundary stays pending), then drain into it.
+    handle.swap(scenario(ScenarioKind::VrGaming));
+    handle.drain();
+    let server = std::thread::spawn(move || engine.run());
+
+    // Race more submissions against the drain until the ingress closes,
+    // checking the funnel identity on every snapshot that goes by.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut saw_closed_rejection = false;
+    while !saw_closed_rejection {
+        assert!(Instant::now() < deadline, "ingress never closed");
+        match client.submit(PipelineId(0), NodeId(0)) {
+            Ok(()) | Err(SubmitError::Full) => {}
+            Err(SubmitError::Closed) => saw_closed_rejection = true,
+        }
+        clock.advance_by(SimTime::from_ns(1_000_000));
+        if let Some(snap) = snapshots.wait_for_update(Duration::from_millis(10)) {
+            assert_funnel_identity(&snap.sources, snap.ingress_backlog, "live snapshot");
+        }
+    }
+
+    let report = server.join().unwrap().unwrap();
+    assert_funnel_identity(&report.sources, 0, "final report");
+    let row = &report.sources[client.source().0];
+    assert!(row.rejected_capacity >= rejected_capacity);
+    assert!(
+        row.rejected_closed > 0,
+        "queued requests at drain must be rejected-as-closed: {row:?}"
+    );
+    assert_eq!(report.record.phases().len(), 2, "swap applied before drain");
+
+    // Pressure or not, the record still replays bit-identically.
+    let mut fresh = DreamScheduler::new(DreamConfig::full());
+    let batch = report.record.replay(&mut fresh).unwrap();
+    assert_eq!(
+        report.outcome.metrics().fingerprint(),
+        batch.metrics().fingerprint()
+    );
+}
+
+/// Tentpole acceptance: a live session taking faults from both control
+/// faces — the in-process handle and the TCP wire protocol — drains into
+/// a record whose batch replay (through the `FaultPlan` path) is
+/// bit-identical, across several seeds.
+fn run_faulted_session(seed: u64) {
+    let clock = ManualClock::new();
+    let mut config = ServeConfig::new(
+        Platform::preset(PlatformPreset::Hetero4kWs1Os2),
+        scenario(ScenarioKind::ArCall),
+    );
+    config.seed = seed;
+    config.clock = Arc::new(clock.clone());
+    config.tick = Duration::from_millis(1);
+    config.snapshot_every = 1;
+    let (engine, handle) = ServeEngine::new(config, scheduler()).unwrap();
+    let mut snapshots = handle.snapshots();
+    let server = std::thread::spawn(move || engine.run());
+
+    let (addr, socket_server) = listen_tcp(&handle, "127.0.0.1:0").unwrap();
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let client = handle.client("channel:chaos");
+
+    // Healthy traffic on both ingress paths.
+    for i in 0..30u64 {
+        client.submit(PipelineId(0), NodeId(0)).unwrap();
+        writeln!(writer, "r 1 0").unwrap();
+        clock.advance_by(SimTime::from_ns(2_000_000 + seed * 1_000 + i * 7_000));
+    }
+    writer.flush().unwrap();
+    wait_for(&mut snapshots, "healthy traffic admitted", |s| {
+        s.admitted >= 60
+    });
+
+    // Chaos from the in-process handle: a stall and a slowdown.
+    handle.fault(
+        AcceleratorId(1),
+        FaultKind::Stall {
+            duration: SimTime::from_ns(6_000_000),
+        },
+    );
+    handle.fault(
+        AcceleratorId(2),
+        FaultKind::Slowdown {
+            factor: 2.5,
+            duration: SimTime::from_ns(9_000_000),
+        },
+    );
+    // Chaos over the wire: a permanent failure.
+    writeln!(writer, "fault 0 fail").unwrap();
+    writer.flush().unwrap();
+    let mut ack = String::new();
+    reader.read_line(&mut ack).unwrap();
+    assert!(
+        ack.starts_with("ok fault ordered"),
+        "unexpected ack: {ack:?}"
+    );
+    // The FaultStart events sit at the frontier; nudge virtual time
+    // forward until the engine has stepped across all three.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(snap) = snapshots.wait_for_update(Duration::from_millis(10)) {
+            if snap.metrics.faults_injected >= 3 {
+                break;
+            }
+        }
+        clock.advance_by(SimTime::from_ns(1_000_000));
+        assert!(Instant::now() < deadline, "faults never admitted");
+    }
+
+    // Degraded traffic, then drain over the wire.
+    for i in 0..30u64 {
+        client.submit(PipelineId(0), NodeId(0)).unwrap();
+        writeln!(writer, "r 1 0").unwrap();
+        clock.advance_by(SimTime::from_ns(2_500_000 + i * 11_000));
+    }
+    writer.flush().unwrap();
+    wait_for(&mut snapshots, "degraded traffic admitted", |s| {
+        s.admitted >= 120
+    });
+    writeln!(writer, "drain").unwrap();
+    writer.flush().unwrap();
+
+    let report = server.join().unwrap().unwrap();
+    socket_server.shutdown();
+
+    assert_eq!(
+        report.record.faults().len(),
+        3,
+        "all injected faults recorded"
+    );
+    assert!(report.outcome.metrics().faults_injected >= 3);
+    assert!(report.outcome.metrics().layer_executions > 0);
+
+    // The guarantee: the faulted live session replays bit-identically
+    // through the batch FaultPlan path.
+    let mut fresh = DreamScheduler::new(DreamConfig::full());
+    let batch = report.record.replay(&mut fresh).unwrap();
+    assert_eq!(
+        report.outcome.metrics().fingerprint(),
+        batch.metrics().fingerprint(),
+        "faulted live session (seed {seed}) must replay bit-identically"
+    );
+    assert_eq!(report.outcome.final_time(), batch.final_time());
+    assert_eq!(
+        report.outcome.metrics().faults_injected,
+        batch.metrics().faults_injected
+    );
+    assert_eq!(
+        report.outcome.metrics().fault_requeues,
+        batch.metrics().fault_requeues
+    );
+}
+
+#[test]
+fn faulted_live_sessions_replay_bit_identically_across_seeds() {
+    for seed in [2024, 7, 99] {
+        run_faulted_session(seed);
+    }
+}

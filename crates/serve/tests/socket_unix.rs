@@ -94,7 +94,10 @@ fn unix_socket_sessions_record_and_replay() {
         .find(|s| s.label.starts_with("unix:"))
         .expect("unix source registered");
     assert_eq!(unix_source.admitted, 51);
-    assert_eq!(unix_source.rejected_invalid, 1);
+    // `r 99 0` (unknown pipeline) + `bogus` (wire parse reject): parse
+    // failures enter the funnel as rejected_invalid too.
+    assert_eq!(unix_source.rejected_invalid, 2);
+    assert_eq!(unix_source.submitted, unix_source.funnel_total());
 
     let mut fresh = DreamScheduler::new(DreamConfig::full());
     let batch = report.record.replay(&mut fresh).unwrap();

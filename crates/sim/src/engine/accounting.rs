@@ -57,6 +57,9 @@ impl Engine {
             if let Some(stats) = self.metrics.get_mut(task.key()) {
                 stats.dropped += 1;
             }
+            if self.faults.as_ref().is_some_and(|f| f.any_active()) {
+                self.metrics.deadline_miss_under_faults += 1;
+            }
         }
         scheduler.on_task_event(&TaskEvent {
             now: self.now,
@@ -76,6 +79,13 @@ impl Engine {
         scheduler: &mut dyn Scheduler,
     ) {
         if task.counted() {
+            if !on_time && self.faults.as_ref().is_some_and(|f| f.any_active()) {
+                // Diagnostic only (fingerprint-excluded): a deadline missed
+                // while any fault window is open is attributed to
+                // degradation, separating chaos-induced misses from
+                // ordinary overload.
+                self.metrics.deadline_miss_under_faults += 1;
+            }
             if let Some(stats) = self.metrics.get_mut(task.key()) {
                 if on_time {
                     stats.completed_on_time += 1;

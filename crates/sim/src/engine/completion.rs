@@ -9,6 +9,18 @@ use super::Engine;
 
 impl Engine {
     pub(crate) fn layer_done(&mut self, task_id: TaskId, scheduler: &mut dyn Scheduler) {
+        // Under fault injection a `LayerDone` can be *stale*: the dispatch
+        // it announced was aborted by an accelerator failure (the task has
+        // no in-flight record, or one from a later re-dispatch whose
+        // completion lies at a different instant). Stale completions are
+        // skipped; without a fault runtime no abort can happen and the
+        // zero-fault path keeps its unconditional expectation.
+        if self.faults.is_some() {
+            match self.in_flight_get(task_id) {
+                Some(run) if run.done_at == self.now => {}
+                _ => return,
+            }
+        }
         let run = self
             .in_flight_remove(task_id)
             .expect("LayerDone for a task with no in-flight layer");
@@ -26,7 +38,10 @@ impl Engine {
             TaskState::Running(accs) => gang.extend_from_slice(accs),
             TaskState::Ready => unreachable!("LayerDone for a task that is not running"),
         }
-        // Free the accelerators and remember the flush volume.
+        // Free the accelerators and remember the flush volume. A member
+        // that became fault-masked mid-layer stays parked: the fault-end
+        // handler returns it to the idle pool when its window closes (a
+        // failed one never comes back).
         let out_bytes = self.ws.output_bytes(run.layer.layer);
         for &acc in &gang {
             let st = &mut self.accs[acc.0];
@@ -34,7 +49,9 @@ impl Engine {
             st.running = None;
             st.last_task = Some(task_id);
             st.last_output_bytes = out_bytes;
-            self.release_acc(acc);
+            if !self.fault_masked(acc) {
+                self.release_acc(acc);
+            }
         }
         self.metrics.layer_executions += 1;
 

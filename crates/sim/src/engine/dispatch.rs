@@ -68,11 +68,15 @@ impl Engine {
         if assignment.accs.is_empty() {
             return false;
         }
-        // No duplicate accelerators, all idle.
+        // No duplicate accelerators, all idle, none fault-masked (a
+        // stalled/failed accelerator is absent from the idle list, but a
+        // scheduler could still name it explicitly — that is an invalid
+        // decision, not a dispatch).
         for (i, &acc) in assignment.accs.iter().enumerate() {
             if acc.0 >= self.accs.len()
                 || assignment.accs[..i].contains(&acc)
                 || !self.accs[acc.0].is_idle()
+                || self.fault_masked(acc)
             {
                 return false;
             }
@@ -125,6 +129,19 @@ impl Engine {
             }
         }
 
+        // Active slowdown faults stretch the dispatch latency (the gang
+        // runs at its slowest member). The factor is exactly 1.0 when no
+        // slowdown is active, so the multiply is skipped and the float
+        // path stays bit-identical to the fault-free engine; energy is
+        // deliberately not rescaled (a slow accelerator does the same
+        // work, just later).
+        if let Some(faults) = self.faults.as_ref() {
+            let factor = faults.gang_slow_factor(&assignment.accs);
+            if factor != 1.0 {
+                latency_ns *= factor;
+            }
+        }
+
         self.charge_dispatch_wait(assignment.task);
         let done_at = self.now + SimTime::from_ns_f64(latency_ns.max(1.0));
         for &acc in &assignment.accs {
@@ -143,6 +160,7 @@ impl Engine {
             assignment.task,
             InFlight {
                 energy_pj,
+                done_at,
                 layer: head,
             },
         );

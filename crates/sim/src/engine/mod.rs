@@ -25,6 +25,7 @@ pub(crate) mod arrivals;
 pub(crate) mod completion;
 pub(crate) mod dispatch;
 pub(crate) mod dynamics;
+pub(crate) mod faulting;
 
 #[cfg(test)]
 mod tests;
@@ -37,6 +38,7 @@ use dream_models::Scenario;
 use crate::arrivals::{ArrivalSource, PeriodicArrivals};
 use crate::determ::DeterministicCoin;
 use crate::event::{EventKind, EventQueue};
+use crate::faults::{FaultPlan, FaultRuntime};
 use crate::metrics::Metrics;
 use crate::scheduler::{AccState, Scheduler};
 use crate::task::{QueuedLayer, TaskId};
@@ -57,6 +59,7 @@ pub struct SimulationBuilder {
     cost: Arc<dyn CostBackend>,
     arrivals: Box<dyn ArrivalSource>,
     prebuilt: Option<Arc<WorkloadSet>>,
+    faults: Option<FaultPlan>,
 }
 
 impl SimulationBuilder {
@@ -70,6 +73,7 @@ impl SimulationBuilder {
             cost: Arc::new(CostModel::paper_default()),
             arrivals: Box::new(PeriodicArrivals),
             prebuilt: None,
+            faults: None,
         }
     }
 
@@ -108,6 +112,16 @@ impl SimulationBuilder {
     /// [`arrivals`](crate::arrivals) module for the built-in sources.
     pub fn arrivals(mut self, source: impl ArrivalSource + 'static) -> Self {
         self.arrivals = Box::new(source);
+        self
+    }
+
+    /// Installs a deterministic fault schedule (see [`crate::faults`]):
+    /// at each event's time the engine masks the accelerator (stall),
+    /// fails it permanently (aborting and requeueing its in-flight work),
+    /// or rescales its dispatch latency (slowdown). With no plan installed
+    /// the fault seam is completely inert.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -201,6 +215,8 @@ impl SimulationBuilder {
     ///   with the workload.
     /// * [`SimError::WorkloadMismatch`] if a prebuilt workload does not
     ///   match the configured phases/platform.
+    /// * [`SimError::InvalidFault`] if an installed fault plan names an
+    ///   out-of-range accelerator or carries an invalid slowdown factor.
     pub fn run(self, scheduler: &mut dyn Scheduler) -> Result<SimOutcome, SimError> {
         let resolved = self.resolved_phases()?;
         let ws = match &self.prebuilt {
@@ -215,6 +231,9 @@ impl SimulationBuilder {
             )?),
         };
         self.arrivals.validate(&ws, self.duration)?;
+        if let Some(plan) = &self.faults {
+            plan.validate(self.platform.len())?;
+        }
         let mut engine = Engine::new(
             ws,
             self.platform,
@@ -222,6 +241,7 @@ impl SimulationBuilder {
             self.seed,
             self.duration,
             self.arrivals,
+            self.faults,
         );
         Ok(engine.run(scheduler))
     }
@@ -317,6 +337,12 @@ pub(crate) enum StepStatus {
 /// — one owner, no per-dispatch clone.
 pub(crate) struct InFlight {
     pub energy_pj: f64,
+    /// The instant the scheduled `LayerDone` will fire. A popped
+    /// `LayerDone` whose task has no in-flight entry at exactly this
+    /// instant is *stale* — the dispatch was aborted by an accelerator
+    /// failure after the completion was scheduled (fault runs only; the
+    /// zero-fault path never aborts).
+    pub done_at: SimTime,
     pub layer: QueuedLayer,
 }
 
@@ -352,6 +378,9 @@ pub(crate) struct Engine {
     /// Retired [`Task`](crate::task::Task) shells, reused by the next
     /// release so steady-state task churn allocates nothing.
     pub(crate) task_pool: Vec<crate::task::Task>,
+    /// Fault-injection runtime; `None` (the default) keeps the fault seam
+    /// completely inert — no per-event or per-dispatch cost.
+    pub(crate) faults: Option<Box<FaultRuntime>>,
 }
 
 impl Engine {
@@ -362,9 +391,11 @@ impl Engine {
         seed: u64,
         horizon: SimTime,
         arrivals: Box<dyn ArrivalSource>,
+        faults: Option<FaultPlan>,
     ) -> Self {
         let accs: Vec<AccState> = platform.ids().map(AccState::new).collect();
         let idle: Vec<AcceleratorId> = platform.ids().collect();
+        let faults = faults.map(|plan| Box::new(FaultRuntime::new(plan, platform.len())));
         let mut metrics = Metrics::new(horizon, platform.len());
         for node in ws.nodes() {
             metrics.entry(
@@ -392,6 +423,7 @@ impl Engine {
             current_phase: 0,
             scratch_accs: Vec::new(),
             task_pool: Vec::new(),
+            faults,
         }
     }
 
@@ -402,6 +434,7 @@ impl Engine {
                 .push(phase.start, EventKind::PhaseStart { phase: idx });
         }
         self.queue.push(self.horizon, EventKind::End);
+        self.seed_fault_events(0);
 
         while matches!(
             self.step_event(scheduler, SimTime::MAX),
@@ -454,6 +487,8 @@ impl Engine {
                     frame,
                 } => self.frame_arrival(phase, pipeline, node, frame, scheduler),
                 EventKind::LayerDone { task } => self.layer_done(task, scheduler),
+                EventKind::FaultStart { fault } => self.fault_start(fault),
+                EventKind::FaultEnd { fault } => self.fault_end(fault),
             }
         }
         // The instant is fully drained, so the view reflects every
@@ -509,6 +544,20 @@ impl Engine {
         } else {
             debug_assert!(false, "occupied a non-idle accelerator");
         }
+    }
+
+    /// Whether a fault currently excludes `acc` from dispatch. `false`
+    /// whenever no fault runtime is installed.
+    pub(crate) fn fault_masked(&self, acc: AcceleratorId) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.acc(acc).masked())
+    }
+
+    pub(crate) fn in_flight_get(&self, task: TaskId) -> Option<&InFlight> {
+        let pos = self
+            .in_flight
+            .binary_search_by_key(&task, |&(id, _)| id)
+            .ok()?;
+        Some(&self.in_flight[pos].1)
     }
 
     pub(crate) fn in_flight_remove(&mut self, task: TaskId) -> Option<InFlight> {

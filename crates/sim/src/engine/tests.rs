@@ -278,6 +278,7 @@ fn engine_with_boundary_task(
         0,
         horizon,
         Box::new(PeriodicArrivals),
+        None,
     );
     let mut sched = Greedy;
     let key = ModelKey {
@@ -308,6 +309,7 @@ fn engine_with_boundary_task(
         id,
         InFlight {
             energy_pj: 0.0,
+            done_at: SimTime::from_ns(12 * PERIOD_NS),
             layer: head,
         },
     );
@@ -410,6 +412,152 @@ fn completion_at_horizon_instant_is_recorded() {
         .unwrap();
     assert_eq!(stats.completed_on_time, 1, "deadline == horizon is on time");
     assert_eq!(stats.released, 1);
+}
+
+fn run_ar_call_with_faults(seed: u64, ms: u64, plan: crate::faults::FaultPlan) -> Metrics {
+    let platform = Platform::preset(PlatformPreset::Hetero4kWs1Os2);
+    let scenario = Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper());
+    let mut sched = Greedy;
+    SimulationBuilder::new(platform, scenario)
+        .duration(Millis::new(ms))
+        .seed(seed)
+        .faults(plan)
+        .run(&mut sched)
+        .unwrap()
+        .into_metrics()
+}
+
+#[test]
+fn empty_fault_plan_is_bit_identical_to_no_plan() {
+    // The zero-fault golden check: installing an *empty* fault runtime
+    // must not perturb a single bit of the metrics — the fault seam is
+    // free when unused.
+    let bare = run_ar_call(42, 400);
+    let empty = run_ar_call_with_faults(42, 400, crate::faults::FaultPlan::new());
+    assert_eq!(bare.fingerprint(), empty.fingerprint());
+    assert_eq!(empty.faults_injected, 0);
+    assert_eq!(empty.fault_requeues, 0);
+}
+
+#[test]
+fn fault_storm_runs_are_deterministic() {
+    let plan = crate::faults::FaultPlan::storm(
+        99,
+        3,
+        SimTime::from_ns(400_000_000),
+        crate::faults::StormConfig::default(),
+    );
+    assert!(!plan.is_empty(), "default storm config produces faults");
+    let a = run_ar_call_with_faults(42, 400, plan.clone());
+    let b = run_ar_call_with_faults(42, 400, plan);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    assert!(a.faults_injected > 0);
+    assert_eq!(a.faults_injected, b.faults_injected);
+    assert_eq!(a.fault_requeues, b.fault_requeues);
+}
+
+#[test]
+fn permanent_failure_of_all_accelerators_aborts_and_requeues() {
+    // Fail the whole platform mid-run: every in-flight layer is aborted
+    // and requeued, nothing dispatches afterwards, and the run still
+    // terminates cleanly at the horizon.
+    let mut plan = crate::faults::FaultPlan::new();
+    for acc in 0..3 {
+        plan.push(crate::faults::FaultEvent {
+            at: SimTime::from_ns(50_000_000),
+            acc: dream_cost::AcceleratorId(acc),
+            kind: crate::faults::FaultKind::Fail,
+        });
+    }
+    let m = run_ar_call_with_faults(7, 400, plan);
+    assert_eq!(m.faults_injected, 3);
+    assert!(m.layer_executions > 0, "work ran before the failure");
+    assert!(
+        m.fault_requeues > 0,
+        "the loaded platform had in-flight work to abort"
+    );
+    // Busy time is frozen at the failure instant: no accelerator can have
+    // accumulated more than 50 ms of busy time.
+    for &busy in &m.acc_busy_ns {
+        assert!(
+            busy <= 50_000_000,
+            "busy_ns {busy} past the failure instant"
+        );
+    }
+}
+
+#[test]
+fn slowdown_stretches_busy_time() {
+    let mut plan = crate::faults::FaultPlan::new();
+    for acc in 0..3 {
+        plan.push(crate::faults::FaultEvent {
+            at: SimTime::ZERO,
+            acc: dream_cost::AcceleratorId(acc),
+            kind: crate::faults::FaultKind::Slowdown {
+                factor: 3.0,
+                duration: SimTime::from_ns(400_000_000),
+            },
+        });
+    }
+    let base = run_ar_call(13, 400);
+    let slow = run_ar_call_with_faults(13, 400, plan);
+    let total = |m: &Metrics| m.acc_busy_ns.iter().sum::<u64>();
+    assert!(
+        total(&slow) > total(&base),
+        "a 3x platform-wide slowdown must accumulate more busy time ({} vs {})",
+        total(&slow),
+        total(&base)
+    );
+    assert_eq!(slow.faults_injected, 3);
+    assert!(
+        slow.deadline_miss_under_faults > 0,
+        "frames completing late under an active slowdown are attributed to it"
+    );
+}
+
+#[test]
+fn transient_stall_parks_then_recovers() {
+    // Stall every accelerator for a 40 ms window: dispatch halts, then
+    // resumes, and the run completes deterministically.
+    let build = || {
+        let mut plan = crate::faults::FaultPlan::new();
+        for acc in 0..3 {
+            plan.push(crate::faults::FaultEvent {
+                at: SimTime::from_ns(100_000_000),
+                acc: dream_cost::AcceleratorId(acc),
+                kind: crate::faults::FaultKind::Stall {
+                    duration: SimTime::from_ns(40_000_000),
+                },
+            });
+        }
+        plan
+    };
+    let a = run_ar_call_with_faults(21, 400, build());
+    let b = run_ar_call_with_faults(21, 400, build());
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    assert_eq!(a.faults_injected, 3);
+    // Work resumed after the window: strictly more layers ran than in a
+    // run cut off at the stall start.
+    let cut = run_ar_call(21, 100);
+    assert!(a.layer_executions > cut.layer_executions);
+}
+
+#[test]
+fn invalid_fault_plans_are_rejected() {
+    let platform = Platform::preset(PlatformPreset::Homo4kWs2);
+    let scenario = Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper());
+    let mut plan = crate::faults::FaultPlan::new();
+    plan.push(crate::faults::FaultEvent {
+        at: SimTime::ZERO,
+        acc: dream_cost::AcceleratorId(999),
+        kind: crate::faults::FaultKind::Fail,
+    });
+    let mut s = Greedy;
+    let err = SimulationBuilder::new(platform, scenario)
+        .duration(Millis::new(100))
+        .faults(plan)
+        .run(&mut s);
+    assert!(matches!(err, Err(SimError::InvalidFault { .. })), "{err:?}");
 }
 
 #[test]

@@ -18,6 +18,12 @@ pub enum SimError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// A fault plan is inconsistent with the platform (accelerator index
+    /// out of range, slowdown factor below 1) or malformed.
+    InvalidFault {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
     /// A prebuilt [`WorkloadSet`](crate::WorkloadSet) handed to
     /// [`SimulationBuilder::prebuilt_workload`](crate::SimulationBuilder::prebuilt_workload)
     /// does not match the builder's configuration (different platform
@@ -38,6 +44,7 @@ impl fmt::Display for SimError {
             SimError::ZeroDuration => write!(f, "simulation duration must be positive"),
             SimError::InvalidPhase { reason } => write!(f, "invalid workload phase: {reason}"),
             SimError::InvalidTrace { reason } => write!(f, "invalid arrival trace: {reason}"),
+            SimError::InvalidFault { reason } => write!(f, "invalid fault plan: {reason}"),
             SimError::WorkloadMismatch { reason } => {
                 write!(f, "prebuilt workload mismatch: {reason}")
             }

@@ -61,6 +61,13 @@ pub(crate) enum EventKind {
     PhaseStart { phase: usize },
     /// End of the simulation horizon.
     End,
+    /// Fault `fault` (a [`FaultPlan`](crate::FaultPlan) index) begins:
+    /// mask the accelerator, abort on permanent failure, or start a
+    /// slowdown window.
+    FaultStart { fault: usize },
+    /// Windowed fault `fault` ends: unmask the accelerator or retire its
+    /// slowdown factor.
+    FaultEnd { fault: usize },
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,25 +79,31 @@ pub(crate) struct Event {
 
 impl EventKind {
     /// Processing rank among simultaneous events. Phase boundaries apply
-    /// first, then the horizon, then completions, then new arrivals — so
-    /// an instant's order is a pure function of the events at it, not of
-    /// when each was pushed. That independence is what lets a live session
-    /// inject arrivals as they are admitted (long after the recurrence
-    /// would have pushed them) and still replay bit-identically through
-    /// the batch path.
+    /// first, then the horizon, then completions, then fault boundaries
+    /// (ends before starts, so adjacent windows hand off cleanly), then
+    /// new arrivals — so an instant's order is a pure function of the
+    /// events at it, not of when each was pushed. That independence is
+    /// what lets a live session inject arrivals (and faults) as they are
+    /// admitted — long after the batch path would have pushed them — and
+    /// still replay bit-identically. A layer completing exactly at a fault
+    /// boundary therefore completes *before* the fault applies, mirroring
+    /// the flush-at-boundary semantics.
     fn rank(&self) -> u8 {
         match self {
             EventKind::PhaseStart { .. } => 0,
             EventKind::End => 1,
             EventKind::LayerDone { .. } => 2,
-            EventKind::FrameArrival { .. } => 3,
+            EventKind::FaultEnd { .. } => 3,
+            EventKind::FaultStart { .. } => 4,
+            EventKind::FrameArrival { .. } => 5,
         }
     }
 
     /// Canonical tie-break within a rank. Arrivals order by model key and
-    /// frame; completions have no push-order-free identity, but their
-    /// pushes happen in dispatch order, which *is* reproducible, so seq
-    /// stays their tie-break.
+    /// frame; fault boundaries order by plan index (the plan's order *is*
+    /// its identity, identical in live and batch runs); completions have
+    /// no push-order-free identity, but their pushes happen in dispatch
+    /// order, which *is* reproducible, so seq stays their tie-break.
     fn tie_key(&self) -> (usize, usize, usize, u64) {
         match self {
             EventKind::FrameArrival {
@@ -100,6 +113,7 @@ impl EventKind {
                 frame,
             } => (*phase, pipeline.0, node.0, *frame),
             EventKind::PhaseStart { phase } => (*phase, 0, 0, 0),
+            EventKind::FaultStart { fault } | EventKind::FaultEnd { fault } => (*fault, 0, 0, 0),
             _ => (0, 0, 0, 0),
         }
     }
@@ -326,6 +340,43 @@ mod tests {
     }
 
     #[test]
+    fn fault_boundaries_rank_after_completions_ends_before_starts() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(42);
+        // Scrambled push order: starts, arrival, end, completion.
+        q.push(t, EventKind::FaultStart { fault: 3 });
+        q.push(
+            t,
+            EventKind::FrameArrival {
+                phase: 0,
+                pipeline: PipelineId(0),
+                node: NodeId(0),
+                frame: 0,
+            },
+        );
+        q.push(t, EventKind::FaultStart { fault: 1 });
+        q.push(t, EventKind::FaultEnd { fault: 2 });
+        q.push(t, EventKind::LayerDone { task: TaskId(5) });
+        let kinds: Vec<EventKind> = std::iter::from_fn(|| q.pop().map(|e| e.kind)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::LayerDone { task: TaskId(5) },
+                EventKind::FaultEnd { fault: 2 },
+                EventKind::FaultStart { fault: 1 },
+                EventKind::FaultStart { fault: 3 },
+                EventKind::FrameArrival {
+                    phase: 0,
+                    pipeline: PipelineId(0),
+                    node: NodeId(0),
+                    frame: 0,
+                },
+            ],
+            "completions beat fault boundaries; ends beat starts; starts order by plan index"
+        );
+    }
+
+    #[test]
     fn orders_by_time_then_insertion() {
         let mut q = EventQueue::new();
         q.push(SimTime::from_ns(50), EventKind::End);
@@ -466,6 +517,8 @@ mod tests {
                 (0u64..16).prop_map(|t| EventKind::LayerDone { task: TaskId(t) }),
                 (0usize..4).prop_map(|phase| EventKind::PhaseStart { phase }),
                 Just(EventKind::End),
+                (0usize..8).prop_map(|fault| EventKind::FaultStart { fault }),
+                (0usize..8).prop_map(|fault| EventKind::FaultEnd { fault }),
             ]
         }
 

@@ -1,0 +1,606 @@
+//! Deterministic fault injection: replayable per-accelerator fault plans.
+//!
+//! A [`FaultPlan`] is an ordered list of [`FaultEvent`]s — transient
+//! stalls (the accelerator is unavailable for a window), permanent
+//! failures, and slowdowns (a latency multiplier over a window) — that the
+//! engine turns into canonical-rank events on the same queue as arrivals
+//! and completions. A fault schedule is therefore *just another replayable
+//! input*: the same plan under the same seed reproduces the same degraded
+//! run bit-for-bit, so every failure scenario is auditable from its trace.
+//!
+//! Plans come from two sources, mirroring arrivals:
+//!
+//! * [`FaultPlan::storm`] — a randomized-but-seeded storm drawn from the
+//!   counter-based [`DeterministicCoin`] (gate namespace `5000+`, after
+//!   the cascade/skip/exit/arrival namespaces);
+//! * [`FaultPlan::parse`] — a recorded text/CSV fault trace, the same
+//!   loader idiom as [`ArrivalTrace`](crate::ArrivalTrace).
+//!
+//! **Order is identity.** An event's position in the plan is its tie-break
+//! key inside the event queue, so two plans with the same events in a
+//! different order are different plans. [`FaultPlan::to_csv`] preserves
+//! construction order for exactly this reason, and live-admitted faults
+//! (see [`LiveSession::admit_fault`](crate::LiveSession::admit_fault))
+//! append after any installed plan so batch replay reconstructs identical
+//! tie keys.
+//!
+//! # Trace file format
+//!
+//! One fault per line, `#` starts a comment and blank lines are ignored:
+//!
+//! ```text
+//! # at_ns,acc,kind[,duration_ns[,factor]]
+//! 1000000,0,stall,500000
+//! 2000000,1,fail
+//! 3000000,2,slow,4000000,2.5
+//! ```
+//!
+//! `stall` takes a duration, `fail` is permanent (no further fields), and
+//! `slow` takes a duration plus a latency factor `>= 1`.
+
+use std::fmt::Write as _;
+
+use dream_cost::AcceleratorId;
+
+use crate::determ::{DeterministicCoin, Fnv64};
+use crate::{SimError, SimTime};
+
+/// Coin-gate namespace for fault-storm draws (cascade/skip/exit use 0,
+/// 1000+, 2000+; arrival draws use 3000+/4000+; see `engine::dynamics`
+/// and `arrivals`).
+const GATE_FAULT: u64 = 5_000;
+
+/// What goes wrong with an accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The accelerator is unavailable for new dispatches for `duration`.
+    /// In-flight work finishes; the accelerator rejoins the idle pool when
+    /// the stall window closes.
+    Stall {
+        /// How long the accelerator stays unavailable.
+        duration: SimTime,
+    },
+    /// The accelerator fails permanently: in-flight work on it is aborted
+    /// and requeued, and it never rejoins the idle pool.
+    Fail,
+    /// Layers dispatched to the accelerator run `factor` times slower for
+    /// `duration`. Does not mask the accelerator; concurrent slowdowns
+    /// compound multiplicatively.
+    Slowdown {
+        /// Latency multiplier, `>= 1`.
+        factor: f64,
+        /// How long the slowdown window lasts.
+        duration: SimTime,
+    },
+}
+
+impl FaultKind {
+    /// The window length for windowed faults (`None` for [`FaultKind::Fail`],
+    /// which is permanent).
+    pub fn duration(&self) -> Option<SimTime> {
+        match self {
+            FaultKind::Stall { duration } | FaultKind::Slowdown { duration, .. } => Some(*duration),
+            FaultKind::Fail => None,
+        }
+    }
+}
+
+/// One fault: what happens to which accelerator, when.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault begins.
+    pub at: SimTime,
+    /// The accelerator it strikes.
+    pub acc: AcceleratorId,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// Randomized-but-seeded storm shape for [`FaultPlan::storm`].
+///
+/// The horizon is divided into `slot`-wide windows; per accelerator and
+/// window the coin decides independently whether a stall, a slowdown, or a
+/// permanent failure begins inside it (offsets, durations, and slowdown
+/// factors are further uniform draws). All draws are pure functions of
+/// `(seed, acc, slot, gate)`, so the storm is fully determined by its
+/// seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StormConfig {
+    /// Draw-window width.
+    pub slot: SimTime,
+    /// Per-(acc, slot) probability that a stall begins in the slot.
+    pub p_stall: f64,
+    /// Per-(acc, slot) probability that a slowdown begins in the slot.
+    pub p_slowdown: f64,
+    /// Per-(acc, slot) probability of permanent failure (first hit wins;
+    /// a failed accelerator draws no further faults).
+    pub p_fail: f64,
+    /// Slowdown factors are drawn uniformly from `[1, max_factor]`.
+    pub max_factor: f64,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            slot: SimTime::from_ns(10_000_000),
+            p_stall: 0.10,
+            p_slowdown: 0.10,
+            p_fail: 0.01,
+            max_factor: 4.0,
+        }
+    }
+}
+
+/// An ordered, replayable schedule of accelerator faults.
+///
+/// See the [module docs](self) for sources, ordering semantics, and the
+/// trace file format.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builds a plan from events, preserving their order (order is the
+    /// queue tie-break identity — see the [module docs](self)).
+    pub fn from_events(events: Vec<FaultEvent>) -> Self {
+        FaultPlan { events }
+    }
+
+    /// Appends one fault, returning its plan index.
+    pub fn push(&mut self, event: FaultEvent) -> usize {
+        self.events.push(event);
+        self.events.len() - 1
+    }
+
+    /// The events in plan order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of faults in the plan.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules no faults.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Checks the plan against a platform width: accelerator indices must
+    /// be in range and slowdown factors finite and `>= 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidFault`] describing the first offending
+    /// entry.
+    pub fn validate(&self, acc_count: usize) -> Result<(), SimError> {
+        for (idx, ev) in self.events.iter().enumerate() {
+            if ev.acc.0 >= acc_count {
+                return Err(SimError::InvalidFault {
+                    reason: format!(
+                        "fault {idx} targets accelerator {} but the platform has {acc_count}",
+                        ev.acc.0
+                    ),
+                });
+            }
+            if let FaultKind::Slowdown { factor, .. } = ev.kind {
+                if !factor.is_finite() || factor < 1.0 {
+                    return Err(SimError::InvalidFault {
+                        reason: format!("fault {idx}: slowdown factor must be >= 1, got {factor}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Draws a seeded fault storm over `acc_count` accelerators and
+    /// `[0, horizon)`. Same seed, same storm — see [`StormConfig`].
+    pub fn storm(seed: u64, acc_count: usize, horizon: SimTime, cfg: StormConfig) -> Self {
+        let coin = DeterministicCoin::new(seed);
+        let slot_ns = cfg.slot.as_ns().max(1);
+        let slots = horizon.as_ns().div_ceil(slot_ns);
+        let mut events = Vec::new();
+        for acc in 0..acc_count {
+            'slots: for s in 0..slots {
+                let base = s * slot_ns;
+                let offset = |gate: u64| {
+                    let u = coin.uniform(acc, 0, s, GATE_FAULT + gate);
+                    SimTime::from_ns(base + (u * slot_ns as f64) as u64).min(horizon)
+                };
+                if coin.decide(acc, 0, s, GATE_FAULT, cfg.p_fail) {
+                    let at = offset(1);
+                    if at < horizon {
+                        events.push(FaultEvent {
+                            at,
+                            acc: AcceleratorId(acc),
+                            kind: FaultKind::Fail,
+                        });
+                    }
+                    // A failed accelerator draws no further faults.
+                    break 'slots;
+                }
+                if coin.decide(acc, 0, s, GATE_FAULT + 2, cfg.p_stall) {
+                    let at = offset(3);
+                    let u = coin.uniform(acc, 0, s, GATE_FAULT + 4);
+                    let dur = SimTime::from_ns(((u * slot_ns as f64) as u64).max(1));
+                    if at < horizon {
+                        events.push(FaultEvent {
+                            at,
+                            acc: AcceleratorId(acc),
+                            kind: FaultKind::Stall { duration: dur },
+                        });
+                    }
+                }
+                if coin.decide(acc, 0, s, GATE_FAULT + 5, cfg.p_slowdown) {
+                    let at = offset(6);
+                    let u_dur = coin.uniform(acc, 0, s, GATE_FAULT + 7);
+                    let dur = SimTime::from_ns(((u_dur * slot_ns as f64) as u64).max(1));
+                    let u_f = coin.uniform(acc, 0, s, GATE_FAULT + 8);
+                    let factor = 1.0 + u_f * (cfg.max_factor - 1.0).max(0.0);
+                    if at < horizon {
+                        events.push(FaultEvent {
+                            at,
+                            acc: AcceleratorId(acc),
+                            kind: FaultKind::Slowdown {
+                                factor,
+                                duration: dur,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        FaultPlan { events }
+    }
+
+    /// Parses the text/CSV form (see the [module docs](self)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidFault`] naming the offending line.
+    pub fn parse(text: &str) -> Result<Self, SimError> {
+        let mut events = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let bad = |what: &str| SimError::InvalidFault {
+                reason: format!("line {}: {what}: {line:?}", lineno + 1),
+            };
+            let mut fields = line.split(',').map(str::trim);
+            let mut u64_field = |what: &str| {
+                fields
+                    .next()
+                    .and_then(|f| f.parse::<u64>().ok())
+                    .ok_or_else(|| bad(&format!("missing/invalid {what}")))
+            };
+            let at = SimTime::from_ns(u64_field("at_ns")?);
+            let acc = AcceleratorId(u64_field("acc")? as usize);
+            let kind = fields.next().ok_or_else(|| bad("missing kind"))?;
+            let kind = match kind {
+                "stall" => {
+                    let dur = fields
+                        .next()
+                        .and_then(|f| f.parse::<u64>().ok())
+                        .ok_or_else(|| bad("missing/invalid stall duration_ns"))?;
+                    FaultKind::Stall {
+                        duration: SimTime::from_ns(dur),
+                    }
+                }
+                "fail" => FaultKind::Fail,
+                "slow" => {
+                    let dur = fields
+                        .next()
+                        .and_then(|f| f.parse::<u64>().ok())
+                        .ok_or_else(|| bad("missing/invalid slowdown duration_ns"))?;
+                    let factor = fields
+                        .next()
+                        .and_then(|f| f.parse::<f64>().ok())
+                        .filter(|f| f.is_finite() && *f >= 1.0)
+                        .ok_or_else(|| bad("missing/invalid slowdown factor (must be >= 1)"))?;
+                    FaultKind::Slowdown {
+                        factor,
+                        duration: SimTime::from_ns(dur),
+                    }
+                }
+                other => return Err(bad(&format!("unknown fault kind {other:?}"))),
+            };
+            if fields.next().is_some() {
+                return Err(bad("too many fields"));
+            }
+            events.push(FaultEvent { at, acc, kind });
+        }
+        Ok(FaultPlan { events })
+    }
+
+    /// Renders the text/CSV form, preserving plan order (order is the
+    /// queue tie-break identity, so this round-trips through
+    /// [`FaultPlan::parse`] exactly).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("# at_ns,acc,kind[,duration_ns[,factor]]\n");
+        for ev in &self.events {
+            match ev.kind {
+                FaultKind::Stall { duration } => {
+                    let _ = writeln!(
+                        out,
+                        "{},{},stall,{}",
+                        ev.at.as_ns(),
+                        ev.acc.0,
+                        duration.as_ns()
+                    );
+                }
+                FaultKind::Fail => {
+                    let _ = writeln!(out, "{},{},fail", ev.at.as_ns(), ev.acc.0);
+                }
+                FaultKind::Slowdown { factor, duration } => {
+                    let _ = writeln!(
+                        out,
+                        "{},{},slow,{},{}",
+                        ev.at.as_ns(),
+                        ev.acc.0,
+                        duration.as_ns(),
+                        factor
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// A deterministic digest of every entry, in plan order.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        for ev in &self.events {
+            h.mix(ev.at.as_ns());
+            h.mix(ev.acc.0 as u64);
+            match ev.kind {
+                FaultKind::Stall { duration } => {
+                    h.mix(1);
+                    h.mix(duration.as_ns());
+                }
+                FaultKind::Fail => h.mix(2),
+                FaultKind::Slowdown { factor, duration } => {
+                    h.mix(3);
+                    h.mix(duration.as_ns());
+                    h.mix(factor.to_bits());
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Per-accelerator fault state the engine carries while a plan (or live
+/// fault admissions) are installed. `None` on the engine means the fault
+/// seam is completely inert.
+#[derive(Debug)]
+pub(crate) struct FaultRuntime {
+    plan: FaultPlan,
+    accs: Vec<AccFaultState>,
+}
+
+/// One accelerator's live fault state.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct AccFaultState {
+    /// Permanently failed (never unmasks).
+    pub(crate) failed: bool,
+    /// Number of open stall windows (masked while > 0).
+    pub(crate) stall_depth: u32,
+    /// Active slowdowns as `(plan index, factor)` in activation order —
+    /// the canonical multiplication order for compounding.
+    pub(crate) slow: Vec<(usize, f64)>,
+}
+
+impl AccFaultState {
+    /// Whether the accelerator is currently excluded from dispatch.
+    pub(crate) fn masked(&self) -> bool {
+        self.failed || self.stall_depth > 0
+    }
+}
+
+impl FaultRuntime {
+    pub(crate) fn new(plan: FaultPlan, acc_count: usize) -> Self {
+        FaultRuntime {
+            plan,
+            accs: vec![AccFaultState::default(); acc_count],
+        }
+    }
+
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    pub(crate) fn event(&self, idx: usize) -> FaultEvent {
+        self.plan.events[idx]
+    }
+
+    /// Appends a live-admitted fault, returning its plan index (the queue
+    /// tie-break key batch replay will reconstruct).
+    pub(crate) fn push_live(&mut self, event: FaultEvent) -> usize {
+        self.plan.push(event)
+    }
+
+    pub(crate) fn acc(&self, acc: AcceleratorId) -> &AccFaultState {
+        &self.accs[acc.0]
+    }
+
+    pub(crate) fn acc_mut(&mut self, acc: AcceleratorId) -> &mut AccFaultState {
+        &mut self.accs[acc.0]
+    }
+
+    /// Whether any fault is in effect right now (drives the
+    /// `deadline_miss_under_faults` attribution).
+    pub(crate) fn any_active(&self) -> bool {
+        self.accs
+            .iter()
+            .any(|a| a.failed || a.stall_depth > 0 || !a.slow.is_empty())
+    }
+
+    /// The latency multiplier a gang dispatch pays: per accelerator the
+    /// product of its active slowdown factors in activation order, and the
+    /// gang runs at its slowest member. Exactly `1.0` when no slowdown is
+    /// active, so callers can skip the rescale entirely.
+    pub(crate) fn gang_slow_factor(&self, accs: &[AcceleratorId]) -> f64 {
+        let mut worst = 1.0f64;
+        for &acc in accs {
+            let mut product = 1.0f64;
+            for &(_, factor) in &self.accs[acc.0].slow {
+                product *= factor;
+            }
+            if product > worst {
+                worst = product;
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_is_seed_deterministic() {
+        let cfg = StormConfig::default();
+        let horizon = SimTime::from_ns(100_000_000);
+        let a = FaultPlan::storm(7, 4, horizon, cfg);
+        let b = FaultPlan::storm(7, 4, horizon, cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        let c = FaultPlan::storm(8, 4, horizon, cfg);
+        assert_ne!(a.digest(), c.digest(), "seeds should decorrelate");
+        assert!(
+            !a.is_empty(),
+            "default storm over 4 accs should draw faults"
+        );
+        for ev in a.events() {
+            assert!(ev.at < horizon);
+            assert!(ev.acc.0 < 4);
+            if let FaultKind::Slowdown { factor, .. } = ev.kind {
+                assert!((1.0..=4.0).contains(&factor));
+            }
+        }
+    }
+
+    #[test]
+    fn failed_accelerator_draws_no_further_faults() {
+        let cfg = StormConfig {
+            p_fail: 1.0,
+            ..StormConfig::default()
+        };
+        let plan = FaultPlan::storm(1, 3, SimTime::from_ns(100_000_000), cfg);
+        assert_eq!(plan.len(), 3, "one permanent failure per accelerator");
+        assert!(plan
+            .events()
+            .iter()
+            .all(|e| matches!(e.kind, FaultKind::Fail)));
+    }
+
+    #[test]
+    fn csv_roundtrips_preserving_order() {
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                at: SimTime::from_ns(300),
+                acc: AcceleratorId(2),
+                kind: FaultKind::Slowdown {
+                    factor: 2.5,
+                    duration: SimTime::from_ns(40),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_ns(100),
+                acc: AcceleratorId(0),
+                kind: FaultKind::Stall {
+                    duration: SimTime::from_ns(50),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_ns(200),
+                acc: AcceleratorId(1),
+                kind: FaultKind::Fail,
+            },
+        ]);
+        let reparsed = FaultPlan::parse(&plan.to_csv()).unwrap();
+        assert_eq!(plan, reparsed, "to_csv/parse must preserve plan order");
+        assert_eq!(plan.digest(), reparsed.digest());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for bad in [
+            "abc,0,stall,5",
+            "1,0,melt",
+            "1,0,stall",
+            "1,0,slow,5",
+            "1,0,slow,5,0.5",
+            "1,0,slow,5,nan",
+            "1,0,fail,9",
+            "1,0,stall,5,6",
+        ] {
+            let err = FaultPlan::parse(bad).unwrap_err();
+            assert!(
+                matches!(err, SimError::InvalidFault { .. }),
+                "{bad:?} should be rejected, got {err:?}"
+            );
+        }
+        assert!(FaultPlan::parse("# comment\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn validate_checks_range_and_factors() {
+        let mut plan = FaultPlan::new();
+        plan.push(FaultEvent {
+            at: SimTime::ZERO,
+            acc: AcceleratorId(3),
+            kind: FaultKind::Fail,
+        });
+        assert!(plan.validate(4).is_ok());
+        assert!(matches!(
+            plan.validate(3),
+            Err(SimError::InvalidFault { .. })
+        ));
+        plan.push(FaultEvent {
+            at: SimTime::ZERO,
+            acc: AcceleratorId(0),
+            kind: FaultKind::Slowdown {
+                factor: 0.5,
+                duration: SimTime::from_ns(1),
+            },
+        });
+        assert!(matches!(
+            plan.validate(4),
+            Err(SimError::InvalidFault { .. })
+        ));
+    }
+
+    #[test]
+    fn gang_slow_factor_compounds_and_takes_worst() {
+        let mut rt = FaultRuntime::new(FaultPlan::new(), 3);
+        assert_eq!(
+            rt.gang_slow_factor(&[AcceleratorId(0), AcceleratorId(1)]),
+            1.0
+        );
+        rt.acc_mut(AcceleratorId(0)).slow.push((0, 2.0));
+        rt.acc_mut(AcceleratorId(0)).slow.push((1, 3.0));
+        rt.acc_mut(AcceleratorId(1)).slow.push((2, 4.0));
+        assert_eq!(rt.gang_slow_factor(&[AcceleratorId(0)]), 6.0);
+        assert_eq!(
+            rt.gang_slow_factor(&[AcceleratorId(0), AcceleratorId(1)]),
+            6.0
+        );
+        assert_eq!(
+            rt.gang_slow_factor(&[AcceleratorId(1), AcceleratorId(2)]),
+            4.0
+        );
+        assert!(rt.any_active());
+    }
+}

@@ -58,6 +58,7 @@ mod determ;
 mod engine;
 mod error;
 mod event;
+pub mod faults;
 mod fold;
 pub mod live;
 mod metrics;
@@ -73,6 +74,7 @@ pub use arrivals::{
 pub use determ::{DeterministicCoin, Fnv64};
 pub use engine::{SimOutcome, SimulationBuilder};
 pub use error::SimError;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, StormConfig};
 pub use fold::canonical_sum;
 pub use live::{
     Admission, LiveError, LiveSession, LiveSessionBuilder, LiveSessionRecord, LiveStatus,

@@ -50,13 +50,14 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
-use dream_cost::{CostBackend, CostModel, Platform};
+use dream_cost::{AcceleratorId, CostBackend, CostModel, Platform};
 use dream_models::{NodeId, PipelineId, Scenario};
 
 use crate::arrivals::{ArrivalSource, ArrivalTrace, TraceArrivals};
 use crate::determ::DeterministicCoin;
 use crate::engine::{check_workload_matches, Engine, SimOutcome, SimulationBuilder, StepStatus};
 use crate::event::EventKind;
+use crate::faults::{FaultEvent, FaultKind, FaultPlan, FaultRuntime};
 use crate::metrics::Metrics;
 use crate::scheduler::Scheduler;
 use crate::workload::{ModelKey, NodeInfo, Phase, WorkloadSet};
@@ -174,6 +175,7 @@ pub struct LiveSessionBuilder {
     cost: Arc<dyn CostBackend>,
     cap: SimTime,
     prebuilt: Option<Arc<WorkloadSet>>,
+    faults: Option<FaultPlan>,
 }
 
 impl LiveSessionBuilder {
@@ -186,7 +188,16 @@ impl LiveSessionBuilder {
             cost: Arc::new(CostModel::paper_default()),
             cap: SimTime::from_ns(DEFAULT_HORIZON_CAP_NS),
             prebuilt: None,
+            faults: None,
         }
+    }
+
+    /// Installs a fault plan the session starts with — the same plan seam
+    /// as [`SimulationBuilder::faults`]; further faults can be admitted
+    /// live with [`LiveSession::admit_fault`].
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Sets the workload-realization seed (cascade/skip/exit draws;
@@ -256,6 +267,9 @@ impl LiveSessionBuilder {
                 self.cost.as_ref(),
             )?),
         };
+        if let Some(plan) = &self.faults {
+            plan.validate(self.platform.len())?;
+        }
         let mut engine = Engine::new(
             ws,
             self.platform.clone(),
@@ -263,11 +277,13 @@ impl LiveSessionBuilder {
             self.seed,
             self.cap,
             Box::new(LiveArrivals),
+            self.faults,
         );
         engine
             .queue
             .push(SimTime::ZERO, EventKind::PhaseStart { phase: 0 });
         engine.queue.push(self.cap, EventKind::End);
+        engine.seed_fault_events(0);
         Ok(LiveSession {
             engine,
             scheduler,
@@ -431,6 +447,76 @@ impl LiveSession {
         self.per_key_stamp.insert(key, at);
         self.max_admitted = self.max_admitted.max(at);
         Ok(Admission { key, frame, at })
+    }
+
+    /// Admits a fault against accelerator `acc` at virtual instant
+    /// `stamp`, appending it to the session's fault plan and scheduling
+    /// its boundary events. The effective instant is `stamp` clamped
+    /// strictly past the closed frontier (faults, like arrivals, cannot
+    /// land on instants already processed); the clamped instant is
+    /// returned.
+    ///
+    /// Faults admitted this way replay bit-identically through the batch
+    /// [`FaultPlan`] path: the recorded plan rides along in the
+    /// [`LiveSessionRecord`], and intra-instant ordering is pinned to plan
+    /// order (the event tie key is the plan index), so live push order is
+    /// irrelevant. Fault admission stays open during a drain — chaos does
+    /// not respect shutdown windows.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::Finished`] after the horizon fired,
+    /// [`LiveError::PastHorizon`] when the clamped instant lands at/after
+    /// the (possibly drain-resolved) horizon, and a wrapped
+    /// [`SimError::InvalidFault`] for an out-of-range accelerator or a
+    /// non-finite / sub-unity slowdown factor.
+    pub fn admit_fault(
+        &mut self,
+        acc: AcceleratorId,
+        kind: FaultKind,
+        stamp: SimTime,
+    ) -> Result<SimTime, LiveError> {
+        if self.finished {
+            return Err(LiveError::Finished);
+        }
+        if acc.0 >= self.platform.len() {
+            return Err(LiveError::Sim(SimError::InvalidFault {
+                reason: format!(
+                    "accelerator {} out of range (platform has {})",
+                    acc.0,
+                    self.platform.len()
+                ),
+            }));
+        }
+        if let FaultKind::Slowdown { factor, .. } = kind {
+            if !factor.is_finite() || factor < 1.0 {
+                return Err(LiveError::Sim(SimError::InvalidFault {
+                    reason: format!("slowdown factor {factor} must be finite and >= 1"),
+                }));
+            }
+        }
+        let mut at = stamp;
+        if let Some(closed) = self.closed {
+            at = at.max(closed + SimTime::from_ns(1));
+        }
+        let horizon = self.engine.horizon;
+        if at >= horizon {
+            return Err(LiveError::PastHorizon { at, horizon });
+        }
+        if self.engine.faults.is_none() {
+            self.engine.faults = Some(Box::new(FaultRuntime::new(
+                FaultPlan::new(),
+                self.platform.len(),
+            )));
+        }
+        let idx = self
+            .engine
+            .faults
+            .as_mut()
+            .expect("runtime installed above")
+            .push_live(FaultEvent { at, acc, kind });
+        self.engine.seed_fault_events(idx);
+        Ok(at)
     }
 
     /// Processes every pending event at or before `frontier` and closes
@@ -705,6 +791,11 @@ impl LiveSession {
             phases: self.phase_starts.clone(),
             horizon,
             trace: ArrivalTrace::from_events("live-session", self.admitted.clone()),
+            faults: self
+                .engine
+                .faults
+                .as_ref()
+                .map_or_else(FaultPlan::new, |f| f.plan().clone()),
         };
         Ok((self.engine.take_outcome(), record))
     }
@@ -789,6 +880,7 @@ pub struct LiveSessionRecord {
     phases: Vec<(SimTime, Scenario)>,
     horizon: SimTime,
     trace: ArrivalTrace,
+    faults: FaultPlan,
 }
 
 impl LiveSessionRecord {
@@ -796,6 +888,14 @@ impl LiveSessionRecord {
     /// [`ArrivalTrace::to_csv`]).
     pub fn trace(&self) -> &ArrivalTrace {
         &self.trace
+    }
+
+    /// The recorded fault plan — every fault the session ran under,
+    /// whether installed at start or admitted live, in plan order
+    /// (serializable via [`FaultPlan::to_csv`]). Empty when the session
+    /// saw no faults.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The session's resolved horizon.
@@ -828,6 +928,9 @@ impl LiveSessionRecord {
             .cost_backend(Arc::clone(&self.cost));
         for (start, scenario) in &self.phases[1..] {
             b = b.add_phase(*start, scenario.clone());
+        }
+        if !self.faults.is_empty() {
+            b = b.faults(self.faults.clone());
         }
         b
     }
@@ -1142,6 +1245,170 @@ mod tests {
             batch.metrics().fingerprint(),
             "hot-swapped session must replay bit-identically"
         );
+    }
+
+    /// The acceptance hinge for fault injection: a session that took
+    /// live-admitted faults — including a mid-run permanent failure —
+    /// replays bit-identically through the batch [`FaultPlan`] path,
+    /// across several seeds.
+    #[test]
+    fn faulted_live_session_replays_bit_identically() {
+        for seed in [5u64, 17, 901] {
+            let mut s = session(seed);
+            let keys = roots(s.workload(), 0);
+            let mut t = 0u64;
+            let mut faulted = false;
+            for i in 0..200u64 {
+                let k = keys[(i % keys.len() as u64) as usize];
+                t += 700_000 + (i % 7) * 130_000;
+                s.admit(k.pipeline, k.node, SimTime::from_ns(t)).unwrap();
+                if i == 40 {
+                    s.admit_fault(
+                        AcceleratorId(1),
+                        FaultKind::Stall {
+                            duration: SimTime::from_ns(9_000_000),
+                        },
+                        SimTime::from_ns(t),
+                    )
+                    .unwrap();
+                    s.admit_fault(
+                        AcceleratorId(2),
+                        FaultKind::Slowdown {
+                            factor: 2.5,
+                            duration: SimTime::from_ns(30_000_000),
+                        },
+                        SimTime::from_ns(t + 1),
+                    )
+                    .unwrap();
+                }
+                if i == 120 {
+                    // Mid-run permanent failure: whatever acc 0 is doing is
+                    // aborted and requeued; acc 0 never dispatches again.
+                    s.admit_fault(AcceleratorId(0), FaultKind::Fail, SimTime::from_ns(t))
+                        .unwrap();
+                    faulted = true;
+                }
+                if i % 16 == 0 {
+                    s.step_until(SimTime::from_ns(t.saturating_sub(400_000)));
+                }
+            }
+            assert!(faulted);
+            let (live, record) = s.finish().unwrap();
+            assert_eq!(record.faults().len(), 3);
+            assert!(live.metrics().faults_injected >= 3);
+            let mut fresh = dream_baselines_stub::Fcfs;
+            let batch = record.replay(&mut fresh).unwrap();
+            assert_eq!(
+                live.metrics().fingerprint(),
+                batch.metrics().fingerprint(),
+                "seed {seed}: faulted live session must replay bit-identically"
+            );
+            assert_eq!(live.final_time(), batch.final_time(), "seed {seed}");
+            assert_eq!(
+                live.metrics().faults_injected,
+                batch.metrics().faults_injected,
+                "seed {seed}"
+            );
+            assert_eq!(
+                live.metrics().fault_requeues,
+                batch.metrics().fault_requeues,
+                "seed {seed}"
+            );
+        }
+    }
+
+    /// A transient stall whose window straddles a hot-swap boundary:
+    /// the accelerator is parked across the phase change and unparks in
+    /// the new phase — and the whole thing still replays bit-identically.
+    #[test]
+    fn stall_straddling_hot_swap_replays_bit_identically() {
+        for seed in [3u64, 23, 71] {
+            let mut s = session(seed);
+            let keys = roots(s.workload(), 0);
+            let mut t = 0u64;
+            for i in 0..120u64 {
+                let k = keys[(i % keys.len() as u64) as usize];
+                t += 900_000;
+                s.admit(k.pipeline, k.node, SimTime::from_ns(t)).unwrap();
+            }
+            s.step_until(SimTime::from_ns(t));
+            // A long stall starting just before the boundary instant the
+            // swap below resolves to (boundary = max admitted + max
+            // period, so the window comfortably straddles it).
+            s.admit_fault(
+                AcceleratorId(1),
+                FaultKind::Stall {
+                    duration: SimTime::from_ns(400_000_000),
+                },
+                s.next_stamp(),
+            )
+            .unwrap();
+            let boundary = s
+                .swap_scenario(scenario(ScenarioKind::VrGaming), s.next_stamp())
+                .unwrap();
+            let new_keys = roots(s.workload(), 1);
+            for i in 0..120u64 {
+                let k = new_keys[(i % new_keys.len() as u64) as usize];
+                let at = boundary + SimTime::from_ns(i * 800_000);
+                s.admit(k.pipeline, k.node, at).unwrap();
+                if i % 32 == 0 {
+                    s.step_until(at);
+                }
+            }
+            let (live, record) = s.finish().unwrap();
+            assert_eq!(record.phases().len(), 2);
+            assert_eq!(record.faults().len(), 1);
+            let mut fresh = dream_baselines_stub::Fcfs;
+            let batch = record.replay(&mut fresh).unwrap();
+            assert_eq!(
+                live.metrics().fingerprint(),
+                batch.metrics().fingerprint(),
+                "seed {seed}: stall straddling a hot-swap must replay bit-identically"
+            );
+        }
+    }
+
+    #[test]
+    fn admit_fault_validates_and_clamps() {
+        let mut s = session(9);
+        // Out-of-range accelerator.
+        assert!(matches!(
+            s.admit_fault(AcceleratorId(999), FaultKind::Fail, SimTime::ZERO),
+            Err(LiveError::Sim(SimError::InvalidFault { .. }))
+        ));
+        // Sub-unity slowdown factor.
+        assert!(matches!(
+            s.admit_fault(
+                AcceleratorId(0),
+                FaultKind::Slowdown {
+                    factor: 0.5,
+                    duration: SimTime::from_ns(1_000),
+                },
+                SimTime::ZERO,
+            ),
+            Err(LiveError::Sim(SimError::InvalidFault { .. }))
+        ));
+        // Clamps strictly past the closed frontier.
+        s.step_until(SimTime::from_ns(1_000));
+        let at = s
+            .admit_fault(
+                AcceleratorId(0),
+                FaultKind::Stall {
+                    duration: SimTime::from_ns(500),
+                },
+                SimTime::from_ns(10),
+            )
+            .unwrap();
+        assert_eq!(at, SimTime::from_ns(1_001));
+        // Past-horizon stamps are rejected.
+        assert!(matches!(
+            s.admit_fault(
+                AcceleratorId(0),
+                FaultKind::Fail,
+                SimTime::from_ns(DEFAULT_HORIZON_CAP_NS),
+            ),
+            Err(LiveError::PastHorizon { .. })
+        ));
     }
 
     #[test]

@@ -144,6 +144,19 @@ pub struct Metrics {
     pub acc_busy_ns: Vec<u64>,
     /// Events processed.
     pub events_processed: u64,
+    /// Fault events applied (stall/fail/slowdown starts). **Excluded from
+    /// [`fingerprint`](Self::fingerprint)** — fingerprints compare
+    /// degraded runs against the same schedule replayed, and the schedule
+    /// itself is pinned by [`FaultPlan::digest`](crate::FaultPlan::digest).
+    pub faults_injected: u64,
+    /// In-flight layers aborted and requeued by permanent accelerator
+    /// failures. Fingerprint-excluded (diagnostic).
+    pub fault_requeues: u64,
+    /// Counted frames that missed their deadline (completed late or were
+    /// dropped) while at least one fault was in effect — the
+    /// degradation-attribution axis the chaos soak compares schedulers on.
+    /// Fingerprint-excluded (diagnostic).
+    pub deadline_miss_under_faults: u64,
 }
 
 impl Metrics {
@@ -157,6 +170,9 @@ impl Metrics {
             context_switches: 0,
             acc_busy_ns: vec![0; acc_count],
             events_processed: 0,
+            faults_injected: 0,
+            fault_requeues: 0,
+            deadline_miss_under_faults: 0,
         }
     }
 
@@ -367,6 +383,9 @@ impl Metrics {
             context_switches: self.context_switches,
             acc_busy_ns: self.acc_busy_ns.clone(),
             events_processed: self.events_processed,
+            faults_injected: self.faults_injected,
+            fault_requeues: self.fault_requeues,
+            deadline_miss_under_faults: self.deadline_miss_under_faults,
         }
     }
 

@@ -420,6 +420,21 @@ impl Task {
         self.state = TaskState::Running(accs);
     }
 
+    /// Reverts a running task to ready without completing its head layer —
+    /// the dispatch was aborted by an accelerator failure. Nothing was
+    /// executed, so no energy is charged and `Tcmpl` keeps its previous
+    /// stamp; the remaining-work cache is invalidated through the same
+    /// lazy seam a gate mutation uses, so the next scheduler read repairs
+    /// it from the unchanged queue.
+    pub(crate) fn abort_running(&mut self) {
+        debug_assert!(
+            matches!(self.state, TaskState::Running(_)),
+            "aborting a task that is not running"
+        );
+        self.state = TaskState::Ready;
+        self.invalidate_to_go();
+    }
+
     /// Pops the completed head layer, charging energy and stamping `Tcmpl`.
     pub(crate) fn complete_head(
         &mut self,
@@ -642,6 +657,24 @@ mod tests {
         assert_eq!(t.energy_pj(), 42.0);
         assert!(t.started());
         assert!(t.is_ready());
+    }
+
+    #[test]
+    fn abort_running_requeues_without_charging() {
+        let ws = ar_call_ws();
+        let mut t = skipnet_task(&ws);
+        let before = t.to_go_avg_ns(&ws);
+        t.set_running(vec![dream_cost::AcceleratorId(0)]);
+        t.abort_running();
+        assert!(t.is_ready());
+        assert!(!t.started(), "an aborted layer never executed");
+        assert_eq!(t.energy_pj(), 0.0);
+        assert_eq!(
+            t.remaining().len(),
+            ws.node(t.key()).variant_layers(VariantId(0)).len()
+        );
+        // The invalidated cache repairs to the identical bits.
+        assert_eq!(t.to_go_avg_ns(&ws).to_bits(), before.to_bits());
     }
 
     #[test]
