@@ -7,8 +7,8 @@ use dream_core::{DreamConfig, DreamScheduler, ScoreParams, UxCostReport};
 use dream_cost::{CostBackend, CostModel, Platform, PlatformPreset};
 use dream_models::{CascadeProbability, Scenario, ScenarioKind};
 use dream_sim::{
-    ArrivalTrace, Metrics, Millis, MmppArrivals, PoissonArrivals, Scheduler, SimulationBuilder,
-    TraceArrivals,
+    ArrivalSource, ArrivalTrace, Metrics, Millis, MmppArrivals, PeriodicArrivals, PoissonArrivals,
+    Scheduler, SimulationBuilder, TraceArrivals,
 };
 
 /// Which DREAM ablation level to run (the paper's Table 4).
@@ -196,6 +196,23 @@ impl ArrivalConfig {
                 p_exit.to_bits()
             ),
             ArrivalConfig::Trace(t) => format!("trace:{:016x}:{}", t.digest(), t.len()),
+        }
+    }
+
+    /// Builds a fresh arrival source equivalent to this config — the
+    /// seam offline trace recording ([`ArrivalTrace::record`]) and the
+    /// distributed cell runner use to materialize a run's stream.
+    pub fn source(&self) -> Box<dyn ArrivalSource> {
+        match self {
+            ArrivalConfig::Periodic => Box::new(PeriodicArrivals),
+            ArrivalConfig::Poisson { intensity } => Box::new(PoissonArrivals::new(*intensity)),
+            ArrivalConfig::Mmpp {
+                calm,
+                burst,
+                p_enter,
+                p_exit,
+            } => Box::new(MmppArrivals::new(*calm, *burst, *p_enter, *p_exit)),
+            ArrivalConfig::Trace(trace) => Box::new(TraceArrivals::new(trace.clone())),
         }
     }
 

@@ -1,0 +1,452 @@
+//! `dream-coordinator` — multi-node experiment fabric over wire
+//! protocol v1.
+//!
+//! A [`Coordinator`] fans an [`ExperimentGrid`] out across N worker
+//! nodes (each a `dream-serve` engine started with a
+//! [`GridCellRunner`]) and merges the seed-keyed outcomes back into one
+//! auditable result:
+//!
+//! * **Sharding** is round-robin by global cell index (`index %
+//!   n_workers`), so the assignment is a pure function of the grid and
+//!   the worker count.
+//! * **Merging** reassembles outcomes by global index and mixes their
+//!   `Metrics` fingerprints in grid order — structurally identical to
+//!   [`GridResults::fingerprint`](dream_bench::GridResults::fingerprint),
+//!   so a distributed run is *bit-identical* to the single-process run
+//!   of the same grid, whatever the worker count or completion order.
+//!   That identity is the distribution-safety witness this workspace's
+//!   determinism stack (merge-order-invariant aggregation, replayable
+//!   sessions) was built to provide, and `tests/cluster_equivalence.rs`
+//!   asserts it end-to-end.
+//! * **Live ingress** can be fanned out too ([`LiveFanout`]):
+//!   submissions round-robin across workers while control commands
+//!   (swap/fault/drain) broadcast to all of them.
+//!
+//! Workers are plain `dream-serve` nodes; [`spawn_local_worker`] starts
+//! one in-process (tests, soaks), `src/bin/dream_worker.rs` starts one
+//! as a process (`scripts/check_cluster.sh` drives four of them).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dream_bench::{to_cell_spec, ExperimentGrid, GridCellRunner};
+use dream_core::{DreamConfig, DreamScheduler};
+use dream_cost::{AcceleratorId, Platform, PlatformPreset};
+use dream_models::{CascadeProbability, NodeId, PipelineId, Scenario, ScenarioKind};
+use dream_serve::{
+    listen_tcp_with_runner, CellOutcome, CellSpec, ClientError, ManualClock, ServeConfig,
+    ServeEngine, ServeHandle, SessionReport, SocketServer, WireClient, WireSnapshot,
+};
+use dream_sim::{FaultKind, Fnv64, LiveError, SimTime};
+
+/// Why a coordinator operation failed.
+#[derive(Debug)]
+pub enum CoordError {
+    /// The coordinator was given no worker addresses.
+    NoWorkers,
+    /// A grid cell is not wire-shippable (recorded traces, custom cost
+    /// backends) or otherwise invalid.
+    Spec(String),
+    /// A worker connection or call failed.
+    Worker {
+        /// The worker's address.
+        addr: String,
+        /// What went wrong.
+        error: ClientError,
+    },
+    /// The merged outcomes are missing a cell (a worker returned fewer
+    /// outcomes than it was shipped).
+    MissingCell {
+        /// The absent global index.
+        index: u64,
+    },
+    /// Two outcomes claimed the same global index.
+    DuplicateCell {
+        /// The colliding global index.
+        index: u64,
+    },
+}
+
+impl std::fmt::Display for CoordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoordError::NoWorkers => write!(f, "no worker addresses"),
+            CoordError::Spec(reason) => write!(f, "cell not shippable: {reason}"),
+            CoordError::Worker { addr, error } => write!(f, "worker {addr}: {error}"),
+            CoordError::MissingCell { index } => write!(f, "merged outcomes miss cell {index}"),
+            CoordError::DuplicateCell { index } => {
+                write!(f, "duplicate outcome for cell {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+/// A set of worker addresses the coordinator fans work out to.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    addrs: Vec<String>,
+}
+
+impl Coordinator {
+    /// Connects to every worker (a handshake + ping each) and returns
+    /// the coordinator on success.
+    ///
+    /// # Errors
+    ///
+    /// [`CoordError::NoWorkers`] for an empty list; the first failing
+    /// worker otherwise.
+    pub fn connect(addrs: Vec<String>) -> Result<Self, CoordError> {
+        if addrs.is_empty() {
+            return Err(CoordError::NoWorkers);
+        }
+        for addr in &addrs {
+            let mut client = WireClient::connect_tcp(addr).map_err(|error| CoordError::Worker {
+                addr: addr.clone(),
+                error,
+            })?;
+            client.ping().map_err(|error| CoordError::Worker {
+                addr: addr.clone(),
+                error,
+            })?;
+        }
+        Ok(Self { addrs })
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// The worker addresses, in shard order.
+    pub fn addrs(&self) -> &[String] {
+        &self.addrs
+    }
+
+    /// Runs every cell of `grid` across the workers and merges the
+    /// outcomes in grid order.
+    ///
+    /// Cell `i` runs on worker `i % n_workers`; each worker executes
+    /// its shard through the same `run_spec` path as a local grid, so
+    /// the merged [`DistributedResults::fingerprint`] is bit-identical
+    /// to `grid.run().fingerprint()` regardless of worker count.
+    ///
+    /// # Errors
+    ///
+    /// Unshippable specs, worker failures, and merge-integrity
+    /// violations (missing/duplicate cells).
+    pub fn run_grid(
+        &self,
+        grid: &ExperimentGrid,
+        record_traces: bool,
+    ) -> Result<DistributedResults, CoordError> {
+        let cells: Vec<CellSpec> = grid
+            .specs()
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| to_cell_spec(i as u64, spec))
+            .collect::<Result<_, String>>()
+            .map_err(CoordError::Spec)?;
+        let n = self.addrs.len();
+        let mut shards: Vec<Vec<CellSpec>> = vec![Vec::new(); n];
+        for cell in cells {
+            let worker = (cell.index as usize) % n;
+            shards[worker].push(cell);
+        }
+        let mut results: Vec<Option<Result<Vec<CellOutcome>, CoordError>>> =
+            std::iter::repeat_with(|| None).take(n).collect();
+        std::thread::scope(|scope| {
+            for ((addr, shard), slot) in self.addrs.iter().zip(&shards).zip(&mut results) {
+                scope.spawn(move || {
+                    *slot = Some(run_shard(addr, shard.clone(), record_traces));
+                });
+            }
+        });
+        let mut outcomes = Vec::with_capacity(grid.len());
+        for slot in results {
+            outcomes.extend(slot.expect("every shard thread writes its slot")?);
+        }
+        outcomes.sort_unstable_by_key(|o| o.index);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let index = i as u64;
+            if outcome.index > index {
+                return Err(CoordError::MissingCell { index });
+            }
+            if outcome.index < index {
+                return Err(CoordError::DuplicateCell {
+                    index: outcome.index,
+                });
+            }
+        }
+        if outcomes.len() != grid.len() {
+            return Err(CoordError::MissingCell {
+                index: outcomes.len() as u64,
+            });
+        }
+        Ok(DistributedResults { outcomes })
+    }
+
+    /// Opens a live-ingress fan-out over the workers.
+    ///
+    /// # Errors
+    ///
+    /// The first failing worker connection.
+    pub fn live(&self) -> Result<LiveFanout, CoordError> {
+        let mut clients = Vec::with_capacity(self.addrs.len());
+        for addr in &self.addrs {
+            clients.push((
+                addr.clone(),
+                WireClient::connect_tcp(addr).map_err(|error| CoordError::Worker {
+                    addr: addr.clone(),
+                    error,
+                })?,
+            ));
+        }
+        Ok(LiveFanout { clients, next: 0 })
+    }
+}
+
+fn run_shard(
+    addr: &str,
+    shard: Vec<CellSpec>,
+    record_traces: bool,
+) -> Result<Vec<CellOutcome>, CoordError> {
+    if shard.is_empty() {
+        return Ok(Vec::new());
+    }
+    let wrap = |error: ClientError| CoordError::Worker {
+        addr: addr.to_string(),
+        error,
+    };
+    let mut client = WireClient::connect_tcp(addr).map_err(wrap)?;
+    client.run_cells(shard, record_traces).map_err(wrap)
+}
+
+/// The merged outcomes of a distributed grid run, in grid order.
+#[derive(Debug, Clone)]
+pub struct DistributedResults {
+    outcomes: Vec<CellOutcome>,
+}
+
+impl DistributedResults {
+    /// Per-cell outcomes, sorted by global grid index.
+    pub fn outcomes(&self) -> &[CellOutcome] {
+        &self.outcomes
+    }
+
+    /// The merged determinism witness: per-cell `Metrics` fingerprints
+    /// mixed in grid order — the same construction as
+    /// [`GridResults::fingerprint`](dream_bench::GridResults::fingerprint),
+    /// so equality against the single-process value is bit-exact, not
+    /// approximate.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        for outcome in &self.outcomes {
+            h.mix(outcome.fingerprint);
+        }
+        h.finish()
+    }
+
+    /// Concatenates the per-cell recorded arrival traces (present when
+    /// the run asked for traces) into one auditable CSV document, cells
+    /// in grid order with `# === cell N` separators.
+    pub fn merged_trace_csv(&self) -> String {
+        let mut out = String::new();
+        for outcome in &self.outcomes {
+            if outcome.trace_csv.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("# === cell {}\n", outcome.index));
+            out.push_str(&outcome.trace_csv);
+        }
+        out
+    }
+}
+
+/// Live ingress fanned out across the workers: submissions round-robin,
+/// control commands broadcast.
+pub struct LiveFanout {
+    clients: Vec<(String, WireClient)>,
+    next: usize,
+}
+
+impl LiveFanout {
+    /// Submits one request to the next worker (round-robin).
+    ///
+    /// # Errors
+    ///
+    /// The worker's refusal or transport failure.
+    pub fn submit(&mut self, pipeline: PipelineId, node: NodeId) -> Result<(), CoordError> {
+        let slot = self.next;
+        self.next = (self.next + 1) % self.clients.len();
+        let (addr, client) = &mut self.clients[slot];
+        client
+            .submit(pipeline, node)
+            .map_err(|error| CoordError::Worker {
+                addr: addr.clone(),
+                error,
+            })
+    }
+
+    /// Broadcasts a scenario hot-swap to every worker.
+    ///
+    /// # Errors
+    ///
+    /// The first failing worker.
+    pub fn swap_all(&mut self, scenario: &str, cascade: f64) -> Result<(), CoordError> {
+        for (addr, client) in &mut self.clients {
+            client
+                .swap(scenario, cascade)
+                .map_err(|error| CoordError::Worker {
+                    addr: addr.clone(),
+                    error,
+                })?;
+        }
+        Ok(())
+    }
+
+    /// Broadcasts a fault order to every worker.
+    ///
+    /// # Errors
+    ///
+    /// The first failing worker.
+    pub fn fault_all(
+        &mut self,
+        acc: AcceleratorId,
+        kind: FaultKind,
+        at: Option<SimTime>,
+    ) -> Result<(), CoordError> {
+        for (addr, client) in &mut self.clients {
+            client
+                .fault(acc, kind, at)
+                .map_err(|error| CoordError::Worker {
+                    addr: addr.clone(),
+                    error,
+                })?;
+        }
+        Ok(())
+    }
+
+    /// Broadcasts a graceful drain to every worker.
+    ///
+    /// # Errors
+    ///
+    /// The first failing worker.
+    pub fn drain_all(&mut self) -> Result<(), CoordError> {
+        for (addr, client) in &mut self.clients {
+            client.drain().map_err(|error| CoordError::Worker {
+                addr: addr.clone(),
+                error,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Collects the latest snapshot from every worker (in worker
+    /// order); workers that have not published yet are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (an [`dream_serve::ErrorCode::Unavailable`]
+    /// reply is not an error here).
+    pub fn snapshots(&mut self) -> Result<Vec<WireSnapshot>, CoordError> {
+        let mut out = Vec::with_capacity(self.clients.len());
+        for (addr, client) in &mut self.clients {
+            match client.snapshot() {
+                Ok(snapshot) => out.push(snapshot),
+                Err(ClientError::Server { .. }) => {}
+                Err(error) => {
+                    return Err(CoordError::Worker {
+                        addr: addr.clone(),
+                        error,
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// An in-process worker node (tests and soaks): a `dream-serve` engine
+/// on a virtual clock with a TCP listener and a [`GridCellRunner`].
+pub struct LocalWorker {
+    addr: SocketAddr,
+    handle: ServeHandle,
+    socket: Option<SocketServer>,
+    engine: Option<std::thread::JoinHandle<Result<SessionReport, LiveError>>>,
+}
+
+impl LocalWorker {
+    /// The worker's listen address (loopback, ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine handle (snapshots, drain, in-process clients).
+    pub fn handle(&self) -> &ServeHandle {
+        &self.handle
+    }
+
+    /// Drains the engine, joins it, and stops the listener.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine thread itself panicked.
+    pub fn shutdown(mut self) -> Result<SessionReport, LiveError> {
+        self.handle.drain();
+        let report = self
+            .engine
+            .take()
+            .expect("engine joined once")
+            .join()
+            .expect("worker engine thread must not panic");
+        if let Some(socket) = self.socket.take() {
+            socket.shutdown();
+        }
+        report
+    }
+}
+
+impl Drop for LocalWorker {
+    fn drop(&mut self) {
+        self.handle.drain();
+        if let Some(engine) = self.engine.take() {
+            let _ = engine.join();
+        }
+    }
+}
+
+/// Starts a [`LocalWorker`]: a serve engine on a [`ManualClock`] (the
+/// live session idles at virtual time zero until drained) listening on
+/// an ephemeral loopback port with a [`GridCellRunner`] attached.
+///
+/// # Errors
+///
+/// Engine construction and bind failures.
+pub fn spawn_local_worker(seed: u64) -> std::io::Result<LocalWorker> {
+    let mut config = ServeConfig::new(
+        Platform::preset(PlatformPreset::Homo4kWs2),
+        Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper()),
+    );
+    config.seed = seed;
+    config.clock = Arc::new(ManualClock::new());
+    config.tick = Duration::from_millis(1);
+    config.snapshot_every = 1;
+    let (engine, handle) =
+        ServeEngine::new(config, Box::new(DreamScheduler::new(DreamConfig::full())))
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let engine = std::thread::spawn(move || engine.run());
+    let (addr, socket) =
+        listen_tcp_with_runner(&handle, "127.0.0.1:0", Some(Arc::new(GridCellRunner)))?;
+    Ok(LocalWorker {
+        addr,
+        handle,
+        socket: Some(socket),
+        engine: Some(engine),
+    })
+}

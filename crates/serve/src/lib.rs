@@ -4,9 +4,10 @@
 //! Every other entry point in this workspace resolves its whole arrival
 //! horizon up front and replays it through the batch simulator. This
 //! crate serves the *online* problem the paper actually poses: requests
-//! arrive as they happen (in-process [`ChannelClient`]s, line-delimited
-//! TCP or Unix-socket peers), scenarios shift mid-session, and the
-//! scheduler decides with no knowledge of the future.
+//! arrive as they happen (in-process [`ChannelClient`]s, TCP or
+//! Unix-socket peers speaking framed [wire protocol v1](wire) or the
+//! v0 line protocol), scenarios shift mid-session, and the scheduler
+//! decides with no knowledge of the future.
 //!
 //! # Architecture
 //!
@@ -56,16 +57,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod clock;
 mod engine;
 pub mod ingress;
-pub mod socket;
+pub mod server;
 pub mod watch;
 pub mod wire;
 
+pub use client::{ClientError, WireClient};
 pub use clock::{ManualClock, ServeClock, WallClock};
 pub use engine::{MetricsSnapshot, ServeConfig, ServeEngine, ServeHandle, SessionReport};
 pub use ingress::{AdmissionPolicy, ChannelClient, SourceId, SourceStats, SubmitError};
-pub use socket::{listen_tcp, listen_unix, SocketServer};
+pub use server::{
+    listen_tcp, listen_tcp_with_runner, listen_unix, listen_unix_with_runner, CellRunner,
+    SocketServer,
+};
 pub use watch::{watch_channel, WatchReceiver, WatchSender};
-pub use wire::{parse_line, parse_scenario_kind, WireCommand, MAX_LINE_BYTES};
+pub use wire::{
+    parse_line, parse_scenario_kind, validate_fault, CellArrival, CellDreamVariant, CellOutcome,
+    CellScheduler, CellSpec, ErrorCode, Reply, Request, WireCommand, WireError, WireSnapshot,
+    MAX_LINE_BYTES, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};

@@ -1,0 +1,464 @@
+//! Total, typed decoding of v1 frame payloads.
+//!
+//! Decoding never panics and never trusts a length it hasn't checked
+//! against the bytes actually present: every read is bounds-checked,
+//! every tag is matched exhaustively, and a payload must be consumed
+//! *exactly* — trailing bytes are an error, not slack. Fault requests
+//! are additionally validated with
+//! [`validate_fault`](crate::wire::validate_fault) at decode time, so
+//! the framed face rejects degenerate fault parameters with the same
+//! typed errors as the line parser.
+
+use dream_cost::AcceleratorId;
+use dream_models::{NodeId, PipelineId};
+use dream_sim::{FaultKind, SimTime};
+
+use super::{tag, CellArrival, CellDreamVariant, CellOutcome, CellScheduler, CellSpec};
+use super::{validate_fault, ErrorCode, Reply, Request, WireError, WireSnapshot};
+
+/// Why a frame payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload ended before the message did.
+    Truncated,
+    /// The message ended before the payload did.
+    Trailing {
+        /// Unconsumed byte count.
+        extra: usize,
+    },
+    /// An enum tag outside its legal range.
+    BadTag {
+        /// Which field carried it.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A string field that is not valid UTF-8.
+    BadUtf8,
+    /// A collection or string whose declared length is implausible for
+    /// the bytes present.
+    Overlong,
+    /// The message decoded structurally but its fault parameters are
+    /// invalid (shared validation with the line parser).
+    Fault(WireError),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "payload truncated"),
+            DecodeError::Trailing { extra } => write!(f, "{extra} trailing bytes after message"),
+            DecodeError::BadTag { what, tag } => write!(f, "bad {what} tag {tag:#04x}"),
+            DecodeError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            DecodeError::Overlong => write!(f, "declared length exceeds payload"),
+            DecodeError::Fault(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A bounds-checked cursor over one frame payload.
+#[derive(Debug)]
+pub struct FrameReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    /// Wraps a payload for reading.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts full consumption — the final step of every decode.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Trailing`].
+    pub fn expect_end(&self) -> Result<(), DecodeError> {
+        match self.remaining() {
+            0 => Ok(()),
+            extra => Err(DecodeError::Trailing { extra }),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`].
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16 LE`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`].
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a `u32 LE`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`].
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u64 LE`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`].
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f64` from its bit pattern (bit-exact).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`].
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool (`0`/`1`; anything else is a bad tag).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] / [`DecodeError::BadTag`].
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(DecodeError::BadTag { what: "bool", tag }),
+        }
+    }
+
+    /// Reads a string: `u32 LE` length + UTF-8 bytes. The length is
+    /// checked against the remaining payload *before* allocating.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Overlong`] / [`DecodeError::BadUtf8`] /
+    /// [`DecodeError::Truncated`].
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(DecodeError::Overlong);
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    /// Reads an `Option<u64>`: presence byte then the value.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] / [`DecodeError::BadTag`].
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, DecodeError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            tag => Err(DecodeError::BadTag {
+                what: "option",
+                tag,
+            }),
+        }
+    }
+}
+
+fn read_fault(r: &mut FrameReader<'_>) -> Result<FaultKind, DecodeError> {
+    match r.u8()? {
+        tag::FAULT_FAIL => Ok(FaultKind::Fail),
+        tag::FAULT_STALL => Ok(FaultKind::Stall {
+            duration: SimTime::from_ns(r.u64()?),
+        }),
+        tag::FAULT_SLOW => {
+            let duration = SimTime::from_ns(r.u64()?);
+            let factor = r.f64()?;
+            Ok(FaultKind::Slowdown { factor, duration })
+        }
+        tag => Err(DecodeError::BadTag {
+            what: "fault kind",
+            tag,
+        }),
+    }
+}
+
+fn read_variant(r: &mut FrameReader<'_>) -> Result<CellDreamVariant, DecodeError> {
+    match r.u8()? {
+        tag::VARIANT_MAPSCORE => Ok(CellDreamVariant::MapScore),
+        tag::VARIANT_SMARTDROP => Ok(CellDreamVariant::SmartDrop),
+        tag::VARIANT_FULL => Ok(CellDreamVariant::Full),
+        tag => Err(DecodeError::BadTag {
+            what: "dream variant",
+            tag,
+        }),
+    }
+}
+
+fn read_scheduler(r: &mut FrameReader<'_>) -> Result<CellScheduler, DecodeError> {
+    match r.u8()? {
+        tag::SCHED_FCFS => Ok(CellScheduler::Fcfs),
+        tag::SCHED_STATIC => Ok(CellScheduler::Static),
+        tag::SCHED_EDF => Ok(CellScheduler::Edf),
+        tag::SCHED_VELTAIR => Ok(CellScheduler::Veltair),
+        tag::SCHED_PLANARIA => Ok(CellScheduler::Planaria),
+        tag::SCHED_DREAM_FIXED => Ok(CellScheduler::DreamFixed {
+            variant: read_variant(r)?,
+            alpha: r.f64()?,
+            beta: r.f64()?,
+        }),
+        tag::SCHED_DREAM_TUNED => Ok(CellScheduler::DreamTuned {
+            variant: read_variant(r)?,
+        }),
+        tag => Err(DecodeError::BadTag {
+            what: "scheduler",
+            tag,
+        }),
+    }
+}
+
+fn read_arrival(r: &mut FrameReader<'_>) -> Result<CellArrival, DecodeError> {
+    match r.u8()? {
+        tag::ARRIVAL_PERIODIC => Ok(CellArrival::Periodic),
+        tag::ARRIVAL_POISSON => Ok(CellArrival::Poisson {
+            intensity: r.f64()?,
+        }),
+        tag::ARRIVAL_MMPP => Ok(CellArrival::Mmpp {
+            calm: r.f64()?,
+            burst: r.f64()?,
+            p_enter: r.f64()?,
+            p_exit: r.f64()?,
+        }),
+        tag => Err(DecodeError::BadTag {
+            what: "arrival",
+            tag,
+        }),
+    }
+}
+
+fn read_cell_spec(r: &mut FrameReader<'_>) -> Result<CellSpec, DecodeError> {
+    Ok(CellSpec {
+        index: r.u64()?,
+        scheduler: read_scheduler(r)?,
+        scenario: r.str()?,
+        preset: r.str()?,
+        cascade: r.f64()?,
+        duration_ms: r.u64()?,
+        seed: r.u64()?,
+        arrival: read_arrival(r)?,
+    })
+}
+
+fn read_cell_outcome(r: &mut FrameReader<'_>) -> Result<CellOutcome, DecodeError> {
+    Ok(CellOutcome {
+        index: r.u64()?,
+        fingerprint: r.u64()?,
+        uxcost: r.f64()?,
+        mean_violation_rate: r.f64()?,
+        mean_norm_energy: r.f64()?,
+        trace_csv: r.str()?,
+    })
+}
+
+/// Reads a collection count, sanity-bounded by the bytes present (each
+/// element needs at least `min_elem_bytes`).
+fn read_count(r: &mut FrameReader<'_>, min_elem_bytes: usize) -> Result<usize, DecodeError> {
+    let count = r.u32()? as usize;
+    if count.saturating_mul(min_elem_bytes) > r.remaining() {
+        return Err(DecodeError::Overlong);
+    }
+    Ok(count)
+}
+
+impl Request {
+    /// Decodes a request frame payload. Total: any byte soup yields a
+    /// typed error, never a panic.
+    ///
+    /// # Errors
+    ///
+    /// A [`DecodeError`]; [`DecodeError::Fault`] carries the shared
+    /// fault-validation error.
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = FrameReader::new(payload);
+        let req = match r.u8()? {
+            tag::PING => Request::Ping,
+            tag::SUBMIT => Request::Submit {
+                pipeline: PipelineId(r.u64()? as usize),
+                node: NodeId(r.u64()? as usize),
+                at: r.opt_u64()?.map(SimTime::from_ns),
+            },
+            tag::SWAP => Request::Swap {
+                scenario: r.str()?,
+                cascade: r.f64()?,
+            },
+            tag::FAULT => {
+                let acc = AcceleratorId(r.u64()? as usize);
+                let kind = read_fault(&mut r)?;
+                validate_fault(&kind).map_err(DecodeError::Fault)?;
+                Request::Fault {
+                    acc,
+                    kind,
+                    at: r.opt_u64()?.map(SimTime::from_ns),
+                }
+            }
+            tag::DRAIN => Request::Drain,
+            tag::SNAPSHOT => Request::Snapshot,
+            tag::RUN_CELLS => {
+                let record_traces = r.bool()?;
+                // A minimal CellSpec is well over 40 bytes.
+                let count = read_count(&mut r, 40)?;
+                let mut cells = Vec::with_capacity(count);
+                for _ in 0..count {
+                    cells.push(read_cell_spec(&mut r)?);
+                }
+                Request::RunCells {
+                    record_traces,
+                    cells,
+                }
+            }
+            tag => {
+                return Err(DecodeError::BadTag {
+                    what: "request",
+                    tag,
+                })
+            }
+        };
+        r.expect_end()?;
+        Ok(req)
+    }
+}
+
+impl Reply {
+    /// Decodes a reply frame payload. Total, like [`Request::decode`].
+    ///
+    /// # Errors
+    ///
+    /// A [`DecodeError`].
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = FrameReader::new(payload);
+        let reply = match r.u8()? {
+            tag::OK => Reply::Ok,
+            tag::ERROR => {
+                let raw = r.u8()?;
+                let code = ErrorCode::from_u8(raw).ok_or(DecodeError::BadTag {
+                    what: "error code",
+                    tag: raw,
+                })?;
+                Reply::Error {
+                    code,
+                    message: r.str()?,
+                }
+            }
+            tag::SNAPSHOT_REPLY => Reply::Snapshot(read_snapshot(&mut r)?),
+            tag::CELLS_DONE => {
+                // A minimal CellOutcome is 44 bytes.
+                let count = read_count(&mut r, 44)?;
+                let mut outcomes = Vec::with_capacity(count);
+                for _ in 0..count {
+                    outcomes.push(read_cell_outcome(&mut r)?);
+                }
+                Reply::CellsDone { outcomes }
+            }
+            tag => return Err(DecodeError::BadTag { what: "reply", tag }),
+        };
+        r.expect_end()?;
+        Ok(reply)
+    }
+}
+
+fn read_snapshot(r: &mut FrameReader<'_>) -> Result<WireSnapshot, DecodeError> {
+    Ok(WireSnapshot {
+        tick: r.u64()?,
+        now_ns: r.u64()?,
+        frontier_ns: r.u64()?,
+        phase: r.u64()?,
+        draining: r.bool()?,
+        ingress_backlog: r.u64()?,
+        event_backlog: r.u64()?,
+        admitted: r.u64()?,
+        shed: r.u64()?,
+        rejected: r.u64()?,
+        fingerprint: r.u64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = Request::Ping.encode();
+        payload.push(0);
+        assert_eq!(
+            Request::decode(&payload),
+            Err(DecodeError::Trailing { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn degenerate_faults_rejected_at_decode_time() {
+        // Hand-encode a zero-duration stall: the shared validator must
+        // refuse it even though the bytes are structurally fine.
+        let mut w = super::super::ser::FrameWriter::new(tag::FAULT);
+        w.put_u64(0);
+        w.put_u8(tag::FAULT_STALL);
+        w.put_u64(0);
+        w.put_u8(0); // at = None
+        assert_eq!(
+            Request::decode(&w.finish()),
+            Err(DecodeError::Fault(WireError::ZeroFaultWindow))
+        );
+
+        let mut w = super::super::ser::FrameWriter::new(tag::FAULT);
+        w.put_u64(3);
+        w.put_u8(tag::FAULT_SLOW);
+        w.put_u64(500);
+        w.put_f64(f64::NAN);
+        w.put_u8(0);
+        let Err(DecodeError::Fault(WireError::InvalidSlowdownFactor { bits })) =
+            Request::decode(&w.finish())
+        else {
+            panic!("NaN slowdown factor must be rejected");
+        };
+        assert!(f64::from_bits(bits).is_nan());
+    }
+
+    #[test]
+    fn hostile_collection_counts_are_bounded() {
+        // RUN_CELLS claiming u32::MAX cells in a tiny payload must fail
+        // on the count check, not attempt a giant allocation.
+        let mut w = super::super::ser::FrameWriter::new(tag::RUN_CELLS);
+        w.put_bool(false);
+        w.put_u32(u32::MAX);
+        assert_eq!(Request::decode(&w.finish()), Err(DecodeError::Overlong));
+    }
+}

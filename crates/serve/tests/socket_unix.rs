@@ -110,3 +110,168 @@ fn unix_socket_sessions_record_and_replay() {
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_dir(&dir);
 }
+
+fn spawn_engine(
+    seed: u64,
+) -> (
+    std::thread::JoinHandle<Result<dream_serve::SessionReport, dream_sim::LiveError>>,
+    dream_serve::ServeHandle,
+) {
+    let mut config = ServeConfig::new(
+        Platform::preset(PlatformPreset::Homo4kWs2),
+        Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper()),
+    );
+    config.seed = seed;
+    config.clock = Arc::new(ManualClock::new());
+    config.tick = Duration::from_millis(1);
+    config.snapshot_every = 1;
+    let (engine, handle) =
+        ServeEngine::new(config, Box::new(DreamScheduler::new(DreamConfig::full()))).unwrap();
+    (std::thread::spawn(move || engine.run()), handle)
+}
+
+/// Regression (wire v1 PR): a final partial line at peer disconnect —
+/// no trailing newline before EOF — must never execute, must answer
+/// with a typed truncation error, and must enter the funnel as exactly
+/// one `rejected_invalid` so `submitted == admitted + shed +
+/// rejected_* + backlog` still holds.
+#[test]
+fn truncated_final_line_is_accounted_not_executed() {
+    let dir = std::env::temp_dir().join(format!("dream-serve-tail-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tail.sock");
+
+    let (server, handle) = spawn_engine(6);
+    let mut snapshots = handle.snapshots();
+    let socket_server = listen_unix(&handle, &path).unwrap();
+
+    let stream = UnixStream::connect(&path).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writeln!(writer, "r 0 0").unwrap();
+    writeln!(writer, "r 1 0").unwrap();
+    // The tail: a prefix of a valid stamped submission, then EOF with no
+    // terminator. The peer cannot know whether the stamp arrived whole,
+    // so the server must not guess.
+    write!(writer, "r 0 0 12345").unwrap();
+    writer.flush().unwrap();
+    writer.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), "err truncated line at end of stream");
+    drop(reader);
+    drop(writer);
+
+    // Both whole lines admitted, the tail rejected — then drain via a
+    // second connection (the first is gone).
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(snap) = snapshots.wait_for_update(Duration::from_millis(500)) {
+            if snap.admitted >= 2 && snap.rejected >= 1 {
+                break;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "traffic never admitted"
+        );
+    }
+    let mut drainer = UnixStream::connect(&path).unwrap();
+    writeln!(drainer, "drain").unwrap();
+    drainer.flush().unwrap();
+
+    let report = server.join().unwrap().unwrap();
+    socket_server.shutdown();
+    let unix: Vec<_> = report
+        .sources
+        .iter()
+        .filter(|s| s.label.starts_with("unix:"))
+        .collect();
+    assert_eq!(
+        unix.iter().map(|s| s.admitted).sum::<u64>(),
+        2,
+        "the truncated fragment must not execute as a third submission"
+    );
+    assert_eq!(
+        unix.iter().map(|s| s.rejected_invalid).sum::<u64>(),
+        1,
+        "the truncated tail is accounted exactly once"
+    );
+    for source in &report.sources {
+        assert_eq!(
+            source.submitted,
+            source.funnel_total(),
+            "funnel identity must hold for {}",
+            source.label
+        );
+    }
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}
+
+/// Regression (wire v1 PR): degenerate fault windows — zero-duration
+/// stall/slow and non-finite or `< 1` slowdown factors — are rejected
+/// at parse time with a typed error and exactly one `rejected_invalid`
+/// each; they never reach the engine as no-op or NaN-poisoned events.
+#[test]
+fn degenerate_fault_windows_are_rejected_at_parse_time() {
+    let dir = std::env::temp_dir().join(format!("dream-serve-fault-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fault.sock");
+
+    let (server, handle) = spawn_engine(7);
+    let socket_server = listen_unix(&handle, &path).unwrap();
+
+    let stream = UnixStream::connect(&path).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut roundtrip = |cmd: &str| -> String {
+        writeln!(writer, "{cmd}").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim().to_string()
+    };
+
+    assert_eq!(
+        roundtrip("fault 0 stall 0"),
+        "err fault window duration must be > 0"
+    );
+    assert_eq!(
+        roundtrip("fault 0 slow 0 2.0"),
+        "err fault window duration must be > 0"
+    );
+    assert_eq!(
+        roundtrip("fault 0 slow 5000000 0.5"),
+        "err factor 0.5 must be finite and >= 1"
+    );
+    assert_eq!(
+        roundtrip("fault 0 slow 5000000 nan"),
+        "err factor NaN must be finite and >= 1"
+    );
+    assert_eq!(
+        roundtrip("fault 0 slow 5000000 inf"),
+        "err factor inf must be finite and >= 1"
+    );
+    // Well-formed windows still land.
+    assert_eq!(roundtrip("fault 0 stall 5000000"), "ok fault ordered");
+    assert_eq!(roundtrip("fault 0 slow 5000000 2.0"), "ok fault ordered");
+    assert_eq!(roundtrip("drain"), "ok draining");
+
+    let report = server.join().unwrap().unwrap();
+    socket_server.shutdown();
+    let source = report
+        .sources
+        .iter()
+        .find(|s| s.label.starts_with("unix:"))
+        .expect("unix source registered");
+    assert_eq!(
+        source.rejected_invalid, 5,
+        "each degenerate fault counts exactly once"
+    );
+    assert_eq!(source.submitted, source.funnel_total());
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}

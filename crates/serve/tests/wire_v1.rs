@@ -1,0 +1,579 @@
+//! Wire protocol v1: golden byte-exact fixtures for every frame kind,
+//! decoder totality under wild bytes, bit-exact encode→decode round
+//! trips, and an end-to-end framed session sharing a listener with a
+//! live v0 line-mode peer.
+
+// Test harness timeouts read the wall clock; exempt from the
+// workspace determinism lint (replay determinism is what the test
+// itself asserts).
+#![allow(clippy::disallowed_methods)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dream_core::{DreamConfig, DreamScheduler};
+use dream_cost::{AcceleratorId, Platform, PlatformPreset};
+use dream_models::{CascadeProbability, NodeId, PipelineId, Scenario, ScenarioKind};
+use dream_serve::wire::framed::{read_frame, write_frame, MAX_FRAME_BYTES};
+use dream_serve::{
+    listen_tcp, CellArrival, CellOutcome, CellScheduler, CellSpec, ErrorCode, ManualClock, Reply,
+    Request, ServeConfig, ServeEngine, WireClient, WireSnapshot, PROTOCOL_VERSION,
+};
+use dream_sim::{FaultKind, SimTime};
+
+fn le32(v: u32) -> Vec<u8> {
+    v.to_le_bytes().to_vec()
+}
+
+fn le64(v: u64) -> Vec<u8> {
+    v.to_le_bytes().to_vec()
+}
+
+fn lestr(s: &str) -> Vec<u8> {
+    let mut out = le32(s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+    out
+}
+
+fn f64bits(v: f64) -> Vec<u8> {
+    le64(v.to_bits())
+}
+
+/// Every frame kind has a frozen byte layout: these fixtures are the
+/// compatibility contract with future protocol generations (a v2 server
+/// must still parse these exact bytes from a v1 peer).
+#[test]
+fn golden_request_fixtures() {
+    let cases: Vec<(Request, Vec<u8>)> = vec![
+        (Request::Ping, vec![0x01]),
+        (
+            Request::Submit {
+                pipeline: PipelineId(1),
+                node: NodeId(2),
+                at: Some(SimTime::from_ns(5000)),
+            },
+            [vec![0x02], le64(1), le64(2), vec![1], le64(5000)].concat(),
+        ),
+        (
+            Request::Submit {
+                pipeline: PipelineId(0),
+                node: NodeId(7),
+                at: None,
+            },
+            [vec![0x02], le64(0), le64(7), vec![0]].concat(),
+        ),
+        (
+            Request::Swap {
+                scenario: "AR_Call".into(),
+                cascade: 0.5,
+            },
+            [vec![0x03], lestr("AR_Call"), f64bits(0.5)].concat(),
+        ),
+        (
+            Request::Fault {
+                acc: AcceleratorId(3),
+                kind: FaultKind::Fail,
+                at: None,
+            },
+            [vec![0x04], le64(3), vec![0], vec![0]].concat(),
+        ),
+        (
+            Request::Fault {
+                acc: AcceleratorId(0),
+                kind: FaultKind::Stall {
+                    duration: SimTime::from_ns(5000),
+                },
+                at: Some(SimTime::from_ns(77)),
+            },
+            [vec![0x04], le64(0), vec![1], le64(5000), vec![1], le64(77)].concat(),
+        ),
+        (
+            Request::Fault {
+                acc: AcceleratorId(1),
+                kind: FaultKind::Slowdown {
+                    factor: 2.5,
+                    duration: SimTime::from_ns(9000),
+                },
+                at: None,
+            },
+            [
+                vec![0x04],
+                le64(1),
+                vec![2],
+                le64(9000),
+                f64bits(2.5),
+                vec![0],
+            ]
+            .concat(),
+        ),
+        (Request::Drain, vec![0x05]),
+        (Request::Snapshot, vec![0x06]),
+        (
+            Request::RunCells {
+                record_traces: true,
+                cells: vec![CellSpec {
+                    index: 4,
+                    scheduler: CellScheduler::Fcfs,
+                    scenario: "AR_Call".into(),
+                    preset: "4K 2WS".into(),
+                    cascade: 0.5,
+                    duration_ms: 300,
+                    seed: 7,
+                    arrival: CellArrival::Periodic,
+                }],
+            },
+            [
+                vec![0x07],
+                vec![1],
+                le32(1),
+                le64(4),
+                vec![0],
+                lestr("AR_Call"),
+                lestr("4K 2WS"),
+                f64bits(0.5),
+                le64(300),
+                le64(7),
+                vec![0],
+            ]
+            .concat(),
+        ),
+    ];
+    for (request, golden) in cases {
+        assert_eq!(request.encode(), golden, "encode fixture for {request:?}");
+        assert_eq!(
+            Request::decode(&golden).unwrap(),
+            request,
+            "decode fixture for {request:?}"
+        );
+    }
+}
+
+#[test]
+fn golden_reply_fixtures() {
+    let snapshot = WireSnapshot {
+        tick: 1,
+        now_ns: 2,
+        frontier_ns: 3,
+        phase: 4,
+        draining: true,
+        ingress_backlog: 5,
+        event_backlog: 6,
+        admitted: 7,
+        shed: 8,
+        rejected: 9,
+        fingerprint: 0xDEAD_BEEF,
+    };
+    let outcome = CellOutcome {
+        index: 4,
+        fingerprint: 0xFEED,
+        uxcost: 1.25,
+        mean_violation_rate: 0.5,
+        mean_norm_energy: 0.75,
+        trace_csv: "# t\n1,0,0,0\n".into(),
+    };
+    let cases: Vec<(Reply, Vec<u8>)> = vec![
+        (Reply::Ok, vec![0x81]),
+        (
+            Reply::Error {
+                code: ErrorCode::Invalid,
+                message: "nope".into(),
+            },
+            [vec![0x82], vec![3], lestr("nope")].concat(),
+        ),
+        (
+            Reply::Snapshot(snapshot),
+            [
+                vec![0x83],
+                le64(1),
+                le64(2),
+                le64(3),
+                le64(4),
+                vec![1],
+                le64(5),
+                le64(6),
+                le64(7),
+                le64(8),
+                le64(9),
+                le64(0xDEAD_BEEF),
+            ]
+            .concat(),
+        ),
+        (
+            Reply::CellsDone {
+                outcomes: vec![outcome],
+            },
+            [
+                vec![0x84],
+                le32(1),
+                le64(4),
+                le64(0xFEED),
+                f64bits(1.25),
+                f64bits(0.5),
+                f64bits(0.75),
+                lestr("# t\n1,0,0,0\n"),
+            ]
+            .concat(),
+        ),
+    ];
+    for (reply, golden) in cases {
+        assert_eq!(reply.encode(), golden, "encode fixture for {reply:?}");
+        assert_eq!(
+            Reply::decode(&golden).unwrap(),
+            reply,
+            "decode fixture for {reply:?}"
+        );
+    }
+}
+
+#[test]
+fn golden_hello_and_framing() {
+    use dream_serve::wire::framed::{hello_bytes, CLIENT_MAGIC, SERVER_MAGIC};
+    assert_eq!(
+        hello_bytes(CLIENT_MAGIC, PROTOCOL_VERSION),
+        [0xD7, 0x44, 0x52, 0x4D, 0x01, 0x00]
+    );
+    assert_eq!(
+        hello_bytes(SERVER_MAGIC, PROTOCOL_VERSION),
+        [0xD7, 0x64, 0x72, 0x6D, 0x01, 0x00]
+    );
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &Request::Ping.encode()).unwrap();
+    assert_eq!(framed, vec![1, 0, 0, 0, 0x01]);
+    let submit = Request::Submit {
+        pipeline: PipelineId(1),
+        node: NodeId(2),
+        at: Some(SimTime::from_ns(5000)),
+    };
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &submit.encode()).unwrap();
+    assert_eq!(
+        framed[..4],
+        26u32.to_le_bytes(),
+        "submit payload is 26 bytes"
+    );
+    assert_eq!(framed.len(), 30);
+}
+
+mod properties {
+    use super::*;
+    use dream_serve::CellDreamVariant;
+    use proptest::prelude::*;
+
+    fn arb_string() -> impl Strategy<Value = String> {
+        proptest::collection::vec(97u8..123, 0..12)
+            .prop_map(|bytes| String::from_utf8(bytes).expect("ascii"))
+    }
+
+    fn arb_stamp() -> impl Strategy<Value = Option<u64>> {
+        prop_oneof![Just(None), (0u64..(1 << 40)).prop_map(Some)]
+    }
+
+    fn arb_fault() -> impl Strategy<Value = FaultKind> {
+        (0u8..3, 1u64..(1 << 30), 0u64..(1 << 10)).prop_map(
+            |(disc, dur, factor_scale)| match disc {
+                0 => FaultKind::Fail,
+                1 => FaultKind::Stall {
+                    duration: SimTime::from_ns(dur),
+                },
+                _ => FaultKind::Slowdown {
+                    factor: 1.0 + factor_scale as f64 / 16.0,
+                    duration: SimTime::from_ns(dur),
+                },
+            },
+        )
+    }
+
+    fn arb_variant() -> impl Strategy<Value = CellDreamVariant> {
+        prop_oneof![
+            Just(CellDreamVariant::MapScore),
+            Just(CellDreamVariant::SmartDrop),
+            Just(CellDreamVariant::Full),
+        ]
+    }
+
+    fn arb_scheduler() -> impl Strategy<Value = CellScheduler> {
+        prop_oneof![
+            Just(CellScheduler::Fcfs),
+            Just(CellScheduler::Static),
+            Just(CellScheduler::Edf),
+            Just(CellScheduler::Veltair),
+            Just(CellScheduler::Planaria),
+            (arb_variant(), 0u64..(1 << 20), 0u64..(1 << 20)).prop_map(|(variant, a, b)| {
+                CellScheduler::DreamFixed {
+                    variant,
+                    alpha: a as f64 / 1024.0,
+                    beta: b as f64 / 1024.0,
+                }
+            }),
+            arb_variant().prop_map(|variant| CellScheduler::DreamTuned { variant }),
+        ]
+    }
+
+    fn arb_arrival() -> impl Strategy<Value = CellArrival> {
+        prop_oneof![
+            Just(CellArrival::Periodic),
+            (1u64..4096).prop_map(|i| CellArrival::Poisson {
+                intensity: i as f64 / 256.0,
+            }),
+            (1u64..4096, 1u64..4096, 0.0f64..1.0, 0.0f64..1.0).prop_map(
+                |(calm, burst, p_enter, p_exit)| CellArrival::Mmpp {
+                    calm: calm as f64 / 256.0,
+                    burst: burst as f64 / 256.0,
+                    p_enter,
+                    p_exit,
+                }
+            ),
+        ]
+    }
+
+    fn arb_cell() -> impl Strategy<Value = CellSpec> {
+        (
+            arb_scheduler(),
+            arb_string(),
+            arb_string(),
+            0.0f64..1.0,
+            (1u64..4000, any::<u64>(), arb_arrival()),
+        )
+            .prop_map(
+                |(scheduler, scenario, preset, cascade, (dur, seed, arrival))| CellSpec {
+                    index: 0,
+                    scheduler,
+                    scenario,
+                    preset,
+                    cascade,
+                    duration_ms: dur,
+                    seed,
+                    arrival,
+                },
+            )
+    }
+
+    fn arb_request() -> impl Strategy<Value = Request> {
+        prop_oneof![
+            Just(Request::Ping),
+            Just(Request::Drain),
+            Just(Request::Snapshot),
+            (any::<u32>(), any::<u32>(), arb_stamp()).prop_map(|(p, n, at)| Request::Submit {
+                pipeline: PipelineId(p as usize),
+                node: NodeId(n as usize),
+                at: at.map(SimTime::from_ns),
+            }),
+            (arb_string(), 0.0f64..1.0)
+                .prop_map(|(scenario, cascade)| Request::Swap { scenario, cascade }),
+            (any::<u16>(), arb_fault(), arb_stamp()).prop_map(|(acc, kind, at)| Request::Fault {
+                acc: AcceleratorId(acc as usize),
+                kind,
+                at: at.map(SimTime::from_ns),
+            }),
+            (any::<bool>(), proptest::collection::vec(arb_cell(), 0..3)).prop_map(
+                |(record_traces, mut cells)| {
+                    for (i, cell) in cells.iter_mut().enumerate() {
+                        cell.index = i as u64;
+                    }
+                    Request::RunCells {
+                        record_traces,
+                        cells,
+                    }
+                }
+            ),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Totality: the framed decoder never panics on byte soup, for
+        /// either message direction.
+        #[test]
+        fn decoder_never_panics_on_wild_bytes(
+            bytes in proptest::collection::vec(any::<u8>(), 0..512)
+        ) {
+            let _ = Request::decode(&bytes);
+            let _ = Reply::decode(&bytes);
+        }
+
+        /// v1 encode→decode round-trips bit-exactly: the decoded value
+        /// equals the original AND re-encodes to the same bytes.
+        #[test]
+        fn requests_round_trip_bit_exactly(request in arb_request()) {
+            let bytes = request.encode();
+            let decoded = Request::decode(&bytes).expect("encoded requests decode");
+            prop_assert_eq!(&decoded, &request);
+            prop_assert_eq!(decoded.encode(), bytes);
+        }
+
+        /// Truncating any strict prefix of a valid payload yields a typed
+        /// error, never a panic or a silent partial decode.
+        #[test]
+        fn truncated_payloads_error_cleanly(request in arb_request(), cut in 0usize..64) {
+            let bytes = request.encode();
+            if cut < bytes.len() {
+                let truncated = &bytes[..bytes.len() - cut - 1];
+                if !truncated.is_empty() {
+                    prop_assert!(Request::decode(truncated).is_err());
+                }
+            }
+        }
+    }
+}
+
+/// End-to-end: a framed client and a v0 line client share one TCP
+/// listener; the framed peer drives control and traffic, the line peer
+/// keeps working through the sniffed fallback, and the session replays
+/// bit-identically.
+#[test]
+fn framed_and_line_peers_share_a_listener() {
+    let clock = ManualClock::new();
+    let mut config = ServeConfig::new(
+        Platform::preset(PlatformPreset::Homo4kWs2),
+        Scenario::new(ScenarioKind::ArCall, CascadeProbability::default_paper()),
+    );
+    config.seed = 11;
+    config.clock = Arc::new(clock.clone());
+    config.tick = Duration::from_millis(1);
+    config.snapshot_every = 1;
+    let (engine, handle) =
+        ServeEngine::new(config, Box::new(DreamScheduler::new(DreamConfig::full()))).unwrap();
+    let server = std::thread::spawn(move || engine.run());
+    let (addr, socket_server) = listen_tcp(&handle, "127.0.0.1:0").unwrap();
+
+    // --- framed peer ---
+    let mut v1 = WireClient::connect_tcp(addr).unwrap();
+    assert_eq!(v1.version(), PROTOCOL_VERSION);
+    v1.ping().unwrap();
+
+    // --- v0 line peer on the same listener, interleaved ---
+    let line_stream = TcpStream::connect(addr).unwrap();
+    let mut line_reader = BufReader::new(line_stream.try_clone().unwrap());
+    let mut line_writer = line_stream;
+    writeln!(line_writer, "ping").unwrap();
+    let mut line = String::new();
+    line_reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), "ok", "v0 fallback still answers");
+
+    // Framed traffic: stamped submissions, pipelined batch, control.
+    for i in 0..10u64 {
+        v1.submit_at(PipelineId(0), NodeId(0), SimTime::from_ns(i * 2_000_000))
+            .unwrap();
+        clock.advance_by(SimTime::from_ns(2_000_000));
+    }
+    let batch: Vec<_> = (0..6u64)
+        .map(|_| (PipelineId(1), NodeId(0), None))
+        .collect();
+    for result in v1.submit_batch(&batch).unwrap() {
+        result.unwrap();
+    }
+    v1.swap("vr_gaming", 0.5).unwrap();
+    v1.fault(
+        AcceleratorId(0),
+        FaultKind::Stall {
+            duration: SimTime::from_ns(5_000_000),
+        },
+        None,
+    )
+    .unwrap();
+
+    // Degenerate fault parameters are rejected at decode time with a
+    // typed error code — and exactly one rejected_invalid.
+    let err = v1
+        .fault(
+            AcceleratorId(0),
+            FaultKind::Stall {
+                duration: SimTime::from_ns(0),
+            },
+            None,
+        )
+        .unwrap_err();
+    match err {
+        dream_serve::ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::Invalid),
+        other => panic!("expected typed server error, got {other}"),
+    }
+
+    // Line traffic keeps flowing mid-session.
+    writeln!(line_writer, "r 0 0").unwrap();
+    line_writer.flush().unwrap();
+
+    // A raw framed peer sending a garbage frame gets a Malformed reply
+    // (and the funnel accounts it).
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(&[0xD7, 0x44, 0x52, 0x4D, 0x01, 0x00])
+        .unwrap();
+    let mut hello = [0u8; 6];
+    raw.read_exact(&mut hello).unwrap();
+    assert_eq!(hello, [0xD7, 0x64, 0x72, 0x6D, 0x01, 0x00]);
+    write_frame(&mut raw, &[0xFF, 1, 2, 3]).unwrap();
+    let payload = read_frame(&mut raw).unwrap();
+    match Reply::decode(&payload).unwrap() {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected malformed error, got {other:?}"),
+    }
+    drop(raw);
+
+    // Snapshots become available over the framed face.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let snapshot = loop {
+        match v1.snapshot() {
+            Ok(snap) if snap.admitted >= 17 => break snap,
+            Ok(_) | Err(dream_serve::ClientError::Server { .. }) => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "snapshot never reflected traffic"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(other) => panic!("snapshot transport failed: {other}"),
+        }
+    };
+    assert!(snapshot.fingerprint != 0 || snapshot.admitted > 0);
+
+    v1.drain().unwrap();
+    let report = server.join().unwrap().unwrap();
+    socket_server.shutdown();
+
+    // Funnel identity per source, including the framed peer's one
+    // decode-time rejection.
+    for source in &report.sources {
+        assert_eq!(
+            source.submitted,
+            source.funnel_total(),
+            "funnel identity must hold for {}",
+            source.label
+        );
+    }
+    let framed_sources: Vec<_> = report
+        .sources
+        .iter()
+        .filter(|s| s.label.starts_with("tcp:"))
+        .collect();
+    assert_eq!(
+        framed_sources
+            .iter()
+            .map(|s| s.rejected_invalid)
+            .sum::<u64>(),
+        2,
+        "zero-duration fault + garbage frame = two invalid rejections"
+    );
+    assert_eq!(
+        framed_sources.iter().map(|s| s.admitted).sum::<u64>(),
+        17,
+        "10 stamped + 6 batched framed + 1 line submission admitted"
+    );
+
+    // The socket-fed session replays bit-identically — protocol v1 does
+    // not perturb the determinism contract.
+    let mut fresh = DreamScheduler::new(DreamConfig::full());
+    let batch_outcome = report.record.replay(&mut fresh).unwrap();
+    assert_eq!(
+        report.outcome.metrics().fingerprint(),
+        batch_outcome.metrics().fingerprint(),
+        "mixed v0/v1 session must replay bit-identically"
+    );
+
+    // The frame-size guard is part of the public contract: an oversize
+    // frame is refused at write time, before any bytes hit the wire.
+    let mut sink = Vec::new();
+    assert!(write_frame(&mut sink, &vec![0u8; MAX_FRAME_BYTES + 1]).is_err());
+    assert!(sink.is_empty());
+}

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Distributed replay-equivalence gate.
+#
+# Spawns 4 dream-worker processes on ephemeral ports, shards a real
+# experiment grid across them with dream-coordinator, and fails unless
+# the merged fingerprint is bit-identical to the single-process run of
+# the same grid (--verify recomputes it locally). Also exercises the
+# recorded-trace return path (--record-traces/--trace-out) and the
+# broadcast drain (--drain), so the workers exit on their own.
+#
+# Usage: scripts/check_cluster.sh [out_dir]
+#   out_dir (default: cluster_artifacts/) receives the merged outcome
+#   CSV and trace for CI to upload.
+#
+# Tunables: CLUSTER_SEEDS (default 2), CLUSTER_DURATION_MS (default 300),
+# CLUSTER_WORKERS (default 4).
+set -euo pipefail
+
+out_dir="${1:-cluster_artifacts}"
+n_workers="${CLUSTER_WORKERS:-4}"
+seeds="${CLUSTER_SEEDS:-2}"
+duration_ms="${CLUSTER_DURATION_MS:-300}"
+
+mkdir -p "$out_dir"
+state_dir="$(mktemp -d)"
+worker_pids=()
+
+cleanup() {
+    for pid in "${worker_pids[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$state_dir"
+}
+trap cleanup EXIT
+
+echo "building release binaries..."
+cargo build --release -q -p dream-coordinator
+
+worker_bin=target/release/dream-worker
+coordinator_bin=target/release/dream-coordinator
+
+addrs=()
+for i in $(seq 1 "$n_workers"); do
+    port_file="$state_dir/worker$i.port"
+    "$worker_bin" --addr 127.0.0.1:0 --port-file "$port_file" --seed "$i" \
+        >"$state_dir/worker$i.log" 2>&1 &
+    worker_pids+=($!)
+    # The worker writes host:port atomically after binding; poll for it.
+    for _ in $(seq 1 100); do
+        [ -s "$port_file" ] && break
+        sleep 0.1
+    done
+    [ -s "$port_file" ] || { echo "worker $i never bound"; exit 1; }
+    addrs+=("$(cat "$port_file")")
+    echo "worker $i up at ${addrs[-1]}"
+done
+
+workers_csv=$(IFS=, ; echo "${addrs[*]}")
+
+echo "running distributed grid across $n_workers workers..."
+"$coordinator_bin" \
+    --workers "$workers_csv" \
+    --schedulers fcfs,edf,dream-full \
+    --scenarios ar_call,vr_gaming \
+    --seeds "$seeds" \
+    --duration-ms "$duration_ms" \
+    --record-traces \
+    --verify \
+    --out "$out_dir/cluster_outcomes.csv" \
+    --trace-out "$out_dir/cluster_trace.csv" \
+    --drain
+
+# --verify exits non-zero on any fingerprint mismatch, so reaching this
+# point means the distributed merge was bit-identical. The drain
+# broadcast lets every worker exit cleanly; reap them to prove it.
+for i in "${!worker_pids[@]}"; do
+    if ! wait "${worker_pids[$i]}"; then
+        echo "worker $((i + 1)) exited non-zero:"
+        cat "$state_dir/worker$((i + 1)).log"
+        exit 1
+    fi
+done
+worker_pids=()
+
+grep -q "fingerprint=" "$state_dir"/worker1.log || {
+    echo "worker 1 never reported a drain fingerprint:"
+    cat "$state_dir/worker1.log"
+    exit 1
+}
+[ -s "$out_dir/cluster_trace.csv" ] || { echo "merged trace is empty"; exit 1; }
+
+echo "cluster gate OK: merged fingerprints bit-identical to single-process run"
+echo "artifacts: $out_dir/cluster_outcomes.csv, $out_dir/cluster_trace.csv"
