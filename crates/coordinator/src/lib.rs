@@ -1,5 +1,5 @@
-//! `dream-coordinator` — multi-node experiment fabric over wire
-//! protocol v1.
+//! `dream-coordinator` — multi-node experiment fabric and metrics
+//! plane over the framed wire protocol (v1/v2).
 //!
 //! A [`Coordinator`] fans an [`ExperimentGrid`] out across N worker
 //! nodes (each a `dream-serve` engine started with a
@@ -21,6 +21,11 @@
 //! * **Live ingress** can be fanned out too ([`LiveFanout`]):
 //!   submissions round-robin across workers while control commands
 //!   (swap/fault/drain) broadcast to all of them.
+//! * **Fleet metrics** ([`LiveFanout::fleet_view`]) fold per-worker v2
+//!   snapshots into one [`FleetView`]: counters summed, sojourn
+//!   histograms merged bucket-wise — fleet-wide quantiles are exact
+//!   (merging histograms, never averaging per-worker percentiles), and
+//!   the fold is commutative/associative so worker order is irrelevant.
 //!
 //! Workers are plain `dream-serve` nodes; [`spawn_local_worker`] starts
 //! one in-process (tests, soaks), `src/bin/dream_worker.rs` starts one
@@ -41,7 +46,7 @@ use dream_serve::{
     listen_tcp_with_runner, CellOutcome, CellSpec, ClientError, ManualClock, ServeConfig,
     ServeEngine, ServeHandle, SessionReport, SocketServer, WireClient, WireSnapshot,
 };
-use dream_sim::{FaultKind, Fnv64, LiveError, SimTime};
+use dream_sim::{FaultKind, Fnv64, Histogram, LiveError, SimTime};
 
 /// Why a coordinator operation failed.
 #[derive(Debug)]
@@ -370,6 +375,81 @@ impl LiveFanout {
         }
         Ok(out)
     }
+
+    /// Collects one snapshot per worker and folds them into a single
+    /// [`FleetView`] — the cluster-wide metrics plane.
+    ///
+    /// # Errors
+    ///
+    /// As [`snapshots`](Self::snapshots).
+    pub fn fleet_view(&mut self) -> Result<FleetView, CoordError> {
+        Ok(FleetView::aggregate(&self.snapshots()?))
+    }
+}
+
+/// A cluster-wide roll-up of per-worker [`WireSnapshot`]s: additive
+/// counters summed, per-worker sojourn histograms merged into one
+/// mergeable fleet histogram (log2 buckets add bucket-wise, so the
+/// merge is exact, order-invariant, and loses nothing a percentile
+/// needs — unlike averaging per-worker percentiles, which is wrong).
+///
+/// Workers still speaking protocol v1 contribute zeros to the v2-only
+/// fields; `workers` counts every snapshot folded in regardless.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetView {
+    /// Snapshots folded into this view.
+    pub workers: usize,
+    /// Workers currently draining.
+    pub draining: usize,
+    /// Summed ingress backlogs.
+    pub ingress_backlog: u64,
+    /// Summed engine event backlogs.
+    pub event_backlog: u64,
+    /// Total arrivals admitted across the fleet.
+    pub admitted: u64,
+    /// Total requests shed across the fleet.
+    pub shed: u64,
+    /// Total requests rejected across the fleet.
+    pub rejected: u64,
+    /// Total faults injected across the fleet (v2 workers only).
+    pub faults_injected: u64,
+    /// Total fault-driven requeues across the fleet (v2 workers only).
+    pub fault_requeues: u64,
+    /// Total deadline misses under active fault windows (v2 workers
+    /// only).
+    pub deadline_miss_under_faults: u64,
+    /// The merged fleet sojourn histogram (v2 workers only).
+    pub sojourn_hist: Histogram,
+}
+
+impl FleetView {
+    /// Folds per-worker snapshots into one fleet view. Aggregation is
+    /// commutative and associative, so worker order cannot change the
+    /// result.
+    pub fn aggregate(snapshots: &[WireSnapshot]) -> Self {
+        let mut view = FleetView::default();
+        for snap in snapshots {
+            view.workers += 1;
+            view.draining += usize::from(snap.draining);
+            view.ingress_backlog += snap.ingress_backlog;
+            view.event_backlog += snap.event_backlog;
+            view.admitted += snap.admitted;
+            view.shed += snap.shed;
+            view.rejected += snap.rejected;
+            view.faults_injected += snap.faults_injected;
+            view.fault_requeues += snap.fault_requeues;
+            view.deadline_miss_under_faults += snap.deadline_miss_under_faults;
+            view.sojourn_hist
+                .merge(&Histogram::from_sparse(&snap.sojourn_hist));
+        }
+        view
+    }
+
+    /// Fleet-wide sojourn quantile in milliseconds (`None` until any
+    /// worker has completed a task).
+    pub fn sojourn_quantile_ms(&self, q: f64) -> Option<f64> {
+        self.sojourn_hist.quantile_ms(q)
+    }
 }
 
 /// An in-process worker node (tests and soaks): a `dream-serve` engine
@@ -449,4 +529,59 @@ pub fn spawn_local_worker(seed: u64) -> std::io::Result<LocalWorker> {
         socket: Some(socket),
         engine: Some(engine),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(admitted: u64, faults: u64, hist: Vec<(u32, u64)>) -> WireSnapshot {
+        WireSnapshot {
+            tick: 1,
+            now_ns: 0,
+            frontier_ns: 0,
+            phase: 0,
+            draining: false,
+            ingress_backlog: 2,
+            event_backlog: 3,
+            admitted,
+            shed: 1,
+            rejected: 0,
+            fingerprint: 0,
+            faults_injected: faults,
+            fault_requeues: faults / 2,
+            deadline_miss_under_faults: 0,
+            sojourn_hist: hist,
+        }
+    }
+
+    #[test]
+    fn fleet_view_sums_counters_and_merges_histograms() {
+        // One v2 worker, one v2 worker with overlapping buckets, one
+        // v1-era worker contributing zeros to the v2-only fields.
+        let snapshots = [
+            snap(10, 4, vec![(1, 2), (21, 6)]),
+            snap(5, 2, vec![(1, 1), (30, 1)]),
+            snap(7, 0, Vec::new()),
+        ];
+        let view = FleetView::aggregate(&snapshots);
+        assert_eq!(view.workers, 3);
+        assert_eq!(view.admitted, 22);
+        assert_eq!(view.shed, 3);
+        assert_eq!(view.ingress_backlog, 6);
+        assert_eq!(view.faults_injected, 6);
+        assert_eq!(view.fault_requeues, 3);
+        assert_eq!(view.sojourn_hist.total(), 10);
+        // Bucket-wise merge: bucket 1 holds 3 samples, so the median
+        // lands in bucket 21 (upper bound (1<<21)-1 ns ≈ 2.097 ms).
+        let expected = ((1u64 << 21) - 1) as f64 / 1.0e6;
+        assert_eq!(view.sojourn_quantile_ms(0.5), Some(expected));
+        // Aggregation is order-invariant.
+        let mut reversed = snapshots.to_vec();
+        reversed.reverse();
+        assert_eq!(FleetView::aggregate(&reversed), view);
+        // The empty fleet is the identity.
+        assert_eq!(FleetView::aggregate(&[]).workers, 0);
+        assert_eq!(FleetView::aggregate(&[]).sojourn_quantile_ms(0.5), None);
+    }
 }

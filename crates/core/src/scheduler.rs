@@ -2,8 +2,8 @@ use std::time::Instant;
 
 use dream_models::VariantId;
 use dream_sim::{
-    canonical_sum, Assignment, Decision, Scheduler, SchedulerCapabilities, SystemView, Task,
-    TaskEvent, TaskEventKind, TaskId,
+    canonical_sum, Assignment, Decision, DecisionRecord, Scheduler, SchedulerCapabilities,
+    SystemView, Task, TaskEvent, TaskEventKind, TaskId,
 };
 
 use crate::matching::{greedy_assign, Candidate};
@@ -82,6 +82,11 @@ pub struct DreamScheduler {
     supernet_switches: u64,
     scratch: Scratch,
     timing: Option<StageTimings>,
+    /// Records explaining the last invocation's chosen assignments,
+    /// populated only when the view asks
+    /// ([`SystemView::wants_decision_records`]) and drained by the engine
+    /// via [`Scheduler::take_decision_records`].
+    decision_records: Vec<DecisionRecord>,
 }
 
 impl DreamScheduler {
@@ -102,6 +107,7 @@ impl DreamScheduler {
             supernet_switches: 0,
             scratch: Scratch::default(),
             timing: None,
+            decision_records: Vec::new(),
         }
     }
 
@@ -353,6 +359,33 @@ impl Scheduler for DreamScheduler {
                 ));
             },
         );
+
+        // 5. Decision records (flight-recorder introspection): recompute
+        //    the MapScore breakdown for the *chosen* pairs only — O(matches)
+        //    extra float work on already-cached tables, requested by the
+        //    view only while a trace is recording, and never feeding back
+        //    into any decision (the assignments above are already final).
+        if view.wants_decision_records() {
+            for a in &decision.assignments {
+                let task = view.task(a.task).expect("assignments come from the view");
+                let acc = view.acc(a.accs[0]);
+                let score = ctx.map_score(task, acc, params);
+                let b = score.breakdown;
+                self.decision_records.push(DecisionRecord {
+                    task: a.task.0,
+                    acc: a.accs[0].0 as u32,
+                    score: score.value,
+                    terms: [
+                        b.urgency,
+                        b.lat_pref,
+                        b.starvation,
+                        b.pref_energy,
+                        b.cost_switch,
+                        b.energy,
+                    ],
+                });
+            }
+        }
         if let (Some(timing), Some(t0), Some(t1), Some(t2)) =
             (self.timing.as_mut(), t_enter, t_score, t_match)
         {
@@ -371,6 +404,10 @@ impl Scheduler for DreamScheduler {
         if self.config.online_adaptation {
             self.adaptivity.on_task_event(event);
         }
+    }
+
+    fn take_decision_records(&mut self) -> Vec<DecisionRecord> {
+        std::mem::take(&mut self.decision_records)
     }
 
     fn on_phase_start(&mut self, _phase: usize, model_names: &[&'static str]) {

@@ -131,7 +131,7 @@ impl WireClient {
     pub fn request(&mut self, request: &Request) -> Result<Reply, ClientError> {
         write_frame(&mut self.writer, &request.encode())?;
         let payload = read_frame(&mut self.reader)?;
-        Ok(Reply::decode(&payload)?)
+        Ok(Reply::decode_versioned(&payload, self.version)?)
     }
 
     fn expect_ok(&mut self, request: &Request) -> Result<(), ClientError> {
@@ -202,7 +202,7 @@ impl WireClient {
         let mut results = Vec::with_capacity(batch.len());
         for _ in batch {
             let payload = read_frame(&mut self.reader)?;
-            results.push(match Reply::decode(&payload)? {
+            results.push(match Reply::decode_versioned(&payload, self.version)? {
                 Reply::Ok => Ok(()),
                 Reply::Error { code, message } => Err(ClientError::Server { code, message }),
                 _ => Err(ClientError::UnexpectedReply("ok")),

@@ -2,7 +2,7 @@
 //! the virtual clock, steps the [`LiveSession`], and publishes
 //! [`MetricsSnapshot`]s.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -10,8 +10,8 @@ use dream_cost::{AcceleratorId, CostBackend, CostModel, Platform};
 use dream_models::Scenario;
 use dream_sim::live::DEFAULT_HORIZON_CAP_NS;
 use dream_sim::{
-    FaultKind, LiveError, LiveSession, LiveSessionBuilder, LiveSessionRecord, Metrics, ModelKey,
-    Scheduler, SimOutcome, SimTime,
+    FaultKind, Histogram, LiveError, LiveSession, LiveSessionBuilder, LiveSessionRecord, Metrics,
+    Scheduler, SimOutcome, SimTime, TraceConfig,
 };
 
 use crate::clock::{ServeClock, WallClock};
@@ -45,6 +45,11 @@ pub struct ServeConfig {
     pub max_admissions_per_tick: usize,
     /// Publish a snapshot every this many ticks (1 = every tick).
     pub snapshot_every: u32,
+    /// Attach the deterministic flight recorder to the session (see
+    /// [`dream_sim::TraceConfig`]); the [`SessionReport`]'s outcome then
+    /// carries the [`dream_sim::Trace`]. `None` (the default) keeps the
+    /// trace seam inert.
+    pub trace: Option<TraceConfig>,
 }
 
 impl ServeConfig {
@@ -64,6 +69,7 @@ impl ServeConfig {
             policy: AdmissionPolicy::ShedOldest,
             max_admissions_per_tick: usize::MAX,
             snapshot_every: 16,
+            trace: None,
         }
     }
 }
@@ -119,21 +125,51 @@ pub struct MetricsSnapshot {
     /// Per-source admission-funnel counters.
     pub sources: Vec<SourceStats>,
     /// Pooled per-request sojourn percentiles, in ms (p50, p95, p99);
-    /// `None` until something completes. Computed over a sliding window
-    /// of the most recent [`SOJOURN_WINDOW`] completions, so snapshot
-    /// cost stays O(1) in session length (exact for short sessions,
-    /// recent-traffic percentiles for long ones — the number a live
-    /// dashboard wants anyway).
+    /// `None` until something completes. Served from the bounded
+    /// per-model [`Histogram`]s the engine maintains as completions are
+    /// recorded, so snapshot cost is O(buckets) regardless of session
+    /// length (quantiles are bucket upper bounds: ≥ the exact sample,
+    /// within 2× — see [`Histogram::quantile`]).
     pub sojourn_ms: [Option<f64>; 3],
+    /// All models' sojourn histograms merged into one pooled view — the
+    /// mergeable form the wire `Snapshot` reply ships and the coordinator
+    /// aggregates across workers.
+    pub sojourn_hist: Histogram,
+    /// Wall-clock profile of the serving loop's stages, cumulative since
+    /// session start.
+    pub profile: StageProfile,
     /// The cumulative scheduling metrics, with the per-request sojourn
     /// sample vectors left empty ([`Metrics::clone_counters`]) — the
-    /// samples grow without bound over a long session, and the counters
-    /// alone pin down the outcome (they fingerprint identically).
+    /// samples grow without bound over a long session, and the bounded
+    /// histograms plus counters pin down the outcome (they fingerprint
+    /// identically).
     pub metrics: Metrics,
 }
 
-/// How many recent completions the snapshot sojourn percentiles pool.
-pub const SOJOURN_WINDOW: usize = 4096;
+/// Cumulative wall-clock spent in each stage of the serving loop's tick,
+/// measured at the serve clock seam (virtual time never sees these reads;
+/// simulation outcomes are unaffected). Published with every
+/// [`MetricsSnapshot`] and returned in the final [`SessionReport`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StageProfile {
+    /// Ticks measured.
+    pub ticks: u64,
+    /// Draining the ingress queue and admitting requests into the session.
+    pub admit_ns: u64,
+    /// Applying control commands (swaps, faults, drain orders).
+    pub control_ns: u64,
+    /// Stepping the engine to the frontier.
+    pub step_ns: u64,
+    /// Building and publishing metrics snapshots.
+    pub publish_ns: u64,
+}
+
+impl StageProfile {
+    /// Total measured tick time.
+    pub fn total_ns(&self) -> u64 {
+        self.admit_ns + self.control_ns + self.step_ns + self.publish_ns
+    }
+}
 
 /// What a completed session hands back.
 pub struct SessionReport {
@@ -145,6 +181,8 @@ pub struct SessionReport {
     pub sources: Vec<SourceStats>,
     /// Serving ticks executed.
     pub ticks: u64,
+    /// Wall-clock stage profile of the whole session.
+    pub profile: StageProfile,
 }
 
 /// A cloneable handle for feeding and steering a running [`ServeEngine`].
@@ -243,12 +281,7 @@ pub struct ServeEngine {
     publisher: WatchSender<MetricsSnapshot>,
     ticks: u64,
     scratch: Vec<Request>,
-    /// How many sojourn samples per model have been folded into the
-    /// window already (the engine's vectors are append-only).
-    sojourn_seen: BTreeMap<ModelKey, usize>,
-    /// The most recent completions' sojourn samples, bounded.
-    sojourn_window: VecDeque<u64>,
-    sojourn_scratch: Vec<u64>,
+    profile: StageProfile,
 }
 
 impl ServeEngine {
@@ -264,11 +297,14 @@ impl ServeEngine {
         config: ServeConfig,
         scheduler: Box<dyn Scheduler>,
     ) -> Result<(ServeEngine, ServeHandle), LiveError> {
-        let session = LiveSessionBuilder::new(config.platform, config.scenario)
+        let mut builder = LiveSessionBuilder::new(config.platform, config.scenario)
             .seed(config.seed)
             .cost_backend(config.cost)
-            .horizon_cap(config.horizon_cap)
-            .start(scheduler)?;
+            .horizon_cap(config.horizon_cap);
+        if let Some(trace) = config.trace {
+            builder = builder.trace(trace);
+        }
+        let session = builder.start(scheduler)?;
         let ingress = Ingress::new(config.queue_capacity, config.policy);
         let control = Arc::new(ControlQueue {
             queue: Mutex::new(VecDeque::new()),
@@ -291,9 +327,7 @@ impl ServeEngine {
                 publisher,
                 ticks: 0,
                 scratch: Vec::new(),
-                sojourn_seen: BTreeMap::new(),
-                sojourn_window: VecDeque::with_capacity(SOJOURN_WINDOW),
-                sojourn_scratch: Vec::with_capacity(SOJOURN_WINDOW),
+                profile: StageProfile::default(),
             },
             handle,
         ))
@@ -319,12 +353,14 @@ impl ServeEngine {
         let ticks = self.ticks;
         let sources = self.ingress.stats();
         self.publish_snapshot();
+        let profile = self.profile;
         let (outcome, record) = self.session.finish()?;
         Ok(SessionReport {
             outcome,
             record,
             sources,
             ticks,
+            profile,
         })
     }
 
@@ -333,6 +369,13 @@ impl ServeEngine {
     /// session is done. Exposed crate-internally for deterministic tests.
     pub(crate) fn run_tick(&mut self) -> Result<bool, LiveError> {
         self.ticks += 1;
+        self.profile.ticks += 1;
+        // Stage profiling reads the wall clock directly: it measures the
+        // serving loop itself (the same side of the clock seam the tick
+        // sleep lives on) and never feeds virtual time or a decision.
+        #[allow(clippy::disallowed_methods)]
+        // detlint: allow(wall-clock) -- stage profiling at the serve clock seam; never feeds a decision
+        let t0 = std::time::Instant::now();
         // The frontier: the clock, but never behind what the session has
         // already closed (a stalled clock must not stall admission).
         let frontier = self.clock.now().max(self.session.next_stamp());
@@ -358,6 +401,11 @@ impl ServeEngine {
                 Err(other) => return Err(other),
             }
         }
+
+        #[allow(clippy::disallowed_methods)]
+        // detlint: allow(wall-clock) -- stage profiling at the serve clock seam; never feeds a decision
+        let t1 = std::time::Instant::now();
+        self.profile.admit_ns += (t1 - t0).as_nanos() as u64;
 
         // 2. Control: swaps and drains, in order. A swap blocked on a
         //    pending boundary goes back to the front and is retried next
@@ -406,6 +454,11 @@ impl ServeEngine {
             }
         }
 
+        #[allow(clippy::disallowed_methods)]
+        // detlint: allow(wall-clock) -- stage profiling at the serve clock seam; never feeds a decision
+        let t2 = std::time::Instant::now();
+        self.profile.control_ns += (t2 - t1).as_nanos() as u64;
+
         // 3. Step the session to the frontier.
         self.session.step_until(frontier);
 
@@ -431,9 +484,15 @@ impl ServeEngine {
             }
         }
 
+        #[allow(clippy::disallowed_methods)]
+        // detlint: allow(wall-clock) -- stage profiling at the serve clock seam; never feeds a decision
+        let t3 = std::time::Instant::now();
+        self.profile.step_ns += (t3 - t2).as_nanos() as u64;
+
         if self.ticks.is_multiple_of(u64::from(self.snapshot_every)) {
             self.publish_snapshot();
         }
+        self.profile.publish_ns += t3.elapsed().as_nanos() as u64;
         Ok(self.session.is_finished())
     }
 
@@ -447,33 +506,18 @@ impl ServeEngine {
             .iter()
             .map(|s| s.rejected_capacity + s.rejected_invalid + s.rejected_closed)
             .sum();
-        // Fold the sojourn samples that arrived since the last snapshot
-        // into the bounded window, then publish counters only — both
-        // sides stay O(window + new samples), never O(session length).
+        // The engine folds every completion into bounded per-model
+        // histograms as it runs; merging them is O(models × buckets) per
+        // snapshot, never O(session length) — and unlike the former
+        // sliding sample window, the merged form is exact over the whole
+        // session and mergeable again across workers.
         let live = self.session.live_metrics();
-        for (key, stats) in live.models() {
-            let seen = self.sojourn_seen.entry(*key).or_insert(0);
-            for &sample in &stats.sojourn_ns[*seen..] {
-                if self.sojourn_window.len() == SOJOURN_WINDOW {
-                    self.sojourn_window.pop_front();
-                }
-                self.sojourn_window.push_back(sample);
-            }
-            *seen = stats.sojourn_ns.len();
-        }
-        self.sojourn_scratch.clear();
-        self.sojourn_scratch.extend(self.sojourn_window.iter());
-        self.sojourn_scratch.sort_unstable();
-        let pct = |q: f64| -> Option<f64> {
-            // Nearest-rank, matching `Metrics::sojourn_percentile_ms`.
-            if self.sojourn_scratch.is_empty() {
-                return None;
-            }
-            let rank = (q * self.sojourn_scratch.len() as f64).ceil() as usize;
-            let idx = rank.clamp(1, self.sojourn_scratch.len()) - 1;
-            Some(self.sojourn_scratch[idx] as f64 / 1.0e6)
-        };
-        let sojourn_ms = [pct(0.50), pct(0.95), pct(0.99)];
+        let sojourn_hist = live.sojourn_histogram();
+        let sojourn_ms = [
+            sojourn_hist.quantile_ms(0.50),
+            sojourn_hist.quantile_ms(0.95),
+            sojourn_hist.quantile_ms(0.99),
+        ];
         let metrics = live.clone_counters();
         self.publisher.publish(MetricsSnapshot {
             tick: self.ticks,
@@ -490,6 +534,8 @@ impl ServeEngine {
             rejected,
             sources,
             sojourn_ms,
+            sojourn_hist,
+            profile: self.profile,
             metrics,
         });
     }

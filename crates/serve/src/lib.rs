@@ -5,7 +5,8 @@
 //! horizon up front and replays it through the batch simulator. This
 //! crate serves the *online* problem the paper actually poses: requests
 //! arrive as they happen (in-process [`ChannelClient`]s, TCP or
-//! Unix-socket peers speaking framed [wire protocol v1](wire) or the
+//! Unix-socket peers speaking the framed [wire protocol](wire) (v1/v2,
+//! min-of-versions negotiated) or the
 //! v0 line protocol), scenarios shift mid-session, and the scheduler
 //! decides with no knowledge of the future.
 //!
@@ -67,7 +68,9 @@ pub mod wire;
 
 pub use client::{ClientError, WireClient};
 pub use clock::{ManualClock, ServeClock, WallClock};
-pub use engine::{MetricsSnapshot, ServeConfig, ServeEngine, ServeHandle, SessionReport};
+pub use engine::{
+    MetricsSnapshot, ServeConfig, ServeEngine, ServeHandle, SessionReport, StageProfile,
+};
 pub use ingress::{AdmissionPolicy, ChannelClient, SourceId, SourceStats, SubmitError};
 pub use server::{
     listen_tcp, listen_tcp_with_runner, listen_unix, listen_unix_with_runner, CellRunner,

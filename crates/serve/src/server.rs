@@ -479,11 +479,16 @@ fn serve_framed(
     if write_hello(&mut writer, SERVER_MAGIC, PROTOCOL_VERSION).is_err() {
         return;
     }
-    if framed::negotiate(PROTOCOL_VERSION, theirs).is_err() {
-        // The peer sees our version in the hello and draws the same
-        // conclusion; nothing more to say.
-        return;
-    }
+    // Replies are shaped for the negotiated generation: a v1 peer gets
+    // byte-exact v1 frames, a v2 peer the extended snapshot.
+    let version = match framed::negotiate(PROTOCOL_VERSION, theirs) {
+        Ok(version) => version,
+        Err(_) => {
+            // The peer sees our version in the hello and draws the same
+            // conclusion; nothing more to say.
+            return;
+        }
+    };
     let mut snapshots = handle.snapshots();
     loop {
         let payload = match read_frame_with(&mut reader, &mut || !stop.load(Ordering::SeqCst)) {
@@ -502,7 +507,7 @@ fn serve_framed(
                         code: ErrorCode::Malformed,
                         message: e.to_string(),
                     };
-                    let _ = write_frame(&mut writer, &reply.encode());
+                    let _ = write_frame(&mut writer, &reply.encode_versioned(version));
                 }
                 break;
             }
@@ -526,7 +531,7 @@ fn serve_framed(
                 }
             }
         };
-        if write_frame(&mut writer, &reply.encode()).is_err() {
+        if write_frame(&mut writer, &reply.encode_versioned(version)).is_err() {
             break;
         }
     }
@@ -605,6 +610,10 @@ fn execute(
                 shed: snap.shed,
                 rejected: snap.rejected,
                 fingerprint: snap.metrics.fingerprint(),
+                faults_injected: snap.metrics.faults_injected,
+                fault_requeues: snap.metrics.fault_requeues,
+                deadline_miss_under_faults: snap.metrics.deadline_miss_under_faults,
+                sojourn_hist: snap.sojourn_hist.sparse(),
             }),
             None => Reply::Error {
                 code: ErrorCode::Unavailable,

@@ -357,12 +357,24 @@ impl Request {
 }
 
 impl Reply {
-    /// Decodes a reply frame payload. Total, like [`Request::decode`].
+    /// Decodes a reply frame payload at the newest protocol generation.
+    /// Total, like [`Request::decode`].
     ///
     /// # Errors
     ///
     /// A [`DecodeError`].
     pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        Self::decode_versioned(payload, super::PROTOCOL_VERSION)
+    }
+
+    /// Decodes a reply frame payload sent by a peer that negotiated
+    /// `version`. A v1 snapshot decodes with the v2-only fields
+    /// zeroed/empty; every other reply is version-invariant.
+    ///
+    /// # Errors
+    ///
+    /// A [`DecodeError`].
+    pub fn decode_versioned(payload: &[u8], version: u16) -> Result<Self, DecodeError> {
         let mut r = FrameReader::new(payload);
         let reply = match r.u8()? {
             tag::OK => Reply::Ok,
@@ -377,7 +389,7 @@ impl Reply {
                     message: r.str()?,
                 }
             }
-            tag::SNAPSHOT_REPLY => Reply::Snapshot(read_snapshot(&mut r)?),
+            tag::SNAPSHOT_REPLY => Reply::Snapshot(read_snapshot(&mut r, version)?),
             tag::CELLS_DONE => {
                 // A minimal CellOutcome is 44 bytes.
                 let count = read_count(&mut r, 44)?;
@@ -394,8 +406,8 @@ impl Reply {
     }
 }
 
-fn read_snapshot(r: &mut FrameReader<'_>) -> Result<WireSnapshot, DecodeError> {
-    Ok(WireSnapshot {
+fn read_snapshot(r: &mut FrameReader<'_>, version: u16) -> Result<WireSnapshot, DecodeError> {
+    let mut snapshot = WireSnapshot {
         tick: r.u64()?,
         now_ns: r.u64()?,
         frontier_ns: r.u64()?,
@@ -407,7 +419,26 @@ fn read_snapshot(r: &mut FrameReader<'_>) -> Result<WireSnapshot, DecodeError> {
         shed: r.u64()?,
         rejected: r.u64()?,
         fingerprint: r.u64()?,
-    })
+        faults_injected: 0,
+        fault_requeues: 0,
+        deadline_miss_under_faults: 0,
+        sojourn_hist: Vec::new(),
+    };
+    if version >= 2 {
+        snapshot.faults_injected = r.u64()?;
+        snapshot.fault_requeues = r.u64()?;
+        snapshot.deadline_miss_under_faults = r.u64()?;
+        // Each sparse bucket is 12 bytes on the wire.
+        let count = read_count(r, 12)?;
+        let mut hist = Vec::with_capacity(count);
+        for _ in 0..count {
+            let bucket = r.u32()?;
+            let count = r.u64()?;
+            hist.push((bucket, count));
+        }
+        snapshot.sojourn_hist = hist;
+    }
+    Ok(snapshot)
 }
 
 #[cfg(test)]

@@ -57,7 +57,13 @@ pub mod ser;
 pub const MAX_LINE_BYTES: usize = 1024;
 
 /// The newest framed protocol generation this build speaks.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// v2 extends the snapshot reply with the fault-plane counters and a
+/// sparse sojourn histogram; everything else is byte-identical to v1.
+/// The handshake negotiates down to `min(client, server)`, so a v1
+/// peer still receives the exact v1 snapshot shape (see
+/// [`Reply::encode_versioned`]).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// The oldest framed protocol generation this build still accepts. A
 /// handshake negotiating below this fails with
@@ -492,7 +498,11 @@ impl std::fmt::Display for ErrorCode {
 /// The live counters a [`Reply::Snapshot`] carries — the wire face of
 /// [`MetricsSnapshot`](crate::MetricsSnapshot), reduced to what a
 /// coordinator aggregates across workers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The fault counters and the sparse sojourn histogram are protocol-v2
+/// fields: a v1 peer neither sends nor receives them, and a v2 decode
+/// of a v1-shaped snapshot leaves them zeroed/empty.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireSnapshot {
     /// Serving ticks elapsed.
     pub tick: u64,
@@ -517,6 +527,19 @@ pub struct WireSnapshot {
     /// `Metrics::fingerprint` of the cumulative counters at snapshot
     /// time — what a distributed audit compares against a replay.
     pub fingerprint: u64,
+    /// Total faults injected so far (v2; zero from a v1 peer).
+    pub faults_injected: u64,
+    /// Tasks aborted and requeued by faults (v2; zero from a v1 peer).
+    pub fault_requeues: u64,
+    /// Deadline misses recorded while any fault window was active (v2;
+    /// zero from a v1 peer).
+    pub deadline_miss_under_faults: u64,
+    /// Sparse pooled sojourn histogram: `(bucket index, count)` pairs
+    /// for non-empty log2 buckets, in ascending bucket order — the wire
+    /// form of `dream_sim::Histogram::sparse` (v2; empty from a v1
+    /// peer). Mergeable across workers via `Histogram::from_sparse` +
+    /// `merge`.
+    pub sojourn_hist: Vec<(u32, u64)>,
 }
 
 /// Which scheduler a wire-shipped grid cell runs — the protocol-schema

@@ -212,8 +212,17 @@ impl Request {
 }
 
 impl Reply {
-    /// Encodes this reply into a frame payload.
+    /// Encodes this reply into a frame payload at the newest protocol
+    /// generation ([`PROTOCOL_VERSION`](crate::wire::PROTOCOL_VERSION)).
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_versioned(super::PROTOCOL_VERSION)
+    }
+
+    /// Encodes this reply for a peer that negotiated `version`. Only
+    /// the snapshot reply is version-shaped: at v1 the fault counters
+    /// and sojourn histogram are omitted (byte-identical to the
+    /// original v1 wire format); every other reply is invariant.
+    pub fn encode_versioned(&self, version: u16) -> Vec<u8> {
         match self {
             Reply::Ok => FrameWriter::new(tag::OK).finish(),
             Reply::Error { code, message } => {
@@ -224,7 +233,7 @@ impl Reply {
             }
             Reply::Snapshot(s) => {
                 let mut w = FrameWriter::new(tag::SNAPSHOT_REPLY);
-                put_snapshot(&mut w, s);
+                put_snapshot(&mut w, s, version);
                 w.finish()
             }
             Reply::CellsDone { outcomes } => {
@@ -239,7 +248,7 @@ impl Reply {
     }
 }
 
-fn put_snapshot(w: &mut FrameWriter, s: &WireSnapshot) {
+fn put_snapshot(w: &mut FrameWriter, s: &WireSnapshot, version: u16) {
     w.put_u64(s.tick);
     w.put_u64(s.now_ns);
     w.put_u64(s.frontier_ns);
@@ -251,4 +260,14 @@ fn put_snapshot(w: &mut FrameWriter, s: &WireSnapshot) {
     w.put_u64(s.shed);
     w.put_u64(s.rejected);
     w.put_u64(s.fingerprint);
+    if version >= 2 {
+        w.put_u64(s.faults_injected);
+        w.put_u64(s.fault_requeues);
+        w.put_u64(s.deadline_miss_under_faults);
+        w.put_u32(s.sojourn_hist.len() as u32);
+        for &(bucket, count) in &s.sojourn_hist {
+            w.put_u32(bucket);
+            w.put_u64(count);
+        }
+    }
 }

@@ -1,7 +1,9 @@
-//! Wire protocol v1: golden byte-exact fixtures for every frame kind,
-//! decoder totality under wild bytes, bit-exact encode→decode round
-//! trips, and an end-to-end framed session sharing a listener with a
-//! live v0 line-mode peer.
+//! Wire protocol v1/v2: golden byte-exact fixtures for every frame
+//! kind at both generations, decoder totality under wild bytes,
+//! bit-exact encode→decode round trips, min-of-versions compatibility
+//! (a v1 peer keeps receiving byte-exact v1 frames from a v2 server),
+//! and an end-to-end framed session sharing a listener with a live v0
+//! line-mode peer.
 
 // Test harness timeouts read the wall clock; exempt from the
 // workspace determinism lint (replay determinism is what the test
@@ -150,8 +152,12 @@ fn golden_request_fixtures() {
     }
 }
 
+/// The frozen v1 reply layouts: a v2 build negotiating down to v1 must
+/// still emit these exact bytes, so the fixtures are exercised through
+/// `encode_versioned(1)` / `decode_versioned(_, 1)`. The v2-only
+/// snapshot fields are zero here because a v1 frame cannot carry them.
 #[test]
-fn golden_reply_fixtures() {
+fn golden_reply_fixtures_v1() {
     let snapshot = WireSnapshot {
         tick: 1,
         now_ns: 2,
@@ -164,6 +170,10 @@ fn golden_reply_fixtures() {
         shed: 8,
         rejected: 9,
         fingerprint: 0xDEAD_BEEF,
+        faults_injected: 0,
+        fault_requeues: 0,
+        deadline_miss_under_faults: 0,
+        sojourn_hist: Vec::new(),
     };
     let outcome = CellOutcome {
         index: 4,
@@ -218,13 +228,84 @@ fn golden_reply_fixtures() {
         ),
     ];
     for (reply, golden) in cases {
-        assert_eq!(reply.encode(), golden, "encode fixture for {reply:?}");
         assert_eq!(
-            Reply::decode(&golden).unwrap(),
+            reply.encode_versioned(1),
+            golden,
+            "v1 encode fixture for {reply:?}"
+        );
+        assert_eq!(
+            Reply::decode_versioned(&golden, 1).unwrap(),
             reply,
-            "decode fixture for {reply:?}"
+            "v1 decode fixture for {reply:?}"
         );
     }
+}
+
+/// The v2 snapshot layout: the v1 prefix byte-for-byte, then the three
+/// fault counters and the sparse sojourn histogram. Non-snapshot
+/// replies are version-invariant, so the newest-generation `encode` /
+/// `decode` pair is the fixture target here.
+#[test]
+fn golden_reply_fixtures_v2() {
+    let snapshot = WireSnapshot {
+        tick: 1,
+        now_ns: 2,
+        frontier_ns: 3,
+        phase: 4,
+        draining: true,
+        ingress_backlog: 5,
+        event_backlog: 6,
+        admitted: 7,
+        shed: 8,
+        rejected: 9,
+        fingerprint: 0xDEAD_BEEF,
+        faults_injected: 10,
+        fault_requeues: 11,
+        deadline_miss_under_faults: 12,
+        sojourn_hist: vec![(0, 3), (21, 900)],
+    };
+    let golden = [
+        vec![0x83],
+        le64(1),
+        le64(2),
+        le64(3),
+        le64(4),
+        vec![1],
+        le64(5),
+        le64(6),
+        le64(7),
+        le64(8),
+        le64(9),
+        le64(0xDEAD_BEEF),
+        le64(10),
+        le64(11),
+        le64(12),
+        le32(2),
+        le32(0),
+        le64(3),
+        le32(21),
+        le64(900),
+    ]
+    .concat();
+    let reply = Reply::Snapshot(snapshot.clone());
+    assert_eq!(reply.encode(), golden, "v2 snapshot encode fixture");
+    assert_eq!(
+        Reply::decode(&golden).unwrap(),
+        reply,
+        "v2 snapshot decode fixture"
+    );
+    // Down-negotiated to v1, the same reply loses exactly the suffix —
+    // and a v1 decode of those bytes zeroes the v2-only fields.
+    let v1_bytes = reply.encode_versioned(1);
+    assert_eq!(v1_bytes[..], golden[..golden.len() - 52]);
+    let Reply::Snapshot(downgraded) = Reply::decode_versioned(&v1_bytes, 1).unwrap() else {
+        panic!("v1 bytes must still decode as a snapshot");
+    };
+    assert_eq!(downgraded.fingerprint, snapshot.fingerprint);
+    assert_eq!(downgraded.faults_injected, 0);
+    assert_eq!(downgraded.fault_requeues, 0);
+    assert_eq!(downgraded.deadline_miss_under_faults, 0);
+    assert!(downgraded.sojourn_hist.is_empty());
 }
 
 #[test]
@@ -232,11 +313,11 @@ fn golden_hello_and_framing() {
     use dream_serve::wire::framed::{hello_bytes, CLIENT_MAGIC, SERVER_MAGIC};
     assert_eq!(
         hello_bytes(CLIENT_MAGIC, PROTOCOL_VERSION),
-        [0xD7, 0x44, 0x52, 0x4D, 0x01, 0x00]
+        [0xD7, 0x44, 0x52, 0x4D, 0x02, 0x00]
     );
     assert_eq!(
         hello_bytes(SERVER_MAGIC, PROTOCOL_VERSION),
-        [0xD7, 0x64, 0x72, 0x6D, 0x01, 0x00]
+        [0xD7, 0x64, 0x72, 0x6D, 0x02, 0x00]
     );
     let mut framed = Vec::new();
     write_frame(&mut framed, &Request::Ping.encode()).unwrap();
@@ -381,6 +462,47 @@ mod properties {
         ]
     }
 
+    fn arb_snapshot() -> impl Strategy<Value = WireSnapshot> {
+        (
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            (any::<bool>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<u64>(), any::<u64>()),
+            proptest::collection::vec((0u32..65, 1u64..(1 << 40)), 0..8),
+        )
+            .prop_map(
+                |(
+                    (tick, now_ns, frontier_ns, phase),
+                    (draining, ingress_backlog, event_backlog, admitted),
+                    (shed, rejected, fingerprint),
+                    (faults_injected, fault_requeues, deadline_miss_under_faults),
+                    hist,
+                )| WireSnapshot {
+                    tick,
+                    now_ns,
+                    frontier_ns,
+                    phase,
+                    draining,
+                    ingress_backlog,
+                    event_backlog,
+                    admitted,
+                    shed,
+                    rejected,
+                    fingerprint,
+                    faults_injected,
+                    fault_requeues,
+                    deadline_miss_under_faults,
+                    // Ascending unique buckets, as Histogram::sparse
+                    // produces them.
+                    sojourn_hist: hist
+                        .into_iter()
+                        .collect::<std::collections::BTreeMap<_, _>>()
+                        .into_iter()
+                        .collect(),
+                },
+            )
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -402,6 +524,29 @@ mod properties {
             let decoded = Request::decode(&bytes).expect("encoded requests decode");
             prop_assert_eq!(&decoded, &request);
             prop_assert_eq!(decoded.encode(), bytes);
+        }
+
+        /// Snapshot replies round-trip bit-exactly at v2, and the v1
+        /// projection of any snapshot decodes with exactly the v2-only
+        /// fields zeroed — nothing else perturbed.
+        #[test]
+        fn snapshots_round_trip_at_both_versions(snapshot in arb_snapshot()) {
+            let reply = Reply::Snapshot(snapshot.clone());
+            let v2 = reply.encode();
+            let decoded = Reply::decode(&v2).expect("v2 snapshot decodes");
+            prop_assert_eq!(&decoded, &reply);
+            prop_assert_eq!(decoded.encode(), v2);
+
+            let v1 = reply.encode_versioned(1);
+            let Reply::Snapshot(down) = Reply::decode_versioned(&v1, 1).expect("v1 decodes") else {
+                panic!("v1 bytes must decode as a snapshot");
+            };
+            let mut expected = snapshot;
+            expected.faults_injected = 0;
+            expected.fault_requeues = 0;
+            expected.deadline_miss_under_faults = 0;
+            expected.sojourn_hist = Vec::new();
+            prop_assert_eq!(down, expected);
         }
 
         /// Truncating any strict prefix of a valid payload yields a typed
@@ -495,17 +640,17 @@ fn framed_and_line_peers_share_a_listener() {
     writeln!(line_writer, "r 0 0").unwrap();
     line_writer.flush().unwrap();
 
-    // A raw framed peer sending a garbage frame gets a Malformed reply
-    // (and the funnel accounts it).
+    // A raw framed peer claiming v1 still handshakes (min-of-versions),
+    // and a garbage frame gets a Malformed reply (funnel-accounted).
     let mut raw = TcpStream::connect(addr).unwrap();
     raw.write_all(&[0xD7, 0x44, 0x52, 0x4D, 0x01, 0x00])
         .unwrap();
     let mut hello = [0u8; 6];
     raw.read_exact(&mut hello).unwrap();
-    assert_eq!(hello, [0xD7, 0x64, 0x72, 0x6D, 0x01, 0x00]);
+    assert_eq!(hello, [0xD7, 0x64, 0x72, 0x6D, 0x02, 0x00]);
     write_frame(&mut raw, &[0xFF, 1, 2, 3]).unwrap();
     let payload = read_frame(&mut raw).unwrap();
-    match Reply::decode(&payload).unwrap() {
+    match Reply::decode_versioned(&payload, 1).unwrap() {
         Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
         other => panic!("expected malformed error, got {other:?}"),
     }
@@ -527,6 +672,34 @@ fn framed_and_line_peers_share_a_listener() {
         }
     };
     assert!(snapshot.fingerprint != 0 || snapshot.admitted > 0);
+    // The v2 face carries the fault plane: the stall injected above is
+    // visible in the snapshot's counters.
+    assert!(
+        snapshot.faults_injected >= 1,
+        "v2 snapshot must carry the injected stall"
+    );
+
+    // A v1 peer asking for the same snapshot gets the original v1 frame
+    // shape: the v2-only fields simply don't travel, and decode at the
+    // negotiated version zeroes them.
+    let mut old_peer = TcpStream::connect(addr).unwrap();
+    old_peer
+        .write_all(&[0xD7, 0x44, 0x52, 0x4D, 0x01, 0x00])
+        .unwrap();
+    let mut hello = [0u8; 6];
+    old_peer.read_exact(&mut hello).unwrap();
+    write_frame(&mut old_peer, &Request::Snapshot.encode()).unwrap();
+    let payload = read_frame(&mut old_peer).unwrap();
+    let Reply::Snapshot(v1_snap) = Reply::decode_versioned(&payload, 1).unwrap() else {
+        panic!("v1 peer must still receive a decodable snapshot");
+    };
+    assert!(v1_snap.admitted >= 17);
+    assert_eq!(
+        v1_snap.faults_injected, 0,
+        "v2 fields never reach a v1 peer"
+    );
+    assert!(v1_snap.sojourn_hist.is_empty());
+    drop(old_peer);
 
     v1.drain().unwrap();
     let report = server.join().unwrap().unwrap();

@@ -1,11 +1,13 @@
 //! Metric updates and scheduler lifecycle notifications, grouped so the
 //! stage modules stay focused on state transitions.
 
+use dream_trace::TraceEventKind;
+
 use crate::scheduler::{Scheduler, TaskEvent, TaskEventKind};
 use crate::task::{Task, TaskId};
 use crate::workload::{ModelKey, NodeInfo};
 
-use super::Engine;
+use super::{trace_model, Engine};
 
 impl Engine {
     /// Accounts a task release (counted vs censored, worst-case energy).
@@ -42,6 +44,10 @@ impl Engine {
         if let Some(stats) = self.metrics.get_mut(task.key()) {
             stats.flushed += 1;
         }
+        self.trace_event(TraceEventKind::Flush {
+            task: task.id().0,
+            model: trace_model(task.key()),
+        });
         scheduler.on_task_event(&TaskEvent {
             now: self.now,
             task: task.id(),
@@ -61,6 +67,10 @@ impl Engine {
                 self.metrics.deadline_miss_under_faults += 1;
             }
         }
+        self.trace_event(TraceEventKind::Drop {
+            task: task.id().0,
+            model: trace_model(task.key()),
+        });
         scheduler.on_task_event(&TaskEvent {
             now: self.now,
             task: task.id(),
@@ -94,11 +104,14 @@ impl Engine {
                 }
                 stats.variant_runs[task.variant().0] += 1;
                 stats.wait_ns += (self.now.saturating_sub(task.released())).as_ns();
-                stats
-                    .sojourn_ns
-                    .push(self.now.saturating_sub(task.frame_arrival()).as_ns());
+                stats.record_sojourn(self.now.saturating_sub(task.frame_arrival()).as_ns());
             }
         }
+        self.trace_event(TraceEventKind::Complete {
+            task: task.id().0,
+            model: trace_model(task.key()),
+            on_time,
+        });
         scheduler.on_task_event(&TaskEvent {
             now: self.now,
             task: task.id(),

@@ -3,6 +3,7 @@
 //! [`ArrivalSource`](crate::arrivals::ArrivalSource), and task release.
 
 use dream_models::{NodeId, PipelineId};
+use dream_trace::TraceEventKind;
 
 use crate::event::EventKind;
 use crate::scheduler::Scheduler;
@@ -10,11 +11,14 @@ use crate::task::{Task, TaskId};
 use crate::workload::ModelKey;
 use crate::SimTime;
 
-use super::Engine;
+use super::{trace_model, Engine};
 
 impl Engine {
     pub(crate) fn start_phase(&mut self, phase: usize, scheduler: &mut dyn Scheduler) {
         self.current_phase = phase;
+        self.trace_event(TraceEventKind::PhaseStart {
+            phase: phase as u32,
+        });
         // Flush tasks from earlier phases: ready ones leave immediately;
         // running ones drain their current layer and are discarded on
         // completion.
@@ -150,6 +154,13 @@ impl Engine {
             ),
         };
         self.record_release(&task, node);
+        self.trace_event(TraceEventKind::Release {
+            task: id.0,
+            model: trace_model(key),
+            frame,
+            counted,
+            deadline_ns: deadline.as_ns(),
+        });
         self.notify_release(id, key, counted, scheduler);
         self.arena.insert(task);
     }

@@ -2,6 +2,8 @@
 //! [`SystemView`], collect the scheduler's [`Decision`], validate it, and
 //! start the chosen layers.
 
+use dream_trace::TraceEventKind;
+
 use crate::scheduler::{Decision, Scheduler, SystemView};
 use crate::SimTime;
 
@@ -15,6 +17,7 @@ impl Engine {
         if self.idle.is_empty() || !self.arena.has_ready() {
             return;
         }
+        let tracing = self.tracing();
         let decision = {
             let view = SystemView {
                 now: self.now,
@@ -25,11 +28,25 @@ impl Engine {
                 workload: &self.ws,
                 cost: self.cost.as_ref(),
                 platform: &self.platform,
+                record_decisions: tracing,
             };
             self.metrics.scheduler_invocations += 1;
             scheduler.schedule(&view)
         };
+        if tracing {
+            // Decision records land before the dispatches they explain;
+            // the post-decision Counter sample closes the invocation.
+            for rec in scheduler.take_decision_records() {
+                self.trace_event(TraceEventKind::Decision(rec));
+            }
+        }
         self.apply_decision(decision, scheduler);
+        if tracing {
+            self.trace_event(TraceEventKind::Counter {
+                ready: self.arena.ready_ids().len() as u32,
+                running: self.in_flight.len() as u32,
+            });
+        }
     }
 
     pub(crate) fn apply_decision(&mut self, decision: Decision, scheduler: &mut dyn Scheduler) {
@@ -150,6 +167,18 @@ impl Engine {
             st.busy_until = done_at;
             st.busy_ns += done_at.saturating_sub(self.now).as_ns();
             self.occupy_acc(acc);
+        }
+        if self.tracing() {
+            let gang = assignment.accs.len() as u32;
+            for &acc in &assignment.accs {
+                self.trace_event(TraceEventKind::Dispatch {
+                    task: assignment.task.0,
+                    acc: acc.0 as u32,
+                    gang,
+                    layer: head.layer.0 as u32,
+                    done_at_ns: done_at.as_ns(),
+                });
+            }
         }
         // The gang vector moves from the decision into the task state —
         // completion reads it back from there, so dispatch clones nothing.

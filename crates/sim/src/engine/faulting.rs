@@ -27,11 +27,21 @@
 //! engine.
 
 use dream_cost::AcceleratorId;
+use dream_trace::{FaultTag, TraceEventKind};
 
 use crate::faults::FaultKind;
 use crate::task::TaskId;
 
 use super::Engine;
+
+/// Converts a fault kind into the trace crate's tag.
+fn fault_tag(kind: FaultKind) -> FaultTag {
+    match kind {
+        FaultKind::Stall { .. } => FaultTag::Stall,
+        FaultKind::Fail => FaultTag::Fail,
+        FaultKind::Slowdown { .. } => FaultTag::Slowdown,
+    }
+}
 
 impl Engine {
     /// Pushes `FaultStart`/`FaultEnd` events for every plan entry from
@@ -77,6 +87,11 @@ impl Engine {
         };
         let ev = faults.event(idx);
         self.metrics.faults_injected += 1;
+        self.trace_event(TraceEventKind::FaultStart {
+            fault: idx as u32,
+            acc: ev.acc.0 as u32,
+            kind: fault_tag(ev.kind),
+        });
         match ev.kind {
             FaultKind::Stall { .. } => {
                 let st = self.faults.as_mut().expect("checked above").acc_mut(ev.acc);
@@ -110,11 +125,16 @@ impl Engine {
 
     /// Closes the window of fault `idx` at the current instant.
     pub(crate) fn fault_end(&mut self, idx: usize) {
-        let Some(faults) = self.faults.as_mut() else {
+        if self.faults.is_none() {
             debug_assert!(false, "FaultEnd without a fault runtime");
             return;
-        };
-        let ev = faults.event(idx);
+        }
+        let ev = self.faults.as_ref().expect("checked above").event(idx);
+        self.trace_event(TraceEventKind::FaultEnd {
+            fault: idx as u32,
+            acc: ev.acc.0 as u32,
+        });
+        let faults = self.faults.as_mut().expect("checked above");
         match ev.kind {
             FaultKind::Stall { .. } => {
                 let st = faults.acc_mut(ev.acc);
@@ -181,6 +201,10 @@ impl Engine {
         task.abort_running();
         self.arena.mark_ready(task_id);
         self.metrics.fault_requeues += 1;
+        self.trace_event(TraceEventKind::Abort {
+            task: task_id.0,
+            acc: acc.0 as u32,
+        });
     }
 
     /// Copies the gang out of the task's running state (the task state is

@@ -34,6 +34,7 @@ use std::sync::Arc;
 
 use dream_cost::{AcceleratorId, CostBackend, CostModel, Platform};
 use dream_models::Scenario;
+use dream_trace::{Trace, TraceConfig, TraceEventKind, TraceRuntime};
 
 use crate::arrivals::{ArrivalSource, PeriodicArrivals};
 use crate::determ::DeterministicCoin;
@@ -60,6 +61,7 @@ pub struct SimulationBuilder {
     arrivals: Box<dyn ArrivalSource>,
     prebuilt: Option<Arc<WorkloadSet>>,
     faults: Option<FaultPlan>,
+    trace: Option<TraceConfig>,
 }
 
 impl SimulationBuilder {
@@ -74,6 +76,7 @@ impl SimulationBuilder {
             arrivals: Box::new(PeriodicArrivals),
             prebuilt: None,
             faults: None,
+            trace: None,
         }
     }
 
@@ -122,6 +125,17 @@ impl SimulationBuilder {
     /// the fault seam is completely inert.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Installs the flight recorder (see [`dream_trace`]): the engine
+    /// records structured sim-time events into a bounded ring and the
+    /// outcome carries the extracted [`Trace`]. With no config installed
+    /// the trace seam is completely inert, and recording never alters the
+    /// schedule — a traced run's metrics fingerprint equals the untraced
+    /// run's.
+    pub fn trace(mut self, config: TraceConfig) -> Self {
+        self.trace = Some(config);
         self
     }
 
@@ -242,8 +256,19 @@ impl SimulationBuilder {
             self.duration,
             self.arrivals,
             self.faults,
+            self.trace,
         );
         Ok(engine.run(scheduler))
+    }
+}
+
+/// Converts a [`ModelKey`](crate::workload::ModelKey) into the trace
+/// crate's raw-index [`ModelRef`](dream_trace::ModelRef).
+pub(crate) fn trace_model(key: crate::workload::ModelKey) -> dream_trace::ModelRef {
+    dream_trace::ModelRef {
+        phase: key.phase as u32,
+        pipeline: key.pipeline.0 as u32,
+        node: key.node.0 as u32,
     }
 }
 
@@ -302,6 +327,7 @@ pub(crate) fn check_workload_matches(
 pub struct SimOutcome {
     metrics: Metrics,
     final_time: SimTime,
+    trace: Option<Trace>,
 }
 
 impl SimOutcome {
@@ -318,6 +344,17 @@ impl SimOutcome {
     /// The time the simulation stopped (= the horizon).
     pub fn final_time(&self) -> SimTime {
         self.final_time
+    }
+
+    /// The flight-recorder trace, when one was installed via
+    /// [`SimulationBuilder::trace`] (or the live builder's equivalent).
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Consumes the outcome, returning the trace (if recorded).
+    pub fn into_trace(self) -> Option<Trace> {
+        self.trace
     }
 }
 
@@ -381,9 +418,13 @@ pub(crate) struct Engine {
     /// Fault-injection runtime; `None` (the default) keeps the fault seam
     /// completely inert — no per-event or per-dispatch cost.
     pub(crate) faults: Option<Box<FaultRuntime>>,
+    /// Flight recorder; `None` (the default) keeps the trace seam
+    /// completely inert — each emission point pays one `is_some` branch.
+    pub(crate) trace: Option<Box<TraceRuntime>>,
 }
 
 impl Engine {
+    #[allow(clippy::too_many_arguments)] // crate-private; SimulationBuilder is the public face
     pub(crate) fn new(
         ws: Arc<WorkloadSet>,
         platform: Platform,
@@ -392,10 +433,12 @@ impl Engine {
         horizon: SimTime,
         arrivals: Box<dyn ArrivalSource>,
         faults: Option<FaultPlan>,
+        trace: Option<TraceConfig>,
     ) -> Self {
         let accs: Vec<AccState> = platform.ids().map(AccState::new).collect();
         let idle: Vec<AcceleratorId> = platform.ids().collect();
         let faults = faults.map(|plan| Box::new(FaultRuntime::new(plan, platform.len())));
+        let trace = trace.map(|cfg| Box::new(TraceRuntime::new(cfg)));
         let mut metrics = Metrics::new(horizon, platform.len());
         for node in ws.nodes() {
             metrics.entry(
@@ -424,7 +467,24 @@ impl Engine {
             scratch_accs: Vec::new(),
             task_pool: Vec::new(),
             faults,
+            trace,
         }
+    }
+
+    /// Records one trace event at the current instant — a no-op branch
+    /// when no recorder is installed.
+    #[inline]
+    pub(crate) fn trace_event(&mut self, kind: TraceEventKind) {
+        if let Some(trace) = &mut self.trace {
+            trace.record(self.now.as_ns(), kind);
+        }
+    }
+
+    /// Whether a recorder is installed (emission points that must build a
+    /// payload first check this to keep the off path free).
+    #[inline]
+    pub(crate) fn tracing(&self) -> bool {
+        self.trace.is_some()
     }
 
     pub(crate) fn run(&mut self, scheduler: &mut dyn Scheduler) -> SimOutcome {
@@ -476,6 +536,7 @@ impl Engine {
             self.metrics.events_processed += 1;
             match event.kind {
                 EventKind::End => {
+                    self.trace_event(TraceEventKind::Drain);
                     self.drain_horizon_completions(scheduler);
                     return StepStatus::Finished;
                 }
@@ -507,6 +568,7 @@ impl Engine {
         SimOutcome {
             metrics: std::mem::replace(&mut self.metrics, Metrics::new(self.horizon, 0)),
             final_time: self.now,
+            trace: self.trace.take().map(|rt| rt.finish()),
         }
     }
 

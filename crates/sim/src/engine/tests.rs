@@ -279,6 +279,7 @@ fn engine_with_boundary_task(
         horizon,
         Box::new(PeriodicArrivals),
         None,
+        None,
     );
     let mut sched = Greedy;
     let key = ModelKey {

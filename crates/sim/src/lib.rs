@@ -79,12 +79,18 @@ pub use fold::canonical_sum;
 pub use live::{
     Admission, LiveError, LiveSession, LiveSessionBuilder, LiveSessionRecord, LiveStatus,
 };
-pub use metrics::{Metrics, ModelStats};
+pub use metrics::{Histogram, Metrics, ModelStats, HISTOGRAM_BUCKETS};
 pub use multi::{MultiSession, MultiSessionBuilder};
 pub use scheduler::{
     AccState, Assignment, Decision, Scheduler, SchedulerCapabilities, SystemView, TaskEvent,
     TaskEventKind,
 };
 pub use task::{QueuedLayer, Task, TaskId, TaskState};
+// The flight-recorder vocabulary, re-exported so downstream crates need
+// no direct dream-trace dependency (see `dream_trace` for the schema).
+pub use dream_trace::{
+    DecisionRecord, FaultTag, ModelRef, Trace, TraceConfig, TraceEvent, TraceEventKind,
+    TraceRuntime, DEFAULT_TRACE_CAPACITY, SCORE_TERM_NAMES,
+};
 pub use time::{Micros, Millis, SimTime};
 pub use workload::{LayerId, ModelKey, NodeInfo, Phase, WorkloadSet};

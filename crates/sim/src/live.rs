@@ -52,6 +52,7 @@ use std::sync::Arc;
 
 use dream_cost::{AcceleratorId, CostBackend, CostModel, Platform};
 use dream_models::{NodeId, PipelineId, Scenario};
+use dream_trace::TraceConfig;
 
 use crate::arrivals::{ArrivalSource, ArrivalTrace, TraceArrivals};
 use crate::determ::DeterministicCoin;
@@ -176,6 +177,7 @@ pub struct LiveSessionBuilder {
     cap: SimTime,
     prebuilt: Option<Arc<WorkloadSet>>,
     faults: Option<FaultPlan>,
+    trace: Option<TraceConfig>,
 }
 
 impl LiveSessionBuilder {
@@ -189,7 +191,18 @@ impl LiveSessionBuilder {
             cap: SimTime::from_ns(DEFAULT_HORIZON_CAP_NS),
             prebuilt: None,
             faults: None,
+            trace: None,
         }
+    }
+
+    /// Installs the flight recorder — the same seam as
+    /// [`SimulationBuilder::trace`]. The finished session's
+    /// [`SimOutcome`] carries the trace; because trace stamps are sim
+    /// time, it is **byte-identical** to the trace a
+    /// [`LiveSessionRecord::replay_traced`] of the same session records.
+    pub fn trace(mut self, config: TraceConfig) -> Self {
+        self.trace = Some(config);
+        self
     }
 
     /// Installs a fault plan the session starts with — the same plan seam
@@ -278,6 +291,7 @@ impl LiveSessionBuilder {
             self.cap,
             Box::new(LiveArrivals),
             self.faults,
+            self.trace,
         );
         engine
             .queue
@@ -961,6 +975,26 @@ impl LiveSessionRecord {
     ) -> Result<SimOutcome, SimError> {
         self.builder()
             .arrivals(TraceArrivals::new(Arc::new(trace)))
+            .run(scheduler)
+    }
+
+    /// [`replay`](Self::replay) with a flight recorder attached. With a
+    /// fresh scheduler equal to the live session's and the same recorder
+    /// config the live session ran with, the returned outcome's trace is
+    /// **byte-identical** (per exporter output) to the live trace —
+    /// the flight-recorder extension of the replay-equivalence guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator validation errors.
+    pub fn replay_traced(
+        &self,
+        config: TraceConfig,
+        scheduler: &mut dyn Scheduler,
+    ) -> Result<SimOutcome, SimError> {
+        self.builder()
+            .arrivals(TraceArrivals::new(Arc::new(self.trace.clone())))
+            .trace(config)
             .run(scheduler)
     }
 }

@@ -4,6 +4,142 @@ use crate::fold::canonical_sum;
 use crate::workload::ModelKey;
 use crate::SimTime;
 
+/// Number of buckets in a [`Histogram`]: bucket 0 holds the value 0,
+/// bucket `b` (1..=64) holds values in `[2^(b-1), 2^b)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A mergeable log2-bucketed histogram of `u64` samples (nanoseconds in
+/// practice).
+///
+/// Recording is O(1) (a `leading_zeros` and an increment), the memory
+/// bound is fixed ([`HISTOGRAM_BUCKETS`] counters), and two histograms
+/// merge by adding counts — which is what lets per-model histograms pool
+/// into one view, per-snapshot histograms publish over the wire, and
+/// per-worker histograms aggregate into a fleet view, all without
+/// shipping raw samples. Quantiles resolve to the containing bucket's
+/// **upper bound** (nearest-rank), so a reported quantile is always `>=`
+/// the exact sample quantile and at most 2× it.
+///
+/// Like the raw sojourn samples, histograms are **excluded** from
+/// [`Metrics::fingerprint`] — they are an observability surface, never a
+/// decision input (detlint's D4 enforces the latter).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    total: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index a value lands in.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// The largest value bucket `idx` can hold (`u64::MAX` for the last).
+    pub fn bucket_upper_bound(idx: usize) -> u64 {
+        match idx {
+            0 => 0,
+            64.. => u64::MAX,
+            b => (1u64 << b) - 1,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.total += 1;
+    }
+
+    /// Adds every count of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Resets every count (reusable scratch).
+    pub fn clear(&mut self) {
+        self.counts = [0; HISTOGRAM_BUCKETS];
+        self.total = 0;
+    }
+
+    /// The nearest-rank `q`-quantile (`0 < q <= 1`) as the containing
+    /// bucket's upper bound. `None` when empty or `q` is out of range.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 || !(0.0 < q && q <= 1.0) {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_upper_bound(idx));
+            }
+        }
+        // Unreachable: counts sum to total and rank <= total.
+        Some(u64::MAX)
+    }
+
+    /// [`quantile`](Self::quantile) in milliseconds (samples are ns).
+    pub fn quantile_ms(&self, q: f64) -> Option<f64> {
+        self.quantile(q).map(|ns| ns as f64 / 1.0e6)
+    }
+
+    /// The non-empty buckets as `(bucket index, count)` pairs, ascending —
+    /// the sparse form wire snapshots carry.
+    pub fn sparse(&self) -> Vec<(u32, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect()
+    }
+
+    /// Rebuilds a histogram from its [`sparse`](Self::sparse) form.
+    /// Out-of-range bucket indices saturate into the last bucket (a
+    /// hostile or future peer cannot make this panic).
+    pub fn from_sparse(pairs: &[(u32, u64)]) -> Self {
+        let mut h = Histogram::new();
+        for &(idx, count) in pairs {
+            let idx = (idx as usize).min(HISTOGRAM_BUCKETS - 1);
+            h.counts[idx] += count;
+            h.total += count;
+        }
+        h
+    }
+}
+
 /// Per-model outcome counters over the measurement horizon.
 ///
 /// "Counted" frames are those whose deadline falls inside both the
@@ -40,6 +176,11 @@ pub struct ModelStats {
     /// through the cascade for child models). Dropped and never-finished
     /// frames contribute no sample. Unordered; percentile accessors sort.
     pub sojourn_ns: Vec<u64>,
+    /// Log2-bucketed histogram of the same sojourn samples — the bounded,
+    /// mergeable form live snapshots and the wire publish. Kept by
+    /// [`Metrics::clone_counters`] (fixed size); excluded from the
+    /// fingerprint like the raw samples.
+    pub sojourn_hist: Histogram,
 }
 
 impl ModelStats {
@@ -58,7 +199,15 @@ impl ModelStats {
             variant_runs: vec![0; variant_count],
             wait_ns: 0,
             sojourn_ns: Vec::new(),
+            sojourn_hist: Histogram::new(),
         }
+    }
+
+    /// Records one counted completion's sojourn time into both the raw
+    /// sample buffer and the bounded histogram.
+    pub(crate) fn record_sojourn(&mut self, ns: u64) {
+        self.sojourn_ns.push(ns);
+        self.sojourn_hist.record(ns);
     }
 
     /// Counted frames that violated their deadline: completed late, were
@@ -96,7 +245,18 @@ impl ModelStats {
     /// per-request sojourn times, in milliseconds. `None` when no counted
     /// frame completed or `q` is out of range.
     pub fn sojourn_percentile_ms(&self, q: f64) -> Option<f64> {
-        percentile_ms(&mut self.sojourn_ns.clone(), q)
+        self.sojourn_percentiles_ms(&[q])[0]
+    }
+
+    /// Several sojourn quantiles at once, copying and sorting the sample
+    /// buffer a **single** time (the former single-quantile accessor
+    /// cloned and re-sorted per call — 3× per p50/p95/p99 triple).
+    pub fn sojourn_percentiles_ms(&self, qs: &[f64]) -> Vec<Option<f64>> {
+        let mut samples = self.sojourn_ns.clone();
+        samples.sort_unstable();
+        qs.iter()
+            .map(|&q| sorted_percentile_ms(&samples, q))
+            .collect()
     }
 
     /// Energy normalised to the worst case (Algorithm 2 line 5). `None`
@@ -118,12 +278,6 @@ fn sorted_percentile_ms(sorted: &[u64], q: f64) -> Option<f64> {
     }
     let rank = (q * sorted.len() as f64).ceil() as usize;
     Some(sorted[rank.clamp(1, sorted.len()) - 1] as f64 / 1.0e6)
-}
-
-/// Nearest-rank quantile over a scratch sample buffer, in milliseconds.
-fn percentile_ms(samples: &mut [u64], q: f64) -> Option<f64> {
-    samples.sort_unstable();
-    sorted_percentile_ms(samples, q)
 }
 
 /// Aggregated simulation results.
@@ -296,6 +450,17 @@ impl Metrics {
             .collect()
     }
 
+    /// The sojourn histograms of every model merged into one pooled view —
+    /// the bounded counterpart of [`sojourn_percentiles_ms`](Self::sojourn_percentiles_ms),
+    /// and the summary live snapshots and the wire `Snapshot` reply carry.
+    pub fn sojourn_histogram(&self) -> Histogram {
+        let mut pooled = Histogram::new();
+        for s in self.stats.values() {
+            pooled.merge(&s.sojourn_hist);
+        }
+        pooled
+    }
+
     /// Total energy consumed by counted frames, in millijoules.
     pub fn total_energy_mj(&self) -> f64 {
         canonical_sum(self.stats.values().map(|s| s.energy_pj)) / 1.0e9
@@ -373,6 +538,7 @@ impl Metrics {
                             variant_runs: s.variant_runs.clone(),
                             wait_ns: s.wait_ns,
                             sojourn_ns: Vec::new(),
+                            sojourn_hist: s.sojourn_hist.clone(),
                         },
                     )
                 })
@@ -487,7 +653,9 @@ mod tests {
             s.released = 3;
             s.completed_on_time = 3;
             s.variant_runs = vec![2, 1];
-            s.sojourn_ns = vec![5, 9, 7];
+            s.record_sojourn(5);
+            s.record_sojourn(9);
+            s.record_sojourn(7);
             s.energy_pj = 12.5;
         }
         m.layer_executions = 4;
@@ -500,6 +668,88 @@ mod tests {
         assert_eq!(c.fingerprint(), m.fingerprint());
         assert!(c.sojourn_percentile_ms(0.5).is_none());
         assert_eq!(m.sojourn_percentile_ms(0.5), Some(7.0 / 1.0e6));
+        // The bounded histogram survives the counter clone (it is O(1)
+        // per model, unlike the raw sample buffer).
+        assert_eq!(c.sojourn_histogram(), m.sojourn_histogram());
+        assert_eq!(c.sojourn_histogram().total(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert!(h.quantile(0.5).is_none());
+        h.record(0);
+        h.record(1);
+        h.record(7);
+        h.record(1000);
+        assert_eq!(h.total(), 4);
+        // Nearest-rank on totals: p25 is the first sample (0), p50 the
+        // second (1 → bucket upper bound 1), p100 the last
+        // (1000 → bucket [512, 1024) upper bound 1023).
+        assert_eq!(h.quantile(0.25), Some(0));
+        assert_eq!(h.quantile(0.5), Some(1));
+        assert_eq!(h.quantile(0.75), Some(7));
+        assert_eq!(h.quantile(1.0), Some(1023));
+        // The bucket bound always dominates the exact sample and stays
+        // within 2× of it.
+        assert!(h.quantile(1.0).unwrap() >= 1000);
+        assert!(h.quantile(1.0).unwrap() < 2000);
+        assert!(h.quantile(0.0).is_none());
+        assert!(h.quantile(1.5).is_none());
+    }
+
+    #[test]
+    fn histogram_merge_matches_pooled_records() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut pooled = Histogram::new();
+        for v in [3u64, 90, 1 << 40] {
+            a.record(v);
+            pooled.record(v);
+        }
+        for v in [0u64, 7, u64::MAX] {
+            b.record(v);
+            pooled.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, pooled);
+        assert_eq!(a.total(), 6);
+    }
+
+    #[test]
+    fn histogram_sparse_round_trips() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 2, 1 << 20, u64::MAX] {
+            h.record(v);
+        }
+        let sparse = h.sparse();
+        // Only the occupied buckets appear.
+        assert!(sparse.len() < 8);
+        assert_eq!(Histogram::from_sparse(&sparse), h);
+        // Out-of-range indices saturate into the last bucket instead of
+        // panicking on malformed wire input.
+        let bad = vec![(9999u32, 5u64)];
+        assert_eq!(Histogram::from_sparse(&bad).total(), 5);
+    }
+
+    #[test]
+    fn sojourn_percentiles_sort_once_and_agree_with_single() {
+        let mut m = Metrics::new(SimTime::from_ns(1_000), 1);
+        {
+            let s = m.entry(key(0), "a", 30.0, 1);
+            for v in [40u64, 10, 30, 20, 50] {
+                s.record_sojourn(v);
+            }
+        }
+        let batch = m
+            .model(key(0))
+            .unwrap()
+            .sojourn_percentiles_ms(&[0.5, 0.95, 0.99]);
+        for (q, got) in [0.5, 0.95, 0.99].iter().zip(&batch) {
+            assert_eq!(*got, m.model(key(0)).unwrap().sojourn_percentile_ms(*q));
+        }
+        assert_eq!(batch[0], Some(30.0 / 1.0e6));
     }
 
     #[test]

@@ -199,6 +199,10 @@ pub struct SystemView<'a> {
     pub(crate) workload: &'a WorkloadSet,
     pub(crate) cost: &'a dyn CostBackend,
     pub(crate) platform: &'a Platform,
+    /// Whether the engine's flight recorder wants
+    /// [`DecisionRecord`](dream_trace::DecisionRecord)s for this
+    /// invocation (see [`Scheduler::take_decision_records`]).
+    pub(crate) record_decisions: bool,
 }
 
 impl<'a> SystemView<'a> {
@@ -298,6 +302,15 @@ impl<'a> SystemView<'a> {
     pub fn platform(&self) -> &'a Platform {
         self.platform
     }
+
+    /// Whether a flight recorder is attached and wants
+    /// [`DecisionRecord`](dream_trace::DecisionRecord)s explaining this
+    /// invocation's choices. Schedulers that support decision tracing
+    /// check this before doing any extra bookkeeping, so an untraced run
+    /// does exactly the work it did before the recorder existed.
+    pub fn wants_decision_records(&self) -> bool {
+        self.record_decisions
+    }
 }
 
 /// A pluggable scheduling policy.
@@ -325,6 +338,17 @@ pub trait Scheduler: Send {
     /// A workload phase started; `model_names` is the new inference model
     /// list (DREAM's workload-change trigger).
     fn on_phase_start(&mut self, _phase: usize, _model_names: &[&'static str]) {}
+
+    /// Drains the decision records explaining the last
+    /// [`schedule`](Self::schedule) call — the chosen (task, accelerator)
+    /// pairs with their score breakdowns. The engine calls this only when
+    /// a flight recorder is attached *and*
+    /// [`SystemView::wants_decision_records`] was `true` for the
+    /// invocation; the default is empty, so policies without score
+    /// introspection need no changes.
+    fn take_decision_records(&mut self) -> Vec<dream_trace::DecisionRecord> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

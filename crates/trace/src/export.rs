@@ -1,0 +1,501 @@
+//! Trace exporters: Chrome-trace/Perfetto JSON and CSV.
+//!
+//! Both renderings are pure functions of the trace contents — integer
+//! fields print as integers, floats print with Rust's shortest-roundtrip
+//! `Display` — so equal traces export to byte-identical files. That is
+//! what lets `scripts/check_trace.sh` compare a live session's export
+//! against its batch replay's with a plain `cmp`.
+
+use std::fmt::Write as _;
+
+use crate::{Trace, TraceEventKind, SCORE_TERM_NAMES};
+
+/// Microseconds for a Chrome-trace `ts`/`dur` field (fractional µs keep
+/// full ns resolution).
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+/// One JSON event object. `extra` carries pre-rendered `"k":v` pairs for
+/// the `args` object; everything emitted here is machine-generated (no
+/// user strings), so names never need escaping.
+#[allow(clippy::too_many_arguments)] // flat field list mirrors the JSON shape
+fn json_event(
+    out: &mut String,
+    first: &mut bool,
+    ph: &str,
+    tid: Option<u32>,
+    ts_ns: u64,
+    name: &str,
+    cat: &str,
+    extra: &str,
+) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("\n{\"ph\":\"");
+    out.push_str(ph);
+    out.push_str("\",\"pid\":0");
+    if let Some(tid) = tid {
+        let _ = write!(out, ",\"tid\":{tid}");
+    }
+    let _ = write!(out, ",\"ts\":{}", us(ts_ns));
+    if ph == "i" {
+        // Instant scope: thread-scoped when on a track, global otherwise.
+        out.push_str(if tid.is_some() {
+            ",\"s\":\"t\""
+        } else {
+            ",\"s\":\"g\""
+        });
+    }
+    let _ = write!(out, ",\"name\":\"{name}\"");
+    if !cat.is_empty() {
+        let _ = write!(out, ",\"cat\":\"{cat}\"");
+    }
+    if !extra.is_empty() {
+        let _ = write!(out, ",\"args\":{{{extra}}}");
+    }
+    out.push('}');
+}
+
+impl Trace {
+    /// Renders the Chrome-trace / Perfetto JSON object format: dispatch
+    /// spans and fault markers on one track per accelerator, lifecycle
+    /// and decision instants on a dedicated track, and counter tracks
+    /// for the ready/running depths. Open the result at
+    /// `https://ui.perfetto.dev`.
+    pub fn to_chrome_json(&self) -> String {
+        // Name every accelerator track that appears anywhere in the trace.
+        let mut max_acc: Option<u32> = None;
+        for e in self.events() {
+            let acc = match e.kind {
+                TraceEventKind::Dispatch { acc, .. }
+                | TraceEventKind::Abort { acc, .. }
+                | TraceEventKind::FaultStart { acc, .. }
+                | TraceEventKind::FaultEnd { acc, .. } => Some(acc),
+                _ => None,
+            };
+            if let Some(a) = acc {
+                max_acc = Some(max_acc.map_or(a, |m| m.max(a)));
+            }
+        }
+        let mut out = String::new();
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        let mut first = true;
+        let meta = |out: &mut String, first: &mut bool, tid: u32, name: &str| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            let _ = write!(
+                out,
+                "\n{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{name}\"}}}}"
+            );
+        };
+        meta(&mut out, &mut first, 0, "lifecycle");
+        if let Some(m) = max_acc {
+            for a in 0..=m {
+                meta(&mut out, &mut first, a + 1, &format!("acc{a}"));
+            }
+        }
+        for e in self.events() {
+            let at = e.at_ns;
+            match e.kind {
+                TraceEventKind::Release {
+                    task,
+                    model,
+                    frame,
+                    counted,
+                    deadline_ns,
+                } => {
+                    let name = if counted { "release" } else { "censor" };
+                    let extra = format!(
+                        "\"task\":{task},\"phase\":{},\"pipeline\":{},\"node\":{},\"frame\":{frame},\"deadline_ns\":{deadline_ns}",
+                        model.phase, model.pipeline, model.node
+                    );
+                    json_event(
+                        &mut out,
+                        &mut first,
+                        "i",
+                        Some(0),
+                        at,
+                        name,
+                        "frame",
+                        &extra,
+                    );
+                }
+                TraceEventKind::Dispatch {
+                    task,
+                    acc,
+                    gang,
+                    layer,
+                    done_at_ns,
+                } => {
+                    let name = format!("task{task} L{layer}");
+                    let extra = format!("\"task\":{task},\"layer\":{layer},\"gang\":{gang}");
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    let _ = write!(
+                        out,
+                        "\n{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"{name}\",\"cat\":\"dispatch\",\"args\":{{{extra}}}}}",
+                        acc + 1,
+                        us(at),
+                        us(done_at_ns.saturating_sub(at)),
+                    );
+                }
+                TraceEventKind::Complete {
+                    task,
+                    model,
+                    on_time,
+                } => {
+                    let name = if on_time { "complete" } else { "late" };
+                    let extra = format!(
+                        "\"task\":{task},\"phase\":{},\"pipeline\":{},\"node\":{}",
+                        model.phase, model.pipeline, model.node
+                    );
+                    json_event(
+                        &mut out,
+                        &mut first,
+                        "i",
+                        Some(0),
+                        at,
+                        name,
+                        "frame",
+                        &extra,
+                    );
+                }
+                TraceEventKind::Drop { task, model } | TraceEventKind::Flush { task, model } => {
+                    let extra = format!(
+                        "\"task\":{task},\"phase\":{},\"pipeline\":{},\"node\":{}",
+                        model.phase, model.pipeline, model.node
+                    );
+                    json_event(
+                        &mut out,
+                        &mut first,
+                        "i",
+                        Some(0),
+                        at,
+                        e.kind.label(),
+                        "frame",
+                        &extra,
+                    );
+                }
+                TraceEventKind::Abort { task, acc } => {
+                    let extra = format!("\"task\":{task}");
+                    json_event(
+                        &mut out,
+                        &mut first,
+                        "i",
+                        Some(acc + 1),
+                        at,
+                        "abort",
+                        "fault",
+                        &extra,
+                    );
+                }
+                TraceEventKind::FaultStart { fault, acc, kind } => {
+                    let name = format!("fault:{}", kind.label());
+                    let extra = format!("\"fault\":{fault}");
+                    json_event(
+                        &mut out,
+                        &mut first,
+                        "i",
+                        Some(acc + 1),
+                        at,
+                        &name,
+                        "fault",
+                        &extra,
+                    );
+                }
+                TraceEventKind::FaultEnd { fault, acc } => {
+                    let extra = format!("\"fault\":{fault}");
+                    json_event(
+                        &mut out,
+                        &mut first,
+                        "i",
+                        Some(acc + 1),
+                        at,
+                        "fault:end",
+                        "fault",
+                        &extra,
+                    );
+                }
+                TraceEventKind::PhaseStart { phase } => {
+                    let extra = format!("\"phase\":{phase}");
+                    json_event(
+                        &mut out, &mut first, "i", None, at, "phase", "boundary", &extra,
+                    );
+                }
+                TraceEventKind::Drain => {
+                    json_event(&mut out, &mut first, "i", None, at, "drain", "boundary", "");
+                }
+                TraceEventKind::Decision(rec) => {
+                    let mut extra = format!(
+                        "\"task\":{},\"acc\":{},\"score\":{}",
+                        rec.task, rec.acc, rec.score
+                    );
+                    for (name, val) in SCORE_TERM_NAMES.iter().zip(rec.terms.iter()) {
+                        let _ = write!(extra, ",\"{name}\":{val}");
+                    }
+                    json_event(
+                        &mut out,
+                        &mut first,
+                        "i",
+                        Some(0),
+                        at,
+                        "decision",
+                        "decision",
+                        &extra,
+                    );
+                }
+                TraceEventKind::Counter { ready, running } => {
+                    json_event(
+                        &mut out,
+                        &mut first,
+                        "C",
+                        None,
+                        at,
+                        "ready",
+                        "",
+                        &format!("\"ready\":{ready}"),
+                    );
+                    json_event(
+                        &mut out,
+                        &mut first,
+                        "C",
+                        None,
+                        at,
+                        "running",
+                        "",
+                        &format!("\"running\":{running}"),
+                    );
+                }
+            }
+        }
+        let _ = write!(
+            out,
+            "\n],\"otherData\":{{\"dropped_events\":{},\"ring_capacity\":{}}}}}",
+            self.dropped(),
+            self.capacity()
+        );
+        out.push('\n');
+        out
+    }
+
+    /// Renders one CSV row per event with fixed columns
+    /// (`at_ns,kind,task,acc,phase,pipeline,node,frame,layer,flag,value,aux`);
+    /// fields that do not apply to a kind stay empty. The decision `aux`
+    /// column carries the `name=value` term breakdown joined with `;`.
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("at_ns,kind,task,acc,phase,pipeline,node,frame,layer,flag,value,aux\n");
+        for e in self.events() {
+            let at = e.at_ns;
+            let kind = e.kind.label();
+            // (task, acc, phase, pipeline, node, frame, layer, flag, value, aux)
+            let mut cols: [String; 10] = Default::default();
+            match e.kind {
+                TraceEventKind::Release {
+                    task,
+                    model,
+                    frame,
+                    counted,
+                    deadline_ns,
+                } => {
+                    cols[0] = task.to_string();
+                    cols[2] = model.phase.to_string();
+                    cols[3] = model.pipeline.to_string();
+                    cols[4] = model.node.to_string();
+                    cols[5] = frame.to_string();
+                    cols[7] = u8::from(counted).to_string();
+                    cols[8] = deadline_ns.to_string();
+                }
+                TraceEventKind::Dispatch {
+                    task,
+                    acc,
+                    gang,
+                    layer,
+                    done_at_ns,
+                } => {
+                    cols[0] = task.to_string();
+                    cols[1] = acc.to_string();
+                    cols[6] = layer.to_string();
+                    cols[8] = done_at_ns.to_string();
+                    cols[9] = gang.to_string();
+                }
+                TraceEventKind::Complete {
+                    task,
+                    model,
+                    on_time,
+                } => {
+                    cols[0] = task.to_string();
+                    cols[2] = model.phase.to_string();
+                    cols[3] = model.pipeline.to_string();
+                    cols[4] = model.node.to_string();
+                    cols[7] = u8::from(on_time).to_string();
+                }
+                TraceEventKind::Drop { task, model } | TraceEventKind::Flush { task, model } => {
+                    cols[0] = task.to_string();
+                    cols[2] = model.phase.to_string();
+                    cols[3] = model.pipeline.to_string();
+                    cols[4] = model.node.to_string();
+                }
+                TraceEventKind::Abort { task, acc } => {
+                    cols[0] = task.to_string();
+                    cols[1] = acc.to_string();
+                }
+                TraceEventKind::FaultStart { fault, acc, kind } => {
+                    cols[1] = acc.to_string();
+                    cols[8] = fault.to_string();
+                    cols[9] = kind.label().to_string();
+                }
+                TraceEventKind::FaultEnd { fault, acc } => {
+                    cols[1] = acc.to_string();
+                    cols[8] = fault.to_string();
+                }
+                TraceEventKind::PhaseStart { phase } => {
+                    cols[2] = phase.to_string();
+                }
+                TraceEventKind::Drain => {}
+                TraceEventKind::Decision(rec) => {
+                    cols[0] = rec.task.to_string();
+                    cols[1] = rec.acc.to_string();
+                    cols[8] = rec.score.to_string();
+                    let mut aux = String::new();
+                    for (i, (name, val)) in
+                        SCORE_TERM_NAMES.iter().zip(rec.terms.iter()).enumerate()
+                    {
+                        if i > 0 {
+                            aux.push(';');
+                        }
+                        let _ = write!(aux, "{name}={val}");
+                    }
+                    cols[9] = aux;
+                }
+                TraceEventKind::Counter { ready, running } => {
+                    cols[8] = ready.to_string();
+                    cols[9] = running.to_string();
+                }
+            }
+            let _ = write!(out, "{at},{kind}");
+            for c in &cols {
+                out.push(',');
+                out.push_str(c);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DecisionRecord, FaultTag, ModelRef, TraceConfig, TraceRuntime};
+
+    fn sample_trace() -> Trace {
+        let mut rt = TraceRuntime::new(TraceConfig::default());
+        let model = ModelRef {
+            phase: 0,
+            pipeline: 1,
+            node: 2,
+        };
+        rt.record(0, TraceEventKind::PhaseStart { phase: 0 });
+        rt.record(
+            100,
+            TraceEventKind::Release {
+                task: 1,
+                model,
+                frame: 0,
+                counted: true,
+                deadline_ns: 5_000,
+            },
+        );
+        rt.record(
+            150,
+            TraceEventKind::Decision(DecisionRecord {
+                task: 1,
+                acc: 2,
+                score: 3.5,
+                terms: [1.0, 2.5, 0.0, 4.0, 0.5, 3.5],
+            }),
+        );
+        rt.record(
+            150,
+            TraceEventKind::Dispatch {
+                task: 1,
+                acc: 2,
+                gang: 1,
+                layer: 7,
+                done_at_ns: 950,
+            },
+        );
+        rt.record(
+            150,
+            TraceEventKind::Counter {
+                ready: 0,
+                running: 1,
+            },
+        );
+        rt.record(
+            300,
+            TraceEventKind::FaultStart {
+                fault: 0,
+                acc: 0,
+                kind: FaultTag::Stall,
+            },
+        );
+        rt.record(400, TraceEventKind::FaultEnd { fault: 0, acc: 0 });
+        rt.record(
+            950,
+            TraceEventKind::Complete {
+                task: 1,
+                model,
+                on_time: true,
+            },
+        );
+        rt.record(1_000, TraceEventKind::Drain);
+        rt.finish()
+    }
+
+    #[test]
+    fn csv_has_one_row_per_event_plus_header() {
+        let t = sample_trace();
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), t.len() + 1);
+        assert!(csv.starts_with("at_ns,kind,"));
+        assert!(csv.contains("150,decision,1,2,,,,,,,3.5,urgency=1;"));
+        assert!(csv.contains("150,dispatch,1,2,,,,,7,,950,1"));
+    }
+
+    #[test]
+    fn chrome_json_brackets_balance_and_tracks_are_named() {
+        let t = sample_trace();
+        let json = t.to_chrome_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\""));
+        assert!(
+            json.contains("\"name\":\"acc2\""),
+            "dispatch names its track"
+        );
+        assert!(json.contains("\"ph\":\"X\""), "dispatch renders a span");
+        assert!(json.contains("\"ph\":\"C\""), "counters render");
+        assert!(json.contains("\"dropped_events\":0"));
+    }
+
+    #[test]
+    fn equal_traces_export_byte_identically() {
+        let a = sample_trace();
+        let b = sample_trace();
+        assert_eq!(a.to_chrome_json(), b.to_chrome_json());
+        assert_eq!(a.to_csv(), b.to_csv());
+    }
+}

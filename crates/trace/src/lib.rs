@@ -1,0 +1,380 @@
+//! Deterministic flight recorder for the DREAM engine.
+//!
+//! A [`TraceRuntime`] sits behind the engine's zero-cost
+//! `Option<Box<TraceRuntime>>` seam (the same pattern the fault runtime
+//! uses): when absent, the engine pays a single `is_some` branch per
+//! emission point; when installed, structured **sim-time-stamped** events
+//! land in a bounded ring buffer. Stamps are virtual nanoseconds, never
+//! wall clock — recording is a pure function of the event stream, so a
+//! live session's trace is **byte-identical** to its batch replay's trace
+//! (a strictly stronger equivalence witness than the metrics
+//! fingerprint).
+//!
+//! This crate is dependency-free on purpose: the simulator depends on the
+//! recorder, not the other way around, so events carry raw integer ids
+//! (`u64` task ids, `u32` accelerator/phase/pipeline/node indices) rather
+//! than the simulator's newtypes.
+//!
+//! # Event schema
+//!
+//! | kind | when | payload |
+//! |------|------|---------|
+//! | `Release` | a frame enters the queues | task, model, frame, counted (false = censored), deadline |
+//! | `Dispatch` | a layer starts on an accelerator (one event per gang member) | task, acc, gang size, layer, `done_at_ns` |
+//! | `Complete` | an inference finishes | task, model, on-time flag |
+//! | `Drop` | the scheduler drops a frame | task, model |
+//! | `Flush` | a phase change flushes a frame | task, model |
+//! | `Abort` | an accelerator failure aborts a running gang | task, failed acc |
+//! | `FaultStart`/`FaultEnd` | a fault window opens/closes | plan index, acc, kind |
+//! | `PhaseStart` | a workload phase (or hot-swap) boundary | phase |
+//! | `Drain` | the horizon fires | — |
+//! | `Decision` | the scheduler chose (task, acc) | [`DecisionRecord`]: score + term breakdown |
+//! | `Counter` | sampled after each scheduler invocation | ready / running depths |
+//!
+//! `Counter` samples deliberately expose only replay-invariant depths
+//! (ready tasks, running layers): the raw event-queue length differs
+//! between a live session (admissions are pushed when they happen) and
+//! its batch replay (the trace recurrence pushes them one at a time), so
+//! it can never appear in a trace that must be byte-identical across
+//! both.
+//!
+//! # Ring-buffer bounds
+//!
+//! The ring holds [`TraceConfig::capacity`] events (default
+//! [`DEFAULT_TRACE_CAPACITY`]). When full, the **oldest** event is
+//! overwritten and [`Trace::dropped`] counts the loss — a flight
+//! recorder keeps the most recent window, exactly like its aviation
+//! namesake. Overwriting is itself deterministic, so bounded traces stay
+//! byte-identical too.
+//!
+//! # Exporters
+//!
+//! [`Trace::to_chrome_json`] renders the Chrome-trace / Perfetto JSON
+//! object format: one track per accelerator carrying dispatch spans and
+//! fault markers, a lifecycle track for releases/completions/decisions,
+//! and counter tracks for the ready/running depths. Load the file at
+//! `https://ui.perfetto.dev` (or `chrome://tracing`). [`Trace::to_csv`]
+//! renders one row per event for offline analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+
+use std::collections::VecDeque;
+
+/// Default ring capacity: 64Ki events (~4 MiB), a few minutes of a busy
+/// session's most recent history.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// Names of the [`DecisionRecord::terms`] slots, in order — the MapScore
+/// breakdown of Algorithm 1: `urgency·lat_pref + α·starvation + β·energy`
+/// with `energy = pref_energy − cost_switch`.
+pub const SCORE_TERM_NAMES: [&str; 6] = [
+    "urgency",
+    "lat_pref",
+    "starvation",
+    "pref_energy",
+    "cost_switch",
+    "energy",
+];
+
+/// A model instance reference: raw indices of `(phase, pipeline, node)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelRef {
+    /// Workload phase index.
+    pub phase: u32,
+    /// Pipeline index within the phase's scenario.
+    pub pipeline: u32,
+    /// Node index within the pipeline.
+    pub node: u32,
+}
+
+/// The kind of fault behind a [`TraceEventKind::FaultStart`] marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTag {
+    /// Dispatch unavailability for a window.
+    Stall,
+    /// Permanent failure.
+    Fail,
+    /// A latency multiplier for a window.
+    Slowdown,
+}
+
+impl FaultTag {
+    /// Stable lowercase label (used by both exporters).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultTag::Stall => "stall",
+            FaultTag::Fail => "fail",
+            FaultTag::Slowdown => "slowdown",
+        }
+    }
+}
+
+/// One scheduler choice: the chosen (task, accelerator) pair, its
+/// combined MapScore, and the term breakdown ([`SCORE_TERM_NAMES`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionRecord {
+    /// The chosen task.
+    pub task: u64,
+    /// The chosen accelerator.
+    pub acc: u32,
+    /// The combined score the pair won with.
+    pub score: f64,
+    /// The unit terms, ordered as [`SCORE_TERM_NAMES`].
+    pub terms: [f64; 6],
+}
+
+/// What happened at one instant (see the [module docs](self) schema).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // field meanings are the schema table in the module docs
+pub enum TraceEventKind {
+    Release {
+        task: u64,
+        model: ModelRef,
+        frame: u64,
+        counted: bool,
+        deadline_ns: u64,
+    },
+    Dispatch {
+        task: u64,
+        acc: u32,
+        gang: u32,
+        layer: u32,
+        done_at_ns: u64,
+    },
+    Complete {
+        task: u64,
+        model: ModelRef,
+        on_time: bool,
+    },
+    Drop {
+        task: u64,
+        model: ModelRef,
+    },
+    Flush {
+        task: u64,
+        model: ModelRef,
+    },
+    Abort {
+        task: u64,
+        acc: u32,
+    },
+    FaultStart {
+        fault: u32,
+        acc: u32,
+        kind: FaultTag,
+    },
+    FaultEnd {
+        fault: u32,
+        acc: u32,
+    },
+    PhaseStart {
+        phase: u32,
+    },
+    Drain,
+    Decision(DecisionRecord),
+    Counter {
+        ready: u32,
+        running: u32,
+    },
+}
+
+impl TraceEventKind {
+    /// Stable lowercase label (the CSV `kind` column).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceEventKind::Release { .. } => "release",
+            TraceEventKind::Dispatch { .. } => "dispatch",
+            TraceEventKind::Complete { .. } => "complete",
+            TraceEventKind::Drop { .. } => "drop",
+            TraceEventKind::Flush { .. } => "flush",
+            TraceEventKind::Abort { .. } => "abort",
+            TraceEventKind::FaultStart { .. } => "fault_start",
+            TraceEventKind::FaultEnd { .. } => "fault_end",
+            TraceEventKind::PhaseStart { .. } => "phase_start",
+            TraceEventKind::Drain => "drain",
+            TraceEventKind::Decision(_) => "decision",
+            TraceEventKind::Counter { .. } => "counter",
+        }
+    }
+}
+
+/// One recorded event: a sim-time stamp (virtual nanoseconds) and what
+/// happened there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual time of the event, in nanoseconds.
+    pub at_ns: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// Configuration for a [`TraceRuntime`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Ring capacity in events; 0 is clamped to 1. When the ring is
+    /// full the oldest event is overwritten (and counted as dropped).
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            capacity: DEFAULT_TRACE_CAPACITY,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// A config with an explicit ring capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceConfig { capacity }
+    }
+}
+
+/// The in-flight recorder: a bounded ring of [`TraceEvent`]s.
+///
+/// Engines hold one behind an `Option<Box<_>>` seam and call
+/// [`record`](Self::record) at their emission points; [`finish`](Self::finish)
+/// extracts the immutable [`Trace`].
+#[derive(Debug)]
+pub struct TraceRuntime {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceRuntime {
+    /// Creates a recorder with the given config.
+    pub fn new(config: TraceConfig) -> Self {
+        let capacity = config.capacity.max(1);
+        TraceRuntime {
+            capacity,
+            // Reserve lazily-bounded: large capacities shouldn't commit
+            // memory before events exist.
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            dropped: 0,
+        }
+    }
+
+    /// Records one event; overwrites the oldest when the ring is full.
+    pub fn record(&mut self, at_ns: u64, kind: TraceEventKind) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent { at_ns, kind });
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded (or everything was overwritten).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Extracts the recorded window as an immutable [`Trace`].
+    pub fn finish(self) -> Trace {
+        Trace {
+            capacity: self.capacity,
+            dropped: self.dropped,
+            events: self.events.into_iter().collect(),
+        }
+    }
+}
+
+/// An extracted trace: the recorded event window plus loss accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    capacity: usize,
+    dropped: u64,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The ring capacity the trace was recorded with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events in the trace.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(task: u64) -> TraceEventKind {
+        TraceEventKind::Complete {
+            task,
+            model: ModelRef {
+                phase: 0,
+                pipeline: 0,
+                node: 0,
+            },
+            on_time: true,
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut rt = TraceRuntime::new(TraceConfig::with_capacity(3));
+        for i in 0..5u64 {
+            rt.record(i, ev(i));
+        }
+        let trace = rt.finish();
+        assert_eq!(trace.dropped(), 2);
+        assert_eq!(trace.len(), 3);
+        let stamps: Vec<u64> = trace.events().iter().map(|e| e.at_ns).collect();
+        assert_eq!(stamps, vec![2, 3, 4], "the newest window survives");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut rt = TraceRuntime::new(TraceConfig::with_capacity(0));
+        rt.record(1, ev(1));
+        rt.record(2, ev(2));
+        let t = rt.finish();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.capacity(), 1);
+    }
+
+    #[test]
+    fn default_capacity_is_large() {
+        let rt = TraceRuntime::new(TraceConfig::default());
+        assert!(rt.is_empty());
+        assert_eq!(rt.capacity, DEFAULT_TRACE_CAPACITY);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ev(0).label(), "complete");
+        assert_eq!(TraceEventKind::Drain.label(), "drain");
+        assert_eq!(FaultTag::Slowdown.label(), "slowdown");
+        assert_eq!(SCORE_TERM_NAMES[0], "urgency");
+    }
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Flight-recorder trace-identity gate.
+#
+# Runs the flight_recorder example: a live serving session with the
+# tracer on (admissions, a fault window, a hot-swap, a drain), exported
+# to Chrome/Perfetto JSON and CSV, then the batch replay of the same
+# recorded session, exported again. The example asserts byte identity
+# in-process; this gate re-checks the bytes on disk with cmp (a second,
+# independent witness), validates the exported JSON non-trivially, and
+# leaves both artifact pairs for CI to upload.
+#
+# Usage: scripts/check_trace.sh [out_dir]
+#   out_dir (default: trace_artifacts/) receives the four exports.
+set -euo pipefail
+
+# shellcheck source=scripts/gate_lib.sh
+. "$(dirname "$0")/gate_lib.sh"
+
+out_dir="${1:-trace_artifacts}"
+mkdir -p "$out_dir"
+
+echo "building release example..."
+cargo build --release -q --example flight_recorder
+
+echo "running live session + batch replay..."
+DREAM_ARTIFACTS_DIR="$out_dir" target/release/examples/flight_recorder
+
+live_json="$out_dir/flight/flight_live.json"
+live_csv="$out_dir/flight/flight_live.csv"
+replay_json="$out_dir/flight/flight_replay.json"
+replay_csv="$out_dir/flight/flight_replay.csv"
+
+for f in "$live_json" "$live_csv" "$replay_json" "$replay_csv"; do
+    [ -s "$f" ] || { echo "missing or empty artifact: $f"; exit 1; }
+done
+
+# The gate proper: any byte divergence between the live trace and its
+# replay is a determinism break.
+cmp "$live_json" "$replay_json" || {
+    echo "TRACE DIVERGENCE: live JSON != replay JSON"; exit 1;
+}
+cmp "$live_csv" "$replay_csv" || {
+    echo "TRACE DIVERGENCE: live CSV != replay CSV"; exit 1;
+}
+echo "trace identity: JSON and CSV byte-identical across live/replay"
+
+# Non-trivial JSON validation: the export must carry real spans and
+# counter samples, not just a well-formed shell.
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$live_json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+phases = {e["ph"] for e in events}
+assert "X" in phases, "no dispatch spans in trace"
+assert "i" in phases, "no lifecycle instants in trace"
+assert "C" in phases, "no counter samples in trace"
+assert any(str(e.get("name", "")).startswith("fault:") for e in events), "no fault markers"
+spans = [e for e in events if e["ph"] == "X"]
+assert all(e["dur"] >= 0 for e in spans), "negative span duration"
+assert doc["displayTimeUnit"] == "ns"
+print(f"JSON valid: {len(events)} events, {len(spans)} dispatch spans")
+EOF
+else
+    # Fallback shape check when python3 is unavailable.
+    grep -q '"traceEvents"' "$live_json"
+    grep -q '"ph": *"X"' "$live_json" || grep -q '"ph":"X"' "$live_json"
+    echo "JSON shape check passed (python3 unavailable)"
+fi
+
+# CSV sanity: header + monotone-stamped rows exist.
+head -1 "$live_csv" | grep -q '^at_ns,kind' || {
+    echo "CSV header missing"; exit 1;
+}
+rows=$(wc -l < "$live_csv")
+[ "$rows" -gt 100 ] || { echo "CSV implausibly small ($rows rows)"; exit 1; }
+
+echo "artifacts:"
+ls -l "$out_dir/flight"
+echo "CHECK_TRACE OK"

@@ -43,6 +43,7 @@ pub const DETERMINISTIC_SRC_DIRS: &[&str] = &[
     "crates/cost/src",
     "crates/models/src",
     "crates/sim/src",
+    "crates/trace/src",
 ];
 
 /// Source trees whose code makes scheduling decisions (D4 scope).
